@@ -1,0 +1,91 @@
+"""Ablation — what each P-SD acceleration buys (beyond the paper's figures).
+
+DESIGN.md calls out four design choices in the P-SD check: the SS-SD
+cover-pruning gate, the convex-hull geometric filter, the level-by-level
+coarse networks, and the max-flow reduction itself.  This bench times the
+pairwise check under each configuration on the same scene.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.context import QueryContext
+from repro.core.operators import make_operator
+
+from .conftest import bench_scene, write_result  # noqa: F401
+
+CONFIGS = {
+    "bare-maxflow": dict(
+        use_mbr_validation=False,
+        use_cover_pruning=False,
+        use_geometry=False,
+        use_level=False,
+    ),
+    "+cover": dict(
+        use_mbr_validation=False,
+        use_cover_pruning=True,
+        use_geometry=False,
+        use_level=False,
+    ),
+    "+geometry": dict(
+        use_mbr_validation=False,
+        use_cover_pruning=True,
+        use_geometry=True,
+        use_level=False,
+    ),
+    "+level": dict(
+        use_mbr_validation=False,
+        use_cover_pruning=True,
+        use_geometry=True,
+        use_level=True,
+    ),
+    "full": dict(
+        use_mbr_validation=True,
+        use_cover_pruning=True,
+        use_geometry=True,
+        use_level=True,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def pair_workload(bench_scene):  # noqa: F811
+    objects, query = bench_scene
+    pairs = list(itertools.islice(itertools.permutations(objects[:30], 2), 120))
+    return pairs, query
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_psd_check_config(benchmark, pair_workload, config):
+    pairs, query = pair_workload
+    op = make_operator("PSD", **CONFIGS[config])
+
+    def run():
+        ctx = QueryContext(query)
+        return sum(1 for u, v in pairs if op.dominates(u, v, ctx))
+
+    dominated = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Every configuration must agree on the outcome count.
+    baseline_op = make_operator("PSD", **CONFIGS["bare-maxflow"])
+    ctx = QueryContext(query)
+    expected = sum(1 for u, v in pairs if baseline_op.dominates(u, v, ctx))
+    assert dominated == expected
+
+
+def test_record_config_agreement(pair_workload):
+    """All stacks agree pair by pair (ablation is purely about speed)."""
+    pairs, query = pair_workload
+    outcomes = {}
+    for name, flags in CONFIGS.items():
+        op = make_operator("PSD", **flags)
+        ctx = QueryContext(query)
+        outcomes[name] = [op.dominates(u, v, ctx) for u, v in pairs]
+    baseline = outcomes["bare-maxflow"]
+    for name, result in outcomes.items():
+        assert result == baseline, name
+    write_result(
+        "ablation_psd",
+        f"P-SD ablation: {len(pairs)} pairwise checks, "
+        f"{sum(baseline)} dominances; all {len(CONFIGS)} configs agree.",
+    )

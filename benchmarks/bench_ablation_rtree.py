@@ -1,0 +1,64 @@
+"""Ablation — R-tree construction strategy and fan-out (substrate choices).
+
+The paper packs instances into local R-trees with fan-out 4 and object MBRs
+into a page-sized global tree.  This bench compares STR bulk loading against
+one-by-one insertion and measures how fan-out affects the best-first NN
+query that drives Algorithm 1's traversal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mbr import MBR
+from repro.index.rtree import RTree
+
+
+@pytest.fixture(scope="module")
+def entry_cloud():
+    rng = np.random.default_rng(7)
+    pts = rng.uniform(0, 1000, size=(2000, 2))
+    return pts, [(MBR(p, p), i) for i, p in enumerate(pts)]
+
+
+def test_bulk_load(benchmark, entry_cloud):
+    _, entries = entry_cloud
+    tree = benchmark(lambda: RTree.bulk_load(entries, max_entries=16))
+    assert len(tree) == 2000
+
+
+def test_insert_build(benchmark, entry_cloud):
+    _, entries = entry_cloud
+
+    def build():
+        tree = RTree(max_entries=16)
+        for mbr, payload in entries:
+            tree.insert(mbr, payload)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert len(tree) == 2000
+
+
+@pytest.mark.parametrize("fanout", [4, 8, 16, 32])
+def test_nn_query_by_fanout(benchmark, entry_cloud, fanout):
+    pts, entries = entry_cloud
+    tree = RTree.bulk_load(entries, max_entries=fanout)
+    rng = np.random.default_rng(1)
+    queries = rng.uniform(0, 1000, size=(50, 2))
+
+    def run():
+        return sum(tree.nearest_distance(q) for q in queries)
+
+    total = benchmark(run)
+    brute = sum(
+        float(np.linalg.norm(pts - q, axis=1).min()) for q in queries
+    )
+    assert total == pytest.approx(brute, rel=1e-9)
+
+
+def test_range_query(benchmark, entry_cloud):
+    _, entries = entry_cloud
+    tree = RTree.bulk_load(entries, max_entries=16)
+    box = MBR(np.array([200.0, 200.0]), np.array([400.0, 400.0]))
+    hits = benchmark(lambda: len(tree.range_search(box)))
+    assert hits > 0

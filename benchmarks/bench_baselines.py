@@ -1,0 +1,69 @@
+"""Baselines beyond the paper's figures: NN-core and sphere dominance.
+
+Remark 1 of the paper excludes NN-core from the evaluation because it can
+miss NN objects; this bench quantifies how the candidate sets compare anyway
+and times both baselines against the dominance operators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nncore import nn_core
+from repro.baselines.spheres import sphere_nn_candidates
+from repro.core.nnc import NNCSearch
+from repro.datasets.synthetic import anticorrelated_centers, make_objects, make_query
+
+from .conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def baseline_scene():
+    rng = np.random.default_rng(3)
+    centers = anticorrelated_centers(120, 2, rng)
+    objects = make_objects(centers, m_d=6, h_d=2500.0, rng=rng)
+    query = make_query(centers[11], 5, 1300.0, rng)
+    return objects, query
+
+
+def test_candidate_size_comparison(baseline_scene):
+    objects, query = baseline_scene
+    search = NNCSearch(objects)
+    sizes = {
+        kind: len(search.run(query, kind)) for kind in ["SSD", "SSSD", "PSD", "F+SD"]
+    }
+    sizes["NN-core"] = len(nn_core(objects, query))
+    sizes["spheres"] = len(sphere_nn_candidates(objects, query))
+    write_result(
+        "baseline_candidates",
+        "Candidate sizes on A-N(120): "
+        + ", ".join(f"{k}={v}" for k, v in sizes.items()),
+    )
+    # NN-core is the aggressive extreme; the sphere baseline the loosest.
+    assert sizes["NN-core"] <= sizes["PSD"] + 1
+    assert sizes["spheres"] >= sizes["F+SD"]
+
+
+def test_nn_core_runtime(benchmark, baseline_scene):
+    objects, query = baseline_scene
+    core = benchmark.pedantic(
+        lambda: nn_core(objects[:40], query), rounds=2, iterations=1
+    )
+    assert core
+
+
+def test_sphere_candidates_runtime(benchmark, baseline_scene):
+    objects, query = baseline_scene
+    result = benchmark.pedantic(
+        lambda: sphere_nn_candidates(objects, query), rounds=2, iterations=1
+    )
+    assert result
+
+
+def test_topk_candidates_runtime(benchmark, baseline_scene):
+    """k-skyband extension: cost of k = 5 vs k = 1 on the same scene."""
+    objects, query = baseline_scene
+    search = NNCSearch(objects)
+    result = benchmark.pedantic(
+        lambda: search.run(query, "SSD", k=5), rounds=3, iterations=1
+    )
+    assert len(result) >= len(search.run(query, "SSD"))

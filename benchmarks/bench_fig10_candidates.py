@@ -1,0 +1,42 @@
+"""Figure 10 — NN candidate size per dataset and operator.
+
+Regenerates the per-dataset candidate-size table and benchmarks one NNC
+query per operator on the A-N scene.  Expected shape (paper):
+``SSD <= SSSD <= PSD << FSD <= F+SD`` on every dataset, with NBA/GW much
+larger than the rest due to instance-cloud overlap.
+"""
+
+import pytest
+
+from repro.core.nnc import NNCSearch
+from repro.experiments.figures import fig10_candidate_size
+
+from .conftest import SCALE, bench_scene, print_and_save  # noqa: F401
+
+
+@pytest.fixture(scope="module")
+def fig10_rows():
+    result = fig10_candidate_size(SCALE)
+    print_and_save("fig10_candidate_size", result.rows, result.figure)
+    return result.rows
+
+
+def test_fig10_shape(fig10_rows):
+    """Candidate sets must nest per Figure 5 on every dataset."""
+    for row in fig10_rows:
+        assert row["SSD"] <= row["SSSD"] + 1e-9
+        assert row["SSSD"] <= row["PSD"] + 1e-9
+        assert row["PSD"] <= row["FSD"] + 1e-9
+        assert row["FSD"] <= row["F+SD"] + 1e-9
+
+
+@pytest.mark.parametrize("kind", ["SSD", "SSSD", "PSD", "FSD", "F+SD"])
+def test_nnc_query(benchmark, bench_scene, kind):  # noqa: F811
+    objects, query = bench_scene
+    search = NNCSearch(objects)
+
+    def run():
+        return len(search.run(query, kind))
+
+    size = benchmark(run)
+    assert size >= 1

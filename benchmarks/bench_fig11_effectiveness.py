@@ -1,0 +1,63 @@
+"""Figure 11(a-f) — candidate size vs each Table 2 parameter.
+
+Regenerates all six effectiveness sweeps.  Expected shapes (paper):
+
+* (a)-(d): SSD/SSSD/PSD stay nearly flat as m_d, h_d, m_q, h_q grow, while
+  FSD and especially F+SD inflate with the object/query extent;
+* (e): FSD/F+SD deteriorate with n, the new operators stay stable;
+* (f): candidate counts drop sharply as dimensionality rises (less overlap).
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    fig11a,
+    fig11b,
+    fig11c,
+    fig11d,
+    fig11e,
+    fig11f,
+)
+
+from .conftest import SCALE, print_and_save
+
+SWEEPS = {
+    "fig11a_m_d": fig11a,
+    "fig11b_h_d": fig11b,
+    "fig11c_m_q": fig11c,
+    "fig11d_h_q": fig11d,
+    "fig11e_n": fig11e,
+    "fig11f_d": fig11f,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(SWEEPS))
+def sweep_rows(request):
+    result = SWEEPS[request.param](SCALE)
+    print_and_save(request.param, result.rows, result.figure)
+    return request.param, result.rows
+
+
+def test_sweep_nesting_shape(sweep_rows):
+    """The Figure 5 nesting must hold at every sweep point."""
+    _, rows = sweep_rows
+    for row in rows:
+        assert row["SSD"] <= row["SSSD"] + 1e-9
+        assert row["SSSD"] <= row["PSD"] + 1e-9
+        assert row["PSD"] <= row["FSD"] + 1e-9
+
+
+def test_fig11b_fsd_sensitive_to_extent(benchmark):
+    """h_d growth hurts the boundary-based operators most (paper's claim);
+    benchmarked on the smallest/largest h_d pair."""
+    from repro.experiments.figures import run_sweep
+
+    def run():
+        return run_sweep("h_d", SCALE, kinds=("SSD", "F+SD"), values=[100.0, 500.0])
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lo, hi = rows[0], rows[-1]
+    # F+SD must grow at least as fast as SSD when extents quintuple.
+    growth_fplus = hi["size[F+SD]"] - lo["size[F+SD]"]
+    growth_ssd = hi["size[SSD]"] - lo["size[SSD]"]
+    assert growth_fplus >= growth_ssd - 1e-9

@@ -1,0 +1,49 @@
+"""Figure 12 — average query response time per dataset and operator.
+
+Regenerates the per-dataset timing table.  Expected shape (paper): FSD/F+SD
+are fastest on easy datasets thanks to the cheap dominance check; PSD is the
+slowest of the five; SSD/SSSD sit between and overtake FSD/F+SD on datasets
+where the full-dominance candidate sets explode (USA at scale, NBA/GW).
+"""
+
+import pytest
+
+from repro.core.context import QueryContext
+from repro.core.nnc import NNCSearch
+from repro.core.operators import make_operator
+from repro.experiments.figures import fig12_response_time
+
+from .conftest import SCALE, bench_scene, print_and_save  # noqa: F401
+
+
+@pytest.fixture(scope="module")
+def fig12_rows():
+    result = fig12_response_time(SCALE)
+    print_and_save("fig12_response_time", result.rows, result.figure)
+    return result.rows
+
+
+def test_fig12_rows_present(fig12_rows):
+    assert len(fig12_rows) == 7
+    for row in fig12_rows:
+        for op in ("SSD", "SSSD", "PSD", "FSD", "F+SD"):
+            assert row[op] >= 0.0
+
+
+@pytest.mark.parametrize("kind", ["SSD", "SSSD", "PSD"])
+def test_dominance_check_cost(benchmark, bench_scene, kind):  # noqa: F811
+    """Single dominance check latency (the unit cost behind Figure 12)."""
+    objects, query = bench_scene
+    op = make_operator(kind)
+    ctx = QueryContext(query)
+    u, v = objects[0], objects[1]
+
+    benchmark(lambda: op.dominates(u, v, ctx))
+
+
+def test_full_search_psd(benchmark, bench_scene):  # noqa: F811
+    objects, query = bench_scene
+    search = NNCSearch(objects)
+    benchmark.pedantic(
+        lambda: search.run(query, "PSD"), rounds=3, iterations=1
+    )

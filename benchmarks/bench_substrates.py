@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the algorithmic substrates.
+
+Unit costs underlying every figure: the single-scan stochastic order check
+(Section 5.1.1), the Theorem 12 max-flow, the EMD min-cost flow, and the
+possible-world rank DP.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.context import QueryContext
+from repro.core.psd import build_psd_network
+from repro.flow.maxflow import max_flow
+from repro.functions.n2 import PossibleWorldScores
+from repro.functions.n3 import earth_movers_distance
+from repro.objects.uncertain import UncertainObject
+from repro.stats.distribution import DiscreteDistribution
+from repro.stats.stochastic import stochastic_leq
+
+
+@pytest.fixture(scope="module")
+def big_distributions():
+    rng = np.random.default_rng(11)
+    x = DiscreteDistribution(rng.uniform(0, 100, 3000), np.full(3000, 1 / 3000))
+    y = DiscreteDistribution(rng.uniform(1, 101, 3000), np.full(3000, 1 / 3000))
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def object_pair():
+    rng = np.random.default_rng(13)
+    u = UncertainObject(rng.normal(0, 2, size=(40, 2)))
+    v = UncertainObject(rng.normal(1.5, 2, size=(40, 2)))
+    q = UncertainObject(rng.normal(5, 1, size=(20, 2)))
+    return u, v, q
+
+
+def test_stochastic_scan(benchmark, big_distributions):
+    x, y = big_distributions
+    benchmark(lambda: stochastic_leq(x, y))
+
+
+def test_psd_network_and_maxflow(benchmark, object_pair):
+    u, v, q = object_pair
+
+    def run():
+        ctx = QueryContext(q)
+        net, s, t, _ = build_psd_network(u, v, ctx)
+        return max_flow(net, s, t)
+
+    flow = benchmark(run)
+    assert 0.0 <= flow <= 1.0 + 1e-9
+
+
+def test_emd(benchmark, object_pair):
+    u, _, q = object_pair
+    value = benchmark(lambda: earth_movers_distance(u, q))
+    assert value > 0
+
+
+def test_rank_distribution_dp(benchmark):
+    rng = np.random.default_rng(17)
+    objects = [
+        UncertainObject(rng.normal(c, 1.0, size=(6, 2)))
+        for c in rng.uniform(0, 10, size=(25, 2))
+    ]
+    query = UncertainObject(rng.normal(5, 1.0, size=(5, 2)))
+
+    def run():
+        pw = PossibleWorldScores(objects, query)
+        return pw.nn_probability(0)
+
+    p = benchmark(run)
+    assert 0.0 <= p <= 1.0

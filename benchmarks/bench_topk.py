@@ -1,0 +1,69 @@
+"""Benchmark — function-specific top-k engine vs. exhaustive scoring.
+
+Measures the value of the admissible index bounds: the best-first engine
+should compute far fewer exact scores (and run faster) than scoring every
+object, for both cheap (mean) and expensive (EMD) functions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.functions.base import MeanAggregate, QuantileAggregate
+from repro.functions.n3 import earth_movers_distance
+from repro.query.topk import FunctionTopK, emd_scorer
+
+from .conftest import bench_scene, write_result  # noqa: F401
+
+
+@pytest.fixture(scope="module")
+def engine(bench_scene):  # noqa: F811
+    objects, query = bench_scene
+    return FunctionTopK(objects), objects, query
+
+
+def test_topk_mean_with_bounds(benchmark, engine):
+    topk, objects, query = engine
+    result = benchmark(lambda: topk.query(query, MeanAggregate(), k=5))
+    assert len(result) == 5
+    write_result(
+        "topk_bounds",
+        f"mean top-5 over {len(objects)} objects: "
+        f"{topk.last_exact_scores} exact scores computed",
+    )
+    assert topk.last_exact_scores < len(objects)
+
+
+def test_topk_mean_bruteforce(benchmark, engine):
+    _, objects, query = engine
+    agg = MeanAggregate()
+
+    def brute():
+        return sorted(agg(o.distance_distribution(query)) for o in objects)[:5]
+
+    benchmark(brute)
+
+
+def test_topk_quantile_with_bounds(benchmark, engine):
+    topk, _, query = engine
+    result = benchmark(lambda: topk.query(query, QuantileAggregate(0.5), k=5))
+    assert len(result) == 5
+
+
+def test_topk_emd_with_bounds(benchmark, engine):
+    topk, objects, query = engine
+    result = benchmark.pedantic(
+        lambda: topk.query(query, emd_scorer(), k=3), rounds=3, iterations=1
+    )
+    assert len(result) == 3
+    # Cross-check against exhaustive EMD scoring once.
+    want = sorted(earth_movers_distance(o, query) for o in objects)[:3]
+    assert [s for s, _ in result] == pytest.approx(want, abs=1e-6)
+
+
+def test_topk_emd_bruteforce(benchmark, engine):
+    _, objects, query = engine
+    benchmark.pedantic(
+        lambda: sorted(earth_movers_distance(o, query) for o in objects)[:3],
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_fig*`` module regenerates the data series of one figure of the
+paper and times its key operation with pytest-benchmark.  Regenerated tables
+are written to ``benchmarks/results/`` so a benchmark run leaves a complete
+record (the tables quoted in EXPERIMENTS.md come from these files).
+
+The scale preset is taken from the ``REPRO_SCALE`` environment variable
+(``tiny`` by default so ``pytest benchmarks/ --benchmark-only`` stays fast;
+set ``REPRO_SCALE=small`` or ``medium`` for the fuller tables).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import anticorrelated_centers, make_objects, make_query
+from repro.experiments.report import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALE = os.environ.get("REPRO_SCALE", "tiny")
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a regenerated table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+def print_and_save(name: str, rows: list[dict], title: str) -> None:
+    """Format, print, and persist one regenerated figure table."""
+    table = format_table(rows, title)
+    print(f"\n{table}")
+    write_result(name, table)
+
+
+@pytest.fixture(scope="session")
+def bench_scene():
+    """A paper-shaped A-N scene sized for timing loops."""
+    rng = np.random.default_rng(42)
+    centers = anticorrelated_centers(250, 3, rng)
+    objects = make_objects(centers, m_d=10, h_d=2500.0, rng=rng)
+    query = make_query(centers[17], 8, 1300.0, rng)
+    return objects, query

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""After the candidates: exact top-k under the function you settled on.
+
+The candidate workflow ends with the user picking a function.  This example
+shows the follow-up query answered exactly with index bounds instead of
+scoring every object:
+
+* top-k under any stable N1 aggregate or N3 distance (best-first search
+  with admissible MBR score bounds), and
+* top-k *probable* NN (the possible-world query of Beskales et al.),
+  answered with bound-then-verify over the exact rank distributions.
+
+Run:  python examples/function_topk.py
+"""
+
+import numpy as np
+
+from repro import UncertainObject
+from repro.functions.base import MeanAggregate, QuantileAggregate
+from repro.query.probable_nn import top_k_probable_nn
+from repro.query.topk import FunctionTopK, emd_scorer, hausdorff_scorer
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    objects = [
+        UncertainObject(rng.normal(center, 2.0, size=(7, 2)), oid=i)
+        for i, center in enumerate(rng.uniform(0, 100, size=(400, 2)))
+    ]
+    query = UncertainObject(rng.normal([50, 50], 2.5, size=(5, 2)), oid="Q")
+    engine = FunctionTopK(objects)
+
+    print("Exact top-3 per function (index-bounded best-first search):")
+    for label, scorer in [
+        ("expected distance", MeanAggregate()),
+        ("median distance", QuantileAggregate(0.5)),
+        ("Hausdorff", hausdorff_scorer()),
+        ("EMD", emd_scorer()),
+    ]:
+        result = engine.query(query, scorer, k=3)
+        ids = [obj.oid for _, obj in result]
+        print(
+            f"  {label:>17}: top-3 = {ids}   "
+            f"({engine.last_exact_scores}/{len(objects)} objects scored exactly)"
+        )
+
+    print("\nTop-3 probable nearest neighbors (possible-world semantics):")
+    from repro.query import probable_nn
+
+    for prob, obj in top_k_probable_nn(objects, query, k=3):
+        print(f"  object {obj.oid:>3}: Pr(NN) = {prob:.3f}")
+    print(
+        f"  ({probable_nn.last_exact_evaluations}/{len(objects)} exact "
+        "probability evaluations needed)"
+    )
+
+
+if __name__ == "__main__":
+    main()

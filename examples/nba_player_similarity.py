@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Find players most similar to a target player from per-game stat lines.
+
+The paper's motivating NBA scenario: each player is a multi-instance object
+whose instances are per-game (points, assists, rebounds) records.  Different
+NN functions legitimately disagree about the "most similar" player — a
+consistent scorer wins under the max distance, a streaky one under the min —
+so a recommender should surface the *candidate set* rather than pick one
+function silently.
+
+Run:  python examples/nba_player_similarity.py
+"""
+
+import numpy as np
+
+from repro import NNCSearch, UncertainObject
+from repro.datasets.semireal import nba_like
+from repro.functions.registry import default_function_suite
+
+
+def main() -> None:
+    rng = np.random.default_rng(2015)
+    players = nba_like(n_players=150, games_per_player=25, rng=rng)
+
+    # The "query player": a recent arrival with a shorter stat history,
+    # statistically similar to player 17 — who then *retires* and leaves the
+    # league, so the similarity search must pick among genuinely different
+    # players.
+    target = UncertainObject(
+        players[17].points[:12] + rng.normal(0, 150, size=(12, 3)),
+        oid="target-player",
+    )
+    players = [p for p in players if p.oid != 17]
+
+    search = NNCSearch(players)
+    print("Candidate 'most similar players' per operator:")
+    for kind in ["SSD", "SSSD", "PSD"]:
+        result = search.run(target, kind)
+        print(
+            f"  {kind:>4}: {len(result):3d} candidates, "
+            f"first five: {result.oids()[:5]}"
+        )
+
+    # Show that concrete functions disagree — the reason candidates matter.
+    # (The N2 functions are polynomial but not cheap, so this part runs on a
+    # smaller league.)
+    small_league = players[:35]
+    psd = set(search.run(target, "PSD").oids())
+    small_psd = set(NNCSearch(small_league).run(target, "PSD").oids())
+    print("\nWho is 'the' most similar player? Depends on the function:")
+    winners: dict[str, list[str]] = {}
+    for fn in default_function_suite(quantiles=(0.5,), topk=(1,)):
+        nn = small_league[fn.nearest(small_league, target)].oid
+        winners.setdefault(str(nn), []).append(fn.name)
+    for player, fns in sorted(winners.items(), key=lambda kv: -len(kv[1])):
+        mark = "in PSD set" if int(player) in small_psd else "NOT in PSD set (bug!)"
+        print(f"  player {player:>4}: chosen by {', '.join(fns)}  [{mark}]")
+    print(f"\nFull-league PSD candidate count: {len(psd)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Progressive NN candidate exploration (the paper's Figure 14 behaviour).
+
+Algorithm 1 is progressive: a candidate is certain as soon as every object
+that could dominate it has been examined, so high-quality candidates stream
+out long before the search completes — like a search engine rendering its
+first results while still crawling.
+
+This example runs P-SD over a USA-like dataset and prints the decile
+profile: what fraction of total time had elapsed when each 10% slice of the
+candidates arrived, and how "strong" (how many objects they dominate) the
+early candidates are compared with the late ones.
+
+Run:  python examples/progressive_exploration.py
+"""
+
+import numpy as np
+
+from repro.datasets.semireal import usa_like
+from repro.datasets.synthetic import make_objects, make_query
+from repro.experiments.harness import progressive_profile
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(14)
+    centers = usa_like(400, rng)
+    objects = make_objects(centers, m_d=10, h_d=2500.0, rng=rng)
+    query = make_query(centers[rng.integers(len(centers))], 8, 1200.0, rng)
+
+    rows = progressive_profile(objects, query, "PSD")
+    total_time = rows[-1]["time"] if rows else 0.0
+    deciles = []
+    for chunk in np.array_split(rows, min(10, len(rows))):
+        chunk = list(chunk)
+        deciles.append(
+            {
+                "returned_%": round(100 * chunk[-1]["progress"]),
+                "time_%": round(100 * chunk[-1]["time"] / max(total_time, 1e-9)),
+                "avg_quality": round(
+                    float(np.mean([r["quality"] for r in chunk])), 1
+                ),
+            }
+        )
+    print(format_table(deciles, "P-SD progressive profile (USA-like dataset)"))
+    print(
+        "\nReading: early deciles arrive in a small share of the total time\n"
+        "and dominate more objects on average — browse them immediately."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+minimal offline environments where the ``wheel`` package (required by the
+PEP 660 editable build backend) is unavailable: pip then falls back to the
+legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro — optimal spatial dominance for nearest-neighbor candidate search.
+
+A from-scratch Python implementation of *"Optimal Spatial Dominance: An
+Effective Search of Nearest Neighbor Candidates"* (Wang, Zhang, Zhang, Lin,
+Cheema; SIGMOD 2015): multi-instance objects, the three families of NN
+ranking functions, the four spatial dominance operators (S-SD, SS-SD, P-SD,
+F-SD / F+-SD) with their filtering techniques, and the progressive NN
+candidates search of Algorithm 1 — plus every substrate they stand on
+(R-trees, convex hulls, max-flow / min-cost-flow, stochastic orders).
+
+Quickstart::
+
+    import numpy as np
+    from repro import UncertainObject, nn_candidates
+
+    rng = np.random.default_rng(7)
+    objects = [
+        UncertainObject(rng.normal(c, 0.5, size=(8, 2)), oid=i)
+        for i, c in enumerate(rng.uniform(0, 10, size=(50, 2)))
+    ]
+    query = UncertainObject(rng.normal(5.0, 0.5, size=(6, 2)), oid="Q")
+    result = nn_candidates(objects, query, "PSD")
+    print(result.oids())
+"""
+
+from repro.core.context import QueryContext
+from repro.core.counters import Counters
+from repro.core.nnc import NNCResult, NNCSearch, nn_candidates
+from repro.core.operators import OperatorKind, make_operator
+from repro.objects.io import load_objects, save_objects
+from repro.objects.uncertain import UncertainObject, normalize_objects
+from repro.query.topk import FunctionTopK, top_k
+from repro.stats.distribution import DiscreteDistribution
+from repro.stats.stochastic import stochastic_leq
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Counters",
+    "DiscreteDistribution",
+    "FunctionTopK",
+    "NNCResult",
+    "NNCSearch",
+    "OperatorKind",
+    "QueryContext",
+    "UncertainObject",
+    "__version__",
+    "load_objects",
+    "make_operator",
+    "nn_candidates",
+    "normalize_objects",
+    "save_objects",
+    "stochastic_leq",
+    "top_k",
+]

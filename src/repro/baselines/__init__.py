@@ -1,0 +1,29 @@
+"""Competitor approaches from prior work, for comparison.
+
+* :mod:`repro.baselines.nncore` — the *NN-core* of Yuen et al. (TKDE 2010,
+  reference [36]): candidates from pairwise "supersedes" competitions.  The
+  paper's Figure 1 shows it can miss NN objects of popular functions; this
+  implementation lets the claim be measured.
+* :mod:`repro.baselines.spheres` — hypersphere-approximation dominance in
+  the spirit of Long et al. (SIGMOD 2014, reference [25]): objects bounded
+  by minimal enclosing balls (Welzl's algorithm, built from scratch) with a
+  sound triangle-inequality dominance test.
+"""
+
+from repro.baselines.nncore import nn_core, supersedes, supersede_probability
+from repro.baselines.spheres import (
+    Ball,
+    minimal_enclosing_ball,
+    sphere_dominates,
+    sphere_nn_candidates,
+)
+
+__all__ = [
+    "Ball",
+    "minimal_enclosing_ball",
+    "nn_core",
+    "sphere_dominates",
+    "sphere_nn_candidates",
+    "supersede_probability",
+    "supersedes",
+]

@@ -1,0 +1,136 @@
+"""NN-core (Yuen et al., reference [36] of the paper).
+
+An object ``U`` *supersedes* ``V`` when it is more likely to be closer to
+the query: ``Pr(delta(U, Q) < delta(V, Q)) > 1/2`` over the joint
+distribution of one instance drawn from each of ``U``, ``V`` and ``Q`` (ties
+split evenly).  The *NN-core* is the minimal set of objects that supersede
+every object outside the set.
+
+Because the supersedes relation is complete (every pair compares one way or
+the other once ties are split), the NN-core is exactly the *top cycle*
+(Smith set) of the supersedes tournament: the smallest strongly-connected
+component with no incoming edges in the condensation.  We compute it with an
+in-house iterative Tarjan SCC over the tournament digraph.
+
+The paper (Section 1, Figure 1) shows why NN-core is too aggressive as a
+candidate set: it can exclude the NN object of popular N1 functions such as
+``max`` and the expected distance — see ``tests/test_nncore.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.distance import pairwise_distances
+from repro.objects.uncertain import UncertainObject
+
+_TIE_TOL = 1e-12
+
+
+def supersede_probability(
+    u: UncertainObject, v: UncertainObject, query: UncertainObject
+) -> float:
+    """``Pr(delta(U, Q) < delta(V, Q))`` with ties counted half.
+
+    Exact computation over all ``(q, u, v)`` instance triples — conditioning
+    on the query instance keeps ``U`` and ``V`` independent.
+    """
+    du = pairwise_distances(query.points, u.points)  # (k, m_u)
+    dv = pairwise_distances(query.points, v.points)  # (k, m_v)
+    prob = 0.0
+    for qi, q_prob in enumerate(query.probs):
+        wins = (du[qi][:, None] < dv[qi][None, :] - _TIE_TOL).astype(float)
+        ties = (np.abs(du[qi][:, None] - dv[qi][None, :]) <= _TIE_TOL).astype(float)
+        weight = np.outer(u.probs, v.probs)
+        prob += float(q_prob) * float(((wins + 0.5 * ties) * weight).sum())
+    return prob
+
+
+def supersedes(
+    u: UncertainObject, v: UncertainObject, query: UncertainObject
+) -> bool:
+    """Whether ``U`` supersedes ``V`` (wins at least half the comparisons)."""
+    return supersede_probability(u, v, query) >= 0.5
+
+
+def _tarjan_sccs(adj: list[list[int]]) -> list[list[int]]:
+    """Strongly connected components (iterative Tarjan), in discovery order."""
+    n = len(adj)
+    index = [-1] * n
+    low = [0] * n
+    on_stack = [False] * n
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = 0
+    for root in range(n):
+        if index[root] >= 0:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_idx = work.pop()
+            if child_idx == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            recurse = False
+            for i in range(child_idx, len(adj[node])):
+                child = adj[node][i]
+                if index[child] < 0:
+                    work.append((node, i + 1))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if on_stack[child]:
+                    low[node] = min(low[node], index[child])
+            if recurse:
+                continue
+            if low[node] == index[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+def nn_core(
+    objects: Sequence[UncertainObject], query: UncertainObject
+) -> list[UncertainObject]:
+    """The NN-core: the top cycle of the supersedes tournament.
+
+    Returns the objects of the unique source component of the tournament's
+    condensation — the minimal set superseding everything outside it.
+    """
+    n = len(objects)
+    if n == 0:
+        return []
+    if n == 1:
+        return [objects[0]]
+    beats = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = supersede_probability(objects[i], objects[j], query)
+            beats[i, j] = p >= 0.5
+            beats[j, i] = p <= 0.5  # ties supersede both ways
+    adj = [list(np.nonzero(beats[i])[0]) for i in range(n)]
+    sccs = _tarjan_sccs(adj)
+    # Completeness makes the condensation a total order, so exactly one
+    # component beats every outsider — that component is the NN-core.
+    for component in sccs:
+        members = set(component)
+        dominates_all = all(
+            beats[i, j] for i in component for j in range(n) if j not in members
+        )
+        if dominates_all:
+            return [objects[i] for i in sorted(component)]
+    # Unreachable for a complete relation; be safe rather than wrong.
+    return list(objects)

@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``search``   — generate (or load) a dataset and run the NN candidates
+  search with a chosen operator, printing the candidates progressively.
+* ``figure``   — regenerate one paper figure at a scale preset.
+* ``report``   — regenerate every figure and write the Markdown report
+  (same as ``python -m repro.experiments.runner``).
+* ``generate`` — synthesise a dataset to a ``.npz`` file for reuse.
+* ``info``     — library / configuration summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _add_search(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("search", help="run an NN candidates search")
+    p.add_argument("--operator", default="PSD",
+                   choices=["SSD", "SSSD", "PSD", "FSD", "F+SD"])
+    p.add_argument("--dataset", help=".npz dataset (from `generate`)")
+    p.add_argument("--n", type=int, default=500, help="synthetic object count")
+    p.add_argument("--m", type=int, default=10, help="instances per object")
+    p.add_argument("--d", type=int, default=2, help="dimensionality")
+    p.add_argument("--k", type=int, default=1, help="k-NN candidates (k-skyband)")
+    p.add_argument("--metric", default="euclidean",
+                   choices=["euclidean", "manhattan", "chebyshev"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--quiet", action="store_true", help="summary only")
+
+
+def _add_figure(sub: argparse._SubParsersAction) -> None:
+    from repro.experiments.figures import FIGURES
+
+    p = sub.add_parser("figure", help="regenerate one paper figure")
+    p.add_argument("name", choices=sorted(FIGURES))
+    p.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
+
+
+def _add_report(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("report", help="regenerate every figure into a report")
+    p.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    p.add_argument("--output", default="EXPERIMENTS.md")
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="synthesise a dataset to .npz")
+    p.add_argument("output")
+    p.add_argument("--kind", default="anti",
+                   choices=["anti", "indep", "nba", "gowalla", "house", "ca", "usa"])
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--m", type=int, default=10)
+    p.add_argument("--d", type=int, default=2)
+    p.add_argument("--h", type=float, default=400.0, dest="edge")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal spatial dominance NN candidate search "
+        "(SIGMOD 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_search(sub)
+    _add_figure(sub)
+    _add_report(sub)
+    _add_generate(sub)
+    sub.add_parser("info", help="print library information")
+    return parser
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.core.context import QueryContext
+    from repro.core.nnc import NNCSearch
+    from repro.datasets.synthetic import (
+        anticorrelated_centers,
+        make_objects,
+        make_query,
+    )
+    from repro.objects.io import load_objects
+
+    rng = np.random.default_rng(args.seed)
+    if args.dataset:
+        objects = load_objects(args.dataset)
+        center = objects[rng.integers(len(objects))].mbr.center
+        query = make_query(center, max(2, args.m // 2), 200.0, rng)
+    else:
+        centers = anticorrelated_centers(args.n, args.d, rng)
+        scale = (args.n / 100_000) ** (-1.0 / args.d)
+        objects = make_objects(centers, args.m, 400.0 * scale, rng)
+        query = make_query(
+            centers[rng.integers(args.n)], max(2, args.m // 2), 200.0 * scale, rng
+        )
+    search = NNCSearch(objects)
+    ctx = QueryContext(query, metric=args.metric)
+    start = time.perf_counter()
+    count = 0
+    for candidate in search.stream(query, args.operator, k=args.k, ctx=ctx):
+        count += 1
+        if not args.quiet:
+            elapsed = (time.perf_counter() - start) * 1000
+            print(f"[{elapsed:8.1f} ms] candidate {candidate.oid}")
+    total = time.perf_counter() - start
+    print(
+        f"{args.operator}: {count} candidate(s) of {len(objects)} objects "
+        f"in {total * 1000:.1f} ms (k={args.k})"
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import FIGURES
+    from repro.experiments.report import format_table
+
+    result = FIGURES[args.name](args.scale)
+    print(format_table(result.rows, f"{result.figure} — {result.description}"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    return runner_main([args.scale, args.output])
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import semireal, synthetic
+    from repro.objects.io import save_objects
+
+    rng = np.random.default_rng(args.seed)
+    if args.kind == "nba":
+        objects = semireal.nba_like(args.n, args.m, rng)
+    elif args.kind == "gowalla":
+        objects = semireal.gowalla_like(args.n, args.m, rng)
+    else:
+        if args.kind == "anti":
+            centers = synthetic.anticorrelated_centers(args.n, args.d, rng)
+        elif args.kind == "indep":
+            centers = synthetic.independent_centers(args.n, args.d, rng)
+        elif args.kind == "house":
+            centers = semireal.house_like(args.n, rng)
+        elif args.kind == "ca":
+            centers = semireal.ca_like(args.n, rng)
+        else:
+            centers = semireal.usa_like(args.n, rng)
+        objects = synthetic.make_objects(centers, args.m, args.edge, rng)
+    save_objects(args.output, objects)
+    total = sum(len(o) for o in objects)
+    print(f"wrote {len(objects)} objects ({total} instances) to {args.output}")
+    return 0
+
+
+def _cmd_info() -> int:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    print("operators: SSD, SSSD, PSD, FSD, F+SD (+ NN-core, sphere baselines)")
+    print("functions: N1 min/max/expected/quantile; N2 NN-probability,")
+    print("           expected-rank, global top-k, parameterized ranking;")
+    print("           N3 Hausdorff, SumMin, EMD/Netflow")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "search":
+        return _cmd_search(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "info":
+        return _cmd_info()
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

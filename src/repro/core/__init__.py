@@ -1,0 +1,39 @@
+"""The paper's primary contribution: spatial dominance operators and NNC search.
+
+* :mod:`repro.core.operators` — operator construction, the per-query context
+  with shared caches, and the operator kind enumeration.
+* :mod:`repro.core.fsd` / :mod:`ssd` / :mod:`sssd` / :mod:`psd` — dominance
+  check algorithms with the paper's pruning/validation filters.
+* :mod:`repro.core.nnc` — Algorithm 1, the progressive NN candidates search.
+* :mod:`repro.core.bruteforce` — definition-level reference implementations
+  used as testing oracles.
+* :mod:`repro.core.counters` — instrumentation for the filter ablation study.
+"""
+
+from repro.core.counters import Counters
+from repro.core.nnc import NNCResult, NNCSearch, nn_candidates
+from repro.core.operators import (
+    FPlusSDOperator,
+    FSDOperator,
+    OperatorKind,
+    PSDOperator,
+    QueryContext,
+    SSDOperator,
+    SSSDOperator,
+    make_operator,
+)
+
+__all__ = [
+    "Counters",
+    "FPlusSDOperator",
+    "FSDOperator",
+    "NNCResult",
+    "NNCSearch",
+    "OperatorKind",
+    "PSDOperator",
+    "QueryContext",
+    "SSDOperator",
+    "SSSDOperator",
+    "make_operator",
+    "nn_candidates",
+]

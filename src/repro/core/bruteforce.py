@@ -1,0 +1,121 @@
+"""Definition-level reference implementations (testing oracles).
+
+Every optimised dominance check and the full Algorithm 1 search are verified
+against the plain-definition implementations in this module.  These use no
+index, no filters, no convex hulls — just the formulas from Section 2 — so
+agreement is strong evidence the optimised paths are correct.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.flow.maxflow import FlowNetwork, max_flow
+from repro.geometry.distance import pairwise_distances
+from repro.objects.uncertain import UncertainObject
+from repro.stats.distribution import DiscreteDistribution
+from repro.stats.stochastic import stochastic_equal, stochastic_leq
+
+_TOL = 1e-9
+
+DominanceFn = Callable[[UncertainObject, UncertainObject, UncertainObject], bool]
+
+
+def brute_f_dominates(
+    u: UncertainObject, v: UncertainObject, query: UncertainObject
+) -> bool:
+    """F-SD by direct triple comparison over all instances.
+
+    Includes the ``U_Q != V_Q`` guard for consistency with
+    :mod:`repro.core.fsd` (see the module docstring there).
+    """
+    du = pairwise_distances(u.points, query.points)  # (m_u, k)
+    dv = pairwise_distances(v.points, query.points)  # (m_v, k)
+    if np.any(du.max(axis=0) > dv.min(axis=0) + _TOL):
+        return False
+    return not stochastic_equal(
+        u.distance_distribution(query), v.distance_distribution(query)
+    )
+
+
+def brute_s_dominates(
+    u: UncertainObject, v: UncertainObject, query: UncertainObject
+) -> bool:
+    """S-SD straight from Definition 2."""
+    u_q = u.distance_distribution(query)
+    v_q = v.distance_distribution(query)
+    return stochastic_leq(u_q, v_q) and not stochastic_equal(u_q, v_q)
+
+
+def brute_ss_dominates(
+    u: UncertainObject, v: UncertainObject, query: UncertainObject
+) -> bool:
+    """SS-SD straight from Definition 3."""
+    for q in query.points:
+        u_q = u.distance_distribution_to_point(q)
+        v_q = v.distance_distribution_to_point(q)
+        if not stochastic_leq(u_q, v_q):
+            return False
+    return not stochastic_equal(
+        u.distance_distribution(query), v.distance_distribution(query)
+    )
+
+
+def brute_p_dominates(
+    u: UncertainObject, v: UncertainObject, query: UncertainObject
+) -> bool:
+    """P-SD via the Theorem 12 reduction with no filters and no hulls.
+
+    The ``<=_Q`` tests run against *all* query instances (not the hull), and
+    the max flow is computed on the raw network — an independent path from
+    :func:`repro.core.psd.p_dominates`.
+    """
+    du = pairwise_distances(u.points, query.points)
+    dv = pairwise_distances(v.points, query.points)
+    adj = np.all(du[:, None, :] <= dv[None, :, :] + _TOL, axis=2)
+    m, n = len(u), len(v)
+    net = FlowNetwork(m + n + 2)
+    source, sink = 0, m + n + 1
+    for i in range(m):
+        net.add_edge(source, 1 + i, float(u.probs[i]))
+    for j in range(n):
+        net.add_edge(1 + m + j, sink, float(v.probs[j]))
+    for i in range(m):
+        for j in range(n):
+            if adj[i, j]:
+                net.add_edge(1 + i, 1 + m + j, 2.0)
+    if max_flow(net, source, sink) < 1.0 - 1e-6:
+        return False
+    return not stochastic_equal(
+        u.distance_distribution(query), v.distance_distribution(query)
+    )
+
+
+def brute_force_nnc(
+    objects: Sequence[UncertainObject],
+    query: UncertainObject,
+    dominates: DominanceFn,
+) -> list[UncertainObject]:
+    """NNC by Definition 6: objects dominated by no other object.
+
+    Quadratic in the number of objects; the gold standard the Algorithm 1
+    implementation is tested against.
+    """
+    out: list[UncertainObject] = []
+    for v in objects:
+        if not any(u is not v and dominates(u, v, query) for u in objects):
+            out.append(v)
+    return out
+
+
+def distance_distribution_bruteforce(
+    obj: UncertainObject, query: UncertainObject
+) -> DiscreteDistribution:
+    """``U_Q`` assembled pair by pair in pure Python (Example 1 style)."""
+    pairs = []
+    for q, pq in zip(query.points, query.probs):
+        for x, px in zip(obj.points, obj.probs):
+            pairs.append((float(np.linalg.norm(q - x)), float(pq) * float(px)))
+    return DiscreteDistribution.from_pairs(pairs)

@@ -1,0 +1,152 @@
+"""Per-query evaluation context with shared caches.
+
+NN candidate search evaluates many dominance checks against one query; the
+context caches everything reusable across those checks:
+
+* the convex hull of the query instances (geometric filter, Section 5.1.2),
+* the query MBR,
+* per-object distance distributions ``U_Q`` and per-query-instance
+  distributions ``U_q``,
+* per-object summary statistics (min / mean / max) for the statistic-based
+  pruning rule (Theorem 11),
+* per-object level partitions (local R-tree slices) for the level-by-level
+  filters.
+
+Objects are keyed by identity, so the context must outlive neither the query
+nor the object set it serves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.counters import Counters
+from repro.geometry.convexhull import convex_hull
+from repro.geometry.distance import is_euclidean, pairwise_distances, resolve_norm
+from repro.geometry.mbr import MBR
+from repro.objects.uncertain import UncertainObject
+from repro.stats.distribution import DiscreteDistribution
+
+
+class QueryContext:
+    """Caches shared by all dominance checks against one query.
+
+    Args:
+        query: the query object.
+        counters: optional instrumentation sink (a fresh one is created when
+            omitted).
+        use_hull: when True (default) the geometric filter replaces the query
+            instance set with its convex hull vertices for instance-ordering
+            tests; disabling reproduces the "no geometry" ablation rows.
+        level_groups: number of groups the level-by-level filters partition
+            each object into (via its local R-tree).
+        metric: distance metric name ("euclidean", "manhattan"/"l1",
+            "chebyshev"/"linf").  The distribution-based operators (S-SD,
+            SS-SD) work under any metric; for non-Euclidean metrics the
+            geometric filters that rest on bisector linearity (convex hull
+            reduction, MBR dominance validation, hull-interior rule) are
+            disabled automatically — correctness is preserved, only pruning
+            power is reduced.
+    """
+
+    def __init__(
+        self,
+        query: UncertainObject,
+        *,
+        counters: Counters | None = None,
+        use_hull: bool = True,
+        level_groups: int = 4,
+        metric: str = "euclidean",
+    ) -> None:
+        self.query = query
+        self.counters = counters if counters is not None else Counters()
+        self.level_groups = level_groups
+        self.metric = metric
+        self.is_euclidean = is_euclidean(metric)
+        self.norm = None if self.is_euclidean else resolve_norm(metric)
+        self.query_mbr: MBR = query.mbr
+        if use_hull and self.is_euclidean and len(query) > 2:
+            self.hull_points = convex_hull(query.points)
+        else:
+            self.hull_points = query.points
+        self._dist_dists: dict[int, DiscreteDistribution] = {}
+        self._per_q_dists: dict[int, list[DiscreteDistribution]] = {}
+        self._stats: dict[int, tuple[float, float, float]] = {}
+        self._partitions: dict[tuple[int, int], list[tuple[MBR, np.ndarray, float]]] = {}
+        self._hull_vectors: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def distance_distribution(self, obj: UncertainObject) -> DiscreteDistribution:
+        """``U_Q`` for ``obj``, cached."""
+        key = id(obj)
+        if key not in self._dist_dists:
+            self._dist_dists[key] = obj.distance_distribution(
+                self.query, self.metric
+            )
+        return self._dist_dists[key]
+
+    def per_instance_distributions(
+        self, obj: UncertainObject
+    ) -> list[DiscreteDistribution]:
+        """``[U_q for q in Q]`` in query instance order, cached."""
+        key = id(obj)
+        if key not in self._per_q_dists:
+            dists = pairwise_distances(self.query.points, obj.points, self.metric)
+            self._per_q_dists[key] = [
+                DiscreteDistribution(row, obj.probs) for row in dists
+            ]
+        return self._per_q_dists[key]
+
+    def statistics(self, obj: UncertainObject) -> tuple[float, float, float]:
+        """``(min, mean, max)`` of ``U_Q`` (Theorem 11 pruning inputs)."""
+        key = id(obj)
+        if key not in self._stats:
+            dist = self.distance_distribution(obj)
+            self._stats[key] = (dist.min(), dist.mean(), dist.max())
+        return self._stats[key]
+
+    def hull_distance_vectors(self, obj: UncertainObject) -> np.ndarray:
+        """Distance of every instance to every hull vertex, shape ``(m, k)``."""
+        key = id(obj)
+        if key not in self._hull_vectors:
+            self._hull_vectors[key] = pairwise_distances(
+                obj.points, self.hull_points, self.metric
+            )
+        return self._hull_vectors[key]
+
+    def partitions(
+        self, obj: UncertainObject, groups: int | None = None
+    ) -> list[tuple[MBR, np.ndarray, float]]:
+        """Level partitions ``(mbr, instance_indices, mass)`` of ``obj``.
+
+        Derived from the object's local R-tree (fan-out 4 per the paper),
+        descended until at least ``groups`` groups exist (defaults to the
+        context's ``level_groups``).  The iterative level-by-level filters
+        call this with increasing granularities; each level is cached.
+        """
+        if groups is None:
+            groups = self.level_groups
+        key = (id(obj), groups)
+        if key not in self._partitions:
+            slices = obj.local_rtree().partitions(groups)
+            parts: list[tuple[MBR, np.ndarray, float]] = []
+            for mbr, payloads in slices:
+                idx = np.array([i for i, _ in payloads], dtype=int)
+                mass = float(sum(p for _, p in payloads))
+                parts.append((mbr, idx, mass))
+            self._partitions[key] = parts
+        return self._partitions[key]
+
+    def forget(self, obj: UncertainObject) -> None:
+        """Drop cached artefacts of one object (memory control in sweeps)."""
+        key = id(obj)
+        for cache in (
+            self._dist_dists,
+            self._per_q_dists,
+            self._stats,
+            self._hull_vectors,
+        ):
+            cache.pop(key, None)
+        for part_key in [k for k in self._partitions if k[0] == key]:
+            del self._partitions[part_key]

@@ -1,0 +1,74 @@
+"""Instrumentation counters for the filter effectiveness study (Appendix C).
+
+Figure 16 of the paper compares filtering configurations (brute force, level
+by level, pruning rules, geometric filter) by the *average number of instance
+comparisons* per dominance check.  ``Counters`` collects those numbers across
+a search so benchmarks can reproduce the study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counters:
+    """Mutable counter bag threaded through dominance checks and searches."""
+
+    instance_comparisons: int = 0
+    dominance_checks: int = 0
+    mbr_tests: int = 0
+    maxflow_calls: int = 0
+    pruned_by_statistics: int = 0
+    pruned_by_cover: int = 0
+    pruned_by_level: int = 0
+    pruned_by_geometry: int = 0
+    validated_by_mbr: int = 0
+    validated_by_level: int = 0
+    nodes_visited: int = 0
+    objects_visited: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def count_comparisons(self, n: int) -> None:
+        """Record ``n`` instance (element) comparisons."""
+        self.instance_comparisons += n
+
+    def bump(self, key: str, n: int = 1) -> None:
+        """Increment a free-form counter."""
+        self.extra[key] = self.extra.get(key, 0) + n
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another counter bag into this one."""
+        self.instance_comparisons += other.instance_comparisons
+        self.dominance_checks += other.dominance_checks
+        self.mbr_tests += other.mbr_tests
+        self.maxflow_calls += other.maxflow_calls
+        self.pruned_by_statistics += other.pruned_by_statistics
+        self.pruned_by_cover += other.pruned_by_cover
+        self.pruned_by_level += other.pruned_by_level
+        self.pruned_by_geometry += other.pruned_by_geometry
+        self.validated_by_mbr += other.validated_by_mbr
+        self.validated_by_level += other.validated_by_level
+        self.nodes_visited += other.nodes_visited
+        self.objects_visited += other.objects_visited
+        for key, value in other.extra.items():
+            self.bump(key, value)
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict view (for reports and assertions)."""
+        out = {
+            "instance_comparisons": self.instance_comparisons,
+            "dominance_checks": self.dominance_checks,
+            "mbr_tests": self.mbr_tests,
+            "maxflow_calls": self.maxflow_calls,
+            "pruned_by_statistics": self.pruned_by_statistics,
+            "pruned_by_cover": self.pruned_by_cover,
+            "pruned_by_level": self.pruned_by_level,
+            "pruned_by_geometry": self.pruned_by_geometry,
+            "validated_by_mbr": self.validated_by_mbr,
+            "validated_by_level": self.validated_by_level,
+            "nodes_visited": self.nodes_visited,
+            "objects_visited": self.objects_visited,
+        }
+        out.update(self.extra)
+        return out

@@ -1,0 +1,89 @@
+"""Full spatial dominance: F-SD (instance level) and F+-SD (MBR level).
+
+``F-SD(U, V, Q)`` holds when every instance of ``U`` is at least as close as
+every instance of ``V`` to every query instance.  The paper evaluates two
+variants:
+
+* **F+-SD** — the prior-work baseline [16]: the optimal MBR-only test
+  (:func:`repro.geometry.mbr.mbr_dominates`) applied to object MBRs.
+* **F-SD** — an instance-level check the paper contributes for evaluation
+  purposes (Section 6): for each convex-hull vertex ``q`` of the query,
+  compare the *furthest* instance of ``U`` against the *nearest* instance of
+  ``V`` (``delta_max(q, U) <= delta_min(q, V)``), with both extreme searches
+  answered by the objects' local R-trees.
+
+One deliberate deviation: like the three new operators, our F-SD additionally
+requires ``U_Q != V_Q`` so that two identical objects do not annihilate each
+other out of the candidate set; this keeps ``F-SD subset P-SD`` (Theorem 2)
+intact and makes ``NNC`` well-defined under duplicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import QueryContext
+from repro.geometry.mbr import mbr_dominates
+from repro.objects.uncertain import UncertainObject
+from repro.stats.stochastic import stochastic_equal
+
+_TOL = 1e-9
+
+
+def fplus_dominates(
+    u: UncertainObject, v: UncertainObject, ctx: QueryContext
+) -> bool:
+    """F+-SD: the MBR-only dominance baseline of [16].
+
+    Strict MBR dominance is required when the boxes touch so that identical
+    objects do not dominate each other; when the test is strict the
+    distributions necessarily differ, so no distribution comparison is ever
+    needed here.
+    """
+    ctx.counters.mbr_tests += 1
+    return mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True)
+
+
+def fsd_dominates(
+    u: UncertainObject,
+    v: UncertainObject,
+    ctx: QueryContext,
+    *,
+    use_local_trees: bool = True,
+) -> bool:
+    """Instance-level F-SD with the convex hull geometric filter.
+
+    Args:
+        u: candidate dominator.
+        v: candidate dominated object.
+        ctx: query context (supplies hull vertices, caches, counters).
+        use_local_trees: answer the per-vertex extreme-distance queries with
+            each object's local R-tree (the paper's setup); the vectorised
+            direct computation is used otherwise.
+    """
+    ctx.counters.dominance_checks += 1
+    if not ctx.is_euclidean:
+        use_local_trees = False  # local R-tree extremes are Euclidean-only
+    else:
+        # MBR validation first: strictly dominating boxes settle it in O(d).
+        ctx.counters.mbr_tests += 1
+        if mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True):
+            ctx.counters.validated_by_mbr += 1
+            return True
+    if use_local_trees:
+        u_tree = u.local_rtree()
+        v_tree = v.local_rtree()
+        for q in ctx.hull_points:
+            ctx.counters.count_comparisons(1)
+            if u_tree.farthest_distance(q) > v_tree.nearest_distance(q) + _TOL:
+                return False
+    else:
+        du = ctx.hull_distance_vectors(u)  # (m_u, k)
+        dv = ctx.hull_distance_vectors(v)  # (m_v, k)
+        ctx.counters.count_comparisons(du.shape[1])
+        if np.any(du.max(axis=0) > dv.min(axis=0) + _TOL):
+            return False
+    # All pair distances are <=; exclude the degenerate identical case.
+    return not stochastic_equal(
+        ctx.distance_distribution(u), ctx.distance_distribution(v)
+    )

@@ -1,0 +1,278 @@
+"""NN candidates computation — Algorithm 1 of the paper.
+
+Objects (their MBRs) live in a global R-tree.  A min-heap visits entries and
+objects in non-decreasing minimal distance to the query; every surviving
+object joins the candidate set, and accepted candidates prune later entries
+through the MBR-level F-SD validation rule (Theorem 4).
+
+Two exactness refinements over the paper's sketch:
+
+* objects are *re-keyed by their exact* ``min(V_Q)`` before processing (the
+  MBR mindist is only a lower bound), so the "no later object can dominate
+  an earlier one" argument — which rests on the statistic pruning rule
+  ``min(U_Q) <= min(V_Q)`` — holds exactly;
+* objects whose exact minimal distances tie are cross-checked in both
+  directions before being reported, so the output equals the brute-force
+  NNC even under distance ties.
+
+The search is *progressive* (Figure 14): :meth:`NNCSearch.stream` yields
+candidates as soon as they are certain, long before the traversal finishes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.context import QueryContext
+from repro.core.counters import Counters
+from repro.core.operators import OperatorKind, _BaseOperator, make_operator
+from repro.geometry.mbr import mbr_dominates
+from repro.index.rtree import RTree, RTreeNode
+from repro.objects.uncertain import UncertainObject
+
+_TIE_TOL = 1e-9
+
+
+@dataclass
+class NNCResult:
+    """Outcome of an NNC search.
+
+    Attributes:
+        candidates: the NN candidate objects in acceptance order.
+        elapsed: total wall-clock seconds.
+        yield_times: seconds (from search start) at which each candidate
+            became certain — the progressive profile of Figure 14(a).
+        counters: instrumentation collected during the search.
+    """
+
+    candidates: list[UncertainObject] = field(default_factory=list)
+    elapsed: float = 0.0
+    yield_times: list[float] = field(default_factory=list)
+    counters: Counters = field(default_factory=Counters)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def oids(self) -> list:
+        """Candidate object ids in acceptance order."""
+        return [c.oid for c in self.candidates]
+
+
+class NNCSearch:
+    """Algorithm 1 bound to an object collection.
+
+    Args:
+        objects: the dataset; a global R-tree over MBRs is built once and
+            reused across queries and operators.
+        global_fanout: fan-out of the global R-tree (paper: page-sized; any
+            moderate value preserves the algorithmics).
+    """
+
+    def __init__(
+        self, objects: Sequence[UncertainObject], global_fanout: int = 16
+    ) -> None:
+        self.objects = list(objects)
+        entries = [(obj.mbr, obj) for obj in self.objects]
+        self.tree = RTree.bulk_load(entries, max_entries=global_fanout)
+
+    def add_object(self, obj: UncertainObject) -> None:
+        """Insert a new object into the collection and the global R-tree.
+
+        Subsequent searches see the object immediately; existing query
+        contexts remain valid (they cache per-object artefacts only).
+        """
+        self.objects.append(obj)
+        self.tree.insert(obj.mbr, obj)
+
+    def remove_object(self, obj: UncertainObject) -> bool:
+        """Remove an object (by identity) from the collection and index.
+
+        Returns:
+            True when the object was present and removed.
+        """
+        if not self.tree.delete(obj.mbr, obj):
+            return False
+        self.objects = [o for o in self.objects if o is not obj]
+        return True
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        query: UncertainObject,
+        operator: _BaseOperator | OperatorKind | str,
+        *,
+        k: int = 1,
+        ctx: QueryContext | None = None,
+    ) -> NNCResult:
+        """Compute the full NN candidate set (batch form of Algorithm 1).
+
+        With ``k > 1`` this computes the *k-NN candidates* (the k-skyband
+        under the operator): objects dominated by fewer than ``k`` others —
+        the natural candidate set for top-k NN queries.
+        """
+        result = NNCResult()
+        start = time.perf_counter()
+        for candidate, when in self._stream_timed(query, operator, k=k, ctx=ctx):
+            result.candidates.append(candidate)
+            result.yield_times.append(when)
+        result.elapsed = time.perf_counter() - start
+        result.counters = self._last_counters
+        return result
+
+    def stream(
+        self,
+        query: UncertainObject,
+        operator: _BaseOperator | OperatorKind | str,
+        *,
+        k: int = 1,
+        ctx: QueryContext | None = None,
+    ) -> Iterator[UncertainObject]:
+        """Yield (k-)NN candidates progressively (Figure 14)."""
+        for candidate, _ in self._stream_timed(query, operator, k=k, ctx=ctx):
+            yield candidate
+
+    # ------------------------------------------------------------------ #
+
+    def _stream_timed(
+        self,
+        query: UncertainObject,
+        operator: _BaseOperator | OperatorKind | str,
+        *,
+        k: int = 1,
+        ctx: QueryContext | None = None,
+    ) -> Iterator[tuple[UncertainObject, float]]:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if not isinstance(operator, _BaseOperator):
+            operator = make_operator(operator)
+        if ctx is None:
+            ctx = QueryContext(query)
+        self._last_counters = ctx.counters
+        start = time.perf_counter()
+        q_mbr = query.mbr
+        norm = ctx.norm  # metric-aware MBR distances (None = Euclidean)
+        counter = itertools.count()
+        # Heap items: (key, tiebreak, kind, payload)
+        #   kind 0 = R-tree node, 1 = unrefined object, 2 = refined object.
+        heap: list[tuple[float, int, int, object]] = []
+        root = self.tree.root
+        if root.mbr is not None:
+            heapq.heappush(
+                heap, (root.mbr.mindist_mbr(q_mbr, norm), next(counter), 0, root)
+            )
+        # Accepted candidates: [obj, exact dmin, dominator count].  The
+        # count can only grow while the candidate is pending (distance
+        # ties); objects with count >= k are evicted.
+        accepted: list[list] = []
+        pending: list[list] = []  # not yet yielded (same record objects)
+        while heap:
+            key, _, kind, item = heapq.heappop(heap)
+            # Flush pending candidates that can no longer gain dominators:
+            # every unseen object has exact dmin >= key (keys are lower
+            # bounds), so strictly-smaller pending dmins are final.
+            for record in list(pending):
+                if record[1] < key - _TIE_TOL:
+                    pending.remove(record)
+                    yield record[0], time.perf_counter() - start
+            if kind == 0:
+                node: RTreeNode = item  # type: ignore[assignment]
+                ctx.counters.nodes_visited += 1
+                if self._entry_pruned(node.mbr, q_mbr, accepted, ctx, k):
+                    continue
+                if node.is_leaf:
+                    for mbr, obj in node.entries:
+                        heapq.heappush(
+                            heap,
+                            (mbr.mindist_mbr(q_mbr, norm), next(counter), 1, obj),
+                        )
+                else:
+                    for child in node.children:
+                        heapq.heappush(
+                            heap,
+                            (
+                                child.mbr.mindist_mbr(q_mbr, norm),  # type: ignore[union-attr]
+                                next(counter),
+                                0,
+                                child,
+                            ),
+                        )
+                continue
+            obj: UncertainObject = item  # type: ignore[assignment]
+            if kind == 1:
+                # Lazy refinement: re-key by the exact minimal distance.
+                exact = obj.min_distance(query, ctx.metric)
+                heapq.heappush(heap, (exact, next(counter), 2, obj))
+                continue
+            ctx.counters.objects_visited += 1
+            if self._entry_pruned(obj.mbr, q_mbr, accepted, ctx, k):
+                continue
+            dominators = 0
+            for record in accepted:
+                if operator.dominates(record[0], obj, ctx):
+                    dominators += 1
+                    if dominators >= k:
+                        break
+            if dominators >= k:
+                ctx.counters.bump("objects_dominated")
+                continue
+            # Tie correction: the new candidate may dominate accepted
+            # candidates with (numerically) equal exact minimal distance
+            # that have not been yielded yet.
+            for record in list(pending):
+                if abs(record[1] - key) <= _TIE_TOL and operator.dominates(
+                    obj, record[0], ctx
+                ):
+                    record[2] += 1
+                    if record[2] >= k:
+                        pending.remove(record)
+                        accepted.remove(record)
+            record = [obj, key, dominators]
+            accepted.append(record)
+            pending.append(record)
+        for record in pending:
+            yield record[0], time.perf_counter() - start
+
+    @staticmethod
+    def _entry_pruned(
+        mbr, q_mbr, accepted: list[list], ctx: QueryContext, k: int
+    ) -> bool:
+        """Cover-based entry pruning: >= k accepted MBRs F-SD the entry."""
+        if not ctx.is_euclidean:
+            return False  # the MBR dominance test is Euclidean-only
+        hits = 0
+        for record in accepted:
+            ctx.counters.mbr_tests += 1
+            if mbr_dominates(record[0].mbr, mbr, q_mbr, strict=True):
+                hits += 1
+                if hits >= k:
+                    return True
+        return False
+
+
+def nn_candidates(
+    objects: Sequence[UncertainObject],
+    query: UncertainObject,
+    operator: _BaseOperator | OperatorKind | str = OperatorKind.P_SD,
+    *,
+    k: int = 1,
+    ctx: QueryContext | None = None,
+) -> NNCResult:
+    """One-shot NN candidates search (builds the index, runs Algorithm 1).
+
+    Args:
+        objects: the dataset.
+        query: multi-instance query object.
+        operator: dominance operator (kind, name, or configured instance).
+        k: with ``k > 1``, return the k-NN candidates (k-skyband): objects
+            dominated by fewer than ``k`` others.
+        ctx: optional pre-built query context (to share caches / counters).
+
+    Returns:
+        The :class:`NNCResult` with candidates and instrumentation.
+    """
+    return NNCSearch(objects).run(query, operator, k=k, ctx=ctx)

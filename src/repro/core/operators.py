@@ -1,0 +1,173 @@
+"""Spatial dominance operators as configurable objects.
+
+Each operator wraps one of the dominance check algorithms with a chosen
+filter configuration and exposes the uniform interface used by the NNC
+search (Algorithm 1):
+
+``operator.dominates(U, V, ctx)`` — does ``U`` spatially dominate ``V``
+w.r.t. the context's query?
+
+``make_operator`` builds the five experiment configurations of Section 6:
+``SSD``, ``SSSD``, ``PSD``, ``FSD`` and ``F+SD``; the keyword arguments map
+onto the filter stacks of the Appendix C ablation (``BF``, ``L``, ``LP``,
+``LG``, ``LGP``, ``All``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.context import QueryContext
+from repro.core.fsd import fplus_dominates, fsd_dominates
+from repro.core.psd import p_dominates
+from repro.core.ssd import s_dominates
+from repro.core.sssd import ss_dominates
+from repro.objects.uncertain import UncertainObject
+
+
+class OperatorKind(Enum):
+    """The five NN candidate search configurations evaluated in Section 6."""
+
+    S_SD = "SSD"
+    SS_SD = "SSSD"
+    P_SD = "PSD"
+    F_SD = "FSD"
+    F_PLUS_SD = "F+SD"
+
+
+@dataclass(frozen=True)
+class _BaseOperator:
+    """Shared filter switches; concrete operators interpret the relevant ones."""
+
+    use_statistics: bool = True
+    use_mbr_validation: bool = True
+    use_cover_pruning: bool = True
+    use_geometry: bool = True
+    use_level: bool = False
+
+    @property
+    def kind(self) -> OperatorKind:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """Display name (the paper's algorithm label)."""
+        return self.kind.value
+
+    def dominates(
+        self, u: UncertainObject, v: UncertainObject, ctx: QueryContext
+    ) -> bool:
+        """Whether ``u`` dominates ``v`` w.r.t. ``ctx.query``."""
+        raise NotImplementedError
+
+
+class SSDOperator(_BaseOperator):
+    """Stochastic SD — optimal w.r.t. the all-pairs family N1."""
+
+    @property
+    def kind(self) -> OperatorKind:
+        return OperatorKind.S_SD
+
+    def dominates(
+        self, u: UncertainObject, v: UncertainObject, ctx: QueryContext
+    ) -> bool:
+        return s_dominates(
+            u,
+            v,
+            ctx,
+            use_statistics=self.use_statistics,
+            use_mbr_validation=self.use_mbr_validation,
+            use_level=self.use_level,
+        )
+
+
+class SSSDOperator(_BaseOperator):
+    """Strict stochastic SD — optimal w.r.t. N1 ∪ N2."""
+
+    @property
+    def kind(self) -> OperatorKind:
+        return OperatorKind.SS_SD
+
+    def dominates(
+        self, u: UncertainObject, v: UncertainObject, ctx: QueryContext
+    ) -> bool:
+        return ss_dominates(
+            u,
+            v,
+            ctx,
+            use_statistics=self.use_statistics,
+            use_mbr_validation=self.use_mbr_validation,
+            use_cover_pruning=self.use_cover_pruning,
+            use_level=self.use_level,
+        )
+
+
+class PSDOperator(_BaseOperator):
+    """Peer SD — optimal w.r.t. N1 ∪ N2 ∪ N3."""
+
+    @property
+    def kind(self) -> OperatorKind:
+        return OperatorKind.P_SD
+
+    def dominates(
+        self, u: UncertainObject, v: UncertainObject, ctx: QueryContext
+    ) -> bool:
+        return p_dominates(
+            u,
+            v,
+            ctx,
+            use_mbr_validation=self.use_mbr_validation,
+            use_cover_pruning=self.use_cover_pruning,
+            use_geometry=self.use_geometry,
+            use_level=self.use_level,
+        )
+
+
+class FSDOperator(_BaseOperator):
+    """Instance-level full SD (correct but not complete w.r.t. N1,2,3)."""
+
+    @property
+    def kind(self) -> OperatorKind:
+        return OperatorKind.F_SD
+
+    def dominates(
+        self, u: UncertainObject, v: UncertainObject, ctx: QueryContext
+    ) -> bool:
+        return fsd_dominates(u, v, ctx, use_local_trees=self.use_level)
+
+
+class FPlusSDOperator(_BaseOperator):
+    """MBR-only full SD — the prior-work baseline [16]."""
+
+    @property
+    def kind(self) -> OperatorKind:
+        return OperatorKind.F_PLUS_SD
+
+    def dominates(
+        self, u: UncertainObject, v: UncertainObject, ctx: QueryContext
+    ) -> bool:
+        return fplus_dominates(u, v, ctx)
+
+
+_OPERATORS = {
+    OperatorKind.S_SD: SSDOperator,
+    OperatorKind.SS_SD: SSSDOperator,
+    OperatorKind.P_SD: PSDOperator,
+    OperatorKind.F_SD: FSDOperator,
+    OperatorKind.F_PLUS_SD: FPlusSDOperator,
+}
+
+
+def make_operator(kind: OperatorKind | str, **flags: bool) -> _BaseOperator:
+    """Build an operator by kind with the given filter flags.
+
+    Args:
+        kind: an :class:`OperatorKind` or its string value (``"SSD"``,
+            ``"SSSD"``, ``"PSD"``, ``"FSD"``, ``"F+SD"``).
+        **flags: any of ``use_statistics``, ``use_mbr_validation``,
+            ``use_cover_pruning``, ``use_geometry``, ``use_level``.
+    """
+    if isinstance(kind, str):
+        kind = OperatorKind(kind)
+    return _OPERATORS[kind](**flags)

@@ -1,0 +1,189 @@
+"""Peer spatial dominance P-SD (Definition 5) — optimal w.r.t. N1 ∪ N2 ∪ N3.
+
+``P-SD(U, V, Q)`` iff some match ``M_{U,V}`` pairs every instance of ``U``
+with instances of ``V`` it is ``<=_Q``-closer than (and ``U_Q != V_Q``).
+Theorem 12 reduces the existence of such a match to a max-flow problem on
+the bipartite network ``source -> U-instances -> V-instances -> sink`` whose
+instance edges are exactly the pairs with ``u <=_Q v``; dominance holds iff
+the max flow saturates the unit supply.
+
+The paper's accelerations, all implemented here behind flags:
+
+* **MBR validation** (Theorem 4) and **cover-based pruning** via SS-SD
+  (``P-SD ⊂ SS-SD``, Theorem 2);
+* **geometric filters** (Section 5.1.2): only convex-hull vertices of the
+  query participate in ``<=_Q`` tests, and an instance of ``V`` strictly
+  inside ``CH(Q)`` kills the check outright unless ``U`` has an instance at
+  the same location;
+* **degree-based shortcuts**: a ``V`` instance with no incoming edge or a
+  ``U`` instance with no outgoing edge caps the flow below 1 with no
+  max-flow run;
+* **level-by-level networks** (Section 5.1.2): coarse networks over local
+  R-tree partitions — ``G-`` (edges = MBR-level F-SD) validates when its
+  flow reaches 1; ``G+`` (edges = not strictly reverse-dominated) prunes
+  when its flow stays below 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import QueryContext
+from repro.core.sssd import ss_dominates
+from repro.flow.maxflow import FlowNetwork, max_flow
+from repro.geometry.convexhull import point_in_hull
+from repro.geometry.mbr import mbr_dominates
+from repro.objects.uncertain import UncertainObject
+from repro.stats.stochastic import stochastic_equal
+
+_TOL = 1e-9
+_FLOW_TOL = 1e-6
+
+
+def point_in_query_hull(point: np.ndarray, ctx: QueryContext) -> bool:
+    """Whether ``point`` lies inside the convex hull of the query instances.
+
+    Exact in 1-d/2-d; conservative (may return False for borderline interior
+    points) in higher dimensions, which only weakens the geometric filter,
+    never correctness.
+    """
+    if not ctx.query_mbr.contains_point(point):
+        return False
+    return point_in_hull(point, ctx.hull_points)
+
+
+def build_psd_network(
+    u: UncertainObject, v: UncertainObject, ctx: QueryContext
+) -> tuple[FlowNetwork, int, int, np.ndarray]:
+    """The Theorem 12 network ``G_{U,V}`` plus its adjacency matrix.
+
+    Vertices: ``0`` source, ``1..m`` U-instances, ``m+1..m+n`` V-instances,
+    ``m+n+1`` sink.  Instance edges carry infinite capacity and exist iff
+    ``u <=_Q v`` (checked against hull vertices only).
+    """
+    du = ctx.hull_distance_vectors(u)  # (m, k)
+    dv = ctx.hull_distance_vectors(v)  # (n, k)
+    adj = np.all(du[:, None, :] <= dv[None, :, :] + _TOL, axis=2)
+    ctx.counters.count_comparisons(du.shape[0] * dv.shape[0])
+    m, n = len(u), len(v)
+    net = FlowNetwork(m + n + 2)
+    source, sink = 0, m + n + 1
+    for i in range(m):
+        net.add_edge(source, 1 + i, float(u.probs[i]))
+    for j in range(n):
+        net.add_edge(1 + m + j, sink, float(v.probs[j]))
+    rows, cols = np.nonzero(adj)
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        net.add_edge(1 + i, 1 + m + j, 2.0)
+    return net, source, sink, adj
+
+
+def _level_flow(
+    u_parts: list,
+    v_parts: list,
+    q_mbr,
+    *,
+    validation: bool,
+    counters,
+) -> float:
+    """Max flow of the coarse partition network ``G-`` or ``G+``."""
+    m, n = len(u_parts), len(v_parts)
+    net = FlowNetwork(m + n + 2)
+    source, sink = 0, m + n + 1
+    for i, (_, _, mass) in enumerate(u_parts):
+        net.add_edge(source, 1 + i, mass)
+    for j, (_, _, mass) in enumerate(v_parts):
+        net.add_edge(1 + m + j, sink, mass)
+    for i, (u_mbr, _, _) in enumerate(u_parts):
+        for j, (v_mbr, _, _) in enumerate(v_parts):
+            counters.mbr_tests += 1
+            if validation:
+                has_edge = mbr_dominates(u_mbr, v_mbr, q_mbr)
+            else:
+                has_edge = not mbr_dominates(v_mbr, u_mbr, q_mbr, strict=True)
+            if has_edge:
+                net.add_edge(1 + i, 1 + m + j, 2.0)
+    counters.maxflow_calls += 1
+    return max_flow(net, source, sink)
+
+
+def p_dominates(
+    u: UncertainObject,
+    v: UncertainObject,
+    ctx: QueryContext,
+    *,
+    use_mbr_validation: bool = True,
+    use_cover_pruning: bool = True,
+    use_geometry: bool = True,
+    use_level: bool = True,
+) -> bool:
+    """P-SD dominance check with configurable filters.
+
+    Args:
+        u: candidate dominator.
+        v: candidate dominated object.
+        ctx: query context.
+        use_mbr_validation: Theorem 4 validation via the MBR F-SD test.
+        use_cover_pruning: run the much cheaper SS-SD check first
+            (``not SS-SD`` implies ``not P-SD``).
+        use_geometry: apply the hull-interior shortcut.
+        use_level: build the coarse ``G-``/``G+`` partition networks before
+            the full instance-level max flow.
+    """
+    ctx.counters.dominance_checks += 1
+    if not ctx.is_euclidean:
+        # Bisector-based geometric machinery is Euclidean-only.
+        use_mbr_validation = use_geometry = use_level = False
+    if use_mbr_validation:
+        ctx.counters.mbr_tests += 1
+        if mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True):
+            ctx.counters.validated_by_mbr += 1
+            return True
+    if use_cover_pruning:
+        if not ss_dominates(u, v, ctx, use_level=False):
+            ctx.counters.pruned_by_cover += 1
+            return False
+    if use_geometry:
+        for j, vp in enumerate(v.points):
+            if point_in_query_hull(vp, ctx):
+                # Only an identically-placed U instance can be <=_Q this one.
+                if not np.any(np.all(np.abs(u.points - vp) <= 1e-12, axis=1)):
+                    ctx.counters.pruned_by_geometry += 1
+                    return False
+    if use_level and (len(u) > 4 or len(v) > 4):
+        # Iterative level-by-level refinement: coarse G-/G+ networks first,
+        # descending one local R-tree level per round while indecisive.
+        from repro.core.ssd import _granularities
+
+        for groups in _granularities(ctx.level_groups, min(len(u), len(v))):
+            u_parts = ctx.partitions(u, groups)
+            v_parts = ctx.partitions(v, groups)
+            if len(u_parts) <= 1 and len(v_parts) <= 1:
+                continue
+            flow_minus = _level_flow(
+                u_parts, v_parts, ctx.query_mbr, validation=True, counters=ctx.counters
+            )
+            if flow_minus >= 1.0 - _FLOW_TOL:
+                # Coarse validation; still guard the U_Q != V_Q clause.
+                ctx.counters.validated_by_level += 1
+                return not stochastic_equal(
+                    ctx.distance_distribution(u), ctx.distance_distribution(v)
+                )
+            flow_plus = _level_flow(
+                u_parts, v_parts, ctx.query_mbr, validation=False, counters=ctx.counters
+            )
+            if flow_plus < 1.0 - _FLOW_TOL:
+                ctx.counters.pruned_by_level += 1
+                return False
+    net, source, sink, adj = build_psd_network(u, v, ctx)
+    # Degree shortcuts: an unmatched V instance (no incoming edge) or a U
+    # instance with no outgoing edge caps the flow strictly below 1.
+    if not np.all(adj.any(axis=0)) or not np.all(adj.any(axis=1)):
+        return False
+    ctx.counters.maxflow_calls += 1
+    flow = max_flow(net, source, sink)
+    if flow < 1.0 - _FLOW_TOL:
+        return False
+    return not stochastic_equal(
+        ctx.distance_distribution(u), ctx.distance_distribution(v)
+    )

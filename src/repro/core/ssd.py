@@ -1,0 +1,118 @@
+"""Stochastic spatial dominance S-SD (Definition 2) — optimal w.r.t. N1.
+
+``S-SD(U, V, Q)`` iff ``U_Q <=_st V_Q`` and ``U_Q != V_Q``.  The full check
+is the single-scan CDF sweep of Section 5.1.1; three filters from the paper
+can avoid it:
+
+* **MBR validation** (Theorem 4) — strict F-SD on the MBRs settles the check
+  positively in O(d).
+* **Statistic-based pruning** (Theorem 11) — ``min``/``mean``/``max`` of the
+  two distance distributions must be ordered; a violation settles negatively.
+* **Level-by-level filtering** — bounding distributions built from local
+  R-tree partitions: an optimistic (mindist) distribution ``L_X`` and a
+  pessimistic (maxdist) distribution ``P_X`` with ``L_X <=_st X_Q <=_st P_X``.
+  ``P_U <=_st L_V`` validates; ``not (L_U <=_st P_V)`` prunes.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import QueryContext
+from repro.geometry.mbr import mbr_dominates
+from repro.objects.uncertain import UncertainObject
+from repro.stats.distribution import DiscreteDistribution
+from repro.stats.stochastic import stochastic_equal, stochastic_leq
+
+_TOL = 1e-9
+
+
+def _granularities(start: int, instance_cap: int) -> list[int]:
+    """The partition sizes the iterative refinement walks through."""
+    out: list[int] = []
+    g = max(2, start)
+    while g < instance_cap:
+        out.append(g)
+        g *= 4  # local R-tree fan-out: one level deeper per round
+    return out or [max(2, start)]
+
+
+def bounding_distributions(
+    obj: UncertainObject, ctx: QueryContext, groups: int | None = None
+) -> tuple[DiscreteDistribution, DiscreteDistribution]:
+    """Optimistic / pessimistic bounds on ``U_Q`` from level partitions.
+
+    For each partition MBR with mass ``w`` and each query instance ``q`` with
+    probability ``p(q)``, the optimistic distribution places mass ``w * p(q)``
+    at ``mindist(q, mbr)`` and the pessimistic one at ``maxdist(q, mbr)``.
+    By construction ``L <=_st U_Q <=_st P``.
+    """
+    parts = ctx.partitions(obj, groups)
+    lo_vals: list[float] = []
+    hi_vals: list[float] = []
+    probs: list[float] = []
+    for mbr, _, mass in parts:
+        for q, pq in zip(ctx.query.points, ctx.query.probs):
+            lo_vals.append(mbr.mindist(q, ctx.norm))
+            hi_vals.append(mbr.maxdist(q, ctx.norm))
+            probs.append(mass * float(pq))
+    lo = DiscreteDistribution(lo_vals, probs)
+    hi = DiscreteDistribution(hi_vals, probs)
+    return lo, hi
+
+
+def s_dominates(
+    u: UncertainObject,
+    v: UncertainObject,
+    ctx: QueryContext,
+    *,
+    use_statistics: bool = True,
+    use_mbr_validation: bool = True,
+    use_level: bool = False,
+) -> bool:
+    """S-SD dominance check with configurable filters.
+
+    Args:
+        u: candidate dominator.
+        v: candidate dominated object.
+        ctx: query context.
+        use_statistics: apply the Theorem 11 min/mean/max pruning rule.
+        use_mbr_validation: apply the Theorem 4 MBR validation rule.
+        use_level: apply the level-by-level bounding-distribution filter
+            before the exact scan (pays off for large instance counts).
+    """
+    ctx.counters.dominance_checks += 1
+    if use_mbr_validation and ctx.is_euclidean:
+        ctx.counters.mbr_tests += 1
+        if mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True):
+            ctx.counters.validated_by_mbr += 1
+            return True
+    if use_statistics:
+        ctx.counters.count_comparisons(3)
+        u_min, u_mean, u_max = ctx.statistics(u)
+        v_min, v_mean, v_max = ctx.statistics(v)
+        if u_min > v_min + _TOL or u_mean > v_mean + _TOL or u_max > v_max + _TOL:
+            ctx.counters.pruned_by_statistics += 1
+            return False
+    if use_level:
+        # Iterative level-by-level refinement (Section 5.1.2): start from a
+        # coarse partitioning and only descend while the bounds stay
+        # indecisive, terminating early at high levels when possible.
+        for groups in _granularities(ctx.level_groups, min(len(u), len(v))):
+            lo_u, hi_u = bounding_distributions(u, ctx, groups)
+            lo_v, hi_v = bounding_distributions(v, ctx, groups)
+            if stochastic_leq(hi_u, lo_v, counter=ctx.counters):
+                # Pessimistic U below optimistic V everywhere.  If the
+                # bounds differ as distributions then U_Q != V_Q follows
+                # (equality would squeeze both bounds onto U_Q), settling
+                # the check positively; bound equality is degenerate and
+                # falls through to the scan.
+                if not stochastic_equal(hi_u, lo_v):
+                    ctx.counters.validated_by_level += 1
+                    return True
+            elif not stochastic_leq(lo_u, hi_v, counter=ctx.counters):
+                ctx.counters.pruned_by_level += 1
+                return False
+    u_q = ctx.distance_distribution(u)
+    v_q = ctx.distance_distribution(v)
+    if not stochastic_leq(u_q, v_q, counter=ctx.counters):
+        return False
+    return not stochastic_equal(u_q, v_q)

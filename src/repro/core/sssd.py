@@ -1,0 +1,113 @@
+"""Strict stochastic spatial dominance SS-SD (Definition 3) — optimal w.r.t. N1 ∪ N2.
+
+``SS-SD(U, V, Q)`` iff ``U_q <=_st V_q`` for **every** query instance ``q``
+and ``U_Q != V_Q``.  The check keeps ``|Q|`` CDF indicators, one per query
+instance (Section 5.1.1), and fails as soon as any goes negative.
+
+Filters mirror S-SD with two additions from the paper:
+
+* **cover-based pruning** — ``not S-SD(U, V, Q)`` implies
+  ``not SS-SD(U, V, Q)`` (Theorem 2); the cheap statistic rule on ``U_Q`` is
+  the practical incarnation, plus per-instance statistics.
+* **level-by-level** bounds built per query instance.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import QueryContext
+from repro.geometry.mbr import mbr_dominates
+from repro.objects.uncertain import UncertainObject
+from repro.stats.distribution import DiscreteDistribution
+from repro.stats.stochastic import stochastic_equal, stochastic_leq
+
+_TOL = 1e-9
+
+
+def bounding_distributions_per_q(
+    obj: UncertainObject, ctx: QueryContext, groups: int | None = None
+) -> list[tuple[DiscreteDistribution, DiscreteDistribution]]:
+    """Per-query-instance optimistic/pessimistic bounds on ``U_q``."""
+    parts = ctx.partitions(obj, groups)
+    out: list[tuple[DiscreteDistribution, DiscreteDistribution]] = []
+    for q in ctx.query.points:
+        lo_vals = [mbr.mindist(q, ctx.norm) for mbr, _, _ in parts]
+        hi_vals = [mbr.maxdist(q, ctx.norm) for mbr, _, _ in parts]
+        masses = [mass for _, _, mass in parts]
+        out.append(
+            (
+                DiscreteDistribution(lo_vals, masses),
+                DiscreteDistribution(hi_vals, masses),
+            )
+        )
+    return out
+
+
+def ss_dominates(
+    u: UncertainObject,
+    v: UncertainObject,
+    ctx: QueryContext,
+    *,
+    use_statistics: bool = True,
+    use_mbr_validation: bool = True,
+    use_cover_pruning: bool = True,
+    use_level: bool = False,
+) -> bool:
+    """SS-SD dominance check with configurable filters.
+
+    Args:
+        u: candidate dominator.
+        v: candidate dominated object.
+        ctx: query context.
+        use_statistics: per-query-instance min/mean/max pruning.
+        use_mbr_validation: Theorem 4 MBR validation.
+        use_cover_pruning: apply the S-SD statistic rule on the global
+            distributions first (``not S-SD`` implies ``not SS-SD``).
+        use_level: level-by-level bounding distributions per query instance.
+    """
+    ctx.counters.dominance_checks += 1
+    if use_mbr_validation and ctx.is_euclidean:
+        ctx.counters.mbr_tests += 1
+        if mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True):
+            ctx.counters.validated_by_mbr += 1
+            return True
+    if use_cover_pruning:
+        ctx.counters.count_comparisons(3)
+        u_min, u_mean, u_max = ctx.statistics(u)
+        v_min, v_mean, v_max = ctx.statistics(v)
+        if u_min > v_min + _TOL or u_mean > v_mean + _TOL or u_max > v_max + _TOL:
+            ctx.counters.pruned_by_cover += 1
+            return False
+    u_dists = ctx.per_instance_distributions(u)
+    v_dists = ctx.per_instance_distributions(v)
+    if use_statistics:
+        for uq, vq in zip(u_dists, v_dists):
+            ctx.counters.count_comparisons(2)
+            if uq.min() > vq.min() + _TOL or uq.max() > vq.max() + _TOL:
+                ctx.counters.pruned_by_statistics += 1
+                return False
+    if use_level:
+        # Iterative level-by-level refinement, one granularity per round.
+        from repro.core.ssd import _granularities
+
+        for groups in _granularities(ctx.level_groups, min(len(u), len(v))):
+            bounds_u = bounding_distributions_per_q(u, ctx, groups)
+            bounds_v = bounding_distributions_per_q(v, ctx, groups)
+            validated_all = True
+            for (lo_u, hi_u), (lo_v, hi_v) in zip(bounds_u, bounds_v):
+                if not stochastic_leq(lo_u, hi_v, counter=ctx.counters):
+                    ctx.counters.pruned_by_level += 1
+                    return False
+                if validated_all and not (
+                    stochastic_leq(hi_u, lo_v, counter=ctx.counters)
+                    and not stochastic_equal(hi_u, lo_v)
+                ):
+                    validated_all = False
+            if validated_all:
+                ctx.counters.validated_by_level += 1
+                return True
+    for uq, vq in zip(u_dists, v_dists):
+        if not stochastic_leq(uq, vq, counter=ctx.counters):
+            return False
+    u_q = ctx.distance_distribution(u)
+    v_q = ctx.distance_distribution(v)
+    return not stochastic_equal(u_q, v_q)

@@ -1,0 +1,192 @@
+"""Exact geometric reconstructions of the paper's worked examples.
+
+Each ``figure*`` function returns the objects and query of one running
+example with instance coordinates engineered so that every dominance /
+function relation the paper states holds verbatim.  They double as golden
+test fixtures (``tests/test_paper_examples.py``) and as teaching material in
+``examples/choosing_an_operator.py``.
+
+The distances quoted in the paper are realised either on a line or by
+circle-circle intersection around the two query instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.objects.uncertain import UncertainObject
+
+
+@dataclass(frozen=True)
+class ExampleScene:
+    """One worked example: named objects plus the query."""
+
+    query: UncertainObject
+    objects: dict[str, UncertainObject]
+
+    def __getitem__(self, name: str) -> UncertainObject:
+        return self.objects[name]
+
+    def object_list(self) -> list[UncertainObject]:
+        """Objects in name order (stable for NNC calls)."""
+        return [self.objects[k] for k in sorted(self.objects)]
+
+
+
+def _at_distances(d1: float, d2: float, separation: float) -> list[float]:
+    """Point at distance ``d1`` from (0,0) and ``d2`` from (separation, 0).
+
+    Standard circle-circle intersection; the triangle inequality between the
+    requested distances and the query separation must hold.
+    """
+    x = (d1 * d1 - d2 * d2 + separation * separation) / (2.0 * separation)
+    y_sq = d1 * d1 - x * x
+    if y_sq < -1e-9:
+        raise ValueError(f"distances ({d1}, {d2}) not realisable at separation {separation}")
+    return [x, float(max(y_sq, 0.0) ** 0.5)]
+
+
+def figure1() -> ExampleScene:
+    """Figure 1: the NN-core counterexample.
+
+    Single-instance query; A, B, C have two instances with probabilities
+    0.6 / 0.4.  A supersedes B and C, and B supersedes C (each with
+    probability 0.6), so NN-core = {A}; yet C is the NN under ``max`` and B
+    is the NN under the expected distance.
+    """
+    query = UncertainObject([[0.0]], oid="Q")
+    a = UncertainObject([[1.0], [20.0]], [0.6, 0.4], oid="A")
+    b = UncertainObject([[2.0], [6.0]], [0.6, 0.4], oid="B")
+    c = UncertainObject([[5.0], [5.5]], [0.6, 0.4], oid="C")
+    return ExampleScene(query, {"A": a, "B": b, "C": c})
+
+
+def figure3() -> ExampleScene:
+    """Figure 3: S-SD vs SS-SD.
+
+    Two query instances; S-SD(A,B), S-SD(A,C) and SS-SD(A,B) hold, but
+    ``not SS-SD(A,C)`` — C is always closer to q2, wins half of all
+    possible worlds, and has the top NN probability (0.5 vs A's 0.375),
+    so the stochastic order alone would wrongly discard it.
+
+    Realised on a line with q1 = 0, q2 = 20; the resulting distance
+    distributions are A_Q = {1, 2, 18, 19}, B_Q = {1.5, 4, 21.5, 24},
+    C_Q = {1.8, 3.8, 21.8, 23.8} (each value with probability 1/4).
+    """
+    query = UncertainObject([[0.0], [20.0]], oid="Q")
+    a = UncertainObject([[1.0], [2.0]], oid="A")
+    b = UncertainObject([[-1.5], [-4.0]], oid="B")
+    c = UncertainObject([[21.8], [23.8]], oid="C")
+    return ExampleScene(query, {"A": a, "B": b, "C": c})
+
+
+def figure4() -> ExampleScene:
+    """Figure 4: SS-SD vs P-SD and the EMD counterexample.
+
+    Distances (probability 0.5 per instance):
+
+    ========  =====  =====
+    pair       q1     q2
+    ========  =====  =====
+    a1         1      6
+    a2         4      7
+    b1         1      8
+    b2         4.5    6.5
+    c1         5      8
+    c2         2      6.5
+    ========  =====  =====
+
+    SS-SD(A,B) holds yet EMD(A,Q) = 4 > 3.75 = EMD(B,Q) and a2 has no
+    ``<=_Q`` partner in B, so ``not P-SD(A,B)``.  P-SD(A,C) holds through
+    the cross match a1 -> c2, a2 -> c1 while ``not F-SD(A,C)`` (a2 is
+    farther from q2 than c2).  Realised with q1 = (0,0), q2 = (7,0) by
+    circle intersection.
+    """
+    sep = 7.0
+    query = UncertainObject([[0.0, 0.0], [sep, 0.0]], oid="Q")
+    a = UncertainObject(
+        [_at_distances(1.0, 6.0, sep), _at_distances(4.0, 7.0, sep)], oid="A"
+    )
+    b = UncertainObject(
+        [_at_distances(1.0, 8.0, sep), _at_distances(4.5, 6.5, sep)], oid="B"
+    )
+    c = UncertainObject(
+        [_at_distances(5.0, 8.0, sep), _at_distances(2.0, 6.5, sep)], oid="C"
+    )
+    return ExampleScene(query, {"A": a, "B": b, "C": c})
+
+
+def figure6() -> tuple[ExampleScene, ExampleScene]:
+    """Figure 6 / Example 2: the two S-SD vs SS-SD mini scenes.
+
+    Scene (a): single-instance A and B with A_Q = {3, 17}, B_Q = {5, 25};
+    S-SD(A,B) holds but A is farther from q1 than B, so not SS-SD(A,B).
+
+    Scene (b): the Example 1 distances — A_Q = {5, 8, 10, 23} and per-query
+    distributions that make SS-SD(A,B) hold.
+    """
+    query_a = UncertainObject([[0.0], [20.0]], oid="Q")
+    scene_a = ExampleScene(
+        query_a,
+        {
+            "A": UncertainObject([[17.0]], oid="A"),  # distances 17, 3
+            "B": UncertainObject([[-5.0]], oid="B"),  # distances 5, 25
+        },
+    )
+    sep = 15.0
+    query_b = UncertainObject([[0.0, 0.0], [sep, 0.0]], oid="Q")
+    scene_b = ExampleScene(
+        query_b,
+        {
+            # d(a1) = (5, 10), d(a2) = (8, 23)
+            "A": UncertainObject([[5.0, 0.0], [-8.0, 0.0]], oid="A"),
+            # d(b1) = (10, 10), d(b2) = (25, 25)
+            "B": UncertainObject(
+                [_at_distances(10.0, 10.0, sep), _at_distances(25.0, 25.0, sep)],
+                oid="B",
+            ),
+        },
+    )
+    return scene_a, scene_b
+
+
+def figure8() -> ExampleScene:
+    """Figure 8 / Example 3: the P-SD match a1 -> b1, a2 -> b2.
+
+    Distances: a1 = (5, 15), a2 = (20, 10), b1 = (10, 20), b2 = (25, 15)
+    w.r.t. q1 = (0,0), q2 = (20,0).
+    """
+    sep = 20.0
+    query = UncertainObject([[0.0, 0.0], [sep, 0.0]], oid="Q")
+    a = UncertainObject(
+        [_at_distances(5.0, 15.0, sep), _at_distances(20.0, 10.0, sep)], oid="A"
+    )
+    b = UncertainObject(
+        [_at_distances(10.0, 20.0, sep), _at_distances(25.0, 15.0, sep)], oid="B"
+    )
+    return ExampleScene(query, {"A": a, "B": b})
+
+
+def figure9() -> ExampleScene:
+    """Figure 9 / Example 5: the max-flow reduction instance.
+
+    U has instances with probabilities (0.5, 0.2, 0.3); V has (0.5, 0.5);
+    the ``<=_Q`` edges are u1,u2 -> v1,v2 and u3 -> v2 only, and the flow
+    of value 1 exists (match u1->v1 0.5, u2->v2 0.2, u3->v2 0.3).
+    """
+    query = UncertainObject([[0.0]], oid="Q")
+    u = UncertainObject([[1.0], [2.0], [4.0]], [0.5, 0.2, 0.3], oid="U")
+    v = UncertainObject([[3.0], [5.0]], [0.5, 0.5], oid="V")
+    return ExampleScene(query, {"U": u, "V": v})
+
+
+def figure15() -> ExampleScene:
+    """Figure 15 / Theorem 3: with |Q| = 1, P-SD = SS-SD = S-SD ≠ F-SD.
+
+    A = {1, 5}, B = {3, 6} against q = 0: the stochastic order holds, but
+    max(A) = 5 > 3 = min(B) breaks full dominance.
+    """
+    query = UncertainObject([[0.0]], oid="Q")
+    a = UncertainObject([[1.0], [5.0]], oid="A")
+    b = UncertainObject([[3.0], [6.0]], oid="B")
+    return ExampleScene(query, {"A": a, "B": b})

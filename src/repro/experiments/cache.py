@@ -1,0 +1,69 @@
+"""Dataset caching for experiment runs.
+
+Regenerating a synthetic dataset is deterministic given its parameters, but
+costs seconds at larger scales; sweeps regenerate many configurations.  The
+cache keys each configuration's parameters and serialises the objects with
+:mod:`repro.objects.io`, so repeated benchmark / report runs skip the
+generation step entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.objects.io import load_objects, save_objects
+from repro.objects.uncertain import UncertainObject
+
+DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+
+def cache_key(**params) -> str:
+    """Stable hash of a parameter dict (order-insensitive)."""
+    payload = json.dumps(params, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+
+class DatasetCache:
+    """A directory of ``.npz`` datasets keyed by generation parameters."""
+
+    def __init__(self, directory: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem location of one cached dataset."""
+        return self.directory / f"{key}.npz"
+
+    def get_or_create(
+        self,
+        generate: Callable[[], Sequence[UncertainObject]],
+        **params,
+    ) -> list[UncertainObject]:
+        """Load the dataset for ``params``, generating and storing on miss.
+
+        Args:
+            generate: zero-argument callable producing the dataset; invoked
+                only on a cache miss.
+            **params: every parameter that determines the dataset, including
+                the random seed.
+        """
+        key = cache_key(**params)
+        path = self.path_for(key)
+        if path.exists():
+            return load_objects(path)
+        objects = list(generate())
+        self.directory.mkdir(parents=True, exist_ok=True)
+        save_objects(path, objects)
+        return objects
+
+    def clear(self) -> int:
+        """Delete every cached dataset; returns the number removed."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.npz"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,122 @@
+"""Workload evaluation harness.
+
+Runs Algorithm 1 over a query workload for each chosen operator and collects
+the two quantities the paper reports throughout Section 6 — average NN
+candidate size (effectiveness) and average query response time (efficiency)
+— along with the filter counters used by the Appendix C study.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.context import QueryContext
+from repro.core.counters import Counters
+from repro.core.nnc import NNCSearch
+from repro.core.operators import _BaseOperator, make_operator
+from repro.objects.uncertain import UncertainObject
+
+DEFAULT_KINDS = ("SSD", "SSSD", "PSD", "FSD", "F+SD")
+
+
+@dataclass
+class WorkloadStats:
+    """Aggregates for one operator over a workload."""
+
+    operator: str
+    avg_candidates: float = 0.0
+    avg_time: float = 0.0
+    counters: Counters = field(default_factory=Counters)
+    per_query_sizes: list[int] = field(default_factory=list)
+    per_query_times: list[float] = field(default_factory=list)
+
+    def finalize(self) -> None:
+        """Compute the averages from the per-query lists."""
+        k = max(1, len(self.per_query_sizes))
+        self.avg_candidates = sum(self.per_query_sizes) / k
+        self.avg_time = sum(self.per_query_times) / k
+
+
+def evaluate_workload(
+    objects: Sequence[UncertainObject],
+    queries: Sequence[UncertainObject],
+    kinds: Sequence[str | _BaseOperator] = DEFAULT_KINDS,
+    *,
+    operator_flags: dict | None = None,
+) -> dict[str, WorkloadStats]:
+    """Run every operator over every query; return per-operator aggregates.
+
+    Args:
+        objects: the dataset (the global R-tree is built once).
+        queries: the query workload.
+        kinds: operator kinds (strings) or pre-configured operators.
+        operator_flags: extra flags passed to :func:`make_operator` for
+            string kinds (ignored for pre-built operators).
+    """
+    search = NNCSearch(objects)
+    flags = operator_flags or {}
+    stats: dict[str, WorkloadStats] = {}
+    for kind in kinds:
+        operator = kind if isinstance(kind, _BaseOperator) else make_operator(kind, **flags)
+        ws = WorkloadStats(operator=operator.name)
+        for query in queries:
+            ctx = QueryContext(query)
+            t0 = time.perf_counter()
+            result = search.run(query, operator, ctx=ctx)
+            ws.per_query_times.append(time.perf_counter() - t0)
+            ws.per_query_sizes.append(len(result))
+            ws.counters.merge(ctx.counters)
+        ws.finalize()
+        stats[operator.name] = ws
+    return stats
+
+
+def progressive_profile(
+    objects: Sequence[UncertainObject],
+    query: UncertainObject,
+    kind: str | _BaseOperator = "PSD",
+    *,
+    quality_checks: bool = True,
+) -> list[dict]:
+    """Per-candidate progressive profile (Figure 14).
+
+    Returns one row per returned candidate with the fraction of candidates
+    returned so far, the elapsed time at which it became certain, and (when
+    ``quality_checks``) the candidate's *quality* — the number of dataset
+    objects it dominates, the paper's Figure 14(b) metric.
+    """
+    search = NNCSearch(objects)
+    operator = kind if isinstance(kind, _BaseOperator) else make_operator(kind)
+    ctx = QueryContext(query)
+    result = search.run(query, operator, ctx=ctx)
+    total = max(1, len(result))
+    rows: list[dict] = []
+    for i, (cand, when) in enumerate(zip(result.candidates, result.yield_times)):
+        row = {
+            "progress": (i + 1) / total,
+            "time": when,
+            "oid": cand.oid,
+        }
+        if quality_checks:
+            row["quality"] = candidate_quality(objects, query, cand, operator, ctx)
+        rows.append(row)
+    return rows
+
+
+def candidate_quality(
+    objects: Sequence[UncertainObject],
+    query: UncertainObject,
+    candidate: UncertainObject,
+    operator: _BaseOperator,
+    ctx: QueryContext | None = None,
+) -> int:
+    """Number of dataset objects the candidate dominates (Figure 14(b))."""
+    if ctx is None:
+        ctx = QueryContext(query)
+    return sum(
+        1
+        for other in objects
+        if other is not candidate and operator.dominates(candidate, other, ctx)
+    )

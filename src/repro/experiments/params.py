@@ -1,0 +1,100 @@
+"""Experiment parameters (Table 2) and reproduction scales.
+
+The paper's defaults are ``n = 100k`` objects, ``m_d = 40`` instances,
+``d = 3``, ``h_d = 400``, ``m_q = 30``, ``h_q = 200`` with 100-query
+workloads, run in C++.  A pure-Python reproduction keeps every *ratio* of
+the sweeps but shrinks absolute counts; the :class:`Scale` presets define
+the shrink factors, so every figure can be regenerated at ``tiny`` (CI),
+``small`` (benchmark default) or ``paper``-proportional scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.datasets import synthetic
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Shrink factors applied to the paper's absolute parameters.
+
+    When ``preserve_density`` is set (the default), object and query edge
+    lengths are inflated by ``(1 / n_factor) ** (1 / d)`` so that the degree
+    of instance-cloud overlap — the quantity that shapes candidate-set sizes
+    — matches the paper's 100k-object density despite the smaller ``n``.
+    """
+
+    name: str
+    n_factor: float  # object count multiplier (paper default n = 100k)
+    m_factor: float  # instance count multiplier (paper default m_d = 40)
+    q_factor: float  # query instance multiplier (paper default m_q = 30)
+    n_queries: int  # workload size (paper: 100)
+    preserve_density: bool = True
+
+    def edge_factor(self, d: int) -> float:
+        """Edge-length inflation keeping per-volume overlap constant."""
+        if not self.preserve_density:
+            return 1.0
+        return float((1.0 / self.n_factor) ** (1.0 / d))
+
+
+SCALES: dict[str, Scale] = {
+    "tiny": Scale("tiny", n_factor=0.0015, m_factor=0.15, q_factor=0.2, n_queries=2),
+    "small": Scale("small", n_factor=0.004, m_factor=0.25, q_factor=0.27, n_queries=3),
+    "medium": Scale("medium", n_factor=0.01, m_factor=0.375, q_factor=0.33, n_queries=5),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentParams:
+    """One experiment configuration, in paper units scaled by a preset.
+
+    Attributes follow Table 2; defaults are the paper's bold values.
+    """
+
+    n: int = 100_000
+    d: int = 3
+    m_d: int = 40
+    h_d: float = 400.0
+    m_q: int = 30
+    h_q: float = 200.0
+    distribution: str = "anti"  # "anti" (A) or "indep" (E)
+    n_queries: int = 100
+    seed: int = 20150531  # SIGMOD'15 started May 31
+
+    def scaled(self, scale: Scale) -> "ExperimentParams":
+        """Apply a scale preset to the absolute counts and edge lengths."""
+        edge = scale.edge_factor(self.d)
+        return replace(
+            self,
+            n=max(20, int(round(self.n * scale.n_factor))),
+            m_d=max(2, int(round(self.m_d * scale.m_factor))),
+            m_q=max(2, int(round(self.m_q * scale.q_factor))),
+            h_d=self.h_d * edge,
+            h_q=self.h_q * edge,
+            n_queries=scale.n_queries,
+        )
+
+    def with_(self, **changes) -> "ExperimentParams":
+        """Functional update (sweep helper)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+
+    def generate_centers(self, rng: np.random.Generator) -> np.ndarray:
+        """Centers under the configured distribution."""
+        if self.distribution == "anti":
+            return synthetic.anticorrelated_centers(self.n, self.d, rng)
+        if self.distribution == "indep":
+            return synthetic.independent_centers(self.n, self.d, rng)
+        raise ValueError(f"unknown distribution {self.distribution!r}")
+
+    def generate_objects(self, rng: np.random.Generator | None = None):
+        """Full object set under this configuration."""
+        if rng is None:
+            rng = np.random.default_rng(self.seed)
+        centers = self.generate_centers(rng)
+        return synthetic.make_objects(centers, self.m_d, self.h_d, rng)

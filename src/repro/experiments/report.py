@@ -1,0 +1,44 @@
+"""Plain-text rendering of experiment tables.
+
+Benchmarks and examples print their regenerated figure rows through
+:func:`format_table`, so the output mirrors the series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(rows: Sequence[dict], title: str | None = None) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Column order follows the first row's key order; missing values render
+    as ``-``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    table = [[_fmt(row.get(col, "-")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(line, widths)) for line in table
+    )
+    out = f"{header}\n{rule}\n{body}"
+    if title:
+        out = f"{title}\n{out}"
+    return out
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

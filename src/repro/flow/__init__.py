@@ -1,0 +1,12 @@
+"""Network-flow algorithms built from scratch.
+
+The P-SD dominance check reduces to maximum flow on a bipartite network
+(Theorem 12); the Earth Mover's / Netflow distances of the N3 family reduce
+to a minimum-cost maximum flow (Appendix A, Definition 12).  Both solvers
+support real-valued capacities, which is what instance probabilities are.
+"""
+
+from repro.flow.maxflow import FlowNetwork, max_flow
+from repro.flow.mincost import MinCostFlowNetwork, min_cost_flow
+
+__all__ = ["FlowNetwork", "MinCostFlowNetwork", "max_flow", "min_cost_flow"]

@@ -1,0 +1,113 @@
+"""Maximum flow with real capacities (Dinic's algorithm).
+
+Used by the P-SD dominance check: the paper (Theorem 12) shows
+``P-SD(U, V, Q)`` holds iff the max flow of the bipartite network
+``source -> u-instances -> v-instances -> sink`` equals 1, where instance
+edges exist exactly when ``u <=_Q v``.
+
+Dinic's algorithm is exact for real capacities here: its number of phases is
+bounded by the number of vertices independently of capacity values, and each
+blocking flow terminates because every augmentation saturates an edge.  An
+epsilon guards float comparisons.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+_EPS = 1e-12
+
+
+class FlowNetwork:
+    """Adjacency-list flow network with residual edges.
+
+    Vertices are dense integer ids ``0..n-1``.  Edges are stored as parallel
+    arrays (to, capacity, index-of-reverse) for cache-friendly traversal.
+    """
+
+    __slots__ = ("n", "graph", "_edge_count")
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("network needs at least one vertex")
+        self.n = n
+        self.graph: list[list[list[float]]] = [[] for _ in range(n)]
+        self._edge_count = 0
+
+    def add_edge(self, u: int, v: int, capacity: float) -> None:
+        """Add a directed edge ``u -> v`` with the given capacity."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise IndexError(f"edge ({u}, {v}) outside vertex range 0..{self.n - 1}")
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        # Forward edge: [to, cap, index of reverse in graph[v]]
+        self.graph[u].append([v, float(capacity), len(self.graph[v])])
+        # Residual edge with zero capacity.
+        self.graph[v].append([u, 0.0, len(self.graph[u]) - 1])
+        self._edge_count += 1
+
+    @property
+    def edge_count(self) -> int:
+        """Number of forward edges added so far."""
+        return self._edge_count
+
+
+def _bfs_levels(net: FlowNetwork, source: int, sink: int) -> list[int] | None:
+    level = [-1] * net.n
+    level[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for edge in net.graph[u]:
+            v, cap = edge[0], edge[1]
+            if cap > _EPS and level[v] < 0:
+                level[v] = level[u] + 1
+                queue.append(v)
+    return level if level[sink] >= 0 else None
+
+
+def _dfs_blocking(
+    net: FlowNetwork,
+    u: int,
+    sink: int,
+    pushed: float,
+    level: list[int],
+    it: list[int],
+) -> float:
+    if u == sink:
+        return pushed
+    while it[u] < len(net.graph[u]):
+        edge = net.graph[u][it[u]]
+        v, cap, rev = edge[0], edge[1], edge[2]
+        if cap > _EPS and level[v] == level[u] + 1:
+            flowed = _dfs_blocking(net, v, sink, min(pushed, cap), level, it)
+            if flowed > _EPS:
+                edge[1] -= flowed
+                net.graph[v][rev][1] += flowed
+                return flowed
+        it[u] += 1
+    return 0.0
+
+
+def max_flow(net: FlowNetwork, source: int, sink: int) -> float:
+    """Compute the maximum flow from ``source`` to ``sink`` in-place.
+
+    Residual capacities inside ``net`` are mutated, so the flow on each
+    forward edge can be read back as ``original_capacity - remaining``.
+
+    Returns:
+        The max-flow value.
+    """
+    if source == sink:
+        raise ValueError("source and sink must differ")
+    total = 0.0
+    while True:
+        level = _bfs_levels(net, source, sink)
+        if level is None:
+            return total
+        it = [0] * net.n
+        while True:
+            flowed = _dfs_blocking(net, source, sink, float("inf"), level, it)
+            if flowed <= _EPS:
+                break
+            total += flowed

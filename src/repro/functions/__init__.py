@@ -1,0 +1,73 @@
+"""The three families of NN ranking functions modelled by the paper.
+
+* :mod:`repro.functions.n1` — *all pairs based*: a stable aggregate applied
+  to the full distance distribution ``U_Q`` (min, max, expected, quantile,
+  linear weighted aggregates).
+* :mod:`repro.functions.n2` — *possible world based*: scores derived from an
+  object's rank/distance across possible worlds (NN probability, expected
+  rank, global top-k, U-top-k, the parameterized ranking model).
+* :mod:`repro.functions.n3` — *selected pairs based*: counterpart-computable
+  functions over a selected subset of pairs (Hausdorff, sum-of-minimal
+  distances, Earth Mover's / Netflow distance).
+
+Every function maps ``(object, query [, context])`` to a score where
+**smaller is better**, so ``f(U) <= f(V)`` means ``U`` ranks at least as
+close as ``V``.
+"""
+
+from repro.functions.base import (
+    MaxAggregate,
+    MeanAggregate,
+    MinAggregate,
+    QuantileAggregate,
+    StableAggregate,
+    WeightedSumAggregate,
+)
+from repro.functions.n1 import (
+    expected_distance,
+    max_distance,
+    min_distance,
+    n1_function,
+    quantile_distance,
+)
+from repro.functions.n2 import (
+    PossibleWorldScores,
+    expected_rank,
+    global_topk_score,
+    nn_probability,
+    parameterized_rank_score,
+    u_topk_score,
+)
+from repro.functions.n3 import (
+    earth_movers_distance,
+    hausdorff_distance,
+    netflow_distance,
+    sum_of_min_distances,
+)
+from repro.functions.registry import FunctionFamily, default_function_suite
+
+__all__ = [
+    "FunctionFamily",
+    "MaxAggregate",
+    "MeanAggregate",
+    "MinAggregate",
+    "PossibleWorldScores",
+    "QuantileAggregate",
+    "StableAggregate",
+    "WeightedSumAggregate",
+    "default_function_suite",
+    "earth_movers_distance",
+    "expected_distance",
+    "expected_rank",
+    "global_topk_score",
+    "hausdorff_distance",
+    "max_distance",
+    "min_distance",
+    "n1_function",
+    "netflow_distance",
+    "nn_probability",
+    "parameterized_rank_score",
+    "quantile_distance",
+    "sum_of_min_distances",
+    "u_topk_score",
+]

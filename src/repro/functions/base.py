@@ -1,0 +1,106 @@
+"""Stable aggregate functions (Definition 8).
+
+An aggregate ``g`` over a random variable is *stable* when ``X <=_st Y``
+implies ``g(X) <= g(Y)``.  Stability is exactly what makes the stochastic
+order a correct dominance test for the N1 family (Theorem 5), so the family
+of aggregates is modelled explicitly: each aggregate is a small class with a
+``__call__`` over :class:`~repro.stats.distribution.DiscreteDistribution`.
+
+Min, max, mean and every ``phi``-quantile are proven stable in Section 3.2;
+``WeightedSumAggregate`` covers arbitrary non-negative linear combinations of
+order statistics-like functionals built from stable parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.stats.distribution import DiscreteDistribution
+
+
+@runtime_checkable
+class StableAggregate(Protocol):
+    """Protocol for a stable aggregate ``g``: smaller distribution, smaller score."""
+
+    name: str
+
+    def __call__(self, dist: DiscreteDistribution) -> float:
+        """Aggregate the distribution into a scalar score."""
+        ...
+
+
+@dataclass(frozen=True)
+class MinAggregate:
+    """``g(X) = min(X)``; stable (Section 3.2)."""
+
+    name: str = "min"
+
+    def __call__(self, dist: DiscreteDistribution) -> float:
+        return dist.min()
+
+
+@dataclass(frozen=True)
+class MaxAggregate:
+    """``g(X) = max(X)``; stable (Section 3.2)."""
+
+    name: str = "max"
+
+    def __call__(self, dist: DiscreteDistribution) -> float:
+        return dist.max()
+
+
+@dataclass(frozen=True)
+class MeanAggregate:
+    """``g(X) = E[X]`` (the expected distance); stable via the match order."""
+
+    name: str = "mean"
+
+    def __call__(self, dist: DiscreteDistribution) -> float:
+        return dist.mean()
+
+
+@dataclass(frozen=True)
+class QuantileAggregate:
+    """``g(X) = quan_phi(X)`` (Definition 10); stable for every phi in (0, 1]."""
+
+    phi: float
+    name: str = "quantile"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.phi <= 1:
+            raise ValueError(f"phi must lie in (0, 1]; got {self.phi}")
+        object.__setattr__(self, "name", f"quantile[{self.phi:g}]")
+
+    def __call__(self, dist: DiscreteDistribution) -> float:
+        return dist.quantile(self.phi)
+
+
+@dataclass(frozen=True)
+class WeightedSumAggregate:
+    """Non-negative weighted sum of stable aggregates; stable by closure.
+
+    If each ``g_i`` is stable and ``w_i >= 0`` then
+    ``g = sum_i w_i g_i`` satisfies ``X <=_st Y => g(X) <= g(Y)``.
+    """
+
+    components: tuple[tuple[float, StableAggregate], ...]
+    name: str = "weighted-sum"
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("weighted sum needs at least one component")
+        if any(w < 0 for w, _ in self.components):
+            raise ValueError("weights must be non-negative for stability")
+        label = "+".join(f"{w:g}*{g.name}" for w, g in self.components)
+        object.__setattr__(self, "name", f"wsum[{label}]")
+
+    def __call__(self, dist: DiscreteDistribution) -> float:
+        return sum(w * g(dist) for w, g in self.components)
+
+
+def standard_aggregates(quantiles: Sequence[float] = (0.25, 0.5, 0.75)) -> list[StableAggregate]:
+    """The premier stable aggregates of Section 3.2 plus chosen quantiles."""
+    aggs: list[StableAggregate] = [MinAggregate(), MaxAggregate(), MeanAggregate()]
+    aggs.extend(QuantileAggregate(phi) for phi in quantiles)
+    return aggs

@@ -1,0 +1,63 @@
+"""All pairs based NN functions (family N1, Section 3.2).
+
+``f(U) = g(U_Q)`` for a stable aggregate ``g`` applied to the full distance
+distribution of the object against the query.  This module instantiates the
+premier members — min, max, expected (mean) and quantile distances — and a
+factory :func:`n1_function` turning any stable aggregate into a ranking
+function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.functions.base import (
+    MaxAggregate,
+    MeanAggregate,
+    MinAggregate,
+    QuantileAggregate,
+    StableAggregate,
+)
+from repro.objects.uncertain import UncertainObject
+
+N1Function = Callable[[UncertainObject, UncertainObject], float]
+
+
+def n1_function(aggregate: StableAggregate) -> N1Function:
+    """Lift a stable aggregate to an N1 ranking function ``f(U, Q)``."""
+
+    def f(obj: UncertainObject, query: UncertainObject) -> float:
+        return aggregate(obj.distance_distribution(query))
+
+    f.__name__ = f"n1_{aggregate.name}"
+    f.__doc__ = f"N1 function using the stable aggregate {aggregate.name!r}."
+    return f
+
+
+def min_distance(obj: UncertainObject, query: UncertainObject) -> float:
+    """``min`` distance: smallest pair-wise distance."""
+    return obj.distance_distribution(query).min()
+
+
+def max_distance(obj: UncertainObject, query: UncertainObject) -> float:
+    """``max`` distance: largest pair-wise distance."""
+    return obj.distance_distribution(query).max()
+
+
+def expected_distance(obj: UncertainObject, query: UncertainObject) -> float:
+    """Expected (mean) distance over all instance pairs."""
+    return obj.distance_distribution(query).mean()
+
+
+def quantile_distance(
+    obj: UncertainObject, query: UncertainObject, phi: float
+) -> float:
+    """``phi``-quantile distance (Definition 10) of the distance distribution."""
+    return obj.distance_distribution(query).quantile(phi)
+
+
+# Premier ready-made instances used by test suites and examples.
+MIN = n1_function(MinAggregate())
+MAX = n1_function(MaxAggregate())
+MEAN = n1_function(MeanAggregate())
+MEDIAN = n1_function(QuantileAggregate(0.5))

@@ -1,0 +1,256 @@
+"""Possible world based NN functions (family N2, Section 3.3).
+
+A possible world draws one instance from each object and from the query; an
+object is scored by its rank (or distance) within each world, and the final
+score aggregates across worlds.  Li et al.'s *parameterized ranking* model
+``Y(U) = sum_i w(i) * Pr(r(U) = i)`` unifies the popular instantiations; the
+paper maps NN probability (``w = -1`` at rank 1), expected rank (``w(i) = i``)
+and global top-k (``w(i) = -1`` for ``i <= k``) onto it.
+
+Ranks here are defined as ``r(U, W) = 1 + #{V != U : delta(V, W) < delta(U, W)}``
+(ties share a rank), which satisfies the model's monotonicity requirement
+``s(U, W) <= s(V, W)`` whenever ``delta(U, W) < delta(V, W)``.
+
+Two evaluation paths are provided:
+
+* :class:`PossibleWorldScores` — **exact polynomial** computation of the full
+  rank distribution of every object via a Poisson-binomial dynamic program
+  over objects, conditioned per query instance and object instance
+  (``O(|Q| * m * n^2)`` overall);
+* :func:`enumerate_worlds` / :func:`brute_force_rank_distribution` —
+  exhaustive possible-world enumeration, exponential and intended only for
+  testing the polynomial path on small inputs.
+
+All ``*_score`` functions return values where **smaller is better**.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.distance import pairwise_distances
+from repro.objects.uncertain import UncertainObject
+
+_TIE_TOL = 1e-9
+
+
+class PossibleWorldScores:
+    """Exact rank distributions of objects under possible-world semantics.
+
+    Args:
+        objects: the competing objects (must share dimensionality).
+        query: the query object.
+
+    The heavy lifting happens lazily per object and is cached.
+    """
+
+    def __init__(
+        self, objects: Sequence[UncertainObject], query: UncertainObject
+    ) -> None:
+        if not objects:
+            raise ValueError("need at least one object")
+        self.objects = list(objects)
+        self.query = query
+        # dists[j] has shape (|Q|, m_j): distance of each instance of object j
+        # to each query instance.
+        self._dists = [
+            pairwise_distances(query.points, obj.points) for obj in self.objects
+        ]
+        # Per object and query instance: sorted distances plus a cumulative
+        # probability table (leading 0), so Pr(delta(V, q) < t) is a single
+        # searchsorted lookup.
+        self._sorted: list[list[tuple[np.ndarray, np.ndarray]]] = []
+        for obj, dists in zip(self.objects, self._dists):
+            rows = []
+            for qi in range(len(query)):
+                order = np.argsort(dists[qi])
+                sorted_d = dists[qi][order]
+                cum = np.concatenate([[0.0], np.cumsum(obj.probs[order])])
+                rows.append((sorted_d, cum))
+            self._sorted.append(rows)
+        self._rank_cache: dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def rank_distribution(self, index: int) -> np.ndarray:
+        """``Pr(r(U) = i)`` for ``i = 1..n`` as an array of length ``n``.
+
+        Uses the Poisson-binomial DP: conditioned on query instance ``q`` and
+        own instance ``u``, each other object independently lies strictly
+        closer with probability ``Pr(delta(V, q) < delta(u, q))``; the number
+        of closer objects is the sum of those independent Bernoullis.
+        """
+        if index in self._rank_cache:
+            return self._rank_cache[index]
+        n = len(self.objects)
+        query = self.query
+        pmf = np.zeros(n)
+        own = self._dists[index]
+        m = len(self.objects[index])
+        others = [j for j in range(n) if j != index]
+        for qi, q_prob in enumerate(query.probs):
+            thresholds = own[qi]  # (m,)
+            # closer[ui, col] = Pr(delta(objects[others[col]], q_qi) < t_ui)
+            closer = np.empty((m, len(others)))
+            for col, j in enumerate(others):
+                sorted_d, cum = self._sorted[j][qi]
+                pos = np.searchsorted(sorted_d, thresholds - _TIE_TOL, side="left")
+                closer[:, col] = cum[pos]
+            for ui, u_prob in enumerate(self.objects[index].probs):
+                weight = float(q_prob) * float(u_prob)
+                if weight <= 0:
+                    continue
+                counts = _poisson_binomial(closer[ui])
+                pmf[: counts.size] += weight * counts
+        self._rank_cache[index] = pmf
+        return pmf
+
+    def nn_probability(self, index: int) -> float:
+        """``Pr(r(U) = 1)`` — probability the object is the nearest neighbor."""
+        return float(self.rank_distribution(index)[0])
+
+    def expected_rank(self, index: int) -> float:
+        """``E[r(U)]`` (smaller is better)."""
+        pmf = self.rank_distribution(index)
+        return float(np.dot(pmf, np.arange(1, pmf.size + 1)))
+
+    def topk_probability(self, index: int, k: int) -> float:
+        """``Pr(r(U) <= k)``."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        pmf = self.rank_distribution(index)
+        return float(pmf[: min(k, pmf.size)].sum())
+
+    def parameterized_score(
+        self, index: int, omega: Callable[[int], float]
+    ) -> float:
+        """``Y(U) = sum_i omega(i) * Pr(r(U) = i)`` (Equation 3).
+
+        ``omega`` should be non-decreasing in the rank for the score to be a
+        valid N2 member (smaller is better).
+        """
+        pmf = self.rank_distribution(index)
+        return float(sum(omega(i + 1) * p for i, p in enumerate(pmf)))
+
+
+def _poisson_binomial(probs: np.ndarray) -> np.ndarray:
+    """PMF of the number of successes of independent Bernoulli trials."""
+    pmf = np.array([1.0])
+    for p in probs:
+        p = min(max(float(p), 0.0), 1.0)
+        pmf = np.convolve(pmf, [1.0 - p, p])
+    return pmf
+
+
+# --------------------------------------------------------------------- #
+# Convenience wrappers (smaller-is-better scores)
+# --------------------------------------------------------------------- #
+
+
+def nn_probability(
+    obj_index: int, objects: Sequence[UncertainObject], query: UncertainObject
+) -> float:
+    """NN probability of ``objects[obj_index]`` (larger is better)."""
+    return PossibleWorldScores(objects, query).nn_probability(obj_index)
+
+
+def expected_rank(
+    obj_index: int, objects: Sequence[UncertainObject], query: UncertainObject
+) -> float:
+    """Expected rank score (smaller is better)."""
+    return PossibleWorldScores(objects, query).expected_rank(obj_index)
+
+
+def global_topk_score(
+    obj_index: int,
+    objects: Sequence[UncertainObject],
+    query: UncertainObject,
+    k: int = 1,
+) -> float:
+    """Global top-k score ``-Pr(r(U) <= k)`` (smaller is better)."""
+    return -PossibleWorldScores(objects, query).topk_probability(obj_index, k)
+
+
+def u_topk_score(
+    obj_index: int,
+    objects: Sequence[UncertainObject],
+    query: UncertainObject,
+    k: int = 1,
+) -> float:
+    """U-top-k style score ``-Pr(r(U) <= k)`` (smaller is better)."""
+    return global_topk_score(obj_index, objects, query, k)
+
+
+def parameterized_rank_score(
+    obj_index: int,
+    objects: Sequence[UncertainObject],
+    query: UncertainObject,
+    omega: Callable[[int], float],
+) -> float:
+    """Parameterized ranking score (Equation 3; smaller is better)."""
+    return PossibleWorldScores(objects, query).parameterized_score(obj_index, omega)
+
+
+def probabilistic_threshold_topk(
+    objects: Sequence[UncertainObject],
+    query: UncertainObject,
+    k: int,
+    p_threshold: float,
+) -> list[int]:
+    """PT-k answer set (Hua et al., reference [18] of the paper).
+
+    Returns the indices of the objects whose probability of ranking within
+    the top ``k`` is at least ``p_threshold`` — a popular possible-world
+    query answered directly from the exact rank distributions.
+    """
+    if not 0 < p_threshold <= 1:
+        raise ValueError("p_threshold must lie in (0, 1]")
+    pw = PossibleWorldScores(objects, query)
+    return [
+        i
+        for i in range(len(objects))
+        if pw.topk_probability(i, k) >= p_threshold - 1e-12
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Brute-force enumeration (testing oracle; exponential)
+# --------------------------------------------------------------------- #
+
+
+def enumerate_worlds(
+    objects: Sequence[UncertainObject], query: UncertainObject
+) -> Iterator[tuple[list[int], int, float]]:
+    """Yield every possible world as ``(object_instance_ids, query_instance_id, prob)``."""
+    choices = [range(len(obj)) for obj in objects]
+    for q_idx in range(len(query)):
+        q_prob = float(query.probs[q_idx])
+        for combo in itertools.product(*choices):
+            prob = q_prob
+            for obj, idx in zip(objects, combo):
+                prob *= float(obj.probs[idx])
+            if prob > 0:
+                yield list(combo), q_idx, prob
+
+
+def brute_force_rank_distribution(
+    obj_index: int, objects: Sequence[UncertainObject], query: UncertainObject
+) -> np.ndarray:
+    """Rank pmf of one object by exhaustive world enumeration (tests only)."""
+    n = len(objects)
+    pmf = np.zeros(n)
+    for combo, q_idx, prob in enumerate_worlds(objects, query):
+        q = query.points[q_idx]
+        dists = [
+            float(np.linalg.norm(objects[j].points[combo[j]] - q)) for j in range(n)
+        ]
+        me = dists[obj_index]
+        rank = 1 + sum(
+            1 for j in range(n) if j != obj_index and dists[j] < me - _TIE_TOL
+        )
+        pmf[rank - 1] += prob
+    return pmf

@@ -1,0 +1,88 @@
+"""Selected pairs based NN functions (family N3, Section 3.4 / Appendix A).
+
+These functions score an object with a stable aggregate over a *selected
+subset* of pair-wise distances and are *counterpart computable*: re-selecting
+the pairs through any match cannot improve the score.  The paper proves
+membership for:
+
+* **Hausdorff distance** (Definition 11) — every instance of either set picks
+  its closest partner; the score is the worst such distance.
+* **Sum of minimal distances** — the same selection aggregated by a
+  (normalised) sum instead of max.
+* **Earth Mover's distance** — the cheapest transport plan (match) between
+  the object and the query, with pair distances as costs.
+* **Netflow distance** (Definition 12) — minimal cost of a value-1 maximal
+  flow of the distance network; equal to EMD when total mass is 1, which we
+  exploit (both names are provided for API clarity).
+
+Smaller is better for all functions here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flow.mincost import MinCostFlowNetwork, min_cost_flow
+from repro.geometry.distance import pairwise_distances
+from repro.objects.uncertain import UncertainObject
+
+
+def hausdorff_distance(obj: UncertainObject, query: UncertainObject) -> float:
+    """Hausdorff distance ``D_h(U, Q)`` (Definition 11).
+
+    ``max( max_u delta_min(u, Q), max_q delta_min(q, U) )``.
+    """
+    dists = pairwise_distances(obj.points, query.points)  # (m, |Q|)
+    u_side = float(dists.min(axis=1).max())
+    q_side = float(dists.min(axis=0).max())
+    return max(u_side, q_side)
+
+
+def sum_of_min_distances(obj: UncertainObject, query: UncertainObject) -> float:
+    """Sum of minimal distances (Eiter & Mannila / Ramon & Bruynooghe).
+
+    Probability-weighted symmetric sum: each instance contributes its closest
+    partner distance weighted by its own mass, halved across the two sides so
+    equal-mass objects score comparably.
+    """
+    dists = pairwise_distances(obj.points, query.points)  # (m, |Q|)
+    u_side = float(np.dot(dists.min(axis=1), obj.probs))
+    q_side = float(np.dot(dists.min(axis=0), query.probs))
+    return 0.5 * (u_side + q_side)
+
+
+def earth_movers_distance(obj: UncertainObject, query: UncertainObject) -> float:
+    """Earth Mover's distance between the instance masses of ``obj`` and ``query``.
+
+    Built as a min-cost flow on the bipartite distance network of Appendix A:
+    source -> query instances (capacity ``p(q)``), query -> object instances
+    (capacity inf, cost ``delta``), object instances -> sink (capacity
+    ``p(u)``).  With both total masses equal to 1 the optimal plan is a
+    *match* (Definition 4) of minimal expected distance.
+    """
+    m, k = len(obj), len(query)
+    dists = pairwise_distances(query.points, obj.points)  # (k, m)
+    source = 0
+    sink = 1 + k + m
+    net = MinCostFlowNetwork(sink + 1)
+    for qi in range(k):
+        net.add_edge(source, 1 + qi, float(query.probs[qi]), 0.0)
+    for qi in range(k):
+        for ui in range(m):
+            net.add_edge(1 + qi, 1 + k + ui, float("inf"), float(dists[qi, ui]))
+    for ui in range(m):
+        net.add_edge(1 + k + ui, sink, float(obj.probs[ui]), 0.0)
+    flow, cost = min_cost_flow(net, source, sink, max_value=1.0)
+    if flow < 1.0 - 1e-6:
+        raise RuntimeError(f"EMD network routed only {flow} mass; expected 1.0")
+    return float(cost)
+
+
+def netflow_distance(obj: UncertainObject, query: UncertainObject) -> float:
+    """Netflow distance ``M_nd(U, Q)`` (Definition 12).
+
+    With each object's probability mass totalling 1, the netflow distance
+    equals the Earth Mover's distance (Section 3.4), so this is an alias with
+    the Appendix A name.
+    """
+    return earth_movers_distance(obj, query)

@@ -1,0 +1,158 @@
+"""A registry of ready-made NN functions grouped by family.
+
+Used by examples and integration tests to iterate "many NN functions" the
+way an end user without a fixed function in mind would: evaluate each
+function's nearest neighbor and compare it against the NN candidate sets of
+the dominance operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Sequence
+
+from repro.functions import n1, n2, n3
+from repro.objects.uncertain import UncertainObject
+
+
+class FunctionFamily(Enum):
+    """The three NN function families of Section 3."""
+
+    N1 = "all-pairs"
+    N2 = "possible-world"
+    N3 = "selected-pairs"
+
+
+@dataclass(frozen=True)
+class RankedFunction:
+    """A named NN function with its family tag.
+
+    ``score`` maps ``(object_index, objects, query)`` to a smaller-is-better
+    value so that N2 members (which depend on the whole object set) share one
+    signature with N1/N3 members (which do not).
+    """
+
+    name: str
+    family: FunctionFamily
+    score: Callable[[int, Sequence[UncertainObject], UncertainObject], float]
+
+    def nearest(
+        self, objects: Sequence[UncertainObject], query: UncertainObject
+    ) -> int:
+        """Index of the NN object under this function (ties -> smallest index)."""
+        scores = [self.score(i, objects, query) for i in range(len(objects))]
+        best = min(range(len(objects)), key=lambda i: (scores[i], i))
+        return best
+
+
+def _lift_pairwise(
+    fn: Callable[[UncertainObject, UncertainObject], float]
+) -> Callable[[int, Sequence[UncertainObject], UncertainObject], float]:
+    def score(
+        i: int, objects: Sequence[UncertainObject], query: UncertainObject
+    ) -> float:
+        return fn(objects[i], query)
+
+    return score
+
+
+_PW_CACHE: dict[tuple, n2.PossibleWorldScores] = {}
+_PW_CACHE_LIMIT = 8
+
+
+def shared_possible_worlds(
+    objects: Sequence[UncertainObject], query: UncertainObject
+) -> n2.PossibleWorldScores:
+    """Memoised :class:`PossibleWorldScores` for an (objects, query) pair.
+
+    The rank-distribution DP is by far the costliest scoring path, and a
+    function suite evaluates several N2 functions over the same object set;
+    this cache keys on object identities so those calls share one context.
+    """
+    key = (tuple(id(o) for o in objects), id(query))
+    if key not in _PW_CACHE:
+        if len(_PW_CACHE) >= _PW_CACHE_LIMIT:
+            _PW_CACHE.pop(next(iter(_PW_CACHE)))
+        _PW_CACHE[key] = n2.PossibleWorldScores(objects, query)
+    return _PW_CACHE[key]
+
+
+@dataclass
+class FunctionSuite:
+    """A bag of ranked functions, filterable by family."""
+
+    functions: list[RankedFunction] = field(default_factory=list)
+
+    def family(self, *families: FunctionFamily) -> list[RankedFunction]:
+        """Functions whose family is one of ``families``."""
+        wanted = set(families)
+        return [f for f in self.functions if f.family in wanted]
+
+    def __iter__(self):
+        return iter(self.functions)
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+
+def default_function_suite(
+    quantiles: Sequence[float] = (0.25, 0.5, 0.75),
+    topk: Sequence[int] = (1, 2),
+) -> FunctionSuite:
+    """A representative spread of NN functions across all three families."""
+    fns: list[RankedFunction] = [
+        RankedFunction("min", FunctionFamily.N1, _lift_pairwise(n1.min_distance)),
+        RankedFunction("max", FunctionFamily.N1, _lift_pairwise(n1.max_distance)),
+        RankedFunction(
+            "expected", FunctionFamily.N1, _lift_pairwise(n1.expected_distance)
+        ),
+    ]
+    for phi in quantiles:
+        fns.append(
+            RankedFunction(
+                f"quantile[{phi:g}]",
+                FunctionFamily.N1,
+                _lift_pairwise(
+                    lambda u, q, phi=phi: n1.quantile_distance(u, q, phi)
+                ),
+            )
+        )
+    fns.append(
+        RankedFunction(
+            "nn-probability",
+            FunctionFamily.N2,
+            lambda i, objs, q: -shared_possible_worlds(objs, q).nn_probability(i),
+        )
+    )
+    fns.append(
+        RankedFunction(
+            "expected-rank",
+            FunctionFamily.N2,
+            lambda i, objs, q: shared_possible_worlds(objs, q).expected_rank(i),
+        )
+    )
+    for k in topk:
+        fns.append(
+            RankedFunction(
+                f"global-top{k}",
+                FunctionFamily.N2,
+                lambda i, objs, q, k=k: -shared_possible_worlds(objs, q).topk_probability(i, k),
+            )
+        )
+    fns.extend(
+        [
+            RankedFunction(
+                "hausdorff", FunctionFamily.N3, _lift_pairwise(n3.hausdorff_distance)
+            ),
+            RankedFunction(
+                "sum-min-dist",
+                FunctionFamily.N3,
+                _lift_pairwise(n3.sum_of_min_distances),
+            ),
+            RankedFunction(
+                "emd", FunctionFamily.N3, _lift_pairwise(n3.earth_movers_distance)
+            ),
+        ]
+    )
+    return FunctionSuite(fns)

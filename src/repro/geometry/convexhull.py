@@ -1,0 +1,178 @@
+"""Convex hulls of query instance sets and point-in-hull tests.
+
+Section 5.1.2 of the paper observes that the instance ordering
+``u <=_Q v`` (``u`` at least as close as ``v`` to *every* query instance) only
+needs to be verified at the vertices of the convex hull of the query: the
+condition ``delta(u, q) <= delta(v, q)`` is equivalent to a linear inequality
+in ``q`` (the bisector half-space), so if it holds at the hull vertices it
+holds throughout the hull, hence for every query instance.  Replacing ``Q``
+with ``CH(Q)`` is the paper's geometric filter (the ``G`` in the Appendix C
+filter ablation).  A second geometric rule needs the converse test: an
+instance of ``V`` *inside* ``CH(Q)`` can never be peer-dominated.
+
+The reference implementation of the paper uses ``qhull``; we implement the
+machinery from scratch:
+
+* exact Andrew monotone chain and point-in-convex-polygon tests in 2-d;
+* for ``d >= 3`` an *extreme point filter* based on scale-normalised
+  Frank-Wolfe minimisation over the simplex.  The filter is conservative by
+  construction: a point is only dropped (or reported inside) when the
+  optimiser certifies membership to tight tolerance, so inconclusive answers
+  merely keep extra hull points / skip an optional pruning rule — never
+  affecting correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _monotone_chain_indices(points: np.ndarray) -> list[int]:
+    """Indices of hull vertices of 2-d ``points`` in counter-clockwise order."""
+    order = sorted(range(len(points)), key=lambda i: (points[i][0], points[i][1]))
+
+    def cross(o: int, a: int, b: int) -> float:
+        oa = points[a] - points[o]
+        ob = points[b] - points[o]
+        return float(oa[0] * ob[1] - oa[1] * ob[0])
+
+    lower: list[int] = []
+    for i in order:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], i) <= 0:
+            lower.pop()
+        lower.append(i)
+    upper: list[int] = []
+    for i in reversed(order):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], i) <= 0:
+            upper.pop()
+        upper.append(i)
+    return lower[:-1] + upper[:-1]
+
+
+def _frank_wolfe_in_hull(
+    point: np.ndarray, others: np.ndarray, iters: int = 500, tol: float = 1e-7
+) -> bool:
+    """Certify (conservatively) that ``point`` is in ``conv(others)``.
+
+    Frank-Wolfe with exact line search on ``||A w - point||^2`` over the
+    simplex, after shifting/scaling coordinates to a unit-diameter frame so
+    the tolerance is scale free.  Used only where a false *negative* is safe
+    (keeping an interior point as a hull vertex, skipping an optional
+    pruning rule).
+    """
+    others = np.atleast_2d(np.asarray(others, dtype=float))
+    n = others.shape[0]
+    if n == 0:
+        return False
+    target = np.asarray(point, dtype=float)
+    scale = max(float(np.abs(others - target).max()), 1e-12)
+    others = (others - target) / scale
+    target = np.zeros_like(target)
+
+    w = np.full(n, 1.0 / n)
+    current = others.T @ w
+    for _ in range(iters):
+        residual = current  # target is the origin in the shifted frame
+        if float(np.linalg.norm(residual)) <= tol:
+            return True
+        grad = others @ residual
+        j = int(np.argmin(grad))
+        direction = others[j] - current
+        denom = float(np.dot(direction, direction))
+        if denom <= 1e-18:
+            break
+        # Exact line search for the quadratic objective, clamped to [0, 1].
+        step = float(np.clip(-np.dot(residual, direction) / denom, 0.0, 1.0))
+        if step <= 0.0:
+            break  # no descent direction inside the simplex
+        w *= 1.0 - step
+        w[j] += step
+        current = current + step * direction
+    return float(np.linalg.norm(current)) <= tol
+
+
+def _point_in_polygon(point: np.ndarray, hull: np.ndarray) -> bool:
+    """Exact membership in a convex polygon given CCW-ordered vertices."""
+    n = hull.shape[0]
+    if n == 1:
+        return bool(np.allclose(point, hull[0], atol=1e-9))
+    if n == 2:
+        a, b = hull[0], hull[1]
+        ab = b - a
+        ap = point - a
+        cross = ab[0] * ap[1] - ab[1] * ap[0]
+        scale = max(float(np.abs(ab).max()), 1e-12)
+        if abs(cross) > 1e-9 * scale * scale:
+            return False
+        t = float(np.dot(ap, ab) / max(np.dot(ab, ab), 1e-18))
+        return -1e-9 <= t <= 1 + 1e-9
+    for i in range(n):
+        a, b = hull[i], hull[(i + 1) % n]
+        ab = b - a
+        ap = point - a
+        if ab[0] * ap[1] - ab[1] * ap[0] < -1e-9:
+            return False
+    return True
+
+
+def point_in_hull(point: np.ndarray, points: np.ndarray) -> bool:
+    """Whether ``point`` lies in the convex hull of ``points``.
+
+    Exact in one and two dimensions; conservative (may answer False for
+    borderline interior points) in higher dimensions.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    p = np.asarray(point, dtype=float)
+    d = pts.shape[1]
+    if d == 1:
+        return bool(pts[:, 0].min() - 1e-9 <= p[0] <= pts[:, 0].max() + 1e-9)
+    if d == 2:
+        hull = pts[convex_hull_indices(pts)]
+        return _point_in_polygon(p, hull)
+    return _frank_wolfe_in_hull(p, pts)
+
+
+def convex_hull_indices(points: np.ndarray) -> list[int]:
+    """Indices of the convex hull vertices of ``points``.
+
+    In one dimension only the min and max points are returned; in two
+    dimensions the exact monotone chain is used; in higher dimensions an
+    extreme point filter drops points that provably lie inside the hull of
+    the rest.  Duplicate points are collapsed first.
+
+    Returns:
+        Indices into ``points``; every point of ``points`` is a convex
+        combination of the returned vertices.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    n, d = pts.shape
+    if n == 0:
+        return []
+    # Collapse duplicates, keeping the first occurrence of each location.
+    _, first = np.unique(pts.round(decimals=12), axis=0, return_index=True)
+    unique_idx = sorted(int(i) for i in first)
+    upts = pts[unique_idx]
+    if len(unique_idx) <= 2:
+        return unique_idx
+    if d == 1:
+        lo = int(np.argmin(upts[:, 0]))
+        hi = int(np.argmax(upts[:, 0]))
+        return sorted({unique_idx[lo], unique_idx[hi]})
+    if d == 2:
+        hull_local = _monotone_chain_indices(upts)
+        return [unique_idx[i] for i in hull_local]
+    keep: list[int] = []
+    for i in range(len(unique_idx)):
+        rest = np.delete(upts, i, axis=0)
+        if not _frank_wolfe_in_hull(upts[i], rest):
+            keep.append(unique_idx[i])
+    # A degenerate filter outcome (everything judged interior) falls back to
+    # keeping all points, which is always correct.
+    return keep if keep else unique_idx
+
+
+def convex_hull(points: np.ndarray) -> np.ndarray:
+    """Convex hull vertices of ``points`` as an array of shape ``(k, d)``."""
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    idx = convex_hull_indices(pts)
+    return pts[idx]

@@ -1,0 +1,134 @@
+"""Distance metrics between points.
+
+The paper assumes Euclidean distance but notes the techniques extend to any
+metric.  All public functions accept array-likes and operate on
+``numpy.ndarray`` internally.  ``pairwise_distances`` is the workhorse used to
+materialise the distance distribution :math:`U_Q` between an object and a
+query (Section 2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+Metric = Callable[[np.ndarray, np.ndarray], float]
+
+
+def euclidean(u: np.ndarray, v: np.ndarray) -> float:
+    """Euclidean (L2) distance between two points."""
+    diff = np.asarray(u, dtype=float) - np.asarray(v, dtype=float)
+    return float(np.sqrt(np.dot(diff, diff)))
+
+
+def squared_euclidean(u: np.ndarray, v: np.ndarray) -> float:
+    """Squared Euclidean distance; monotone in :func:`euclidean`."""
+    diff = np.asarray(u, dtype=float) - np.asarray(v, dtype=float)
+    return float(np.dot(diff, diff))
+
+
+def manhattan(u: np.ndarray, v: np.ndarray) -> float:
+    """Manhattan (L1) distance between two points."""
+    diff = np.asarray(u, dtype=float) - np.asarray(v, dtype=float)
+    return float(np.abs(diff).sum())
+
+
+def chebyshev(u: np.ndarray, v: np.ndarray) -> float:
+    """Chebyshev (L-infinity) distance between two points."""
+    diff = np.asarray(u, dtype=float) - np.asarray(v, dtype=float)
+    return float(np.abs(diff).max())
+
+
+_METRICS: dict[str, Metric] = {
+    "euclidean": euclidean,
+    "l2": euclidean,
+    "manhattan": manhattan,
+    "l1": manhattan,
+    "chebyshev": chebyshev,
+    "linf": chebyshev,
+}
+
+_NORMS = {
+    "euclidean": lambda v: float(np.sqrt(np.dot(v, v))),
+    "l2": lambda v: float(np.sqrt(np.dot(v, v))),
+    "manhattan": lambda v: float(np.abs(v).sum()),
+    "l1": lambda v: float(np.abs(v).sum()),
+    "chebyshev": lambda v: float(np.abs(v).max()),
+    "linf": lambda v: float(np.abs(v).max()),
+}
+
+
+def resolve_norm(metric: str):
+    """Vector norm matching a named Minkowski metric.
+
+    Used by MBR ``mindist``/``maxdist`` under non-Euclidean metrics: both
+    reduce to a norm of a per-dimension gap vector because coordinate
+    differences are minimised/maximised independently for every Lp metric.
+
+    Raises:
+        KeyError: for unknown names (callable metrics have no generic norm).
+    """
+    try:
+        return _NORMS[metric.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_NORMS))
+        raise KeyError(f"no norm for metric {metric!r}; known: {known}") from None
+
+
+def is_euclidean(metric: str | Metric) -> bool:
+    """Whether the metric is (named) Euclidean."""
+    if callable(metric):
+        return metric is euclidean
+    return metric.lower() in ("euclidean", "l2")
+
+
+def resolve_metric(metric: str | Metric) -> Metric:
+    """Return a callable metric for a name or pass a callable through.
+
+    Raises:
+        KeyError: if ``metric`` is a string that names no known metric.
+    """
+    if callable(metric):
+        return metric
+    try:
+        return _METRICS[metric.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_METRICS))
+        raise KeyError(f"unknown metric {metric!r}; known metrics: {known}") from None
+
+
+def pairwise_distances(
+    xs: np.ndarray, ys: np.ndarray, metric: str | Metric = "euclidean"
+) -> np.ndarray:
+    """All pairwise distances between two point sets.
+
+    Args:
+        xs: array of shape ``(m, d)``.
+        ys: array of shape ``(k, d)``.
+        metric: metric name or callable.
+
+    Returns:
+        Array of shape ``(m, k)`` where entry ``(i, j)`` is the distance
+        between ``xs[i]`` and ``ys[j]``.  Euclidean and Manhattan metrics are
+        vectorised; arbitrary callables fall back to a Python loop.
+    """
+    xs = np.atleast_2d(np.asarray(xs, dtype=float))
+    ys = np.atleast_2d(np.asarray(ys, dtype=float))
+    if xs.shape[1] != ys.shape[1]:
+        raise ValueError(
+            f"dimensionality mismatch: {xs.shape[1]} vs {ys.shape[1]}"
+        )
+    if metric in ("euclidean", "l2") or metric is euclidean:
+        diff = xs[:, None, :] - ys[None, :, :]
+        return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    if metric in ("manhattan", "l1") or metric is manhattan:
+        return np.abs(xs[:, None, :] - ys[None, :, :]).sum(axis=2)
+    if metric in ("chebyshev", "linf") or metric is chebyshev:
+        return np.abs(xs[:, None, :] - ys[None, :, :]).max(axis=2)
+    fn = resolve_metric(metric)
+    out = np.empty((xs.shape[0], ys.shape[0]), dtype=float)
+    for i, x in enumerate(xs):
+        for j, y in enumerate(ys):
+            out[i, j] = fn(x, y)
+    return out

@@ -1,0 +1,82 @@
+"""Bisector half-space tests: the instance ordering ``u <=_Q v``.
+
+``u <=_Q v`` holds when instance ``u`` is at least as close as ``v`` to every
+query instance (Section 2.1).  It is the edge condition of the P-SD max-flow
+network (Theorem 12) and, applied pairwise, defines instance-level F-SD.
+
+Two equivalent formulations are provided:
+
+* :func:`closer_to_query` — direct comparison of distances against a set of
+  query points (typically the convex hull vertices, see
+  :mod:`repro.geometry.convexhull`).
+* :func:`distance_vector` — the k-dimensional mapping of Section 5.1.2 where
+  instance ``u`` maps to ``(delta(u, q_1), ..., delta(u, q_k))``; then
+  ``u <=_Q v`` iff the vector of ``u`` is coordinate-wise no larger than the
+  vector of ``v``.  This enables the R-tree range-query construction of the
+  P-SD network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.distance import pairwise_distances
+
+
+def distance_vector(points: np.ndarray, query_points: np.ndarray) -> np.ndarray:
+    """Map each point to its vector of distances to the query points.
+
+    Args:
+        points: shape ``(m, d)``.
+        query_points: shape ``(k, d)`` — normally ``CH(Q)``.
+
+    Returns:
+        Array of shape ``(m, k)``; row ``i`` is the distance vector of
+        ``points[i]``.  ``u <=_Q v`` iff ``row(u) <= row(v)`` coordinate-wise.
+    """
+    return pairwise_distances(points, query_points)
+
+
+def closer_to_query(
+    u: np.ndarray,
+    v: np.ndarray,
+    query_points: np.ndarray,
+    *,
+    tol: float = 1e-9,
+) -> bool:
+    """Whether ``u <=_Q v``: ``delta(u, q) <= delta(v, q)`` for all ``q``.
+
+    Because ``delta^2(u, q) - delta^2(v, q)`` is linear in ``q``, passing the
+    convex hull vertices of the query instead of all instances yields the
+    same answer.
+
+    Args:
+        u: candidate closer instance, shape ``(d,)``.
+        v: candidate farther instance, shape ``(d,)``.
+        query_points: shape ``(k, d)``.
+        tol: numeric slack added to the right-hand side.
+    """
+    q = np.atleast_2d(np.asarray(query_points, dtype=float))
+    du = q - np.asarray(u, dtype=float)
+    dv = q - np.asarray(v, dtype=float)
+    du2 = np.einsum("ij,ij->i", du, du)
+    dv2 = np.einsum("ij,ij->i", dv, dv)
+    return bool(np.all(du2 <= dv2 + tol))
+
+
+def dominance_matrix(
+    us: np.ndarray,
+    vs: np.ndarray,
+    query_points: np.ndarray,
+    *,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Boolean matrix ``D[i, j] = (us[i] <=_Q vs[j])``.
+
+    Vectorised over all instance pairs; used to build the P-SD network and
+    instance-level F-SD in one shot.
+    """
+    du = pairwise_distances(us, query_points)  # (m, k)
+    dv = pairwise_distances(vs, query_points)  # (n, k)
+    # D[i, j] = all_k du[i, k] <= dv[j, k] + tol
+    return np.all(du[:, None, :] <= dv[None, :, :] + tol, axis=2)

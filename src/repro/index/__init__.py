@@ -1,0 +1,12 @@
+"""Spatial indexing.
+
+The paper organises data with ``n + 1`` R-trees: one *global* R-tree over
+object MBRs plus a *local* R-tree (fan-out 4) per object over its instances.
+:mod:`repro.index.rtree` provides one implementation serving both roles,
+with STR bulk loading, Guttman insertion, range / best-first queries and the
+level-wise partitioning used by the level-by-level filters of Section 5.1.
+"""
+
+from repro.index.rtree import RTree, RTreeNode
+
+__all__ = ["RTree", "RTreeNode"]

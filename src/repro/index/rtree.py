@@ -1,0 +1,519 @@
+"""An R-tree built from scratch.
+
+Supports the access patterns the paper's algorithms need:
+
+* **STR bulk loading** (Sort-Tile-Recursive) for building the global tree
+  over object MBRs and the local per-object instance trees;
+* **Guttman insertion** with quadratic split, so trees are also dynamic;
+* **range queries** by MBR intersection (used by the distance-vector range
+  trick of Section 5.1.2);
+* **best-first traversal** by ``mindist`` to a point or box — the engine of
+  Algorithm 1's min-heap and of the instance-level F-SD nearest /
+  furthest-neighbor searches;
+* **level partitions** — the disjoint groups of instances with their MBRs
+  and probability masses that the level-by-level pruning/validation of
+  Section 5.1 consumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.mbr import MBR
+
+
+class RTreeNode:
+    """A node of the R-tree.
+
+    Leaf nodes store ``(MBR, payload)`` entries; internal nodes store child
+    nodes.  ``mbr`` always bounds everything beneath the node.
+    """
+
+    __slots__ = ("mbr", "children", "entries", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.children: list[RTreeNode] = []
+        self.entries: list[tuple[MBR, Any]] = []
+        self.mbr: MBR | None = None
+
+    def recompute_mbr(self) -> None:
+        """Recompute this node's MBR from its members."""
+        boxes = (
+            [e[0] for e in self.entries] if self.is_leaf else [c.mbr for c in self.children]
+        )
+        if not boxes:
+            self.mbr = None
+            return
+        mbr = boxes[0]
+        for b in boxes[1:]:
+            mbr = mbr.union(b)  # type: ignore[union-attr]
+        self.mbr = mbr
+
+    def member_count(self) -> int:
+        """Number of entries or children in this node."""
+        return len(self.entries) if self.is_leaf else len(self.children)
+
+
+class RTree:
+    """R-tree over ``(MBR, payload)`` entries.
+
+    Args:
+        max_entries: node fan-out (paper: 4 for local trees; larger for the
+            global tree).
+        min_entries: minimal fill; defaults to ``ceil(max_entries * 0.4)``.
+    """
+
+    def __init__(self, max_entries: int = 8, min_entries: int | None = None) -> None:
+        if max_entries < 2:
+            raise ValueError("max_entries must be at least 2")
+        self.max_entries = max_entries
+        self.min_entries = min_entries or max(1, int(np.ceil(max_entries * 0.4)))
+        if self.min_entries > max_entries // 2:
+            self.min_entries = max(1, max_entries // 2)
+        self.root = RTreeNode(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    @classmethod
+    def bulk_load(
+        cls,
+        entries: Sequence[tuple[MBR, Any]],
+        max_entries: int = 8,
+        min_entries: int | None = None,
+    ) -> "RTree":
+        """Build a packed tree with Sort-Tile-Recursive loading."""
+        tree = cls(max_entries=max_entries, min_entries=min_entries)
+        if not entries:
+            return tree
+        tree._size = len(entries)
+        leaves: list[RTreeNode] = []
+        for chunk in _str_pack([(e[0].center, e) for e in entries], max_entries):
+            node = RTreeNode(is_leaf=True)
+            node.entries = [e for _, e in chunk]
+            node.recompute_mbr()
+            leaves.append(node)
+        level = leaves
+        while len(level) > 1:
+            parents: list[RTreeNode] = []
+            for chunk in _str_pack(
+                [(n.mbr.center, n) for n in level], max_entries  # type: ignore[union-attr]
+            ):
+                node = RTreeNode(is_leaf=False)
+                node.children = [n for _, n in chunk]
+                node.recompute_mbr()
+                parents.append(node)
+            level = parents
+        tree.root = level[0]
+        return tree
+
+    def insert(self, mbr: MBR, payload: Any) -> None:
+        """Guttman insertion with quadratic split."""
+        self._size += 1
+        leaf, path = self._choose_leaf(mbr)
+        leaf.entries.append((mbr, payload))
+        self._adjust_upwards(leaf, path)
+
+    def _choose_leaf(self, mbr: MBR) -> tuple[RTreeNode, list[RTreeNode]]:
+        node = self.root
+        path: list[RTreeNode] = []
+        while not node.is_leaf:
+            path.append(node)
+            best = min(
+                node.children,
+                key=lambda c: (
+                    c.mbr.enlargement(mbr),  # type: ignore[union-attr]
+                    c.mbr.volume(),  # type: ignore[union-attr]
+                ),
+            )
+            node = best
+        return node, path
+
+    def _adjust_upwards(self, node: RTreeNode, path: list[RTreeNode]) -> None:
+        node.recompute_mbr()
+        split = self._split_if_needed(node)
+        for parent in reversed(path):
+            if split is not None:
+                parent.children.append(split)
+            parent.recompute_mbr()
+            split = self._split_if_needed(parent)
+        if split is not None:
+            new_root = RTreeNode(is_leaf=False)
+            new_root.children = [self.root, split]
+            new_root.recompute_mbr()
+            self.root = new_root
+
+    def delete(self, mbr: MBR, payload: Any) -> bool:
+        """Remove one entry (matched by payload identity) from the tree.
+
+        Guttman deletion: locate the leaf through MBR containment, remove
+        the entry, then *condense* — underfull nodes along the path are
+        dissolved and their surviving entries reinserted — and finally cut a
+        single-child root.
+
+        Returns:
+            True when an entry was found and removed.
+        """
+        path = self._find_leaf(self.root, mbr, payload, [])
+        if path is None:
+            return False
+        leaf = path[-1]
+        leaf.entries = [e for e in leaf.entries if e[1] is not payload]
+        self._size -= 1
+        orphans: list[tuple[MBR, Any]] = []
+        # Condense from the leaf upwards.
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            underfull = node.member_count() < self.min_entries
+            if underfull:
+                parent.children.remove(node)
+                orphans.extend(_collect_entries(node))
+            parent.recompute_mbr()
+        self.root.recompute_mbr()
+        if not self.root.is_leaf and len(self.root.children) == 1:
+            self.root = self.root.children[0]
+        if not self.root.is_leaf and not self.root.children:
+            self.root = RTreeNode(is_leaf=True)
+        for entry_mbr, entry_payload in orphans:
+            self._size -= 1  # insert() re-increments
+            self.insert(entry_mbr, entry_payload)
+        return True
+
+    def _find_leaf(
+        self,
+        node: RTreeNode,
+        mbr: MBR,
+        payload: Any,
+        path: list[RTreeNode],
+    ) -> list[RTreeNode] | None:
+        path = path + [node]
+        if node.is_leaf:
+            if any(e[1] is payload for e in node.entries):
+                return path
+            return None
+        for child in node.children:
+            if child.mbr is not None and child.mbr.contains(mbr):
+                found = self._find_leaf(child, mbr, payload, path)
+                if found is not None:
+                    return found
+        # Fall back to intersecting children (MBRs may have been built from
+        # unions that no longer tightly contain the entry).
+        for child in node.children:
+            if child.mbr is not None and child.mbr.intersects(mbr):
+                found = self._find_leaf(child, mbr, payload, path)
+                if found is not None:
+                    return found
+        return None
+
+    def _split_if_needed(self, node: RTreeNode) -> RTreeNode | None:
+        if node.member_count() <= self.max_entries:
+            return None
+        if node.is_leaf:
+            groups = _quadratic_split(
+                node.entries, key=lambda e: e[0], min_fill=self.min_entries
+            )
+            node.entries = groups[0]
+            sibling = RTreeNode(is_leaf=True)
+            sibling.entries = groups[1]
+        else:
+            groups = _quadratic_split(
+                node.children, key=lambda c: c.mbr, min_fill=self.min_entries
+            )
+            node.children = groups[0]
+            sibling = RTreeNode(is_leaf=False)
+            sibling.children = groups[1]
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+        return sibling
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def range_search(self, box: MBR) -> list[tuple[MBR, Any]]:
+        """All entries whose MBR intersects ``box``."""
+        out: list[tuple[MBR, Any]] = []
+        if self.root.mbr is None:
+            return out
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.intersects(box):
+                continue
+            if node.is_leaf:
+                out.extend(e for e in node.entries if e[0].intersects(box))
+            else:
+                stack.extend(node.children)
+        return out
+
+    def all_entries(self) -> list[tuple[MBR, Any]]:
+        """Every entry in the tree (leaf order)."""
+        out: list[tuple[MBR, Any]] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.extend(node.entries)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def nearest(self, point: np.ndarray, k: int = 1) -> list[tuple[float, Any]]:
+        """``k`` nearest entries to ``point`` by MBR mindist (exact for
+        point entries)."""
+        return self._best_first(lambda m: m.mindist(point), k)
+
+    def nearest_distance(self, point: np.ndarray) -> float:
+        """``delta_min(point, entries)`` — distance of the nearest entry."""
+        result = self.nearest(point, k=1)
+        if not result:
+            raise ValueError("tree is empty")
+        return result[0][0]
+
+    def farthest_distance(self, point: np.ndarray) -> float:
+        """``delta_max(point, entries)`` — distance of the farthest entry.
+
+        Best-first search on **negated maxdist**: a node's maxdist upper
+        bounds the maxdist of everything below it.
+        """
+        if self.root.mbr is None:
+            raise ValueError("tree is empty")
+        counter = itertools.count()
+        heap: list[tuple[float, int, bool, Any]] = [
+            (-self.root.mbr.maxdist(point), next(counter), False, self.root)
+        ]
+        while heap:
+            neg, _, is_entry, item = heapq.heappop(heap)
+            if is_entry:
+                return -neg
+            node: RTreeNode = item
+            if node.is_leaf:
+                for mbr, payload in node.entries:
+                    heapq.heappush(
+                        heap, (-mbr.maxdist(point), next(counter), True, payload)
+                    )
+            else:
+                for child in node.children:
+                    heapq.heappush(
+                        heap,
+                        (-child.mbr.maxdist(point), next(counter), False, child),  # type: ignore[union-attr]
+                    )
+        raise ValueError("tree is empty")
+
+    def _best_first(
+        self, score: Callable[[MBR], float], k: int
+    ) -> list[tuple[float, Any]]:
+        out: list[tuple[float, Any]] = []
+        if self.root.mbr is None:
+            return out
+        counter = itertools.count()
+        heap: list[tuple[float, int, bool, Any]] = [
+            (score(self.root.mbr), next(counter), False, self.root)
+        ]
+        while heap and len(out) < k:
+            dist, _, is_entry, item = heapq.heappop(heap)
+            if is_entry:
+                out.append((dist, item))
+                continue
+            node: RTreeNode = item
+            if node.is_leaf:
+                for mbr, payload in node.entries:
+                    heapq.heappush(heap, (score(mbr), next(counter), True, payload))
+            else:
+                for child in node.children:
+                    heapq.heappush(
+                        heap, (score(child.mbr), next(counter), False, child)  # type: ignore[union-attr]
+                    )
+        return out
+
+    def incremental_by_mindist(
+        self, box: MBR
+    ) -> Iterator[tuple[float, bool, MBR, Any]]:
+        """Yield nodes and entries in non-decreasing mindist to ``box``.
+
+        Yields ``(mindist, is_entry, mbr, item)`` where ``item`` is a payload
+        for entries and the :class:`RTreeNode` for internal nodes — the
+        traversal primitive behind Algorithm 1.  The consumer may ``send``
+        ``False`` to prune a just-yielded node's subtree.
+        """
+        if self.root.mbr is None:
+            return
+        counter = itertools.count()
+        heap: list[tuple[float, int, bool, MBR, Any]] = [
+            (self.root.mbr.mindist_mbr(box), next(counter), False, self.root.mbr, self.root)
+        ]
+        while heap:
+            dist, _, is_entry, mbr, item = heapq.heappop(heap)
+            expand = yield (dist, is_entry, mbr, item)
+            if is_entry or expand is False:
+                continue
+            node: RTreeNode = item
+            if node.is_leaf:
+                for embr, payload in node.entries:
+                    heapq.heappush(
+                        heap,
+                        (embr.mindist_mbr(box), next(counter), True, embr, payload),
+                    )
+            else:
+                for child in node.children:
+                    heapq.heappush(
+                        heap,
+                        (
+                            child.mbr.mindist_mbr(box),  # type: ignore[union-attr]
+                            next(counter),
+                            False,
+                            child.mbr,
+                            child,
+                        ),
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Level partitions (Section 5.1 level-by-level filters)
+    # ------------------------------------------------------------------ #
+
+    def partitions(self, min_groups: int) -> list[tuple[MBR, list[Any]]]:
+        """Disjoint groups covering all entries, at least ``min_groups`` of
+        them when possible.
+
+        Descends breadth-first from the root until the frontier holds
+        ``min_groups`` nodes (or leaves are reached), then reports each
+        frontier node as ``(mbr, payloads)``.
+        """
+        if self.root.mbr is None:
+            return []
+        frontier: list[RTreeNode] = [self.root]
+        while len(frontier) < min_groups:
+            expandable = [n for n in frontier if not n.is_leaf]
+            if not expandable:
+                break
+            node = max(expandable, key=lambda n: n.mbr.volume())  # type: ignore[union-attr]
+            frontier.remove(node)
+            frontier.extend(node.children)
+        out: list[tuple[MBR, list[Any]]] = []
+        for node in frontier:
+            payloads = [payload for _, payload in _collect_entries(node)]
+            out.append((node.mbr, payloads))  # type: ignore[arg-type]
+        return out
+
+    def height(self) -> int:
+        """Tree height (1 for a single leaf root)."""
+        h = 1
+        node = self.root
+        while not node.is_leaf:
+            h += 1
+            node = node.children[0]
+        return h
+
+
+def _quadratic_split(
+    items: list, key: Callable[[Any], MBR], min_fill: int
+) -> tuple[list, list]:
+    """Guttman's quadratic split of an overflowing node's members.
+
+    Seeds are the pair wasting the most dead space; remaining members go to
+    the group whose MBR they enlarge least, with the minimum-fill constraint
+    enforced at the tail.
+    """
+    boxes = [key(item) for item in items]
+    n = len(items)
+    # Seed selection: maximize union volume minus individual volumes.
+    worst = -np.inf
+    seed_a, seed_b = 0, 1
+    for i in range(n):
+        for j in range(i + 1, n):
+            waste = (
+                boxes[i].union(boxes[j]).volume()
+                - boxes[i].volume()
+                - boxes[j].volume()
+            )
+            if waste > worst:
+                worst = waste
+                seed_a, seed_b = i, j
+    group_a = [items[seed_a]]
+    group_b = [items[seed_b]]
+    mbr_a, mbr_b = boxes[seed_a], boxes[seed_b]
+    remaining = [k for k in range(n) if k not in (seed_a, seed_b)]
+    while remaining:
+        # Enforce minimum fill when one group is starving.
+        if len(group_a) + len(remaining) <= min_fill:
+            for k in remaining:
+                group_a.append(items[k])
+                mbr_a = mbr_a.union(boxes[k])
+            break
+        if len(group_b) + len(remaining) <= min_fill:
+            for k in remaining:
+                group_b.append(items[k])
+                mbr_b = mbr_b.union(boxes[k])
+            break
+        # Pick the member with the strongest group preference.
+        best_k = None
+        best_diff = -np.inf
+        best_costs = (0.0, 0.0)
+        for k in remaining:
+            cost_a = mbr_a.union(boxes[k]).volume() - mbr_a.volume()
+            cost_b = mbr_b.union(boxes[k]).volume() - mbr_b.volume()
+            diff = abs(cost_a - cost_b)
+            if diff > best_diff:
+                best_diff = diff
+                best_k = k
+                best_costs = (cost_a, cost_b)
+        remaining.remove(best_k)
+        cost_a, cost_b = best_costs
+        prefer_a = cost_a < cost_b or (
+            cost_a == cost_b and len(group_a) <= len(group_b)
+        )
+        if prefer_a:
+            group_a.append(items[best_k])
+            mbr_a = mbr_a.union(boxes[best_k])
+        else:
+            group_b.append(items[best_k])
+            mbr_b = mbr_b.union(boxes[best_k])
+    return group_a, group_b
+
+
+def _collect_entries(node: RTreeNode) -> Iterable[tuple[MBR, Any]]:
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        if n.is_leaf:
+            yield from n.entries
+        else:
+            stack.extend(n.children)
+
+
+def _str_pack(
+    items: list[tuple[np.ndarray, Any]], capacity: int
+) -> list[list[tuple[np.ndarray, Any]]]:
+    """Sort-Tile-Recursive packing of (center, item) pairs into groups."""
+    if not items:
+        return []
+    dim = len(items[0][0])
+    count = len(items)
+    n_groups = int(np.ceil(count / capacity))
+    if n_groups <= 1:
+        return [items]
+    items = sorted(items, key=lambda it: float(it[0][0]))
+    if dim == 1:
+        return [items[i : i + capacity] for i in range(0, count, capacity)]
+    # Number of vertical slabs: ceil(sqrt-style tiling over remaining dims).
+    slab_count = int(np.ceil(n_groups ** (1.0 / dim)))
+    slab_size = int(np.ceil(count / slab_count))
+    groups: list[list[tuple[np.ndarray, Any]]] = []
+    for start in range(0, count, slab_size):
+        slab = items[start : start + slab_size]
+        slab = [(c[1:], it) for c, it in slab]
+        packed = _str_pack(slab, capacity)
+        for grp in packed:
+            groups.append([(None, it) for _, it in grp])  # centers no longer needed
+    return groups

@@ -1,0 +1,22 @@
+"""Multi-instance object models.
+
+An object is a set of weighted instances (points).  The paper treats both
+*discrete uncertain objects* (instance weights are occurrence probabilities,
+exclusive under possible-world semantics) and *multi-valued objects*
+(co-existing weighted instances); both are normalised to a discrete random
+variable with total mass 1 for dominance checking (Section 1 / 2.1).
+"""
+
+from repro.objects.io import load_objects, save_objects
+from repro.objects.match import Match, MatchTuple, is_valid_match
+from repro.objects.uncertain import UncertainObject, normalize_objects
+
+__all__ = [
+    "Match",
+    "MatchTuple",
+    "UncertainObject",
+    "is_valid_match",
+    "load_objects",
+    "normalize_objects",
+    "save_objects",
+]

@@ -1,0 +1,80 @@
+"""Serialisation of multi-instance datasets.
+
+Objects round-trip through a single ``.npz`` archive: instance coordinates
+are concatenated into one matrix with an offsets vector, probabilities
+likewise, and object ids are stored as strings.  This keeps million-instance
+datasets loadable in milliseconds and makes experiment datasets cacheable
+across runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.objects.uncertain import UncertainObject
+
+_FORMAT_VERSION = 1
+
+
+def save_objects(path: str | Path, objects: Sequence[UncertainObject]) -> None:
+    """Write a dataset of multi-instance objects to ``path`` (.npz).
+
+    Raises:
+        ValueError: on an empty dataset or mixed dimensionalities.
+    """
+    objects = list(objects)
+    if not objects:
+        raise ValueError("refusing to save an empty dataset")
+    dim = objects[0].dim
+    if any(obj.dim != dim for obj in objects):
+        raise ValueError("all objects must share one dimensionality")
+    counts = np.array([len(obj) for obj in objects], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    points = np.vstack([obj.points for obj in objects])
+    probs = np.concatenate([obj.probs for obj in objects])
+    oids = np.array(
+        ["" if obj.oid is None else str(obj.oid) for obj in objects]
+    )
+    np.savez_compressed(
+        Path(path),
+        version=np.int64(_FORMAT_VERSION),
+        offsets=offsets,
+        points=points,
+        probs=probs,
+        oids=oids,
+    )
+
+
+def load_objects(path: str | Path) -> list[UncertainObject]:
+    """Read a dataset written by :func:`save_objects`.
+
+    Object ids are restored as ``int`` when they round-trip through ``int``
+    cleanly, as strings otherwise, and as positional indices when they were
+    ``None`` at save time.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported dataset format version {version}")
+        offsets = data["offsets"]
+        points = data["points"]
+        probs = data["probs"]
+        oids = data["oids"]
+    objects: list[UncertainObject] = []
+    for i in range(len(offsets) - 1):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        raw = str(oids[i])
+        if raw == "":
+            oid: int | str = i
+        else:
+            try:
+                oid = int(raw)
+            except ValueError:
+                oid = raw
+        objects.append(
+            UncertainObject(points[lo:hi], probs[lo:hi], oid=oid, normalize=True)
+        )
+    return objects

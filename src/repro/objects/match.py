@@ -1,0 +1,90 @@
+"""Matches between discrete random variables (Definition 4).
+
+A *match* ``M_{U,V}`` is a fractional one-to-one mapping between the atoms of
+two random variables: a set of tuples ``(u, v, p)`` whose per-atom marginals
+reproduce the original probabilities.  Matches are the semantic backbone of
+the match order (Definition 9), the P-SD operator (Definition 5) and the
+counterpart construction of N3 functions (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class MatchTuple:
+    """One tuple ``t<u, v, p>`` of a match: indices into the two objects."""
+
+    u: int
+    v: int
+    p: float
+
+
+class Match:
+    """A match between two multi-instance objects, stored by instance index.
+
+    Attributes:
+        tuples: the match tuples.
+    """
+
+    __slots__ = ("tuples",)
+
+    def __init__(self, tuples: Sequence[MatchTuple]) -> None:
+        self.tuples = list(tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"<{t.u},{t.v},{t.p:g}>" for t in self.tuples)
+        return f"Match([{inner}])"
+
+    def marginal_u(self, m: int) -> np.ndarray:
+        """Per-``u``-instance mass, shape ``(m,)``."""
+        out = np.zeros(m)
+        for t in self.tuples:
+            out[t.u] += t.p
+        return out
+
+    def marginal_v(self, n: int) -> np.ndarray:
+        """Per-``v``-instance mass, shape ``(n,)``."""
+        out = np.zeros(n)
+        for t in self.tuples:
+            out[t.v] += t.p
+        return out
+
+
+def is_valid_match(
+    match: Match,
+    u_probs: np.ndarray | Sequence[float],
+    v_probs: np.ndarray | Sequence[float],
+    *,
+    tol: float = _TOL,
+) -> bool:
+    """Check Definition 4: marginals of the match equal the instance masses.
+
+    Args:
+        match: candidate match.
+        u_probs: instance probabilities of the first object.
+        v_probs: instance probabilities of the second object.
+        tol: per-instance tolerance.
+    """
+    up = np.asarray(u_probs, dtype=float)
+    vp = np.asarray(v_probs, dtype=float)
+    if any(t.p < -tol for t in match):
+        return False
+    if any(not (0 <= t.u < len(up) and 0 <= t.v < len(vp)) for t in match):
+        return False
+    return bool(
+        np.allclose(match.marginal_u(len(up)), up, atol=tol)
+        and np.allclose(match.marginal_v(len(vp)), vp, atol=tol)
+    )

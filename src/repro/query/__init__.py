@@ -1,0 +1,37 @@
+"""Function-specific NN / top-k query processing.
+
+The candidate search answers "who *could* be the NN under some function?".
+Once a user settles on a concrete function — e.g. after browsing the
+candidates, the workflow the paper's introduction motivates — the follow-up
+queries are classic function-specific (top-)k NN searches.  This subpackage
+answers them *exactly* with index-level bounds instead of scoring every
+object:
+
+* :mod:`repro.query.bounds` — optimistic/pessimistic bounds on function
+  scores from MBRs and level partitions.  For any *stable* aggregate the
+  bounding distributions bracket the true score (Definition 8), which is the
+  same machinery the level-by-level dominance filters use.
+* :mod:`repro.query.topk` — best-first top-k search over the global R-tree
+  with progressive refinement (MBR bound → partition bound → exact score).
+* :mod:`repro.query.probable_nn` — top-k *probable* NN (the possible-world
+  query of reference [7]) via bound-then-verify over the exact rank DP.
+"""
+
+from repro.query.bounds import (
+    aggregate_bounds,
+    emd_lower_bound,
+    hausdorff_lower_bound,
+    mbr_score_bounds,
+)
+from repro.query.probable_nn import top_k_probable_nn
+from repro.query.topk import FunctionTopK, top_k
+
+__all__ = [
+    "FunctionTopK",
+    "top_k_probable_nn",
+    "aggregate_bounds",
+    "emd_lower_bound",
+    "hausdorff_lower_bound",
+    "mbr_score_bounds",
+    "top_k",
+]

@@ -1,0 +1,87 @@
+"""Score bounds for NN functions from object approximations.
+
+For a *stable* aggregate ``g`` (Definition 8) and bounding distributions
+``L <=_st U_Q <=_st P`` (built from MBRs or level partitions exactly as in
+Section 5.1's level-by-level filters), stability gives
+
+.. math:: g(L) \\le g(U_Q) \\le g(P),
+
+so ``g(L)`` is an admissible optimistic bound for best-first search.  The
+coarsest bound needs only the object MBR; the partition bound tightens it
+using the local R-tree slices.
+
+Two selected-pairs bounds are provided as well:
+
+* Hausdorff — ``D_h(U, Q) >= max(max_q mindist(q, U_mbr), min_q mindist(q, U_mbr))``
+  relaxed to the computable ``max_q`` form over query instances against the
+  object MBR (every instance of ``U`` is inside the MBR, so ``delta_min(q, U)
+  >= mindist(q, U_mbr)``).
+* EMD — by convexity of the distance (Jensen), the cost of any transport
+  plan is at least the distance between the probability-weighted centroids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import QueryContext
+from repro.functions.base import StableAggregate
+from repro.geometry.mbr import MBR
+from repro.objects.uncertain import UncertainObject
+from repro.stats.distribution import DiscreteDistribution
+
+
+def mbr_score_bounds(
+    mbr: MBR, query: UncertainObject, aggregate: StableAggregate, norm=None
+) -> tuple[float, float]:
+    """Optimistic/pessimistic aggregate scores for anything inside ``mbr``.
+
+    The optimistic distribution puts each query instance's mass at its
+    mindist to the box; the pessimistic one at its maxdist.  Valid for any
+    object whose instances all lie in ``mbr`` (e.g. an R-tree entry).
+    """
+    lo_vals = [mbr.mindist(q, norm) for q in query.points]
+    hi_vals = [mbr.maxdist(q, norm) for q in query.points]
+    lo = DiscreteDistribution(lo_vals, query.probs)
+    hi = DiscreteDistribution(hi_vals, query.probs)
+    return aggregate(lo), aggregate(hi)
+
+
+def aggregate_bounds(
+    obj: UncertainObject,
+    ctx: QueryContext,
+    aggregate: StableAggregate,
+) -> tuple[float, float]:
+    """Partition-level bounds on ``g(U_Q)`` (tighter than the MBR bound)."""
+    from repro.core.ssd import bounding_distributions
+
+    lo, hi = bounding_distributions(obj, ctx)
+    return aggregate(lo), aggregate(hi)
+
+
+def hausdorff_lower_bound(mbr: MBR, query: UncertainObject, norm=None) -> float:
+    """Admissible lower bound on the Hausdorff distance for objects in ``mbr``.
+
+    ``delta_min(q, U) >= mindist(q, mbr)`` for every query instance, and the
+    Hausdorff distance takes a max over query instances, hence the bound.
+    """
+    return max(mbr.mindist(q, norm) for q in query.points)
+
+
+def emd_lower_bound(
+    obj_centroid: np.ndarray,
+    query: UncertainObject,
+) -> float:
+    """Centroid bound: ``EMD(U, Q) >= ||centroid(U) - centroid(Q)||``.
+
+    Jensen's inequality applied to the convex map ``(u, q) -> u - q`` under
+    any norm: the expected displacement of an optimal plan has length at
+    least the displacement of the expectations.
+    """
+    q_centroid = np.average(query.points, axis=0, weights=query.probs)
+    return float(np.linalg.norm(np.asarray(obj_centroid) - q_centroid))
+
+
+def object_centroid(obj: UncertainObject) -> np.ndarray:
+    """Probability-weighted centroid of an object's instances."""
+    return np.average(obj.points, axis=0, weights=obj.probs)

@@ -1,0 +1,25 @@
+"""Discrete distributions and stochastic orders.
+
+The paper models multi-instance objects as discrete random variables and
+compares distance distributions with the *usual stochastic order*
+(Definition 1) and the equivalent *match order* (Definition 9 / Theorem 1).
+This subpackage implements both, plus the single-scan dominance check of
+Section 5.1.1 and the summary statistics used by the statistic-based pruning
+rule (Theorem 11).
+"""
+
+from repro.stats.distribution import DiscreteDistribution
+from repro.stats.stochastic import (
+    build_match,
+    match_order_leq,
+    stochastic_equal,
+    stochastic_leq,
+)
+
+__all__ = [
+    "DiscreteDistribution",
+    "build_match",
+    "match_order_leq",
+    "stochastic_equal",
+    "stochastic_leq",
+]

@@ -1,0 +1,132 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.objects.uncertain import UncertainObject
+
+# --------------------------------------------------------------------- #
+# Hypothesis strategies
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def probability_vectors(draw, min_size: int = 1, max_size: int = 5):
+    """Non-degenerate probability vectors summing to 1."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    arr = np.asarray(raw)
+    return arr / arr.sum()
+
+
+@st.composite
+def distributions(draw, min_size: int = 1, max_size: int = 6):
+    """Random DiscreteDistribution with small-integer-ish support."""
+    from repro.stats.distribution import DiscreteDistribution
+
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    probs = draw(probability_vectors(min_size=n, max_size=n))
+    return DiscreteDistribution(values, probs)
+
+
+@st.composite
+def uncertain_objects(
+    draw,
+    dim: int = 2,
+    min_instances: int = 1,
+    max_instances: int = 4,
+    coord_range: float = 20.0,
+    uniform_probs: bool = False,
+    grid: float | None = 1.0,
+):
+    """Random multi-instance objects on a coarse coordinate grid.
+
+    The grid keeps distance ties likely, which exercises the tie-handling
+    paths of the dominance checks.
+    """
+    m = draw(st.integers(min_value=min_instances, max_value=max_instances))
+    coords = draw(
+        st.lists(
+            st.lists(
+                st.floats(min_value=-coord_range, max_value=coord_range),
+                min_size=dim,
+                max_size=dim,
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    pts = np.asarray(coords)
+    if grid:
+        pts = np.round(pts / grid) * grid
+    if uniform_probs:
+        probs = None
+    else:
+        probs = draw(probability_vectors(min_size=m, max_size=m))
+    return UncertainObject(pts, probs)
+
+
+# --------------------------------------------------------------------- #
+# Plain fixtures
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Seeded random generator for deterministic tests."""
+    return np.random.default_rng(20150531)
+
+
+def random_object(
+    rng: np.random.Generator,
+    dim: int = 2,
+    m: int = 5,
+    spread: float = 2.0,
+    center_range: float = 20.0,
+    oid=None,
+    uniform_probs: bool = True,
+) -> UncertainObject:
+    """A random multi-instance object (helper for non-hypothesis tests)."""
+    center = rng.uniform(0, center_range, size=dim)
+    pts = rng.normal(center, spread, size=(m, dim))
+    if uniform_probs:
+        probs = None
+    else:
+        raw = rng.uniform(0.1, 1.0, size=m)
+        probs = raw / raw.sum()
+    return UncertainObject(pts, probs, oid=oid)
+
+
+def random_scene(
+    rng: np.random.Generator,
+    n_objects: int = 20,
+    dim: int = 2,
+    m: int = 4,
+    m_q: int = 3,
+    spread: float = 2.0,
+    uniform_probs: bool = True,
+):
+    """A random dataset plus query (helper for integration tests)."""
+    objects = [
+        random_object(rng, dim=dim, m=m, spread=spread, oid=i,
+                      uniform_probs=uniform_probs)
+        for i in range(n_objects)
+    ]
+    query = random_object(rng, dim=dim, m=m_q, spread=spread, oid="Q")
+    return objects, query

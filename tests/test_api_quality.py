@@ -1,0 +1,67 @@
+"""API quality gates: documentation and import hygiene for every module."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_importable_and_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(member) or inspect.isclass(member)):
+            continue
+        if getattr(member, "__module__", None) != module_name:
+            continue  # re-exports are documented at their source
+        if not inspect.getdoc(member):
+            undocumented.append(name)
+        elif inspect.isclass(member):
+            for meth_name, meth in vars(member).items():
+                if meth_name.startswith("_") or not inspect.isfunction(meth):
+                    continue
+                if not inspect.getdoc(meth):
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, f"{module_name}: undocumented public API {undocumented}"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_subpackage_all_exports_resolve():
+    for pkg_name in [
+        "repro.geometry",
+        "repro.stats",
+        "repro.objects",
+        "repro.functions",
+        "repro.core",
+        "repro.baselines",
+        "repro.query",
+        "repro.datasets",
+        "repro.experiments",
+        "repro.flow",
+        "repro.index",
+    ]:
+        pkg = importlib.import_module(pkg_name)
+        for name in getattr(pkg, "__all__", []):
+            assert hasattr(pkg, name), f"{pkg_name}.{name}"

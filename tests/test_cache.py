@@ -1,0 +1,60 @@
+"""Tests for the experiment dataset cache."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import DatasetCache, cache_key
+from repro.objects.uncertain import UncertainObject
+
+from .conftest import random_object
+
+
+class TestCacheKey:
+    def test_order_insensitive(self):
+        assert cache_key(a=1, b="x") == cache_key(b="x", a=1)
+
+    def test_value_sensitive(self):
+        assert cache_key(a=1) != cache_key(a=2)
+
+    def test_stringifies_odd_values(self):
+        assert cache_key(p=3.5, q=(1, 2)) == cache_key(p=3.5, q=(1, 2))
+
+
+class TestDatasetCache:
+    def test_generate_once(self, tmp_path, rng):
+        cache = DatasetCache(tmp_path / "cache")
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return [random_object(np.random.default_rng(0), oid=i) for i in range(5)]
+
+        first = cache.get_or_create(generate, kind="demo", seed=0)
+        second = cache.get_or_create(generate, kind="demo", seed=0)
+        assert len(calls) == 1
+        assert [o.oid for o in first] == [o.oid for o in second]
+        assert all(
+            np.allclose(a.points, b.points) for a, b in zip(first, second)
+        )
+
+    def test_different_params_different_datasets(self, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+
+        def gen_for(seed):
+            return lambda: [
+                UncertainObject([[float(seed)]], oid=seed)
+            ]
+
+        a = cache.get_or_create(gen_for(1), seed=1)
+        b = cache.get_or_create(gen_for(2), seed=2)
+        assert a[0].points[0, 0] == 1.0
+        assert b[0].points[0, 0] == 2.0
+
+    def test_clear(self, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        cache.get_or_create(lambda: [UncertainObject([[0.0]])], seed=9)
+        assert cache.clear() == 1
+        assert cache.clear() == 0
+
+    def test_clear_missing_dir(self, tmp_path):
+        assert DatasetCache(tmp_path / "nope").clear() == 0

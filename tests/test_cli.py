@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.operator == "PSD"
+        assert args.k == 1
+
+    def test_operator_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--operator", "XSD"])
+
+    def test_figure_names_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "SSD" in out
+
+    def test_generate_and_search(self, tmp_path, capsys):
+        dataset = tmp_path / "d.npz"
+        assert (
+            main(
+                [
+                    "generate", str(dataset),
+                    "--kind", "indep", "--n", "60", "--m", "4", "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        assert dataset.exists()
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "search", "--dataset", str(dataset),
+                    "--operator", "SSD", "--quiet", "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "candidate(s) of 60 objects" in out
+
+    def test_search_synthetic_topk(self, capsys):
+        assert (
+            main(
+                [
+                    "search", "--n", "50", "--m", "4", "--operator", "SSD",
+                    "--k", "2", "--quiet", "--seed", "2",
+                ]
+            )
+            == 0
+        )
+        assert "(k=2)" in capsys.readouterr().out
+
+    def test_generate_semireal_kinds(self, tmp_path, capsys):
+        for kind in ("nba", "gowalla", "house", "ca", "usa"):
+            path = tmp_path / f"{kind}.npz"
+            assert (
+                main(
+                    [
+                        "generate", str(path),
+                        "--kind", kind, "--n", "25", "--m", "4",
+                    ]
+                )
+                == 0
+            )
+            assert path.exists()
+
+    def test_figure_command(self, capsys):
+        # The cheapest figure at tiny scale.
+        assert main(["figure", "fig11f", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11(f)" in out
+        assert "SSD" in out

@@ -1,0 +1,102 @@
+"""Tests for QueryContext caching and configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import QueryContext
+from repro.core.counters import Counters
+from repro.objects.uncertain import UncertainObject
+
+from .conftest import random_object
+
+
+class TestCaching:
+    def test_distance_distribution_cached(self, rng):
+        query = random_object(rng, oid="Q")
+        obj = random_object(rng, oid=0)
+        ctx = QueryContext(query)
+        assert ctx.distance_distribution(obj) is ctx.distance_distribution(obj)
+
+    def test_per_instance_cached(self, rng):
+        query = random_object(rng, m=3, oid="Q")
+        obj = random_object(rng, oid=0)
+        ctx = QueryContext(query)
+        first = ctx.per_instance_distributions(obj)
+        assert first is ctx.per_instance_distributions(obj)
+        assert len(first) == len(query)
+
+    def test_statistics_match_distribution(self, rng):
+        query = random_object(rng, oid="Q")
+        obj = random_object(rng, oid=0)
+        ctx = QueryContext(query)
+        lo, mean, hi = ctx.statistics(obj)
+        dist = ctx.distance_distribution(obj)
+        assert lo == pytest.approx(dist.min())
+        assert mean == pytest.approx(dist.mean())
+        assert hi == pytest.approx(dist.max())
+
+    def test_forget_clears_cache(self, rng):
+        query = random_object(rng, oid="Q")
+        obj = random_object(rng, oid=0)
+        ctx = QueryContext(query)
+        first = ctx.distance_distribution(obj)
+        ctx.forget(obj)
+        assert ctx.distance_distribution(obj) is not first
+
+    def test_partitions_cover_instances(self, rng):
+        query = random_object(rng, oid="Q")
+        obj = random_object(rng, m=12, oid=0)
+        ctx = QueryContext(query, level_groups=4)
+        parts = ctx.partitions(obj)
+        all_idx = sorted(i for _, idx, _ in parts for i in idx)
+        assert all_idx == list(range(12))
+        total = sum(mass for _, _, mass in parts)
+        assert total == pytest.approx(1.0)
+
+    def test_hull_vectors_shape(self, rng):
+        query = random_object(rng, m=6, oid="Q")
+        obj = random_object(rng, m=4, oid=0)
+        ctx = QueryContext(query)
+        vecs = ctx.hull_distance_vectors(obj)
+        assert vecs.shape == (4, len(ctx.hull_points))
+
+
+class TestConfiguration:
+    def test_hull_disabled_keeps_all_points(self, rng):
+        pts = np.vstack([rng.uniform(0, 10, size=(6, 2)), [[5.0, 5.0]]])
+        query = UncertainObject(pts, oid="Q")
+        with_hull = QueryContext(query, use_hull=True)
+        without = QueryContext(query, use_hull=False)
+        assert without.hull_points.shape[0] == len(query)
+        assert with_hull.hull_points.shape[0] <= len(query)
+
+    def test_small_queries_skip_hull(self, rng):
+        query = random_object(rng, m=2, oid="Q")
+        ctx = QueryContext(query, use_hull=True)
+        assert ctx.hull_points.shape[0] == 2
+
+    def test_counters_injected_or_created(self, rng):
+        query = random_object(rng, oid="Q")
+        own = Counters()
+        assert QueryContext(query, counters=own).counters is own
+        assert isinstance(QueryContext(query).counters, Counters)
+
+
+class TestCounters:
+    def test_merge_and_snapshot(self):
+        a = Counters(instance_comparisons=3, dominance_checks=1)
+        a.bump("objects_dominated", 2)
+        b = Counters(instance_comparisons=4, maxflow_calls=2)
+        b.bump("objects_dominated")
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["instance_comparisons"] == 7
+        assert snap["dominance_checks"] == 1
+        assert snap["maxflow_calls"] == 2
+        assert snap["objects_dominated"] == 3
+
+    def test_count_comparisons(self):
+        c = Counters()
+        c.count_comparisons(5)
+        c.count_comparisons(2)
+        assert c.instance_comparisons == 7

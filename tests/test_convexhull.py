@@ -1,0 +1,111 @@
+"""Tests for convex hull extraction (the geometric filter substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.convexhull import (
+    _frank_wolfe_in_hull,
+    convex_hull,
+    convex_hull_indices,
+    point_in_hull,
+)
+
+point_clouds_2d = st.lists(
+    st.lists(st.floats(-50, 50), min_size=2, max_size=2),
+    min_size=1,
+    max_size=15,
+).map(np.asarray)
+
+
+class TestHull2D:
+    def test_square(self):
+        pts = np.array(
+            [[0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5], [0.3, 0.7]]
+        )
+        idx = convex_hull_indices(pts)
+        assert sorted(idx) == [0, 1, 2, 3]
+
+    def test_collinear_points_keep_extremes(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        hull = convex_hull(pts)
+        as_set = {tuple(p) for p in hull}
+        assert (0.0, 0.0) in as_set
+        assert (3.0, 3.0) in as_set
+        # Interior collinear points may be dropped.
+        assert len(hull) <= 4
+
+    def test_duplicates_collapsed(self):
+        pts = np.array([[0, 0], [0, 0], [1, 0], [1, 0], [0, 1]])
+        hull = convex_hull(pts)
+        assert len(hull) == 3
+
+    def test_single_and_pair(self):
+        assert len(convex_hull(np.array([[1.0, 2.0]]))) == 1
+        assert len(convex_hull(np.array([[1.0, 2.0], [3.0, 4.0]]))) == 2
+
+    def test_empty(self):
+        assert convex_hull_indices(np.empty((0, 2))) == []
+
+    @given(point_clouds_2d)
+    @settings(max_examples=80, deadline=None)
+    def test_hull_contains_all_points(self, pts):
+        """Every input point must be a convex combination of hull vertices."""
+        hull = convex_hull(pts)
+        assert len(hull) >= 1
+        for p in pts:
+            assert point_in_hull(p, hull)
+
+    @given(point_clouds_2d)
+    @settings(max_examples=50, deadline=None)
+    def test_hull_vertices_are_input_points(self, pts):
+        idx = convex_hull_indices(pts)
+        assert all(0 <= i < len(pts) for i in idx)
+        assert len(set(idx)) == len(idx)
+
+
+class TestHull1D:
+    def test_extremes_only(self):
+        pts = np.array([[3.0], [1.0], [7.0], [5.0]])
+        hull = convex_hull(pts)
+        assert sorted(v[0] for v in hull) == [1.0, 7.0]
+
+
+class TestHullHighDim:
+    def test_3d_cube_corners_survive(self):
+        corners = np.array(
+            [
+                [0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1],
+                [1, 1, 0], [1, 0, 1], [0, 1, 1], [1, 1, 1],
+            ],
+            dtype=float,
+        )
+        center = np.array([[0.5, 0.5, 0.5]])
+        pts = np.vstack([corners, center])
+        idx = convex_hull_indices(pts)
+        # All 8 corners must be kept; the center must be dropped.
+        assert set(range(8)).issubset(set(idx))
+        assert 8 not in idx
+
+    def test_conservative_never_empty(self, rng):
+        pts = rng.normal(size=(10, 4))
+        idx = convex_hull_indices(pts)
+        assert idx  # dropping everything would be incorrect
+
+
+class TestFrankWolfe:
+    def test_point_inside_triangle(self):
+        tri = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+        assert _frank_wolfe_in_hull(np.array([1.0, 1.0]), tri)
+
+    def test_point_outside_triangle(self):
+        tri = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+        assert not _frank_wolfe_in_hull(np.array([5.0, 5.0]), tri)
+
+    def test_vertex_is_inside(self):
+        tri = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+        assert _frank_wolfe_in_hull(np.array([0.0, 0.0]), tri)
+
+    def test_empty_others(self):
+        assert not _frank_wolfe_in_hull(np.array([0.0]), np.empty((0, 1)))

@@ -1,0 +1,145 @@
+"""Tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.semireal import (
+    ca_like,
+    gowalla_like,
+    house_like,
+    nba_like,
+    usa_like,
+)
+from repro.datasets.synthetic import (
+    DOMAIN,
+    anticorrelated_centers,
+    independent_centers,
+    make_objects,
+    make_query,
+)
+from repro.datasets.workload import query_workload
+
+
+class TestSyntheticCenters:
+    def test_shapes_and_domain(self, rng):
+        for gen in (anticorrelated_centers, independent_centers):
+            pts = gen(200, 3, rng)
+            assert pts.shape == (200, 3)
+            assert pts.min() >= 0.0
+            assert pts.max() <= DOMAIN
+
+    def test_anticorrelated_negative_correlation(self, rng):
+        pts = anticorrelated_centers(3000, 2, rng)
+        corr = np.corrcoef(pts[:, 0], pts[:, 1])[0, 1]
+        assert corr < -0.2
+
+    def test_independent_near_zero_correlation(self, rng):
+        pts = independent_centers(3000, 2, rng)
+        corr = np.corrcoef(pts[:, 0], pts[:, 1])[0, 1]
+        assert abs(corr) < 0.1
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            anticorrelated_centers(0, 2, rng)
+        with pytest.raises(ValueError):
+            independent_centers(5, 0, rng)
+
+    def test_deterministic_with_seed(self):
+        a = anticorrelated_centers(50, 3, np.random.default_rng(1))
+        b = anticorrelated_centers(50, 3, np.random.default_rng(1))
+        assert np.allclose(a, b)
+
+
+class TestMakeObjects:
+    def test_basic_shape(self, rng):
+        centers = independent_centers(30, 2, rng)
+        objects = make_objects(centers, m_d=10, h_d=300.0, rng=rng)
+        assert len(objects) == 30
+        for i, obj in enumerate(objects):
+            assert obj.oid == i
+            assert obj.dim == 2
+            assert obj.points.min() >= 0.0
+            assert obj.points.max() <= DOMAIN
+
+    def test_fixed_count(self, rng):
+        centers = independent_centers(10, 2, rng)
+        objects = make_objects(centers, m_d=7, h_d=100.0, rng=rng, vary_count=False)
+        assert all(len(o) == 7 for o in objects)
+
+    def test_instances_near_center(self, rng):
+        centers = independent_centers(20, 3, rng)
+        objects = make_objects(centers, m_d=20, h_d=100.0, rng=rng)
+        for obj, center in zip(objects, centers):
+            # Instances are clipped to a box of edge <= 2 * h_d around the
+            # center (further clipped to the domain).
+            assert np.all(np.abs(obj.points - center) <= 100.0 + 1e-9)
+
+    def test_invalid_m_d(self, rng):
+        with pytest.raises(ValueError):
+            make_objects(independent_centers(5, 2, rng), 0, 100.0, rng)
+
+    def test_make_query(self, rng):
+        q = make_query(np.array([5000.0, 5000.0]), 6, 200.0, rng, oid="Q7")
+        assert q.oid == "Q7"
+        assert len(q) == 6
+
+
+class TestSemiReal:
+    def test_nba_like(self, rng):
+        players = nba_like(20, 15, rng)
+        assert len(players) == 20
+        assert all(p.dim == 3 and len(p) == 15 for p in players)
+        pts = np.vstack([p.points for p in players])
+        assert pts.min() >= 0.0 and pts.max() <= DOMAIN
+
+    def test_nba_overlap_is_high(self, rng):
+        """League-wide overlap: most player MBRs intersect each other."""
+        players = nba_like(15, 20, rng)
+        pairs = 0
+        hits = 0
+        for i in range(15):
+            for j in range(i + 1, 15):
+                pairs += 1
+                hits += players[i].mbr.intersects(players[j].mbr)
+        assert hits / pairs > 0.5
+
+    def test_gowalla_like(self, rng):
+        users = gowalla_like(25, 8, rng)
+        assert len(users) == 25
+        assert all(u.dim == 2 and len(u) == 8 for u in users)
+
+    def test_center_generators(self, rng):
+        for gen, d in ((house_like, 3), (ca_like, 2), (usa_like, 2)):
+            pts = gen(100, rng)
+            assert pts.shape == (100, d)
+            assert pts.min() >= 0.0 and pts.max() <= DOMAIN
+
+    def test_house_like_simplex_structure(self, rng):
+        pts = house_like(500, rng) / DOMAIN
+        sums = pts.sum(axis=1)
+        # Expenditure shares: rows hover around total 1.
+        assert abs(float(np.median(sums)) - 1.0) < 0.15
+
+
+class TestWorkload:
+    def test_from_objects(self, rng):
+        centers = independent_centers(40, 2, rng)
+        objects = make_objects(centers, 5, 200.0, rng)
+        queries = query_workload(objects, 10, m_q=4, h_q=100.0, rng=rng)
+        assert len(queries) == 10
+        assert all(len(q) == 4 for q in queries)
+        assert len({q.oid for q in queries}) == 10
+
+    def test_from_centers(self, rng):
+        centers = independent_centers(40, 2, rng)
+        queries = query_workload(centers, 5, m_q=3, h_q=100.0, rng=rng)
+        assert len(queries) == 5
+
+    def test_capped_at_population(self, rng):
+        centers = independent_centers(3, 2, rng)
+        queries = query_workload(centers, 10, m_q=2, h_q=50.0, rng=rng)
+        assert len(queries) == 3
+
+    def test_empty_source_raises(self, rng):
+        with pytest.raises(ValueError):
+            query_workload(np.empty((0, 2)), 5, 3, 100.0, rng)

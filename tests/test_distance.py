@@ -1,0 +1,118 @@
+"""Unit tests for repro.geometry.distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.distance import (
+    chebyshev,
+    euclidean,
+    manhattan,
+    pairwise_distances,
+    resolve_metric,
+    squared_euclidean,
+)
+
+
+class TestMetrics:
+    def test_euclidean_345(self):
+        assert euclidean([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_squared_euclidean(self):
+        assert squared_euclidean([0, 0], [3, 4]) == pytest.approx(25.0)
+
+    def test_manhattan(self):
+        assert manhattan([1, 2], [4, -2]) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert chebyshev([1, 2], [4, -2]) == pytest.approx(4.0)
+
+    def test_zero_distance(self):
+        for metric in (euclidean, manhattan, chebyshev, squared_euclidean):
+            assert metric([1.5, -2.5], [1.5, -2.5]) == 0.0
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=3, max_size=3),
+        st.lists(st.floats(-100, 100), min_size=3, max_size=3),
+    )
+    def test_symmetry(self, u, v):
+        for metric in (euclidean, manhattan, chebyshev):
+            assert metric(u, v) == pytest.approx(metric(v, u))
+
+    @given(
+        st.lists(st.floats(-50, 50), min_size=2, max_size=2),
+        st.lists(st.floats(-50, 50), min_size=2, max_size=2),
+        st.lists(st.floats(-50, 50), min_size=2, max_size=2),
+    )
+    def test_triangle_inequality(self, u, v, w):
+        for metric in (euclidean, manhattan, chebyshev):
+            assert metric(u, w) <= metric(u, v) + metric(v, w) + 1e-9
+
+    def test_metric_ordering(self):
+        # chebyshev <= euclidean <= manhattan for any pair.
+        u, v = np.array([0.0, 0.0, 0.0]), np.array([1.0, 2.0, 3.0])
+        assert chebyshev(u, v) <= euclidean(u, v) <= manhattan(u, v)
+
+
+class TestResolveMetric:
+    def test_by_name(self):
+        assert resolve_metric("euclidean") is euclidean
+        assert resolve_metric("L2") is euclidean
+        assert resolve_metric("manhattan") is manhattan
+        assert resolve_metric("LINF") is chebyshev
+
+    def test_passthrough_callable(self):
+        fn = lambda a, b: 0.0  # noqa: E731
+        assert resolve_metric(fn) is fn
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            resolve_metric("cosine")
+
+
+class TestPairwiseDistances:
+    def test_shape(self, rng):
+        xs = rng.uniform(size=(4, 3))
+        ys = rng.uniform(size=(6, 3))
+        assert pairwise_distances(xs, ys).shape == (4, 6)
+
+    def test_values_match_scalar_metric(self, rng):
+        xs = rng.uniform(size=(3, 2))
+        ys = rng.uniform(size=(5, 2))
+        out = pairwise_distances(xs, ys)
+        for i in range(3):
+            for j in range(5):
+                assert out[i, j] == pytest.approx(euclidean(xs[i], ys[j]))
+
+    def test_manhattan_vectorised(self, rng):
+        xs = rng.uniform(size=(3, 4))
+        ys = rng.uniform(size=(2, 4))
+        out = pairwise_distances(xs, ys, metric="manhattan")
+        for i in range(3):
+            for j in range(2):
+                assert out[i, j] == pytest.approx(manhattan(xs[i], ys[j]))
+
+    def test_chebyshev_vectorised(self, rng):
+        xs = rng.uniform(size=(3, 4))
+        ys = rng.uniform(size=(2, 4))
+        out = pairwise_distances(xs, ys, metric="chebyshev")
+        for i in range(3):
+            for j in range(2):
+                assert out[i, j] == pytest.approx(chebyshev(xs[i], ys[j]))
+
+    def test_custom_callable_loop(self, rng):
+        xs = rng.uniform(size=(2, 2))
+        ys = rng.uniform(size=(3, 2))
+        out = pairwise_distances(xs, ys, metric=squared_euclidean)
+        expected = pairwise_distances(xs, ys) ** 2
+        assert np.allclose(out, expected)
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimensionality mismatch"):
+            pairwise_distances(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_single_points_promoted(self):
+        out = pairwise_distances(np.array([0.0, 0.0]), np.array([3.0, 4.0]))
+        assert out.shape == (1, 1)
+        assert out[0, 0] == pytest.approx(5.0)

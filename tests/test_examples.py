@@ -1,0 +1,53 @@
+"""Smoke tests: the runnable examples must execute and claim success.
+
+The slowest examples (NBA, check-ins, progressive) are exercised indirectly
+through the experiment tests; the four fast ones run end to end here.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, capsys, entrypoints: tuple[str, ...] = ("main",)) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = spec.name
+    try:
+        spec.loader.exec_module(module)
+        for entry in entrypoints:
+            getattr(module, entry)()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart", capsys)
+        assert "NN candidates per spatial dominance operator" in out
+        assert "MISSING!" not in out
+
+    def test_choosing_an_operator(self, capsys):
+        out = _run_example(
+            "choosing_an_operator",
+            capsys,
+            entrypoints=("show_figure3", "show_figure4", "show_tradeoff"),
+        )
+        assert "NNC under SSD: ['A']" in out
+        assert "NNC under PSD: ['A', 'B']" in out
+
+    def test_topk_candidates(self, capsys):
+        out = _run_example("topk_candidates", capsys)
+        assert "covered: True" in out
+        assert "covered: False" not in out
+
+    def test_function_topk(self, capsys):
+        out = _run_example("function_topk", capsys)
+        assert "Pr(NN)" in out
+        assert "objects scored exactly" in out

@@ -1,0 +1,156 @@
+"""Tests for the experiment harness, parameters and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    DATASET_NAMES,
+    FIGURES,
+    build_dataset,
+    fig10_candidate_size,
+    fig14_progressive,
+    run_sweep,
+)
+from repro.experiments.harness import (
+    candidate_quality,
+    evaluate_workload,
+    progressive_profile,
+)
+from repro.experiments.params import SCALES, ExperimentParams, Scale
+from repro.experiments.report import format_table
+
+from .conftest import random_scene
+
+TEST_SCALE = Scale("test", n_factor=0.0006, m_factor=0.1, q_factor=0.1, n_queries=1)
+
+
+class TestParams:
+    def test_defaults_match_table2(self):
+        p = ExperimentParams()
+        assert (p.n, p.d, p.m_d, p.h_d, p.m_q, p.h_q) == (
+            100_000,
+            3,
+            40,
+            400.0,
+            30,
+            200.0,
+        )
+        assert p.distribution == "anti"
+
+    def test_scaling(self):
+        p = ExperimentParams().scaled(SCALES["tiny"])
+        assert p.n < 1000
+        assert p.m_d >= 2
+        assert p.n_queries == SCALES["tiny"].n_queries
+        # Density preservation inflates edges.
+        assert p.h_d > 400.0
+
+    def test_edge_factor_dimension_dependence(self):
+        s = SCALES["small"]
+        assert s.edge_factor(2) > s.edge_factor(3) > s.edge_factor(5)
+        flat = Scale("flat", 0.01, 1, 1, 1, preserve_density=False)
+        assert flat.edge_factor(3) == 1.0
+
+    def test_with_(self):
+        p = ExperimentParams().with_(m_d=99, distribution="indep")
+        assert p.m_d == 99 and p.distribution == "indep"
+
+    def test_generate_objects(self):
+        p = ExperimentParams(n=30, m_d=4).with_(distribution="indep")
+        objects = p.generate_objects()
+        assert len(objects) == 30
+
+    def test_unknown_distribution_raises(self):
+        p = ExperimentParams().with_(distribution="zipf")
+        with pytest.raises(ValueError):
+            p.generate_centers(np.random.default_rng(0))
+
+
+class TestBuildDataset:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_all_datasets_buildable(self, name):
+        params = ExperimentParams().scaled(TEST_SCALE)
+        rng = np.random.default_rng(0)
+        objects, queries = build_dataset(name, params, rng)
+        assert len(objects) == params.n
+        assert len(queries) == params.n_queries
+
+    def test_unknown_dataset_raises(self):
+        params = ExperimentParams().scaled(TEST_SCALE)
+        with pytest.raises(ValueError):
+            build_dataset("MARS", params, np.random.default_rng(0))
+
+
+class TestHarness:
+    def test_evaluate_workload(self, rng):
+        objects, query = random_scene(rng, n_objects=15, m=3, m_q=2)
+        stats = evaluate_workload(objects, [query], kinds=("SSD", "F+SD"))
+        assert set(stats) == {"SSD", "F+SD"}
+        assert stats["SSD"].avg_candidates <= stats["F+SD"].avg_candidates
+        assert stats["SSD"].avg_time > 0
+        assert stats["SSD"].counters.dominance_checks > 0
+
+    def test_progressive_profile(self, rng):
+        objects, query = random_scene(rng, n_objects=15, m=3, m_q=2)
+        rows = progressive_profile(objects, query, "SSD")
+        assert rows
+        assert rows[-1]["progress"] == pytest.approx(1.0)
+        assert all(r["quality"] >= 0 for r in rows)
+
+    def test_candidate_quality_counts_dominated(self, rng):
+        from repro.core.bruteforce import brute_s_dominates
+        from repro.core.operators import make_operator
+
+        objects, query = random_scene(rng, n_objects=10, m=3, m_q=2)
+        op = make_operator("SSD")
+        cand = objects[0]
+        expected = sum(
+            1
+            for other in objects
+            if other is not cand and brute_s_dominates(cand, other, query)
+        )
+        assert candidate_quality(objects, query, cand, op) == expected
+
+
+class TestFigures:
+    def test_fig10_tiny_structure(self):
+        result = fig10_candidate_size(TEST_SCALE, datasets=("A-N", "E-N"))
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["SSD"] <= row["F+SD"] + 1e-9
+
+    def test_sweep_structure(self):
+        rows = run_sweep("d", TEST_SCALE, kinds=("SSD",), values=[2, 3])
+        assert [r["d"] for r in rows] == [2, 3]
+        assert all("size[SSD]" in r and "time[SSD]" in r for r in rows)
+
+    def test_fig14_profile(self):
+        result = fig14_progressive(TEST_SCALE)
+        assert result.rows
+        times = [r["time_s"] for r in result.rows]
+        assert times == sorted(times)
+
+    def test_registry_complete(self):
+        expected = {
+            "fig10", "fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
+            "fig11f", "fig12", "fig13a", "fig13b", "fig13c", "fig13d",
+            "fig13e", "fig13f", "fig14", "fig16",
+        }
+        assert set(FIGURES) == expected
+
+
+class TestReport:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows, "demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_missing_cells(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "-" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([], "t")

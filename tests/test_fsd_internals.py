@@ -1,0 +1,90 @@
+"""Tests for instance-level F-SD and the F+-SD baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import brute_f_dominates
+from repro.core.context import QueryContext
+from repro.core.fsd import fplus_dominates, fsd_dominates
+from repro.geometry.mbr import mbr_dominates
+from repro.objects.uncertain import UncertainObject
+
+from .conftest import random_scene
+
+
+class TestFSDPaths:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_local_tree_and_vectorised_paths_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        objects, query = random_scene(rng, n_objects=10, m=5, m_q=3)
+        ctx = QueryContext(query)
+        for u in objects[:5]:
+            for v in objects[5:]:
+                with_trees = fsd_dominates(u, v, ctx, use_local_trees=True)
+                vectorised = fsd_dominates(u, v, ctx, use_local_trees=False)
+                brute = brute_f_dominates(u, v, query)
+                assert with_trees == vectorised == brute
+
+    def test_hull_reduction_sound(self, rng):
+        """F-SD through hull vertices only must match the all-instances check."""
+        objects, query = random_scene(rng, n_objects=8, m=4, m_q=6)
+        ctx_hull = QueryContext(query, use_hull=True)
+        ctx_full = QueryContext(query, use_hull=False)
+        for u in objects[:4]:
+            for v in objects[4:]:
+                assert fsd_dominates(u, v, ctx_hull) == fsd_dominates(
+                    u, v, ctx_full
+                )
+
+
+class TestFPlus:
+    def test_fplus_implies_fsd(self, rng):
+        objects, query = random_scene(rng, n_objects=14, m=3, m_q=2, spread=1.0)
+        ctx = QueryContext(query)
+        hits = 0
+        for u in objects:
+            for v in objects:
+                if u is v:
+                    continue
+                if fplus_dominates(u, v, ctx):
+                    hits += 1
+                    assert fsd_dominates(u, v, ctx)
+        assert hits > 0
+
+    def test_fplus_counts_mbr_tests(self, rng):
+        objects, query = random_scene(rng, n_objects=4, m=3, m_q=2)
+        ctx = QueryContext(query)
+        fplus_dominates(objects[0], objects[1], ctx)
+        assert ctx.counters.mbr_tests == 1
+
+
+class TestIdenticalObjects:
+    def test_identical_never_dominate(self):
+        q = UncertainObject([[0.0, 0.0]], oid="Q")
+        u = UncertainObject([[5.0, 0.0], [6.0, 0.0]], oid="U")
+        v = UncertainObject([[5.0, 0.0], [6.0, 0.0]], oid="V")
+        ctx = QueryContext(q)
+        assert not fsd_dominates(u, v, ctx)
+        assert not fsd_dominates(v, u, ctx)
+        assert not fplus_dominates(u, v, ctx)
+
+    def test_equal_distance_different_objects(self):
+        # Mirror images around the query: same distance distribution.
+        q = UncertainObject([[0.0, 0.0]], oid="Q")
+        u = UncertainObject([[3.0, 0.0]], oid="U")
+        v = UncertainObject([[-3.0, 0.0]], oid="V")
+        ctx = QueryContext(q)
+        assert not fsd_dominates(u, v, ctx)
+        assert not fsd_dominates(v, u, ctx)
+
+
+class TestValidationShortcut:
+    def test_strict_mbr_dominance_short_circuits(self, rng):
+        # Construct a clear dominance so the MBR validation path fires.
+        q = UncertainObject([[0.0, 0.0], [1.0, 1.0]], oid="Q")
+        u = UncertainObject([[2.0, 0.0], [2.5, 0.5]], oid="U")
+        v = UncertainObject([[50.0, 0.0], [51.0, 1.0]], oid="V")
+        assert mbr_dominates(u.mbr, v.mbr, q.mbr, strict=True)
+        ctx = QueryContext(q)
+        assert fsd_dominates(u, v, ctx)
+        assert ctx.counters.validated_by_mbr >= 1

@@ -1,0 +1,103 @@
+"""Tests for the N1 family and the stable aggregate property (Definition 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.functions.base import (
+    MaxAggregate,
+    MeanAggregate,
+    MinAggregate,
+    QuantileAggregate,
+    WeightedSumAggregate,
+    standard_aggregates,
+)
+from repro.functions.n1 import (
+    MAX,
+    MEAN,
+    MEDIAN,
+    MIN,
+    expected_distance,
+    max_distance,
+    min_distance,
+    n1_function,
+    quantile_distance,
+)
+from repro.objects.uncertain import UncertainObject
+from repro.stats.stochastic import stochastic_leq
+
+from .conftest import distributions
+
+
+class TestStability:
+    """Every shipped aggregate must satisfy Definition 8."""
+
+    @given(distributions(), distributions())
+    @settings(max_examples=120)
+    def test_stable_under_stochastic_order(self, x, y):
+        if not stochastic_leq(x, y):
+            return
+        for agg in standard_aggregates():
+            assert agg(x) <= agg(y) + 1e-9, agg.name
+
+    @given(distributions(), distributions())
+    @settings(max_examples=60)
+    def test_weighted_sum_stable(self, x, y):
+        if not stochastic_leq(x, y):
+            return
+        agg = WeightedSumAggregate(
+            ((0.5, MinAggregate()), (0.25, MeanAggregate()), (0.25, MaxAggregate()))
+        )
+        assert agg(x) <= agg(y) + 1e-9
+
+
+class TestAggregates:
+    def test_names(self):
+        assert MinAggregate().name == "min"
+        assert QuantileAggregate(0.5).name == "quantile[0.5]"
+        assert "wsum" in WeightedSumAggregate(((1.0, MinAggregate()),)).name
+
+    def test_quantile_phi_validation(self):
+        with pytest.raises(ValueError):
+            QuantileAggregate(0.0)
+        with pytest.raises(ValueError):
+            QuantileAggregate(1.1)
+
+    def test_weighted_sum_validation(self):
+        with pytest.raises(ValueError):
+            WeightedSumAggregate(())
+        with pytest.raises(ValueError):
+            WeightedSumAggregate(((-1.0, MinAggregate()),))
+
+
+class TestN1Functions:
+    @pytest.fixture
+    def scene(self):
+        query = UncertainObject([[0.0], [10.0]], oid="Q")
+        obj = UncertainObject([[1.0], [4.0]], oid="A")
+        return obj, query
+
+    def test_min_max_mean(self, scene):
+        obj, query = scene
+        # Distances: |1-0|=1, |4-0|=4, |1-10|=9, |4-10|=6.
+        assert min_distance(obj, query) == pytest.approx(1.0)
+        assert max_distance(obj, query) == pytest.approx(9.0)
+        assert expected_distance(obj, query) == pytest.approx((1 + 4 + 9 + 6) / 4)
+
+    def test_quantile_distance(self, scene):
+        obj, query = scene
+        # Sorted distances: 1, 4, 6, 9 each with mass .25.
+        assert quantile_distance(obj, query, 0.25) == pytest.approx(1.0)
+        assert quantile_distance(obj, query, 0.5) == pytest.approx(4.0)
+        assert quantile_distance(obj, query, 1.0) == pytest.approx(9.0)
+
+    def test_prebuilt_instances(self, scene):
+        obj, query = scene
+        assert MIN(obj, query) == min_distance(obj, query)
+        assert MAX(obj, query) == max_distance(obj, query)
+        assert MEAN(obj, query) == expected_distance(obj, query)
+        assert MEDIAN(obj, query) == quantile_distance(obj, query, 0.5)
+
+    def test_factory_naming(self):
+        fn = n1_function(QuantileAggregate(0.75))
+        assert "quantile[0.75]" in fn.__name__

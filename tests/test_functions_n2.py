@@ -1,0 +1,175 @@
+"""Tests for the N2 family: the exact DP against brute-force enumeration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions.n2 import (
+    PossibleWorldScores,
+    brute_force_rank_distribution,
+    enumerate_worlds,
+    expected_rank,
+    global_topk_score,
+    nn_probability,
+    parameterized_rank_score,
+    u_topk_score,
+)
+from repro.objects.uncertain import UncertainObject
+
+from .conftest import random_scene, uncertain_objects
+
+
+class TestEnumerateWorlds:
+    def test_world_probabilities_sum_to_one(self, rng):
+        objects, query = random_scene(rng, n_objects=3, m=2, m_q=2)
+        total = sum(p for _, _, p in enumerate_worlds(objects, query))
+        assert total == pytest.approx(1.0)
+
+    def test_world_count(self):
+        objects = [
+            UncertainObject([[0.0], [1.0]]),
+            UncertainObject([[2.0], [3.0], [4.0]]),
+        ]
+        query = UncertainObject([[5.0], [6.0]])
+        worlds = list(enumerate_worlds(objects, query))
+        assert len(worlds) == 2 * 3 * 2
+
+
+class TestRankDistribution:
+    def test_matches_bruteforce_small(self, rng):
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            objects, query = random_scene(
+                local, n_objects=3, m=2, m_q=2, uniform_probs=False
+            )
+            pw = PossibleWorldScores(objects, query)
+            for i in range(len(objects)):
+                exact = pw.rank_distribution(i)
+                brute = brute_force_rank_distribution(i, objects, query)
+                assert np.allclose(exact, brute, atol=1e-9), (seed, i)
+
+    @given(
+        uncertain_objects(max_instances=2),
+        uncertain_objects(max_instances=2),
+        uncertain_objects(max_instances=2),
+        uncertain_objects(max_instances=2, uniform_probs=True),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_bruteforce_property(self, a, b, c, query):
+        objects = [a, b, c]
+        pw = PossibleWorldScores(objects, query)
+        for i in range(3):
+            exact = pw.rank_distribution(i)
+            brute = brute_force_rank_distribution(i, objects, query)
+            assert np.allclose(exact, brute, atol=1e-9)
+
+    def test_pmf_sums_to_one(self, rng):
+        objects, query = random_scene(rng, n_objects=5, m=3, m_q=2)
+        pw = PossibleWorldScores(objects, query)
+        for i in range(5):
+            assert pw.rank_distribution(i).sum() == pytest.approx(1.0)
+
+    def test_cache_returns_same_array(self, rng):
+        objects, query = random_scene(rng, n_objects=3, m=2, m_q=2)
+        pw = PossibleWorldScores(objects, query)
+        assert pw.rank_distribution(0) is pw.rank_distribution(0)
+
+    def test_empty_objects_raise(self):
+        with pytest.raises(ValueError):
+            PossibleWorldScores([], UncertainObject([[0.0]]))
+
+
+class TestScores:
+    def test_nn_probabilities_sum_near_one(self, rng):
+        # Without distance ties, exactly one object is NN per world.
+        objects, query = random_scene(rng, n_objects=4, m=3, m_q=2)
+        pw = PossibleWorldScores(objects, query)
+        total = sum(pw.nn_probability(i) for i in range(4))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_expected_rank_bounds(self, rng):
+        objects, query = random_scene(rng, n_objects=4, m=3, m_q=2)
+        pw = PossibleWorldScores(objects, query)
+        for i in range(4):
+            assert 1.0 - 1e-9 <= pw.expected_rank(i) <= 4.0 + 1e-9
+
+    def test_topk_monotone_in_k(self, rng):
+        objects, query = random_scene(rng, n_objects=5, m=2, m_q=2)
+        pw = PossibleWorldScores(objects, query)
+        for i in range(5):
+            probs = [pw.topk_probability(i, k) for k in range(1, 6)]
+            assert all(a <= b + 1e-9 for a, b in zip(probs, probs[1:]))
+            assert probs[-1] == pytest.approx(1.0)
+
+    def test_topk_validation(self, rng):
+        objects, query = random_scene(rng, n_objects=2, m=2, m_q=2)
+        with pytest.raises(ValueError):
+            PossibleWorldScores(objects, query).topk_probability(0, 0)
+
+    def test_parameterized_recovers_expected_rank(self, rng):
+        objects, query = random_scene(rng, n_objects=4, m=2, m_q=2)
+        pw = PossibleWorldScores(objects, query)
+        for i in range(4):
+            assert pw.parameterized_score(i, lambda r: float(r)) == pytest.approx(
+                pw.expected_rank(i)
+            )
+
+    def test_parameterized_recovers_nn_probability(self, rng):
+        objects, query = random_scene(rng, n_objects=4, m=2, m_q=2)
+        pw = PossibleWorldScores(objects, query)
+        omega = lambda r: -1.0 if r == 1 else 0.0  # noqa: E731
+        for i in range(4):
+            assert pw.parameterized_score(i, omega) == pytest.approx(
+                -pw.nn_probability(i)
+            )
+
+
+class TestWrappers:
+    def test_wrappers_consistent(self, rng):
+        objects, query = random_scene(rng, n_objects=3, m=2, m_q=2)
+        pw = PossibleWorldScores(objects, query)
+        assert nn_probability(0, objects, query) == pytest.approx(
+            pw.nn_probability(0)
+        )
+        assert expected_rank(1, objects, query) == pytest.approx(
+            pw.expected_rank(1)
+        )
+        assert global_topk_score(2, objects, query, 2) == pytest.approx(
+            -pw.topk_probability(2, 2)
+        )
+        assert u_topk_score(2, objects, query, 2) == global_topk_score(
+            2, objects, query, 2
+        )
+        assert parameterized_rank_score(
+            0, objects, query, lambda r: r
+        ) == pytest.approx(pw.expected_rank(0))
+
+
+class TestProbabilisticThresholdTopK:
+    def test_threshold_filters(self, rng):
+        from repro.functions.n2 import probabilistic_threshold_topk
+
+        objects, query = random_scene(rng, n_objects=5, m=2, m_q=2)
+        pw = PossibleWorldScores(objects, query)
+        for k in (1, 2):
+            for p in (0.1, 0.5, 0.9):
+                got = probabilistic_threshold_topk(objects, query, k, p)
+                want = [
+                    i for i in range(5) if pw.topk_probability(i, k) >= p - 1e-12
+                ]
+                assert got == want
+
+    def test_threshold_one_requires_certainty(self, rng):
+        from repro.functions.n2 import probabilistic_threshold_topk
+
+        objects, query = random_scene(rng, n_objects=4, m=2, m_q=2)
+        got = probabilistic_threshold_topk(objects, query, len(objects), 1.0)
+        assert got == list(range(len(objects)))  # top-n is certain
+
+    def test_invalid_threshold(self, rng):
+        from repro.functions.n2 import probabilistic_threshold_topk
+
+        objects, query = random_scene(rng, n_objects=2, m=2, m_q=2)
+        with pytest.raises(ValueError):
+            probabilistic_threshold_topk(objects, query, 1, 0.0)

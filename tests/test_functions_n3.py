@@ -1,0 +1,134 @@
+"""Tests for the N3 family: Hausdorff, SumMin, EMD / Netflow."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.functions.n3 import (
+    earth_movers_distance,
+    hausdorff_distance,
+    netflow_distance,
+    sum_of_min_distances,
+)
+from repro.objects.uncertain import UncertainObject
+
+from .conftest import random_object
+
+
+def _emd_bruteforce_uniform(obj, query):
+    """Optimal transport between equal-size uniform objects by permutation."""
+    m = len(obj)
+    assert len(query) == m
+    dists = np.linalg.norm(
+        query.points[:, None, :] - obj.points[None, :, :], axis=2
+    )
+    best = np.inf
+    for perm in itertools.permutations(range(m)):
+        cost = sum(dists[i, perm[i]] for i in range(m)) / m
+        best = min(best, cost)
+    return best
+
+
+class TestHausdorff:
+    def test_identical_objects_zero(self, rng):
+        obj = random_object(rng, m=4)
+        same = UncertainObject(obj.points, obj.probs)
+        assert hausdorff_distance(obj, same) == pytest.approx(0.0)
+
+    def test_symmetry(self, rng):
+        a = random_object(rng, m=4)
+        b = random_object(rng, m=3)
+        assert hausdorff_distance(a, b) == pytest.approx(hausdorff_distance(b, a))
+
+    def test_known_value(self):
+        a = UncertainObject([[0.0], [1.0]])
+        q = UncertainObject([[0.0], [5.0]])
+        # max(min dists): a-side max(0, 4->? ) a1->0, a2->1; q-side q2->4.
+        assert hausdorff_distance(a, q) == pytest.approx(4.0)
+
+    def test_triangle_inequality(self, rng):
+        a, b, c = (random_object(rng, m=3) for _ in range(3))
+        assert hausdorff_distance(a, c) <= (
+            hausdorff_distance(a, b) + hausdorff_distance(b, c) + 1e-9
+        )
+
+    def test_upper_bounds_summin(self, rng):
+        a = random_object(rng, m=4)
+        q = random_object(rng, m=4)
+        assert sum_of_min_distances(a, q) <= hausdorff_distance(a, q) + 1e-9
+
+
+class TestSumOfMinDistances:
+    def test_identical_zero(self, rng):
+        obj = random_object(rng, m=5)
+        assert sum_of_min_distances(obj, obj) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        a = UncertainObject([[0.0], [2.0]])
+        q = UncertainObject([[0.0], [4.0]])
+        # a-side: (0 + 2)/2 weighted .5 each -> 1.0; q-side: (0 + 2)/2 -> 1.0.
+        assert sum_of_min_distances(a, q) == pytest.approx(1.0)
+
+    def test_nonnegative(self, rng):
+        a = random_object(rng, m=3)
+        q = random_object(rng, m=4)
+        assert sum_of_min_distances(a, q) >= 0.0
+
+
+class TestEMD:
+    def test_identical_zero(self, rng):
+        obj = random_object(rng, m=4)
+        assert earth_movers_distance(obj, obj) == pytest.approx(0.0, abs=1e-9)
+
+    def test_point_masses(self):
+        a = UncertainObject([[0.0, 0.0]])
+        q = UncertainObject([[3.0, 4.0]])
+        assert earth_movers_distance(a, q) == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_permutation_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 5))
+        obj = UncertainObject(rng.uniform(0, 10, size=(m, 2)))
+        query = UncertainObject(rng.uniform(0, 10, size=(m, 2)))
+        assert earth_movers_distance(obj, query) == pytest.approx(
+            _emd_bruteforce_uniform(obj, query), abs=1e-6
+        )
+
+    def test_unequal_sizes_and_masses(self):
+        # Mass 1 split 0.5/0.5 against a single query point at distance 1, 3.
+        obj = UncertainObject([[1.0], [3.0]], [0.5, 0.5])
+        query = UncertainObject([[0.0]])
+        assert earth_movers_distance(obj, query) == pytest.approx(2.0)
+
+    def test_paper_figure4_values(self):
+        from repro.datasets.paper_examples import figure4
+
+        scene = figure4()
+        assert earth_movers_distance(scene["A"], scene.query) == pytest.approx(
+            4.0, abs=1e-6
+        )
+        assert earth_movers_distance(scene["B"], scene.query) == pytest.approx(
+            3.75, abs=1e-6
+        )
+
+    def test_symmetry(self, rng):
+        a = random_object(rng, m=3)
+        b = random_object(rng, m=4)
+        assert earth_movers_distance(a, b) == pytest.approx(
+            earth_movers_distance(b, a), abs=1e-6
+        )
+
+    def test_triangle_inequality(self, rng):
+        a, b, c = (random_object(rng, m=3) for _ in range(3))
+        assert earth_movers_distance(a, c) <= (
+            earth_movers_distance(a, b) + earth_movers_distance(b, c) + 1e-6
+        )
+
+    def test_netflow_alias(self, rng):
+        a = random_object(rng, m=3)
+        q = random_object(rng, m=2)
+        assert netflow_distance(a, q) == pytest.approx(
+            earth_movers_distance(a, q)
+        )

@@ -1,0 +1,89 @@
+"""Tests for dataset serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.objects.io import load_objects, save_objects
+from repro.objects.uncertain import UncertainObject
+
+from .conftest import random_object
+
+
+class TestRoundTrip:
+    def test_basic(self, tmp_path, rng):
+        objects = [random_object(rng, m=4, oid=i) for i in range(7)]
+        path = tmp_path / "data.npz"
+        save_objects(path, objects)
+        loaded = load_objects(path)
+        assert len(loaded) == 7
+        for orig, back in zip(objects, loaded):
+            assert back.oid == orig.oid
+            assert np.allclose(back.points, orig.points)
+            assert np.allclose(back.probs, orig.probs)
+
+    def test_varied_instance_counts(self, tmp_path, rng):
+        objects = [random_object(rng, m=m, oid=f"o{m}") for m in (1, 3, 9)]
+        path = tmp_path / "data.npz"
+        save_objects(path, objects)
+        loaded = load_objects(path)
+        assert [len(o) for o in loaded] == [1, 3, 9]
+        assert [o.oid for o in loaded] == ["o1", "o3", "o9"]
+
+    def test_weighted_probs(self, tmp_path):
+        obj = UncertainObject([[0.0], [1.0], [2.0]], [0.2, 0.3, 0.5], oid=0)
+        path = tmp_path / "w.npz"
+        save_objects(path, [obj])
+        assert np.allclose(load_objects(path)[0].probs, [0.2, 0.3, 0.5])
+
+    def test_none_oid_becomes_index(self, tmp_path):
+        objects = [UncertainObject([[float(i)]]) for i in range(3)]
+        path = tmp_path / "n.npz"
+        save_objects(path, objects)
+        assert [o.oid for o in load_objects(path)] == [0, 1, 2]
+
+    def test_string_oids_preserved(self, tmp_path):
+        obj = UncertainObject([[1.0]], oid="alice")
+        path = tmp_path / "s.npz"
+        save_objects(path, [obj])
+        assert load_objects(path)[0].oid == "alice"
+
+
+class TestValidation:
+    def test_empty_dataset_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_objects(tmp_path / "e.npz", [])
+
+    def test_mixed_dims_rejected(self, tmp_path):
+        objects = [
+            UncertainObject([[0.0]]),
+            UncertainObject([[0.0, 1.0]]),
+        ]
+        with pytest.raises(ValueError):
+            save_objects(tmp_path / "m.npz", objects)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "v.npz"
+        np.savez(
+            path,
+            version=np.int64(99),
+            offsets=np.array([0, 1]),
+            points=np.zeros((1, 2)),
+            probs=np.ones(1),
+            oids=np.array(["x"]),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_objects(path)
+
+
+class TestSearchOnLoaded:
+    def test_loaded_dataset_searchable(self, tmp_path, rng):
+        from repro.core.nnc import nn_candidates
+
+        objects = [random_object(rng, m=3, oid=i) for i in range(12)]
+        query = random_object(rng, m=2, oid="Q")
+        path = tmp_path / "d.npz"
+        save_objects(path, objects)
+        loaded = load_objects(path)
+        assert sorted(nn_candidates(loaded, query, "SSD").oids()) == sorted(
+            nn_candidates(objects, query, "SSD").oids()
+        )

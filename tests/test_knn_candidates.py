@@ -1,0 +1,105 @@
+"""Tests for k-NN candidates (the k-skyband generalisation of Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import (
+    brute_f_dominates,
+    brute_p_dominates,
+    brute_s_dominates,
+    brute_ss_dominates,
+)
+from repro.core.nnc import NNCSearch, nn_candidates
+from repro.objects.uncertain import UncertainObject
+
+from .conftest import random_scene
+
+BRUTES = {
+    "SSD": brute_s_dominates,
+    "SSSD": brute_ss_dominates,
+    "PSD": brute_p_dominates,
+    "FSD": brute_f_dominates,
+}
+
+
+def brute_force_knnc(objects, query, dominates, k):
+    """Objects dominated by fewer than k others (definition)."""
+    out = []
+    for v in objects:
+        count = sum(1 for u in objects if u is not v and dominates(u, v, query))
+        if count < k:
+            out.append(v.oid)
+    return sorted(out)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("kind", ["SSD", "SSSD", "PSD", "FSD"])
+    @pytest.mark.parametrize("k", [1, 2, 3, 7])
+    def test_random_scene(self, kind, k):
+        rng = np.random.default_rng(k * 17)
+        objects, query = random_scene(rng, n_objects=22, m=4, m_q=3)
+        got = sorted(nn_candidates(objects, query, kind, k=k).oids())
+        want = brute_force_knnc(objects, query, BRUTES[kind], k)
+        assert got == want
+
+    def test_ties(self, rng):
+        objects = [
+            UncertainObject(
+                rng.integers(0, 6, size=(3, 2)).astype(float), oid=i
+            )
+            for i in range(15)
+        ]
+        query = UncertainObject(
+            rng.integers(0, 6, size=(2, 2)).astype(float), oid="Q"
+        )
+        for k in (1, 2, 4):
+            got = sorted(nn_candidates(objects, query, "SSD", k=k).oids())
+            want = brute_force_knnc(objects, query, brute_s_dominates, k)
+            assert got == want, k
+
+
+class TestSkybandStructure:
+    def test_monotone_in_k(self, rng):
+        objects, query = random_scene(rng, n_objects=20, m=3, m_q=2)
+        search = NNCSearch(objects)
+        previous: set = set()
+        for k in (1, 2, 3, 4):
+            current = set(search.run(query, "SSD", k=k).oids())
+            assert previous <= current
+            previous = current
+
+    def test_k_at_least_population_returns_all(self, rng):
+        objects, query = random_scene(rng, n_objects=10, m=3, m_q=2)
+        result = nn_candidates(objects, query, "SSD", k=len(objects))
+        assert sorted(result.oids()) == sorted(o.oid for o in objects)
+
+    def test_k1_equals_nnc(self, rng):
+        objects, query = random_scene(rng, n_objects=15, m=3, m_q=2)
+        search = NNCSearch(objects)
+        assert sorted(search.run(query, "PSD").oids()) == sorted(
+            search.run(query, "PSD", k=1).oids()
+        )
+
+    def test_invalid_k(self, rng):
+        objects, query = random_scene(rng, n_objects=3, m=2, m_q=2)
+        with pytest.raises(ValueError):
+            nn_candidates(objects, query, "SSD", k=0)
+
+    def test_topk_covers_topk_function_winners(self, rng):
+        """The k best objects under any N1 function are k-NN candidates."""
+        from repro.functions.n1 import expected_distance, max_distance
+
+        objects, query = random_scene(rng, n_objects=15, m=3, m_q=2)
+        k = 3
+        skyband = set(nn_candidates(objects, query, "SSD", k=k).oids())
+        for fn in (expected_distance, max_distance):
+            ranked = sorted(objects, key=lambda o: fn(o, query))[:k]
+            for obj in ranked:
+                assert obj.oid in skyband, fn.__name__
+
+    def test_stream_topk(self, rng):
+        objects, query = random_scene(rng, n_objects=15, m=3, m_q=2)
+        search = NNCSearch(objects)
+        streamed = [o.oid for o in search.stream(query, "SSD", k=2)]
+        batch = search.run(query, "SSD", k=2).oids()
+        assert streamed == batch

@@ -1,0 +1,69 @@
+"""Tests for Match / is_valid_match (Definition 4, Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.objects.match import Match, MatchTuple, is_valid_match
+
+# Figure 7 objects: A = {(a1,.5),(a2,.3),(a3,.2)}, B = {(b1,.5),(b2,.5)}.
+A_PROBS = [0.5, 0.3, 0.2]
+B_PROBS = [0.5, 0.5]
+
+
+class TestFigure7:
+    def test_figure_7a_valid(self):
+        match = Match(
+            [MatchTuple(0, 0, 0.5), MatchTuple(1, 1, 0.3), MatchTuple(2, 1, 0.2)]
+        )
+        assert is_valid_match(match, A_PROBS, B_PROBS)
+
+    def test_figure_7b_valid_with_splits(self):
+        match = Match(
+            [
+                MatchTuple(0, 0, 0.2),
+                MatchTuple(0, 1, 0.3),
+                MatchTuple(1, 0, 0.3),
+                MatchTuple(2, 1, 0.2),
+            ]
+        )
+        assert is_valid_match(match, A_PROBS, B_PROBS)
+
+    def test_figure_7c_invalid(self):
+        # The paper's non-match: marginals do not reproduce the masses.
+        match = Match(
+            [
+                MatchTuple(0, 0, 0.5),
+                MatchTuple(1, 0, 0.3),
+                MatchTuple(2, 1, 0.2),
+            ]
+        )
+        assert not is_valid_match(match, A_PROBS, B_PROBS)
+
+
+class TestValidation:
+    def test_negative_probability_invalid(self):
+        match = Match([MatchTuple(0, 0, -0.1), MatchTuple(0, 0, 1.1)])
+        assert not is_valid_match(match, [1.0], [1.0])
+
+    def test_out_of_range_indices_invalid(self):
+        match = Match([MatchTuple(5, 0, 1.0)])
+        assert not is_valid_match(match, [1.0], [1.0])
+
+    def test_empty_match_only_for_zero_mass(self):
+        assert not is_valid_match(Match([]), [1.0], [1.0])
+
+    def test_marginals(self):
+        match = Match(
+            [MatchTuple(0, 0, 0.25), MatchTuple(0, 1, 0.75), MatchTuple(1, 1, 0.0)]
+        )
+        assert np.allclose(match.marginal_u(2), [1.0, 0.0])
+        assert np.allclose(match.marginal_v(2), [0.25, 0.75])
+
+    def test_len_and_iter(self):
+        match = Match([MatchTuple(0, 0, 1.0)])
+        assert len(match) == 1
+        assert [t.p for t in match] == [1.0]
+
+    def test_repr(self):
+        match = Match([MatchTuple(0, 1, 0.5)])
+        assert "<0,1,0.5>" in repr(match)

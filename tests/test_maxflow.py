@@ -1,0 +1,124 @@
+"""Tests for the Dinic max-flow solver (cross-checked against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.flow.maxflow import FlowNetwork, max_flow
+
+
+class TestBasics:
+    def test_single_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 3.5)
+        assert max_flow(net, 0, 1) == pytest.approx(3.5)
+
+    def test_two_disjoint_paths(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 3, 1.0)
+        net.add_edge(0, 2, 2.0)
+        net.add_edge(2, 3, 2.0)
+        assert max_flow(net, 0, 3) == pytest.approx(3.0)
+
+    def test_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(1, 2, 0.25)
+        assert max_flow(net, 0, 2) == pytest.approx(0.25)
+
+    def test_no_path(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1.0)
+        assert max_flow(net, 0, 2) == 0.0
+
+    def test_needs_residual_rerouting(self):
+        # Classic example where a greedy augmenting path must be undone.
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(0, 2, 1.0)
+        net.add_edge(1, 2, 1.0)
+        net.add_edge(1, 3, 1.0)
+        net.add_edge(2, 3, 1.0)
+        assert max_flow(net, 0, 3) == pytest.approx(2.0)
+
+    def test_same_source_sink_raises(self):
+        with pytest.raises(ValueError):
+            max_flow(FlowNetwork(2), 0, 0)
+
+    def test_negative_capacity_raises(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1.0)
+
+    def test_out_of_range_raises(self):
+        net = FlowNetwork(2)
+        with pytest.raises(IndexError):
+            net.add_edge(0, 5, 1.0)
+
+    def test_edge_count(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 2, 1.0)
+        assert net.edge_count == 2
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 12))
+        density = 0.4
+        edges = []
+        for u in range(n):
+            for v in range(n):
+                if u != v and rng.random() < density:
+                    edges.append((u, v, float(rng.uniform(0.1, 5.0))))
+        net = FlowNetwork(n)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        for u, v, c in edges:
+            net.add_edge(u, v, c)
+            if g.has_edge(u, v):
+                g[u][v]["capacity"] += c
+            else:
+                g.add_edge(u, v, capacity=c)
+        expected = nx.maximum_flow_value(g, 0, n - 1)
+        assert max_flow(net, 0, n - 1) == pytest.approx(expected, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_bipartite_transport(self, seed):
+        """The exact network shape the P-SD reduction produces."""
+        rng = np.random.default_rng(100 + seed)
+        m, k = int(rng.integers(2, 6)), int(rng.integers(2, 6))
+        u_probs = rng.dirichlet(np.ones(m))
+        v_probs = rng.dirichlet(np.ones(k))
+        adj = rng.random((m, k)) < 0.5
+        net = FlowNetwork(m + k + 2)
+        g = nx.DiGraph()
+        source, sink = 0, m + k + 1
+        for i in range(m):
+            net.add_edge(source, 1 + i, float(u_probs[i]))
+            g.add_edge(source, 1 + i, capacity=float(u_probs[i]))
+        for j in range(k):
+            net.add_edge(1 + m + j, sink, float(v_probs[j]))
+            g.add_edge(1 + m + j, sink, capacity=float(v_probs[j]))
+        for i in range(m):
+            for j in range(k):
+                if adj[i, j]:
+                    net.add_edge(1 + i, 1 + m + j, 2.0)
+                    g.add_edge(1 + i, 1 + m + j, capacity=2.0)
+        expected = nx.maximum_flow_value(g, source, sink) if g.has_node(sink) else 0.0
+        assert max_flow(net, source, sink) == pytest.approx(expected, abs=1e-9)
+
+    def test_full_bipartite_saturates(self):
+        m, k = 3, 2
+        net = FlowNetwork(m + k + 2)
+        for i in range(m):
+            net.add_edge(0, 1 + i, 1.0 / m)
+        for j in range(k):
+            net.add_edge(1 + m + j, m + k + 1, 1.0 / k)
+        for i in range(m):
+            for j in range(k):
+                net.add_edge(1 + i, 1 + m + j, 2.0)
+        assert max_flow(net, 0, m + k + 1) == pytest.approx(1.0)

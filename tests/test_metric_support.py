@@ -1,0 +1,140 @@
+"""Tests for non-Euclidean metric support (Section 2.1's extension remark).
+
+The distribution-based operators work under any Minkowski metric; the
+Euclidean-only geometric filters are disabled automatically.  Every operator
+and the full Algorithm 1 search are checked against metric-aware brute
+forces.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.context import QueryContext
+from repro.core.nnc import NNCSearch
+from repro.core.operators import make_operator
+from repro.geometry.distance import pairwise_distances
+from repro.stats.distribution import DiscreteDistribution
+from repro.stats.stochastic import stochastic_equal, stochastic_leq
+
+from .conftest import random_scene
+
+METRICS = ["manhattan", "chebyshev"]
+
+
+def _dist(obj, query, metric):
+    d = pairwise_distances(query.points, obj.points, metric)
+    probs = np.outer(query.probs, obj.probs)
+    return DiscreteDistribution(d.ravel(), probs.ravel())
+
+
+def _brute_s(u, v, query, metric):
+    du, dv = _dist(u, query, metric), _dist(v, query, metric)
+    return stochastic_leq(du, dv) and not stochastic_equal(du, dv)
+
+
+def _brute_ss(u, v, query, metric):
+    du = pairwise_distances(query.points, u.points, metric)
+    dv = pairwise_distances(query.points, v.points, metric)
+    for qi in range(len(query)):
+        a = DiscreteDistribution(du[qi], u.probs)
+        b = DiscreteDistribution(dv[qi], v.probs)
+        if not stochastic_leq(a, b):
+            return False
+    return not stochastic_equal(_dist(u, query, metric), _dist(v, query, metric))
+
+
+def _brute_f(u, v, query, metric):
+    du = pairwise_distances(u.points, query.points, metric)
+    dv = pairwise_distances(v.points, query.points, metric)
+    if np.any(du.max(axis=0) > dv.min(axis=0) + 1e-9):
+        return False
+    return not stochastic_equal(_dist(u, query, metric), _dist(v, query, metric))
+
+
+def _brute_p(u, v, query, metric):
+    from repro.flow.maxflow import FlowNetwork, max_flow
+
+    du = pairwise_distances(u.points, query.points, metric)
+    dv = pairwise_distances(v.points, query.points, metric)
+    adj = np.all(du[:, None, :] <= dv[None, :, :] + 1e-9, axis=2)
+    m, n = len(u), len(v)
+    net = FlowNetwork(m + n + 2)
+    for i in range(m):
+        net.add_edge(0, 1 + i, float(u.probs[i]))
+    for j in range(n):
+        net.add_edge(1 + m + j, m + n + 1, float(v.probs[j]))
+    for i in range(m):
+        for j in range(n):
+            if adj[i, j]:
+                net.add_edge(1 + i, 1 + m + j, 2.0)
+    if max_flow(net, 0, m + n + 1) < 1.0 - 1e-6:
+        return False
+    return not stochastic_equal(_dist(u, query, metric), _dist(v, query, metric))
+
+
+BRUTES = {"SSD": _brute_s, "SSSD": _brute_ss, "PSD": _brute_p, "FSD": _brute_f}
+
+
+class TestOperatorsUnderMetrics:
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("kind", ["SSD", "SSSD", "PSD", "FSD"])
+    def test_agree_with_bruteforce(self, metric, kind):
+        rng = np.random.default_rng(5)
+        objects, query = random_scene(rng, n_objects=10, m=4, m_q=3)
+        ctx = QueryContext(query, metric=metric)
+        op = make_operator(kind, use_level=True)
+        for u, v in itertools.permutations(objects, 2):
+            assert op.dominates(u, v, ctx) == BRUTES[kind](u, v, query, metric), (
+                u.oid,
+                v.oid,
+            )
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_context_disables_euclidean_machinery(self, metric):
+        rng = np.random.default_rng(1)
+        objects, query = random_scene(rng, n_objects=3, m=3, m_q=4)
+        ctx = QueryContext(query, metric=metric)
+        assert not ctx.is_euclidean
+        # No hull reduction: every query instance participates.
+        assert ctx.hull_points.shape[0] == len(query)
+
+
+class TestSearchUnderMetrics:
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("kind", ["SSD", "SSSD", "PSD"])
+    def test_nnc_matches_bruteforce(self, metric, kind):
+        rng = np.random.default_rng(9)
+        objects, query = random_scene(rng, n_objects=18, m=4, m_q=3)
+        ctx = QueryContext(query, metric=metric)
+        result = NNCSearch(objects).run(query, kind, ctx=ctx)
+        brute = BRUTES[kind]
+        expected = sorted(
+            v.oid
+            for v in objects
+            if not any(u is not v and brute(u, v, query, metric) for u in objects)
+        )
+        assert sorted(result.oids()) == expected
+
+    def test_metrics_give_different_results_sometimes(self):
+        """Sanity: the metric genuinely matters on anisotropic data."""
+        rng = np.random.default_rng(123)
+        diffs = 0
+        for _ in range(10):
+            objects, query = random_scene(rng, n_objects=15, m=3, m_q=2)
+            search = NNCSearch(objects)
+            e = sorted(search.run(query, "SSD", ctx=QueryContext(query)).oids())
+            m = sorted(
+                search.run(
+                    query, "SSD", ctx=QueryContext(query, metric="manhattan")
+                ).oids()
+            )
+            diffs += e != m
+        assert diffs > 0
+
+    def test_unknown_metric_rejected(self):
+        rng = np.random.default_rng(0)
+        objects, query = random_scene(rng, n_objects=2, m=2, m_q=2)
+        with pytest.raises(KeyError):
+            QueryContext(query, metric="cosine")

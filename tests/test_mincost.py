@@ -1,0 +1,101 @@
+"""Tests for the min-cost max-flow solver (EMD backbone)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.flow.mincost import MinCostFlowNetwork, min_cost_flow
+
+
+class TestBasics:
+    def test_single_path_cost(self):
+        net = MinCostFlowNetwork(3)
+        net.add_edge(0, 1, 2.0, 1.5)
+        net.add_edge(1, 2, 2.0, 0.5)
+        flow, cost = min_cost_flow(net, 0, 2)
+        assert flow == pytest.approx(2.0)
+        assert cost == pytest.approx(2.0 * 2.0)
+
+    def test_prefers_cheap_path(self):
+        net = MinCostFlowNetwork(4)
+        net.add_edge(0, 1, 1.0, 10.0)
+        net.add_edge(1, 3, 1.0, 10.0)
+        net.add_edge(0, 2, 1.0, 1.0)
+        net.add_edge(2, 3, 1.0, 1.0)
+        flow, cost = min_cost_flow(net, 0, 3, max_value=1.0)
+        assert flow == pytest.approx(1.0)
+        assert cost == pytest.approx(2.0)
+
+    def test_max_value_cap(self):
+        net = MinCostFlowNetwork(2)
+        net.add_edge(0, 1, 5.0, 1.0)
+        flow, cost = min_cost_flow(net, 0, 1, max_value=2.5)
+        assert flow == pytest.approx(2.5)
+        assert cost == pytest.approx(2.5)
+
+    def test_disconnected(self):
+        net = MinCostFlowNetwork(3)
+        net.add_edge(0, 1, 1.0, 1.0)
+        flow, cost = min_cost_flow(net, 0, 2)
+        assert flow == 0.0
+        assert cost == 0.0
+
+    def test_negative_cost_rejected(self):
+        net = MinCostFlowNetwork(2)
+        net.add_edge(0, 1, 1.0, -2.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            min_cost_flow(net, 0, 1)
+
+
+class TestAgainstAssignment:
+    """Balanced unit assignment == min-cost perfect matching (Hungarian)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_hungarian(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        costs = rng.uniform(0, 10, size=(n, n))
+        net = MinCostFlowNetwork(2 * n + 2)
+        source, sink = 0, 2 * n + 1
+        for i in range(n):
+            net.add_edge(source, 1 + i, 1.0, 0.0)
+            net.add_edge(1 + n + i, sink, 1.0, 0.0)
+        for i in range(n):
+            for j in range(n):
+                net.add_edge(1 + i, 1 + n + j, float("inf"), float(costs[i, j]))
+        flow, cost = min_cost_flow(net, source, sink)
+        rows, cols = linear_sum_assignment(costs)
+        assert flow == pytest.approx(float(n))
+        assert cost == pytest.approx(float(costs[rows, cols].sum()), abs=1e-6)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_integer_instances(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        n = int(rng.integers(4, 9))
+        net = MinCostFlowNetwork(n)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        for u in range(n):
+            for v in range(n):
+                if u != v and rng.random() < 0.45:
+                    cap = int(rng.integers(1, 5))
+                    cost = int(rng.integers(0, 8))
+                    net.add_edge(u, v, float(cap), float(cost))
+                    if g.has_edge(u, v):
+                        continue
+                    g.add_edge(u, v, capacity=cap, weight=cost)
+        # Rebuild our net to skip parallel edges too (match the nx graph).
+        net = MinCostFlowNetwork(n)
+        for u, v, data in g.edges(data=True):
+            net.add_edge(u, v, float(data["capacity"]), float(data["weight"]))
+        source, sink = 0, n - 1
+        expected_flow = nx.maximum_flow_value(g, source, sink)
+        expected_cost = nx.cost_of_flow(
+            g, nx.max_flow_min_cost(g, source, sink)
+        )
+        flow, cost = min_cost_flow(net, source, sink)
+        assert flow == pytest.approx(expected_flow, abs=1e-6)
+        assert cost == pytest.approx(expected_cost, abs=1e-6)

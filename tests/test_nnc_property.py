@@ -1,0 +1,96 @@
+"""Hypothesis-driven end-to-end property tests for Algorithm 1.
+
+These fuzz the whole stack — random weighted objects on a coarse grid (so
+distance ties are common) against the brute-force NNC definition — for each
+operator, for k-skybands, and for the headline inclusion guarantees.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bruteforce import (
+    brute_f_dominates,
+    brute_force_nnc,
+    brute_p_dominates,
+    brute_s_dominates,
+    brute_ss_dominates,
+)
+from repro.core.nnc import NNCSearch, nn_candidates
+
+from .conftest import uncertain_objects
+
+BRUTES = {
+    "SSD": brute_s_dominates,
+    "SSSD": brute_ss_dominates,
+    "PSD": brute_p_dominates,
+    "FSD": brute_f_dominates,
+}
+
+small_scenes = st.tuples(
+    st.lists(
+        uncertain_objects(max_instances=3, coord_range=8.0),
+        min_size=2,
+        max_size=7,
+    ),
+    uncertain_objects(max_instances=3, coord_range=8.0, uniform_probs=True),
+)
+
+
+def _with_ids(objects):
+    out = []
+    for i, obj in enumerate(objects):
+        obj.oid = i
+        out.append(obj)
+    return out
+
+
+class TestAlgorithmOneFuzz:
+    @given(small_scenes)
+    @settings(max_examples=40, deadline=None)
+    def test_every_operator_matches_bruteforce(self, scene):
+        objects, query = scene
+        objects = _with_ids(objects)
+        search = NNCSearch(objects)
+        for kind, brute in BRUTES.items():
+            got = sorted(search.run(query, kind).oids())
+            want = sorted(
+                o.oid for o in brute_force_nnc(objects, query, brute)
+            )
+            assert got == want, kind
+
+    @given(small_scenes, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_skyband_matches_bruteforce(self, scene, k):
+        objects, query = scene
+        objects = _with_ids(objects)
+        got = sorted(nn_candidates(objects, query, "SSD", k=k).oids())
+        want = sorted(
+            v.oid
+            for v in objects
+            if sum(
+                1
+                for u in objects
+                if u is not v and brute_s_dominates(u, v, query)
+            )
+            < k
+        )
+        assert got == want
+
+    @given(small_scenes)
+    @settings(max_examples=30, deadline=None)
+    def test_candidate_nesting(self, scene):
+        objects, query = scene
+        objects = _with_ids(objects)
+        search = NNCSearch(objects)
+        sets = {
+            kind: set(search.run(query, kind).oids()) for kind in BRUTES
+        }
+        assert sets["SSD"] <= sets["SSSD"] <= sets["PSD"] <= sets["FSD"]
+
+    @given(small_scenes)
+    @settings(max_examples=25, deadline=None)
+    def test_nnc_never_empty(self, scene):
+        objects, query = scene
+        objects = _with_ids(objects)
+        for kind in BRUTES:
+            assert len(nn_candidates(objects, query, kind)) >= 1, kind

@@ -1,0 +1,112 @@
+"""Tests for the NN-core baseline (Yuen et al., reference [36])."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.nncore import nn_core, supersede_probability, supersedes
+from repro.core.nnc import nn_candidates
+from repro.datasets.paper_examples import figure1
+from repro.functions.n1 import expected_distance, max_distance
+from repro.objects.uncertain import UncertainObject
+
+from .conftest import random_scene
+
+
+class TestSupersedeProbability:
+    def test_figure1_pairwise_probabilities(self):
+        scene = figure1()
+        q = scene.query
+        assert supersede_probability(scene["A"], scene["B"], q) == pytest.approx(0.6)
+        assert supersede_probability(scene["A"], scene["C"], q) == pytest.approx(0.6)
+        assert supersede_probability(scene["B"], scene["C"], q) == pytest.approx(0.6)
+
+    def test_complement(self, rng):
+        objects, query = random_scene(rng, n_objects=4, m=3, m_q=2)
+        for u, v in itertools.permutations(objects, 2):
+            p_uv = supersede_probability(u, v, query)
+            p_vu = supersede_probability(v, u, query)
+            assert p_uv + p_vu == pytest.approx(1.0)
+
+    def test_tie_split(self):
+        q = UncertainObject([[0.0]], oid="Q")
+        u = UncertainObject([[1.0]], oid="U")
+        v = UncertainObject([[-1.0]], oid="V")
+        assert supersede_probability(u, v, q) == pytest.approx(0.5)
+        assert supersedes(u, v, q) and supersedes(v, u, q)
+
+    def test_clear_winner(self):
+        q = UncertainObject([[0.0]], oid="Q")
+        u = UncertainObject([[1.0]], oid="U")
+        v = UncertainObject([[5.0]], oid="V")
+        assert supersede_probability(u, v, q) == pytest.approx(1.0)
+
+
+class TestNNCore:
+    def test_figure1_core_is_a(self):
+        scene = figure1()
+        core = nn_core(scene.object_list(), scene.query)
+        assert [o.oid for o in core] == ["A"]
+
+    def test_figure1_core_misses_function_winners(self):
+        """The paper's motivating claim: NN-core excludes the max-distance
+        and expected-distance NN objects, which our operators retain."""
+        scene = figure1()
+        objects = scene.object_list()
+        q = scene.query
+        core_ids = {o.oid for o in nn_core(objects, q)}
+        max_winner = min(objects, key=lambda o: max_distance(o, q)).oid
+        mean_winner = min(objects, key=lambda o: expected_distance(o, q)).oid
+        assert max_winner not in core_ids
+        assert mean_winner not in core_ids
+        # The S-SD candidate set keeps both.
+        ssd = set(nn_candidates(objects, q, "SSD").oids())
+        assert max_winner in ssd and mean_winner in ssd
+
+    def test_core_members_supersede_outsiders(self, rng):
+        objects, query = random_scene(rng, n_objects=10, m=3, m_q=2)
+        core = nn_core(objects, query)
+        core_ids = {o.oid for o in core}
+        for member in core:
+            for other in objects:
+                if other.oid not in core_ids:
+                    assert supersedes(member, other, query)
+
+    def test_core_minimality(self, rng):
+        """No single core member may be dropped: inside a top cycle every
+        member is beaten by some other member (unless the core is {x})."""
+        objects, query = random_scene(rng, n_objects=10, m=3, m_q=2)
+        core = nn_core(objects, query)
+        if len(core) == 1:
+            return
+        for member in core:
+            beaten = any(
+                other is not member and supersedes(other, member, query)
+                for other in core
+            )
+            assert beaten
+
+    def test_trivial_sizes(self, rng):
+        query = UncertainObject([[0.0]], oid="Q")
+        assert nn_core([], query) == []
+        only = UncertainObject([[1.0]], oid="X")
+        assert nn_core([only], query) == [only]
+
+    def test_condorcet_cycle_kept_whole(self):
+        """A rock-paper-scissors supersede cycle must stay in the core."""
+        # Engineer a 3-cycle on a line with a single query instance at 0.
+        # A = {1 (p .6), 9}, B = {2 (.6), 4}: A beats B with .6.
+        # B vs C and C vs A similar, by rotating the pattern.
+        q = UncertainObject([[0.0]], oid="Q")
+        a = UncertainObject([[2.0], [10.0]], [0.6, 0.4], oid="A")
+        b = UncertainObject([[6.0], [1.0]], [0.6, 0.4], oid="B")
+        c = UncertainObject([[4.0], [3.0]], [0.6, 0.4], oid="C")
+        probs = {
+            ("A", "B"): supersede_probability(a, b, q),
+            ("B", "C"): supersede_probability(b, c, q),
+            ("C", "A"): supersede_probability(c, a, q),
+        }
+        if all(p > 0.5 for p in probs.values()):
+            core = nn_core([a, b, c], q)
+            assert len(core) == 3

@@ -1,0 +1,132 @@
+"""Operator-level tests: every filter stack must agree with brute force."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import (
+    brute_f_dominates,
+    brute_p_dominates,
+    brute_s_dominates,
+    brute_ss_dominates,
+)
+from repro.core.context import QueryContext
+from repro.core.operators import OperatorKind, make_operator
+
+from .conftest import random_scene
+
+BRUTES = {
+    "SSD": brute_s_dominates,
+    "SSSD": brute_ss_dominates,
+    "PSD": brute_p_dominates,
+    "FSD": brute_f_dominates,
+}
+
+
+def _check_agreement(objects, query, kind, **flags):
+    op = make_operator(kind, **flags)
+    brute = BRUTES[kind]
+    ctx = QueryContext(query)
+    for u, v in itertools.permutations(objects, 2):
+        assert op.dominates(u, v, ctx) == brute(u, v, query), (
+            kind,
+            flags,
+            u.oid,
+            v.oid,
+        )
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("kind", ["SSD", "SSSD", "PSD", "FSD"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_default_flags(self, kind, seed):
+        rng = np.random.default_rng(seed)
+        objects, query = random_scene(rng, n_objects=12, m=4, m_q=3)
+        _check_agreement(objects, query, kind)
+
+    @pytest.mark.parametrize("kind", ["SSD", "SSSD", "PSD"])
+    def test_no_filters(self, kind, rng):
+        objects, query = random_scene(rng, n_objects=10, m=4, m_q=3)
+        _check_agreement(
+            objects,
+            query,
+            kind,
+            use_statistics=False,
+            use_mbr_validation=False,
+            use_cover_pruning=False,
+            use_geometry=False,
+            use_level=False,
+        )
+
+    @pytest.mark.parametrize("kind", ["SSD", "SSSD", "PSD", "FSD"])
+    def test_level_filters_on(self, kind, rng):
+        objects, query = random_scene(rng, n_objects=10, m=6, m_q=3)
+        _check_agreement(objects, query, kind, use_level=True)
+
+    @pytest.mark.parametrize("kind", ["SSD", "SSSD", "PSD"])
+    def test_each_flag_alone(self, kind, rng):
+        objects, query = random_scene(rng, n_objects=8, m=5, m_q=3)
+        base = dict(
+            use_statistics=False,
+            use_mbr_validation=False,
+            use_cover_pruning=False,
+            use_geometry=False,
+            use_level=False,
+        )
+        for flag in base:
+            flags = dict(base)
+            flags[flag] = True
+            _check_agreement(objects, query, kind, **flags)
+
+    def test_weighted_instances(self, rng):
+        objects, query = random_scene(
+            rng, n_objects=10, m=4, m_q=3, uniform_probs=False
+        )
+        for kind in ["SSD", "SSSD", "PSD", "FSD"]:
+            _check_agreement(objects, query, kind)
+
+    def test_three_dimensional(self, rng):
+        objects, query = random_scene(rng, n_objects=8, m=4, m_q=4, dim=3)
+        for kind in ["SSD", "SSSD", "PSD", "FSD"]:
+            _check_agreement(objects, query, kind)
+
+    def test_single_query_instance(self, rng):
+        objects, query = random_scene(rng, n_objects=10, m=4, m_q=1)
+        for kind in ["SSD", "SSSD", "PSD", "FSD"]:
+            _check_agreement(objects, query, kind)
+
+    def test_duplicate_objects_never_dominate_each_other(self, rng):
+        from repro.objects.uncertain import UncertainObject
+
+        objects, query = random_scene(rng, n_objects=3, m=3, m_q=2)
+        clone = UncertainObject(objects[0].points, objects[0].probs, oid="clone")
+        ctx = QueryContext(query)
+        for kind in ["SSD", "SSSD", "PSD", "FSD"]:
+            op = make_operator(kind)
+            assert not op.dominates(objects[0], clone, ctx), kind
+            assert not op.dominates(clone, objects[0], ctx), kind
+
+
+class TestOperatorFactory:
+    def test_by_enum_and_string(self):
+        assert make_operator(OperatorKind.P_SD).name == "PSD"
+        assert make_operator("F+SD").name == "F+SD"
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_operator("XSD")
+
+    def test_flags_recorded(self):
+        op = make_operator("SSD", use_level=True, use_statistics=False)
+        assert op.use_level and not op.use_statistics
+
+    def test_fplus_is_mbr_only(self, rng):
+        from repro.geometry.mbr import mbr_dominates
+
+        objects, query = random_scene(rng, n_objects=8, m=3, m_q=2)
+        op = make_operator("F+SD")
+        ctx = QueryContext(query)
+        for u, v in itertools.permutations(objects, 2):
+            expected = mbr_dominates(u.mbr, v.mbr, query.mbr, strict=True)
+            assert op.dominates(u, v, ctx) == expected

@@ -1,0 +1,177 @@
+"""Tests for the optimality theorems (5, 6, 7, 8): correctness + completeness.
+
+Correctness: SD(U, V, Q) must imply f(U) <= f(V) for every function the
+operator covers.  Completeness: when the dominance fails, some covered
+function must prefer V (tested constructively where the proof is
+constructive, via the paper's separating examples otherwise).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import (
+    brute_p_dominates,
+    brute_s_dominates,
+    brute_ss_dominates,
+)
+from repro.functions import n1, n3
+from repro.functions.base import standard_aggregates
+from repro.functions.n2 import PossibleWorldScores
+from repro.stats.stochastic import stochastic_leq
+
+from .conftest import random_scene
+
+
+def _scenes(n_scenes=4, **kwargs):
+    for seed in range(n_scenes):
+        rng = np.random.default_rng(1000 + seed)
+        yield random_scene(rng, n_objects=8, m=3, m_q=2, spread=1.5, **kwargs)
+
+
+class TestTheorem5SSD:
+    """S-SD is optimal w.r.t. N1."""
+
+    def test_correctness_for_all_n1(self):
+        hits = 0
+        for objects, query in _scenes():
+            for u in objects:
+                for v in objects:
+                    if u is v or not brute_s_dominates(u, v, query):
+                        continue
+                    hits += 1
+                    du = u.distance_distribution(query)
+                    dv = v.distance_distribution(query)
+                    for agg in standard_aggregates(
+                        quantiles=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+                    ):
+                        assert agg(du) <= agg(dv) + 1e-9, agg.name
+        assert hits > 0
+
+    def test_completeness_quantile_witness(self):
+        """not S-SD(U,V) => some phi-quantile ranks V strictly better.
+
+        The proof of Theorem 5 constructs the witness: pick a lambda where
+        the CDFs cross and use phi = Pr(V_Q <= lambda).
+        """
+        checked = 0
+        for objects, query in _scenes():
+            for u in objects:
+                for v in objects:
+                    if u is v:
+                        continue
+                    du = u.distance_distribution(query)
+                    dv = v.distance_distribution(query)
+                    if stochastic_leq(du, dv) or stochastic_leq(dv, du):
+                        continue  # need genuine incomparability (no f either way)
+                    checked += 1
+                    witness = False
+                    for lam in np.union1d(du.values, dv.values):
+                        phi = dv.cdf(lam)
+                        if phi <= 0:
+                            continue
+                        if dv.quantile(phi) < du.quantile(phi) - 1e-9:
+                            witness = True
+                            break
+                    assert witness, "no quantile separates an incomparable pair"
+        assert checked > 0
+
+
+class TestTheorem6SSSD:
+    """SS-SD is optimal w.r.t. N1 ∪ N2."""
+
+    def test_correctness_for_n2_scores(self):
+        hits = 0
+        for objects, query in _scenes():
+            pw = PossibleWorldScores(objects, query)
+            idx = {id(o): i for i, o in enumerate(objects)}
+            for u in objects:
+                for v in objects:
+                    if u is v or not brute_ss_dominates(u, v, query):
+                        continue
+                    hits += 1
+                    iu, iv = idx[id(u)], idx[id(v)]
+                    assert pw.nn_probability(iu) >= pw.nn_probability(iv) - 1e-9
+                    assert pw.expected_rank(iu) <= pw.expected_rank(iv) + 1e-9
+                    for k in (1, 2, 3):
+                        assert (
+                            pw.topk_probability(iu, k)
+                            >= pw.topk_probability(iv, k) - 1e-9
+                        )
+        assert hits > 0
+
+    def test_not_covering_n3_witness(self):
+        """Figure 4: SS-SD holds while EMD disagrees."""
+        from repro.datasets.paper_examples import figure4
+
+        scene = figure4()
+        assert brute_ss_dominates(scene["A"], scene["B"], scene.query)
+        assert n3.earth_movers_distance(
+            scene["A"], scene.query
+        ) > n3.earth_movers_distance(scene["B"], scene.query)
+
+    def test_s_sd_not_covering_n2_witness(self):
+        """Figure 3: S-SD holds while NN probability disagrees."""
+        from repro.datasets.paper_examples import figure3
+
+        scene = figure3()
+        objects = scene.object_list()  # A, B, C
+        assert brute_s_dominates(scene["A"], scene["C"], scene.query)
+        pw = PossibleWorldScores(objects, scene.query)
+        assert pw.nn_probability(2) > pw.nn_probability(0)
+
+
+class TestTheorem7PSD:
+    """P-SD is optimal w.r.t. N1 ∪ N2 ∪ N3."""
+
+    def test_correctness_for_n3_functions(self):
+        hits = 0
+        for objects, query in _scenes():
+            for u in objects:
+                for v in objects:
+                    if u is v or not brute_p_dominates(u, v, query):
+                        continue
+                    hits += 1
+                    for fn in (
+                        n3.hausdorff_distance,
+                        n3.sum_of_min_distances,
+                        n3.earth_movers_distance,
+                    ):
+                        assert fn(u, query) <= fn(v, query) + 1e-6, fn.__name__
+        assert hits > 0
+
+    def test_correctness_for_n1_functions(self):
+        hits = 0
+        for objects, query in _scenes():
+            for u in objects:
+                for v in objects:
+                    if u is v or not brute_p_dominates(u, v, query):
+                        continue
+                    hits += 1
+                    assert n1.min_distance(u, query) <= n1.min_distance(v, query) + 1e-9
+                    assert n1.max_distance(u, query) <= n1.max_distance(v, query) + 1e-9
+                    assert (
+                        n1.expected_distance(u, query)
+                        <= n1.expected_distance(v, query) + 1e-9
+                    )
+        assert hits > 0
+
+
+class TestTheorem8FSDNotComplete:
+    def test_fsd_redundant_candidate(self):
+        """Figure 4: ¬F-SD(A,C) yet f(A) <= f(C) for every covered family —
+        F-SD keeps C even though it can never win."""
+        from repro.core.bruteforce import brute_f_dominates
+        from repro.datasets.paper_examples import figure4
+
+        scene = figure4()
+        a, c, q = scene["A"], scene["C"], scene.query
+        assert not brute_f_dominates(a, c, q)
+        assert brute_p_dominates(a, c, q)  # P-SD proves C is redundant
+        for fn in (
+            n3.hausdorff_distance,
+            n3.earth_movers_distance,
+            n1.min_distance,
+            n1.max_distance,
+            n1.expected_distance,
+        ):
+            assert fn(a, q) <= fn(c, q) + 1e-6

@@ -1,0 +1,151 @@
+"""Golden tests: every relation stated in the paper's worked examples."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import (
+    brute_f_dominates,
+    brute_p_dominates,
+    brute_s_dominates,
+    brute_ss_dominates,
+)
+from repro.core.nnc import nn_candidates
+from repro.core.psd import build_psd_network
+from repro.core.context import QueryContext
+from repro.datasets import paper_examples as pe
+from repro.flow.maxflow import max_flow
+from repro.functions.n1 import expected_distance, max_distance, min_distance
+from repro.functions.n2 import PossibleWorldScores
+from repro.functions.n3 import earth_movers_distance
+
+
+class TestFigure1:
+    def test_nn_core_misses_function_winners(self):
+        scene = pe.figure1()
+        objects = scene.object_list()
+        q = scene.query
+        # A supersedes B and C; B supersedes C (probability 0.6 each):
+        # with a single query instance, "supersedes" is Pr(closer) > 0.5.
+        pw = PossibleWorldScores(objects, q)
+        # C is NN under max distance.
+        assert min(objects, key=lambda o: max_distance(o, q)).oid == "C"
+        # B is NN under expected distance.
+        assert min(objects, key=lambda o: expected_distance(o, q)).oid == "B"
+        # A is NN under min distance and NN probability.
+        assert min(objects, key=lambda o: min_distance(o, q)).oid == "A"
+        assert max(range(3), key=lambda i: pw.nn_probability(i)) == 0
+
+
+class TestFigure3:
+    def test_all_stated_relations(self):
+        scene = pe.figure3()
+        q = scene.query
+        assert brute_s_dominates(scene["A"], scene["B"], q)
+        assert brute_s_dominates(scene["A"], scene["C"], q)
+        assert not brute_s_dominates(scene["B"], scene["C"], q)
+        assert brute_ss_dominates(scene["A"], scene["B"], q)
+        assert not brute_ss_dominates(scene["A"], scene["C"], q)
+
+    def test_nn_probabilities(self):
+        scene = pe.figure3()
+        pw = PossibleWorldScores(scene.object_list(), scene.query)
+        assert pw.nn_probability(0) == pytest.approx(0.375)
+        assert pw.nn_probability(1) == pytest.approx(0.125)
+        assert pw.nn_probability(2) == pytest.approx(0.5)
+
+    def test_nnc_sets(self):
+        scene = pe.figure3()
+        objects = scene.object_list()
+        assert sorted(nn_candidates(objects, scene.query, "SSD").oids()) == ["A"]
+        assert sorted(nn_candidates(objects, scene.query, "SSSD").oids()) == [
+            "A",
+            "C",
+        ]
+
+    def test_distance_distribution_values(self):
+        scene = pe.figure3()
+        a_q = scene["A"].distance_distribution(scene.query)
+        assert list(a_q.values) == [1.0, 2.0, 18.0, 19.0]
+        assert np.allclose(a_q.probs, 0.25)
+
+
+class TestFigure4:
+    def test_all_stated_relations(self):
+        scene = pe.figure4()
+        q = scene.query
+        assert brute_ss_dominates(scene["A"], scene["B"], q)
+        assert brute_s_dominates(scene["A"], scene["B"], q)
+        assert not brute_p_dominates(scene["A"], scene["B"], q)
+        assert brute_p_dominates(scene["A"], scene["C"], q)
+        assert not brute_f_dominates(scene["A"], scene["C"], q)
+
+    def test_emd_values(self):
+        scene = pe.figure4()
+        assert earth_movers_distance(scene["A"], scene.query) == pytest.approx(4.0)
+        assert earth_movers_distance(scene["B"], scene.query) == pytest.approx(3.75)
+
+    def test_nnc_sets(self):
+        scene = pe.figure4()
+        objects = scene.object_list()
+        assert sorted(nn_candidates(objects, scene.query, "SSSD").oids()) == ["A"]
+        assert sorted(nn_candidates(objects, scene.query, "PSD").oids()) == [
+            "A",
+            "B",
+        ]
+
+
+class TestFigure6Example2:
+    def test_scene_a(self):
+        scene_a, _ = pe.figure6()
+        q = scene_a.query
+        a_q = scene_a["A"].distance_distribution(q)
+        b_q = scene_a["B"].distance_distribution(q)
+        assert list(a_q.values) == [3.0, 17.0]
+        assert list(b_q.values) == [5.0, 25.0]
+        assert brute_s_dominates(scene_a["A"], scene_a["B"], q)
+        assert not brute_ss_dominates(scene_a["A"], scene_a["B"], q)
+
+    def test_scene_b(self):
+        _, scene_b = pe.figure6()
+        q = scene_b.query
+        a_q = scene_b["A"].distance_distribution(q)
+        assert list(a_q.values) == [5.0, 8.0, 10.0, 23.0]
+        assert brute_ss_dominates(scene_b["A"], scene_b["B"], q)
+
+
+class TestFigure8Example3:
+    def test_psd_through_identity_match(self):
+        scene = pe.figure8()
+        assert brute_p_dominates(scene["A"], scene["B"], scene.query)
+
+    def test_distances_as_stated(self):
+        scene = pe.figure8()
+        d = np.linalg.norm(
+            scene.query.points[:, None, :] - scene["A"].points[None, :, :], axis=2
+        )
+        assert d[0, 0] == pytest.approx(5.0)
+        assert d[1, 0] == pytest.approx(15.0)
+        assert d[0, 1] == pytest.approx(20.0)
+        assert d[1, 1] == pytest.approx(10.0)
+
+
+class TestFigure9Example5:
+    def test_network_and_flow(self):
+        scene = pe.figure9()
+        ctx = QueryContext(scene.query)
+        net, source, sink, adj = build_psd_network(scene["U"], scene["V"], ctx)
+        # Stated adjacency: u1,u2 -> both; u3 -> v2 only.
+        assert adj.tolist() == [[True, True], [True, True], [False, True]]
+        assert max_flow(net, source, sink) == pytest.approx(1.0)
+        assert brute_p_dominates(scene["U"], scene["V"], scene.query)
+
+
+class TestFigure15Theorem3:
+    def test_collapse_and_fsd_gap(self):
+        scene = pe.figure15()
+        q = scene.query
+        a, b = scene["A"], scene["B"]
+        assert brute_s_dominates(a, b, q)
+        assert brute_ss_dominates(a, b, q)
+        assert brute_p_dominates(a, b, q)
+        assert not brute_f_dominates(a, b, q)

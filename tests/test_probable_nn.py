@@ -1,0 +1,74 @@
+"""Tests for the top-k probable NN query (reference [7] style)."""
+
+import numpy as np
+import pytest
+
+from repro.functions.n2 import PossibleWorldScores
+from repro.query import probable_nn
+from repro.query.probable_nn import top_k_probable_nn
+
+from .conftest import random_scene
+
+
+def _brute_topk(objects, query, k):
+    pw = PossibleWorldScores(objects, query)
+    scored = sorted(
+        ((pw.nn_probability(i), i) for i in range(len(objects))),
+        key=lambda t: (-t[0], t[1]),
+    )
+    return scored[:k]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_matches_bruteforce(self, seed, k):
+        rng = np.random.default_rng(seed)
+        objects, query = random_scene(rng, n_objects=15, m=3, m_q=2)
+        got = top_k_probable_nn(objects, query, k)
+        want = _brute_topk(objects, query, k)
+        assert [p for p, _ in got] == pytest.approx([p for p, _ in want])
+
+    def test_probabilities_ordered(self, rng):
+        objects, query = random_scene(rng, n_objects=12, m=3, m_q=2)
+        got = top_k_probable_nn(objects, query, 5)
+        probs = [p for p, _ in got]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_k_exceeds_population(self, rng):
+        objects, query = random_scene(rng, n_objects=4, m=2, m_q=2)
+        got = top_k_probable_nn(objects, query, 10)
+        assert len(got) == 4
+        assert sum(p for p, _ in got) == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_and_invalid(self, rng):
+        _, query = random_scene(rng, n_objects=1, m=2, m_q=2)
+        assert top_k_probable_nn([], query, 1) == []
+        objects, query = random_scene(rng, n_objects=2, m=2, m_q=2)
+        with pytest.raises(ValueError):
+            top_k_probable_nn(objects, query, 0)
+
+
+class TestBoundEffectiveness:
+    def test_bounds_skip_exact_scores_on_separated_data(self, rng):
+        # Well-separated clusters: most objects have near-zero bounds.
+        from repro.objects.uncertain import UncertainObject
+
+        centers = np.linspace(0, 500, 40)
+        objects = [
+            UncertainObject(rng.normal([c, 0.0], 0.5, size=(3, 2)), oid=i)
+            for i, c in enumerate(centers)
+        ]
+        query = UncertainObject(rng.normal([0.0, 0.0], 0.5, size=(3, 2)), oid="Q")
+        got = top_k_probable_nn(objects, query, 1)
+        assert got[0][1].oid == 0
+        assert probable_nn.last_exact_evaluations < len(objects) // 2
+
+    def test_winner_is_candidate(self, rng):
+        """Coherence: the probable-NN winner is an SS-SD candidate."""
+        from repro.core.nnc import nn_candidates
+
+        objects, query = random_scene(rng, n_objects=15, m=3, m_q=2)
+        got = top_k_probable_nn(objects, query, 1)
+        sssd = set(nn_candidates(objects, query, "SSSD").oids())
+        assert got[0][1].oid in sssd

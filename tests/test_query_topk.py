@@ -1,0 +1,136 @@
+"""Tests for the function-specific top-k engine and its bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import QueryContext
+from repro.functions import n3
+from repro.functions.base import (
+    MaxAggregate,
+    MeanAggregate,
+    MinAggregate,
+    QuantileAggregate,
+    standard_aggregates,
+)
+from repro.query.bounds import (
+    aggregate_bounds,
+    emd_lower_bound,
+    hausdorff_lower_bound,
+    mbr_score_bounds,
+    object_centroid,
+)
+from repro.query.topk import (
+    FunctionTopK,
+    aggregate_scorer,
+    emd_scorer,
+    hausdorff_scorer,
+    summin_scorer,
+    top_k,
+)
+
+from .conftest import random_object, random_scene
+
+
+class TestBounds:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mbr_bounds_bracket_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        obj = random_object(rng, m=6, oid=0)
+        query = random_object(rng, m=4, oid="Q")
+        for agg in standard_aggregates():
+            lo, hi = mbr_score_bounds(obj.mbr, query, agg)
+            exact = agg(obj.distance_distribution(query))
+            assert lo <= exact + 1e-9, agg.name
+            assert exact <= hi + 1e-9, agg.name
+
+    def test_partition_bounds_tighter_than_mbr(self, rng):
+        obj = random_object(rng, m=16, oid=0)
+        query = random_object(rng, m=4, oid="Q")
+        ctx = QueryContext(query)
+        agg = MeanAggregate()
+        mbr_lo, mbr_hi = mbr_score_bounds(obj.mbr, query, agg)
+        part_lo, part_hi = aggregate_bounds(obj, ctx, agg)
+        exact = agg(obj.distance_distribution(query))
+        assert mbr_lo - 1e-9 <= part_lo <= exact + 1e-9
+        assert exact - 1e-9 <= part_hi <= mbr_hi + 1e-9
+
+    def test_hausdorff_bound_admissible(self, rng):
+        for _ in range(5):
+            obj = random_object(rng, m=5, oid=0)
+            query = random_object(rng, m=3, oid="Q")
+            bound = hausdorff_lower_bound(obj.mbr, query)
+            assert bound <= n3.hausdorff_distance(obj, query) + 1e-9
+
+    def test_emd_bound_admissible(self, rng):
+        for _ in range(5):
+            obj = random_object(rng, m=5, oid=0, uniform_probs=False)
+            query = random_object(rng, m=3, oid="Q")
+            bound = emd_lower_bound(object_centroid(obj), query)
+            assert bound <= n3.earth_movers_distance(obj, query) + 1e-6
+
+
+class TestTopK:
+    @pytest.mark.parametrize(
+        "aggregate",
+        [MinAggregate(), MaxAggregate(), MeanAggregate(), QuantileAggregate(0.5)],
+        ids=lambda a: a.name,
+    )
+    def test_matches_bruteforce_n1(self, aggregate, rng):
+        objects, query = random_scene(rng, n_objects=40, m=4, m_q=3)
+        engine = FunctionTopK(objects)
+        for k in (1, 3, 7):
+            got = engine.query(query, aggregate, k)
+            exact = sorted(
+                (aggregate(o.distance_distribution(query)), i, o)
+                for i, o in enumerate(objects)
+            )
+            want_scores = [s for s, _, _ in exact[:k]]
+            assert [s for s, _ in got] == pytest.approx(want_scores)
+
+    @pytest.mark.parametrize(
+        "scorer,fn",
+        [
+            (hausdorff_scorer(), n3.hausdorff_distance),
+            (summin_scorer(), n3.sum_of_min_distances),
+            (emd_scorer(), n3.earth_movers_distance),
+        ],
+        ids=["hausdorff", "summin", "emd"],
+    )
+    def test_matches_bruteforce_n3(self, scorer, fn, rng):
+        objects, query = random_scene(rng, n_objects=25, m=3, m_q=2)
+        got = top_k(objects, query, scorer, k=3)
+        want = sorted(fn(o, query) for o in objects)[:3]
+        assert [s for s, _ in got] == pytest.approx(want, abs=1e-6)
+
+    def test_bounds_avoid_exact_scores(self, rng):
+        """The engine must score far fewer objects than the dataset size."""
+        objects, query = random_scene(rng, n_objects=120, m=4, m_q=3, spread=0.8)
+        engine = FunctionTopK(objects)
+        engine.query(query, MeanAggregate(), k=1)
+        assert engine.last_exact_scores < len(objects) * 0.7
+
+    def test_k_larger_than_population(self, rng):
+        objects, query = random_scene(rng, n_objects=5, m=3, m_q=2)
+        got = top_k(objects, query, MeanAggregate(), k=50)
+        assert len(got) == 5
+        assert [s for s, _ in got] == sorted(s for s, _ in got)
+
+    def test_invalid_k(self, rng):
+        objects, query = random_scene(rng, n_objects=3, m=2, m_q=2)
+        with pytest.raises(ValueError):
+            top_k(objects, query, MeanAggregate(), k=0)
+
+    def test_empty_collection(self, rng):
+        query = random_object(rng, oid="Q")
+        assert FunctionTopK([]).query(query, MeanAggregate(), 3) == []
+
+    def test_top1_is_candidate(self, rng):
+        """Coherence with the candidate framework: the winner under any N1
+        aggregate is an S-SD candidate."""
+        from repro.core.nnc import nn_candidates
+
+        objects, query = random_scene(rng, n_objects=30, m=3, m_q=2)
+        ssd = set(nn_candidates(objects, query, "SSD").oids())
+        for agg in standard_aggregates():
+            (_, winner), *_ = top_k(objects, query, agg, k=1)
+            assert winner.oid in ssd, agg.name

@@ -1,0 +1,78 @@
+"""Tests for the function registry and the headline NNC guarantee.
+
+The end-to-end promise of the paper: for every function in a family, its NN
+object appears in the candidate set of the operator covering that family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.nnc import nn_candidates
+from repro.functions.registry import (
+    FunctionFamily,
+    default_function_suite,
+    shared_possible_worlds,
+)
+
+from .conftest import random_scene
+
+
+class TestSuiteStructure:
+    def test_families_present(self):
+        suite = default_function_suite()
+        assert suite.family(FunctionFamily.N1)
+        assert suite.family(FunctionFamily.N2)
+        assert suite.family(FunctionFamily.N3)
+        assert len(suite.family(FunctionFamily.N1, FunctionFamily.N2)) == len(
+            suite.family(FunctionFamily.N1)
+        ) + len(suite.family(FunctionFamily.N2))
+
+    def test_custom_quantiles_and_topk(self):
+        suite = default_function_suite(quantiles=(0.9,), topk=(3,))
+        names = [f.name for f in suite]
+        assert "quantile[0.9]" in names
+        assert "global-top3" in names
+
+    def test_iteration_and_len(self):
+        suite = default_function_suite()
+        assert len(list(suite)) == len(suite)
+
+
+class TestSharedPossibleWorlds:
+    def test_cache_hit(self, rng):
+        objects, query = random_scene(rng, n_objects=4, m=2, m_q=2)
+        a = shared_possible_worlds(objects, query)
+        b = shared_possible_worlds(objects, query)
+        assert a is b
+
+    def test_cache_distinguishes_queries(self, rng):
+        objects, q1 = random_scene(rng, n_objects=4, m=2, m_q=2)
+        _, q2 = random_scene(rng, n_objects=1, m=2, m_q=2)
+        assert shared_possible_worlds(objects, q1) is not shared_possible_worlds(
+            objects, q2
+        )
+
+
+class TestHeadlineGuarantee:
+    """NN under any covered function is always an NNC candidate."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_nn_always_in_covering_candidate_set(self, seed):
+        rng = np.random.default_rng(seed)
+        objects, query = random_scene(rng, n_objects=12, m=3, m_q=3)
+        suite = default_function_suite(quantiles=(0.25, 0.5, 0.75), topk=(1, 2))
+        ssd = set(nn_candidates(objects, query, "SSD").oids())
+        sssd = set(nn_candidates(objects, query, "SSSD").oids())
+        psd = set(nn_candidates(objects, query, "PSD").oids())
+        for fn in suite:
+            winner = objects[fn.nearest(objects, query)].oid
+            assert winner in psd, (fn.name, "PSD must cover all families")
+            if fn.family in (FunctionFamily.N1, FunctionFamily.N2):
+                assert winner in sssd, (fn.name, "SSSD must cover N1+N2")
+            if fn.family is FunctionFamily.N1:
+                assert winner in ssd, (fn.name, "SSD must cover N1")
+
+    def test_nearest_tie_break_deterministic(self, rng):
+        objects, query = random_scene(rng, n_objects=5, m=2, m_q=2)
+        fn = default_function_suite().family(FunctionFamily.N1)[0]
+        assert fn.nearest(objects, query) == fn.nearest(objects, query)

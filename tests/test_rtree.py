@@ -1,0 +1,261 @@
+"""Tests for the R-tree substrate."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mbr import MBR
+from repro.index.rtree import RTree
+
+
+def _point_entries(rng, n, dim=2, lo=0.0, hi=100.0):
+    pts = rng.uniform(lo, hi, size=(n, dim))
+    return pts, [(MBR(p, p), i) for i, p in enumerate(pts)]
+
+
+def _box_entries(rng, n, dim=2):
+    los = rng.uniform(0, 90, size=(n, dim))
+    sizes = rng.uniform(0, 10, size=(n, dim))
+    return [(MBR(lo, lo + sz), i) for i, (lo, sz) in enumerate(zip(los, sizes))]
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.range_search(MBR(np.zeros(2), np.ones(2))) == []
+        assert tree.nearest(np.zeros(2)) == []
+
+    def test_bulk_load_sizes(self, rng):
+        for n in [1, 2, 7, 8, 9, 50, 200]:
+            _, entries = _point_entries(rng, n)
+            tree = RTree.bulk_load(entries, max_entries=8)
+            assert len(tree) == n
+            assert len(tree.all_entries()) == n
+
+    def test_insert_matches_bulk(self, rng):
+        pts, entries = _point_entries(rng, 80)
+        bulk = RTree.bulk_load(entries, max_entries=6)
+        inc = RTree(max_entries=6)
+        for mbr, payload in entries:
+            inc.insert(mbr, payload)
+        assert len(inc) == len(bulk) == 80
+        box = MBR(np.array([20.0, 20.0]), np.array([60.0, 60.0]))
+        got_bulk = sorted(p for _, p in bulk.range_search(box))
+        got_inc = sorted(p for _, p in inc.range_search(box))
+        assert got_bulk == got_inc
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+
+    def test_node_mbrs_contain_children(self, rng):
+        entries = _box_entries(rng, 120)
+        tree = RTree.bulk_load(entries, max_entries=5)
+
+        def check(node):
+            if node.is_leaf:
+                for mbr, _ in node.entries:
+                    assert node.mbr.contains(mbr)
+            else:
+                for child in node.children:
+                    assert node.mbr.contains(child.mbr)
+                    check(child)
+
+        check(tree.root)
+
+    def test_node_mbrs_contain_children_after_inserts(self, rng):
+        tree = RTree(max_entries=4)
+        for mbr, payload in _box_entries(rng, 60):
+            tree.insert(mbr, payload)
+
+        def check(node):
+            if node.is_leaf:
+                for mbr, _ in node.entries:
+                    assert node.mbr.contains(mbr)
+            else:
+                for child in node.children:
+                    assert node.mbr.contains(child.mbr)
+                    check(child)
+
+        check(tree.root)
+
+    def test_fanout_respected(self, rng):
+        _, entries = _point_entries(rng, 300)
+        tree = RTree.bulk_load(entries, max_entries=8)
+
+        def check(node):
+            assert node.member_count() <= 8
+            if not node.is_leaf:
+                for child in node.children:
+                    check(child)
+
+        check(tree.root)
+
+    def test_height_grows_logarithmically(self, rng):
+        _, small = _point_entries(rng, 8)
+        _, large = _point_entries(rng, 512)
+        t_small = RTree.bulk_load(small, max_entries=8)
+        t_large = RTree.bulk_load(large, max_entries=8)
+        assert t_small.height() <= 2
+        assert t_large.height() <= 4
+
+
+class TestQueries:
+    def test_range_search_matches_bruteforce(self, rng):
+        pts, entries = _point_entries(rng, 150)
+        tree = RTree.bulk_load(entries, max_entries=6)
+        for _ in range(10):
+            lo = rng.uniform(0, 80, size=2)
+            box = MBR(lo, lo + rng.uniform(5, 30, size=2))
+            expected = sorted(
+                i for i, p in enumerate(pts) if box.contains_point(p)
+            )
+            got = sorted(payload for _, payload in tree.range_search(box))
+            assert got == expected
+
+    def test_nearest_matches_bruteforce(self, rng):
+        pts, entries = _point_entries(rng, 120)
+        tree = RTree.bulk_load(entries, max_entries=5)
+        for _ in range(10):
+            q = rng.uniform(0, 100, size=2)
+            dists = np.linalg.norm(pts - q, axis=1)
+            expected = float(dists.min())
+            assert tree.nearest_distance(q) == pytest.approx(expected)
+            got_k = tree.nearest(q, k=5)
+            assert [d for d, _ in got_k] == pytest.approx(
+                sorted(dists)[:5].tolist() if hasattr(sorted(dists)[:5], 'tolist')
+                else sorted(dists)[:5]
+            )
+
+    def test_farthest_matches_bruteforce(self, rng):
+        pts, entries = _point_entries(rng, 120)
+        tree = RTree.bulk_load(entries, max_entries=5)
+        for _ in range(10):
+            q = rng.uniform(-50, 150, size=2)
+            dists = np.linalg.norm(pts - q, axis=1)
+            assert tree.farthest_distance(q) == pytest.approx(float(dists.max()))
+
+    def test_nearest_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            RTree().nearest_distance(np.zeros(2))
+        with pytest.raises(ValueError):
+            RTree().farthest_distance(np.zeros(2))
+
+    def test_incremental_order_nondecreasing(self, rng):
+        _, entries = _point_entries(rng, 100)
+        tree = RTree.bulk_load(entries, max_entries=6)
+        q = MBR(np.array([50.0, 50.0]), np.array([55.0, 55.0]))
+        last = -1.0
+        count = 0
+        for dist, is_entry, _, _ in tree.incremental_by_mindist(q):
+            assert dist >= last - 1e-9
+            last = dist
+            if is_entry:
+                count += 1
+        assert count == 100
+
+    def test_incremental_prune_via_send(self, rng):
+        _, entries = _point_entries(rng, 64)
+        tree = RTree.bulk_load(entries, max_entries=4)
+        q = MBR(np.zeros(2), np.zeros(2))
+        gen = tree.incremental_by_mindist(q)
+        seen_entries = 0
+        try:
+            item = next(gen)
+            while True:
+                dist, is_entry, _, _ = item
+                if is_entry:
+                    seen_entries += 1
+                    item = next(gen)
+                else:
+                    item = gen.send(False)  # prune every subtree
+        except StopIteration:
+            pass
+        # Pruning every internal node means no entries are ever reached
+        # (the root is internal for 64 points at fan-out 4).
+        assert seen_entries == 0
+
+
+class TestPartitions:
+    def test_partitions_cover_all_payloads(self, rng):
+        _, entries = _point_entries(rng, 90)
+        tree = RTree.bulk_load(entries, max_entries=4)
+        for k in [1, 2, 4, 16, 1000]:
+            parts = tree.partitions(k)
+            payloads = sorted(p for _, group in parts for p in group)
+            assert payloads == list(range(90))
+
+    def test_partitions_request_honored_when_possible(self, rng):
+        _, entries = _point_entries(rng, 64)
+        tree = RTree.bulk_load(entries, max_entries=4)
+        parts = tree.partitions(4)
+        assert len(parts) >= 4
+
+    def test_partition_mbrs_bound_points(self, rng):
+        pts, entries = _point_entries(rng, 60)
+        tree = RTree.bulk_load(entries, max_entries=4)
+        for mbr, group in tree.partitions(8):
+            for payload in group:
+                assert mbr.contains_point(pts[payload])
+
+    def test_empty_tree_partitions(self):
+        assert RTree().partitions(4) == []
+
+
+class TestDeletion:
+    def test_delete_and_queries_stay_exact(self, rng):
+        pts, entries = _point_entries(rng, 120)
+        tree = RTree.bulk_load(entries, max_entries=5)
+        removed = set()
+        order = rng.permutation(120)[:60]
+        for idx in order:
+            assert tree.delete(entries[idx][0], entries[idx][1])
+            removed.add(int(idx))
+        assert len(tree) == 60
+        # Range query exactness after heavy deletion + condensation.
+        box = MBR(np.array([10.0, 10.0]), np.array([80.0, 80.0]))
+        expected = sorted(
+            i
+            for i, p in enumerate(pts)
+            if i not in removed and box.contains_point(p)
+        )
+        got = sorted(payload for _, payload in tree.range_search(box))
+        assert got == expected
+        # NN exactness too.
+        remaining = [i for i in range(120) if i not in removed]
+        q = rng.uniform(0, 100, size=2)
+        want = min(float(np.linalg.norm(pts[i] - q)) for i in remaining)
+        assert tree.nearest_distance(q) == pytest.approx(want)
+
+    def test_delete_missing_returns_false(self, rng):
+        _, entries = _point_entries(rng, 10)
+        tree = RTree.bulk_load(entries, max_entries=4)
+        assert not tree.delete(entries[0][0], object())
+
+    def test_delete_everything(self, rng):
+        _, entries = _point_entries(rng, 30)
+        tree = RTree.bulk_load(entries, max_entries=4)
+        for mbr, payload in entries:
+            assert tree.delete(mbr, payload)
+        assert len(tree) == 0
+        assert tree.all_entries() == []
+        tree.insert(entries[0][0], entries[0][1])  # still usable
+        assert len(tree) == 1
+
+    def test_node_invariants_after_deletions(self, rng):
+        entries = _box_entries(rng, 80)
+        tree = RTree.bulk_load(entries, max_entries=4)
+        for mbr, payload in entries[:50]:
+            tree.delete(mbr, payload)
+
+        def check(node):
+            if node.is_leaf:
+                for mbr, _ in node.entries:
+                    assert node.mbr.contains(mbr)
+            else:
+                assert node.children
+                for child in node.children:
+                    assert node.mbr.contains(child.mbr)
+                    check(child)
+
+        check(tree.root)

@@ -1,0 +1,68 @@
+"""Tests for the experiment runner and report writer."""
+
+import pytest
+
+from repro.experiments.figures import FIGURES, FigureResult
+from repro.experiments.runner import PAPER_REFERENCE, main, write_report
+
+
+class TestPaperReferences:
+    def test_every_figure_has_reference_note(self):
+        assert set(PAPER_REFERENCE) == set(FIGURES)
+
+
+class TestWriteReport:
+    def test_report_structure(self, tmp_path):
+        results = {
+            "fig10": (
+                FigureResult(
+                    "Figure 10",
+                    "demo",
+                    [
+                        {
+                            "dataset": "A",
+                            "SSD": 1.0,
+                            "SSSD": 2.0,
+                            "PSD": 3.0,
+                            "FSD": 6.0,
+                            "F+SD": 9.0,
+                        }
+                    ],
+                ),
+                1.25,
+            ),
+            "fig14": (
+                FigureResult(
+                    "Figure 14",
+                    "demo",
+                    [
+                        {"progress_%": 50.0, "time_s": 0.2, "avg_quality": 5.0},
+                        {"progress_%": 100.0, "time_s": 1.0, "avg_quality": 4.0},
+                    ],
+                ),
+                0.5,
+            ),
+        }
+        out = tmp_path / "report.md"
+        write_report(results, "tiny", out)
+        text = out.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "Figure 10" in text
+        assert "Figure 14" in text
+        assert "_Regenerated in 1.2s._" in text or "1.3s" in text
+        assert "Appendix C.2" in text
+        assert "HOLDS" in text or "VIOLATED" in text
+
+    def test_report_without_summary_figures(self, tmp_path):
+        results = {
+            "fig12": (FigureResult("Figure 12", "times", [{"x": 1}]), 0.1)
+        }
+        out = tmp_path / "r.md"
+        write_report(results, "tiny", out)
+        assert "Appendix C.2" not in out.read_text()
+
+
+class TestMain:
+    def test_unknown_scale_rejected(self, capsys):
+        assert main(["galactic"]) == 2
+        assert "unknown scale" in capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""Tests for the hypersphere baseline: Welzl miniball + sphere dominance."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spheres import (
+    Ball,
+    bounding_ball,
+    minimal_enclosing_ball,
+    sphere_dominates,
+    sphere_nn_candidates,
+)
+from repro.core.bruteforce import brute_f_dominates, brute_force_nnc
+from repro.objects.uncertain import UncertainObject
+
+from .conftest import random_scene
+
+
+class TestMinimalEnclosingBall:
+    def test_single_point(self):
+        ball = minimal_enclosing_ball(np.array([[3.0, 4.0]]))
+        assert np.allclose(ball.center, [3.0, 4.0])
+        assert ball.radius == pytest.approx(0.0)
+
+    def test_two_points(self):
+        ball = minimal_enclosing_ball(np.array([[0.0, 0.0], [2.0, 0.0]]))
+        assert np.allclose(ball.center, [1.0, 0.0])
+        assert ball.radius == pytest.approx(1.0)
+
+    def test_equilateral_triangle(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [1.0, np.sqrt(3.0)]])
+        ball = minimal_enclosing_ball(pts)
+        assert ball.radius == pytest.approx(2.0 / np.sqrt(3.0), abs=1e-6)
+
+    def test_obtuse_triangle_diameter_ball(self):
+        # For an obtuse triangle the MEB is the diametral ball of the
+        # longest side.
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 0.5]])
+        ball = minimal_enclosing_ball(pts)
+        assert ball.radius == pytest.approx(5.0, abs=1e-6)
+        assert np.allclose(ball.center, [5.0, 0.0], atol=1e-6)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_contains_all_and_tight(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(int(rng.integers(2, 20)), dim))
+        ball = minimal_enclosing_ball(pts)
+        dists = np.linalg.norm(pts - ball.center, axis=1)
+        assert np.all(dists <= ball.radius + 1e-6)
+        # Tightness: some point is (numerically) on the boundary...
+        assert dists.max() >= ball.radius - 1e-6
+        # ...and the MEB radius is at most the centroid-ball radius.
+        centroid = pts.mean(axis=0)
+        assert ball.radius <= np.linalg.norm(pts - centroid, axis=1).max() + 1e-6
+
+    def test_duplicated_points(self):
+        pts = np.array([[1.0, 1.0]] * 5)
+        ball = minimal_enclosing_ball(pts)
+        assert ball.radius == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            minimal_enclosing_ball(np.empty((0, 2)))
+
+    def test_deterministic_radius_across_seeds(self, rng):
+        pts = rng.normal(size=(15, 3))
+        r1 = minimal_enclosing_ball(pts, seed=0).radius
+        r2 = minimal_enclosing_ball(pts, seed=99).radius
+        assert r1 == pytest.approx(r2, abs=1e-9)
+
+
+class TestSphereDominance:
+    def test_clear_dominance(self):
+        q = Ball(np.array([0.0, 0.0]), 1.0)
+        u = Ball(np.array([3.0, 0.0]), 0.5)
+        v = Ball(np.array([50.0, 0.0]), 0.5)
+        assert sphere_dominates(u, v, q)
+        assert not sphere_dominates(v, u, q)
+
+    def test_identical_balls_never_dominate(self):
+        q = Ball(np.array([0.0]), 0.0)
+        u = Ball(np.array([5.0]), 1.0)
+        assert not sphere_dominates(u, u, q)
+
+    def test_soundness_implies_instance_dominance(self, rng):
+        """Sphere dominance must imply brute-force F-SD."""
+        objects, query = random_scene(rng, n_objects=16, m=3, m_q=2, spread=1.0)
+        q_ball = bounding_ball(query)
+        balls = [bounding_ball(o) for o in objects]
+        hits = 0
+        for i, u in enumerate(objects):
+            for j, v in enumerate(objects):
+                if i != j and sphere_dominates(balls[i], balls[j], q_ball):
+                    hits += 1
+                    assert brute_f_dominates(u, v, query)
+        assert hits > 0
+
+
+class TestSphereCandidates:
+    def test_superset_of_fsd_candidates(self, rng):
+        """The sound-but-loose sphere test keeps at least the F-SD set."""
+        objects, query = random_scene(rng, n_objects=20, m=3, m_q=2)
+        sphere_set = {o.oid for o in sphere_nn_candidates(objects, query)}
+        fsd_set = {
+            o.oid for o in brute_force_nnc(objects, query, brute_f_dominates)
+        }
+        assert fsd_set <= sphere_set
+
+    def test_single_object(self):
+        q = UncertainObject([[0.0]], oid="Q")
+        only = UncertainObject([[1.0]], oid="X")
+        assert sphere_nn_candidates([only], q) == [only]

@@ -1,0 +1,127 @@
+"""Tests for S-SD / SS-SD internals: filters and bounding distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import brute_s_dominates, brute_ss_dominates
+from repro.core.context import QueryContext
+from repro.core.ssd import bounding_distributions, s_dominates
+from repro.core.sssd import bounding_distributions_per_q, ss_dominates
+from repro.stats.stochastic import stochastic_leq
+
+from .conftest import random_object, random_scene
+
+
+class TestBoundingDistributions:
+    def test_bounds_bracket_exact(self, rng):
+        obj = random_object(rng, m=15, oid="U")
+        query = random_object(rng, m=4, oid="Q")
+        ctx = QueryContext(query)
+        lo, hi = bounding_distributions(obj, ctx)
+        exact = ctx.distance_distribution(obj)
+        assert stochastic_leq(lo, exact)
+        assert stochastic_leq(exact, hi)
+
+    def test_bounds_total_mass(self, rng):
+        obj = random_object(rng, m=10, oid="U")
+        query = random_object(rng, m=3, oid="Q")
+        ctx = QueryContext(query)
+        lo, hi = bounding_distributions(obj, ctx)
+        assert lo.total_mass == pytest.approx(1.0)
+        assert hi.total_mass == pytest.approx(1.0)
+
+    def test_per_q_bounds_bracket_exact(self, rng):
+        obj = random_object(rng, m=12, oid="U")
+        query = random_object(rng, m=3, oid="Q")
+        ctx = QueryContext(query)
+        bounds = bounding_distributions_per_q(obj, ctx)
+        exact = ctx.per_instance_distributions(obj)
+        assert len(bounds) == len(query)
+        for (lo, hi), ex in zip(bounds, exact):
+            assert stochastic_leq(lo, ex)
+            assert stochastic_leq(ex, hi)
+
+
+class TestStatisticPruning:
+    def test_statistic_violation_prunes(self, rng):
+        """When min(U_Q) > min(V_Q) the check must fail fast."""
+        objects, query = random_scene(rng, n_objects=12, m=4, m_q=3)
+        ctx = QueryContext(query)
+        for u in objects:
+            for v in objects:
+                if u is v:
+                    continue
+                u_min, u_mean, u_max = ctx.statistics(u)
+                v_min, v_mean, v_max = ctx.statistics(v)
+                violated = (
+                    u_min > v_min + 1e-9
+                    or u_mean > v_mean + 1e-9
+                    or u_max > v_max + 1e-9
+                )
+                if violated:
+                    assert not s_dominates(u, v, ctx)
+                    assert not brute_s_dominates(u, v, query)
+
+    def test_counters_track_pruning(self, rng):
+        objects, query = random_scene(rng, n_objects=10, m=4, m_q=3)
+        ctx = QueryContext(query)
+        for u in objects[:5]:
+            for v in objects[5:]:
+                s_dominates(u, v, ctx)
+        snap = ctx.counters.snapshot()
+        assert snap["dominance_checks"] == 25
+        assert snap["pruned_by_statistics"] + snap["validated_by_mbr"] >= 0
+
+
+class TestCoverRules:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_not_s_implies_not_ss(self, seed):
+        rng = np.random.default_rng(seed)
+        objects, query = random_scene(rng, n_objects=10, m=3, m_q=3)
+        for u in objects:
+            for v in objects:
+                if u is v:
+                    continue
+                if not brute_s_dominates(u, v, query):
+                    assert not brute_ss_dominates(u, v, query)
+
+    def test_ss_with_and_without_cover_pruning_agree(self, rng):
+        objects, query = random_scene(rng, n_objects=10, m=4, m_q=3)
+        ctx = QueryContext(query)
+        for u in objects[:5]:
+            for v in objects[5:]:
+                a = ss_dominates(u, v, ctx, use_cover_pruning=True)
+                b = ss_dominates(u, v, ctx, use_cover_pruning=False)
+                assert a == b
+
+
+class TestLevelFilter:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_level_agrees_with_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        objects, query = random_scene(rng, n_objects=8, m=12, m_q=3)
+        ctx = QueryContext(query)
+        for u in objects[:4]:
+            for v in objects[4:]:
+                assert s_dominates(u, v, ctx, use_level=True) == brute_s_dominates(
+                    u, v, query
+                )
+                assert ss_dominates(
+                    u, v, ctx, use_level=True
+                ) == brute_ss_dominates(u, v, query)
+
+    def test_level_validation_or_prune_fire(self, rng):
+        """On well-separated objects the level filter should decide pairs."""
+        objects, query = random_scene(rng, n_objects=14, m=12, m_q=2, spread=0.5)
+        ctx = QueryContext(query, level_groups=4)
+        for u in objects:
+            for v in objects:
+                if u is not v:
+                    s_dominates(u, v, ctx, use_level=True)
+        decided = (
+            ctx.counters.pruned_by_level
+            + ctx.counters.validated_by_level
+            + ctx.counters.pruned_by_statistics
+            + ctx.counters.validated_by_mbr
+        )
+        assert decided > 0

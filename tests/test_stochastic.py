@@ -1,0 +1,173 @@
+"""Tests for the stochastic order, match order, and Theorem 1/11 properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.stats.distribution import DiscreteDistribution
+from repro.stats.stochastic import (
+    build_match,
+    match_order_leq,
+    stochastic_equal,
+    stochastic_leq,
+)
+
+from .conftest import distributions
+
+
+def _cdf_leq_bruteforce(x, y) -> bool:
+    """Definition 1 checked at every support point of both distributions."""
+    points = np.union1d(x.values, y.values)
+    return all(x.cdf(t) >= y.cdf(t) - 1e-9 for t in points)
+
+
+class TestStochasticLeq:
+    def test_simple_cases(self):
+        a = DiscreteDistribution([1.0, 2.0], [0.5, 0.5])
+        b = DiscreteDistribution([3.0, 4.0], [0.5, 0.5])
+        assert stochastic_leq(a, b)
+        assert not stochastic_leq(b, a)
+
+    def test_reflexive(self):
+        a = DiscreteDistribution([1.0, 5.0], [0.3, 0.7])
+        assert stochastic_leq(a, a)
+
+    def test_crossing_cdfs_incomparable(self):
+        a = DiscreteDistribution([1.0, 10.0], [0.5, 0.5])
+        b = DiscreteDistribution([2.0, 3.0], [0.5, 0.5])
+        assert not stochastic_leq(a, b)
+        assert not stochastic_leq(b, a)
+
+    def test_ties_handled(self):
+        a = DiscreteDistribution([1.0, 2.0], [0.5, 0.5])
+        b = DiscreteDistribution([1.0, 2.0], [0.4, 0.6])
+        assert stochastic_leq(a, b)  # a has more mass at the low value
+        assert not stochastic_leq(b, a)
+
+    def test_unequal_masses_rejected(self):
+        a = DiscreteDistribution([1.0], [0.5])
+        b = DiscreteDistribution([2.0], [1.0])
+        assert not stochastic_leq(a, b)
+
+    @given(distributions(), distributions())
+    @settings(max_examples=150)
+    def test_matches_definition(self, x, y):
+        assert stochastic_leq(x, y) == _cdf_leq_bruteforce(x, y)
+
+    @given(distributions(), distributions(), distributions())
+    @settings(max_examples=80)
+    def test_transitive(self, x, y, z):
+        if stochastic_leq(x, y) and stochastic_leq(y, z):
+            assert stochastic_leq(x, z)
+
+    @given(distributions())
+    @settings(max_examples=50)
+    def test_shift_dominates(self, x):
+        shifted = DiscreteDistribution(x.values + 1.0, x.probs)
+        assert stochastic_leq(x, shifted)
+        assert not stochastic_leq(shifted, x)
+
+    def test_counter_instrumentation(self):
+        class Sink:
+            total = 0
+
+            def count_comparisons(self, n):
+                self.total += n
+
+        sink = Sink()
+        a = DiscreteDistribution([1.0, 2.0, 3.0])
+        b = DiscreteDistribution([4.0, 5.0, 6.0])
+        stochastic_leq(a, b, counter=sink)
+        assert sink.total > 0
+
+
+class TestStochasticEqual:
+    def test_equal(self):
+        a = DiscreteDistribution([1.0, 2.0], [0.5, 0.5])
+        b = DiscreteDistribution([2.0, 1.0], [0.5, 0.5])
+        assert stochastic_equal(a, b)
+
+    def test_not_equal(self):
+        a = DiscreteDistribution([1.0, 2.0], [0.5, 0.5])
+        b = DiscreteDistribution([1.0, 2.0], [0.6, 0.4])
+        assert not stochastic_equal(a, b)
+
+    @given(distributions(), distributions())
+    @settings(max_examples=80)
+    def test_antisymmetry(self, x, y):
+        """<=_st both ways iff distributionally equal (Theorem 10's lemma)."""
+        both = stochastic_leq(x, y) and stochastic_leq(y, x)
+        assert both == stochastic_equal(x, y)
+
+
+class TestMatchOrder:
+    """Theorem 1: the match order and the stochastic order coincide."""
+
+    @given(distributions(), distributions())
+    @settings(max_examples=100)
+    def test_equivalence(self, x, y):
+        assert match_order_leq(x, y) == stochastic_leq(x, y)
+
+    @given(distributions(), distributions())
+    @settings(max_examples=100)
+    def test_build_match_is_valid_witness(self, x, y):
+        if not stochastic_leq(x, y):
+            with pytest.raises(ValueError):
+                build_match(x, y)
+            return
+        match = build_match(x, y)
+        # Every tuple pairs a smaller-or-equal x value.
+        for xv, yv, p in match:
+            assert xv <= yv + 1e-9
+            assert p > 0
+        # Marginals reproduce both distributions.
+        for val, prob in zip(x.values, x.probs):
+            got = sum(p for xv, _, p in match if abs(xv - val) < 1e-12)
+            assert got == pytest.approx(prob, abs=1e-6)
+        for val, prob in zip(y.values, y.probs):
+            got = sum(p for _, yv, p in match if abs(yv - val) < 1e-12)
+            assert got == pytest.approx(prob, abs=1e-6)
+
+    def test_match_splits_atoms(self):
+        x = DiscreteDistribution([1.0], [1.0])
+        y = DiscreteDistribution([2.0, 3.0], [0.5, 0.5])
+        match = build_match(x, y)
+        assert len(match) == 2
+        assert sum(p for _, _, p in match) == pytest.approx(1.0)
+
+
+class TestTheorem11:
+    """X <=_st Y implies min/mean/max/quantile ordering (stability)."""
+
+    @given(distributions(), distributions())
+    @settings(max_examples=120)
+    def test_statistics_ordered(self, x, y):
+        if not stochastic_leq(x, y):
+            return
+        assert x.min() <= y.min() + 1e-9
+        assert x.mean() <= y.mean() + 1e-9
+        assert x.max() <= y.max() + 1e-9
+        for phi in (0.25, 0.5, 0.75, 1.0):
+            assert x.quantile(phi) <= y.quantile(phi) + 1e-9
+
+
+class TestVectorisedPath:
+    """The counter-free vectorised path must agree with the scan exactly."""
+
+    class _Sink:
+        def count_comparisons(self, n):
+            pass
+
+    @given(distributions(), distributions())
+    @settings(max_examples=150)
+    def test_agrees_with_scan(self, x, y):
+        scan = stochastic_leq(x, y, counter=self._Sink())
+        fast = stochastic_leq(x, y)
+        assert scan == fast
+
+    def test_tie_convention(self):
+        x = DiscreteDistribution([1.0 + 5e-13], [1.0])
+        y = DiscreteDistribution([1.0], [1.0])
+        assert stochastic_leq(x, y) == stochastic_leq(
+            x, y, counter=self._Sink()
+        )

@@ -1,0 +1,86 @@
+"""Tests for the automated Appendix C.2 summary checks."""
+
+import pytest
+
+from repro.experiments.summary import (
+    Observation,
+    check_candidate_blowup,
+    check_progressive_frontloading,
+    check_size_coverage_tradeoff,
+    format_summary,
+    summarize,
+)
+
+GOOD_FIG10 = [
+    {"dataset": "A", "SSD": 4.0, "SSSD": 11.0, "PSD": 12.7, "FSD": 36.0, "F+SD": 60.0},
+    {"dataset": "B", "SSD": 6.0, "SSSD": 26.7, "PSD": 30.3, "FSD": 84.7, "F+SD": 145.0},
+]
+
+GOOD_FIG14 = [
+    {"progress_%": 20.0, "time_s": 0.1, "avg_quality": 40.0},
+    {"progress_%": 50.0, "time_s": 0.3, "avg_quality": 38.0},
+    {"progress_%": 100.0, "time_s": 1.0, "avg_quality": 35.0},
+]
+
+
+class TestChecks:
+    def test_blowup_holds(self):
+        obs = check_candidate_blowup(GOOD_FIG10)
+        assert obs.holds
+        assert "ratio" in obs.detail
+
+    def test_blowup_violated(self):
+        rows = [{"dataset": "X", "SSD": 10, "SSSD": 10, "PSD": 10, "FSD": 10, "F+SD": 10}]
+        assert not check_candidate_blowup(rows, min_ratio=1.5).holds
+
+    def test_tradeoff_holds(self):
+        assert check_size_coverage_tradeoff(GOOD_FIG10).holds
+
+    def test_tradeoff_violation_named(self):
+        rows = [{"dataset": "bad", "SSD": 20, "SSSD": 10, "PSD": 30}]
+        obs = check_size_coverage_tradeoff(rows)
+        assert not obs.holds
+        assert "bad" in obs.detail
+
+    def test_frontloading_holds(self):
+        assert check_progressive_frontloading(GOOD_FIG14).holds
+
+    def test_frontloading_violated(self):
+        rows = [
+            {"time_s": 0.1},
+            {"time_s": 0.95},
+            {"time_s": 1.0},
+        ]
+        assert not check_progressive_frontloading(rows, time_share=0.8).holds
+
+    def test_frontloading_empty(self):
+        assert not check_progressive_frontloading([]).holds
+
+    def test_frontloading_degenerate_fast(self):
+        rows = [{"time_s": 0.0}, {"time_s": 0.0}]
+        assert check_progressive_frontloading(rows).holds
+
+
+class TestSummary:
+    def test_summarize_runs_all(self):
+        out = summarize(GOOD_FIG10, GOOD_FIG14)
+        assert len(out) == 3
+        assert all(isinstance(o, Observation) for o in out)
+        assert all(o.holds for o in out)
+
+    def test_format(self):
+        text = format_summary(summarize(GOOD_FIG10, GOOD_FIG14))
+        assert "HOLDS" in text
+        assert "front-loading" in text
+
+    def test_on_real_tiny_run(self):
+        """End to end on a real (tiny) regeneration."""
+        from repro.experiments.figures import fig10_candidate_size, fig14_progressive
+        from repro.experiments.params import Scale
+
+        scale = Scale("t", n_factor=0.0012, m_factor=0.12, q_factor=0.15, n_queries=1)
+        fig10 = fig10_candidate_size(scale, datasets=("A-N", "USA"))
+        fig14 = fig14_progressive(scale)
+        observations = summarize(fig10.rows, fig14.rows)
+        # Monotonicity is a theorem and must hold even at tiny scale.
+        assert observations[1].holds

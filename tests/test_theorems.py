@@ -1,0 +1,131 @@
+"""Property tests for the paper's theorems (Sections 4.1-4.3)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bruteforce import (
+    brute_f_dominates,
+    brute_p_dominates,
+    brute_s_dominates,
+    brute_ss_dominates,
+)
+from repro.geometry.mbr import mbr_dominates
+
+from .conftest import random_scene, uncertain_objects
+
+
+class TestTheorem2Containment:
+    """F-SD ⊂ P-SD ⊂ SS-SD ⊂ S-SD (implications on random inputs)."""
+
+    @given(
+        uncertain_objects(max_instances=3),
+        uncertain_objects(max_instances=3),
+        uncertain_objects(max_instances=3, uniform_probs=True),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_implication_chain(self, u, v, query):
+        f = brute_f_dominates(u, v, query)
+        p = brute_p_dominates(u, v, query)
+        ss = brute_ss_dominates(u, v, query)
+        s = brute_s_dominates(u, v, query)
+        if f:
+            assert p, "F-SD must imply P-SD"
+        if p:
+            assert ss, "P-SD must imply SS-SD"
+        if ss:
+            assert s, "SS-SD must imply S-SD"
+
+    def test_strictness_witnesses(self):
+        """The paper's separating examples: each containment is proper."""
+        from repro.datasets.paper_examples import figure3, figure4, figure15
+
+        f3 = figure3()
+        assert brute_s_dominates(f3["A"], f3["C"], f3.query)
+        assert not brute_ss_dominates(f3["A"], f3["C"], f3.query)
+        f4 = figure4()
+        assert brute_ss_dominates(f4["A"], f4["B"], f4.query)
+        assert not brute_p_dominates(f4["A"], f4["B"], f4.query)
+        assert brute_p_dominates(f4["A"], f4["C"], f4.query)
+        assert not brute_f_dominates(f4["A"], f4["C"], f4.query)
+        f15 = figure15()
+        assert brute_p_dominates(f15["A"], f15["B"], f15.query)
+        assert not brute_f_dominates(f15["A"], f15["B"], f15.query)
+
+
+class TestTheorem3SingleInstanceQuery:
+    """With |Q| = 1: P-SD = SS-SD = S-SD."""
+
+    @given(
+        uncertain_objects(max_instances=4),
+        uncertain_objects(max_instances=4),
+        uncertain_objects(min_instances=1, max_instances=1, uniform_probs=True),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_collapse(self, u, v, query):
+        s = brute_s_dominates(u, v, query)
+        ss = brute_ss_dominates(u, v, query)
+        p = brute_p_dominates(u, v, query)
+        assert s == ss == p
+
+
+class TestTheorem4MBRValidation:
+    """MBR-level F-SD implies instance-level dominance for all operators."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_validation_sound(self, seed):
+        rng = np.random.default_rng(seed)
+        objects, query = random_scene(rng, n_objects=14, m=3, m_q=2, spread=1.0)
+        found = 0
+        for u, v in itertools.permutations(objects, 2):
+            if mbr_dominates(u.mbr, v.mbr, query.mbr, strict=True):
+                found += 1
+                assert brute_f_dominates(u, v, query)
+                assert brute_p_dominates(u, v, query)
+                assert brute_ss_dominates(u, v, query)
+                assert brute_s_dominates(u, v, query)
+        # The scene is spread out enough that some MBR dominances exist.
+        assert found > 0
+
+
+class TestTheorem9Transitivity:
+    @pytest.mark.parametrize(
+        "dominates",
+        [brute_s_dominates, brute_ss_dominates, brute_p_dominates, brute_f_dominates],
+        ids=["S-SD", "SS-SD", "P-SD", "F-SD"],
+    )
+    @pytest.mark.parametrize("seed", range(3))
+    def test_transitive_on_random_scenes(self, dominates, seed):
+        rng = np.random.default_rng(seed)
+        objects, query = random_scene(rng, n_objects=10, m=3, m_q=2, spread=1.5)
+        n = len(objects)
+        rel = np.zeros((n, n), dtype=bool)
+        for i, j in itertools.permutations(range(n), 2):
+            rel[i, j] = dominates(objects[i], objects[j], query)
+        chains = 0
+        for i, j, k in itertools.permutations(range(n), 3):
+            if rel[i, j] and rel[j, k]:
+                chains += 1
+                assert rel[i, k], f"transitivity broken: {i}->{j}->{k}"
+        assert chains > 0  # the scene must actually exercise the property
+
+
+class TestAntisymmetry:
+    """No operator may let two objects dominate each other."""
+
+    @given(
+        uncertain_objects(max_instances=3),
+        uncertain_objects(max_instances=3),
+        uncertain_objects(max_instances=2, uniform_probs=True),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_never_mutual(self, u, v, query):
+        for dom in (
+            brute_s_dominates,
+            brute_ss_dominates,
+            brute_p_dominates,
+            brute_f_dominates,
+        ):
+            assert not (dom(u, v, query) and dom(v, u, query))
