@@ -1,0 +1,216 @@
+"""Kernel benchmark — batch kernels vs the scalar reference path.
+
+Measures two things and writes both to ``BENCH_kernels.json``:
+
+* **micro** — ops/sec of each batch kernel in :mod:`repro.core.kernels`
+  against its scalar twin on paper-shaped inputs (one object's worth of
+  instances, one node's worth of boxes);
+* **end-to-end** — full NNC search wall time on the Figure 12 default A-N
+  workload for each operator, run once with ``QueryContext(kernels=True)``
+  and once with ``kernels=False``, asserting the candidate sets are
+  identical and reporting the speedup.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full (tiny scale)
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_kernels.py --scale small --out BENCH_kernels.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import kernels as K
+from repro.core.context import QueryContext
+from repro.core.nnc import NNCSearch
+from repro.experiments.figures import build_dataset
+from repro.experiments.params import SCALES, ExperimentParams
+from repro.experiments.report import format_table, kernel_summary
+from repro.geometry.halfspace import closer_to_query
+from repro.geometry.mbr import MBR, mbr_dominates
+from repro.stats.distribution import DiscreteDistribution
+from repro.stats.stochastic import stochastic_leq
+
+END_TO_END_KINDS = ("SSD", "SSSD", "PSD", "FSD")
+
+
+def _time_ops(fn, *, repeats: int, min_time: float = 0.05) -> float:
+    """Ops/sec of ``fn``: repeat until ``min_time`` seconds have elapsed."""
+    fn()  # warm-up (and fail fast)
+    done = 0
+    t0 = time.perf_counter()
+    while True:
+        for _ in range(repeats):
+            fn()
+        done += repeats
+        elapsed = time.perf_counter() - t0
+        if elapsed >= min_time:
+            return done / elapsed
+
+
+def micro_benchmarks(*, repeats: int, rng: np.random.Generator) -> list[dict]:
+    """Ops/sec of each kernel and its scalar twin on paper-shaped inputs."""
+    m_u, m_q, d, n_boxes = 40, 30, 3, 16
+    us = rng.uniform(0, 100, (m_u, d))
+    qs = rng.uniform(0, 100, (m_q, d))
+    los = rng.uniform(0, 90, (n_boxes, d))
+    his = los + rng.uniform(1, 10, (n_boxes, d))
+    boxes = [MBR(lo, hi) for lo, hi in zip(los, his)]
+    q_mbr = MBR(qs.min(axis=0), qs.max(axis=0))
+    v_mbr = boxes[0]
+    x = DiscreteDistribution(np.sort(rng.uniform(0, 50, m_u * m_q)), None)
+    y = DiscreteDistribution(np.sort(rng.uniform(1, 51, m_u * m_q)), None)
+    du = K.distance_matrix(us, qs)
+    dv = K.distance_matrix(us + 0.5, qs)
+    u_stats = rng.uniform(0, 50, (64, 3))
+    u_stats.sort(axis=1)  # (min, mean, max) rows
+    v_stats = np.array([25.0, 30.0, 35.0])
+
+    class _Scan:
+        def count_comparisons(self, n: int) -> None:
+            pass
+
+    scan_counter = _Scan()  # forces the Python merge scan in stochastic_leq
+    cases = [
+        (
+            "distance_matrix",
+            lambda: K.distance_matrix(us, qs),
+            lambda: K.distance_matrix_scalar(us, qs),
+        ),
+        (
+            "cdf_dominates",
+            lambda: K.cdf_dominates(x.values, x.probs, y.values, y.probs),
+            lambda: stochastic_leq(x, y, counter=scan_counter),
+        ),
+        (
+            "partition_bounds",
+            lambda: K.partition_bounds(los, his, qs),
+            lambda: [(b.mindist(q), b.maxdist(q)) for b in boxes for q in qs],
+        ),
+        (
+            "mbr_dominance_mask",
+            lambda: K.mbr_dominance_mask(los, his, v_mbr, q_mbr, strict=True),
+            lambda: [mbr_dominates(b, v_mbr, q_mbr, strict=True) for b in boxes],
+        ),
+        (
+            "halfspace_adjacency",
+            lambda: K.halfspace_adjacency(du, dv),
+            lambda: [[closer_to_query(u, v, qs) for v in us + 0.5] for u in us],
+        ),
+        (
+            "statistic_prune",
+            lambda: K.statistic_prune(u_stats, v_stats),
+            lambda: [bool(np.all(row <= v_stats + 1e-9)) for row in u_stats],
+        ),
+    ]
+    rows = []
+    for name, kernel_fn, scalar_fn in cases:
+        kernel_ops = _time_ops(kernel_fn, repeats=repeats)
+        scalar_ops = _time_ops(scalar_fn, repeats=max(1, repeats // 10))
+        rows.append(
+            {
+                "kernel": name,
+                "kernel_ops_per_sec": kernel_ops,
+                "scalar_ops_per_sec": scalar_ops,
+                "speedup": kernel_ops / scalar_ops,
+            }
+        )
+    return rows
+
+
+def end_to_end(scale_name: str) -> list[dict]:
+    """Full NNC wall time per operator, kernels on vs off, identical outputs."""
+    params = ExperimentParams().scaled(SCALES[scale_name])
+    rng = np.random.default_rng(params.seed)
+    objects, queries = build_dataset("A-N", params, rng)
+    search = NNCSearch(objects)
+    rows = []
+    for kind in END_TO_END_KINDS:
+        # Warm object-level caches (local R-trees, packed node arrays) first:
+        # they are shared dataset state, built once per dataset like the
+        # paper's index, so neither mode pays their construction inside its
+        # timed region.  Query contexts themselves stay cold below.
+        for query in queries:
+            search.run(query, kind, ctx=QueryContext(query, kernels=True))
+        times = {True: 0.0, False: 0.0}
+        oid_sets = {True: [], False: []}
+        summaries = {}
+        for kernels in (True, False):
+            for query in queries:
+                ctx = QueryContext(query, kernels=kernels)
+                t0 = time.perf_counter()
+                result = search.run(query, kind, ctx=ctx)
+                times[kernels] += time.perf_counter() - t0
+                oid_sets[kernels].append(frozenset(result.oids()))
+            summaries[kernels] = kernel_summary(ctx.counters)
+        identical = oid_sets[True] == oid_sets[False]
+        if not identical:
+            raise AssertionError(
+                f"{kind}: kernels=True and kernels=False candidate sets differ"
+            )
+        rows.append(
+            {
+                "operator": kind,
+                "kernel_time": times[True],
+                "scalar_time": times[False],
+                "speedup": times[False] / times[True] if times[True] else 0.0,
+                "identical_candidates": identical,
+                "n_objects": len(objects),
+                "n_queries": len(queries),
+                "kernel_invocations": summaries[True]["kernel_invocations"],
+                "elements_per_invocation": summaries[True][
+                    "elements_per_invocation"
+                ],
+                "scalar_fallbacks": summaries[False]["scalar_fallbacks"],
+            }
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: fewer micro repeats, end-to-end at tiny scale",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALES),
+        help="end-to-end workload scale (default: tiny; --smoke forces tiny)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_kernels.json"),
+        help="output JSON path (default: repo-root BENCH_kernels.json)",
+    )
+    args = parser.parse_args(argv)
+    scale = "tiny" if args.smoke else (args.scale or "tiny")
+    repeats = 10 if args.smoke else 50
+    rng = np.random.default_rng(20150531)
+    micro = micro_benchmarks(repeats=repeats, rng=rng)
+    e2e = end_to_end(scale)
+    payload = {
+        "scale": scale,
+        "smoke": args.smoke,
+        "micro": micro,
+        "end_to_end": e2e,
+    }
+    print(format_table(micro, "Micro kernels (ops/sec)"))
+    print()
+    print(format_table(e2e, f"End-to-end NNC, Fig 12 default A-N ({scale})"))
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

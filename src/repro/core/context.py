@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import kernels as K
 from repro.core.counters import Counters
 from repro.geometry.convexhull import convex_hull
-from repro.geometry.distance import is_euclidean, pairwise_distances, resolve_norm
+from repro.geometry.distance import is_euclidean, resolve_norm
 from repro.geometry.mbr import MBR
 from repro.objects.uncertain import UncertainObject
 from repro.stats.distribution import DiscreteDistribution
@@ -47,6 +48,13 @@ class QueryContext:
             reduction, MBR dominance validation, hull-interior rule) are
             disabled automatically — correctness is preserved, only pruning
             power is reduced.
+        kernels: when True (default) distance matrices, CDF sweeps, MBR
+            bounds and pruning screens run through the vectorised batch
+            kernels of :mod:`repro.core.kernels`; ``kernels=False`` selects
+            the scalar reference loops (one metric call per pair, the
+            single-scan CDF merge, per-point MBR bounds) — bit-compatible
+            results, used as the property-testing oracle and the baseline
+            of ``benchmarks/bench_kernels.py``.
     """
 
     def __init__(
@@ -57,11 +65,13 @@ class QueryContext:
         use_hull: bool = True,
         level_groups: int = 4,
         metric: str = "euclidean",
+        kernels: bool = True,
     ) -> None:
         self.query = query
         self.counters = counters if counters is not None else Counters()
         self.level_groups = level_groups
         self.metric = metric
+        self.kernels = bool(kernels)
         self.is_euclidean = is_euclidean(metric)
         self.norm = None if self.is_euclidean else resolve_norm(metric)
         self.query_mbr: MBR = query.mbr
@@ -69,21 +79,45 @@ class QueryContext:
             self.hull_points = convex_hull(query.points)
         else:
             self.hull_points = query.points
+        self._dist_matrices: dict[int, np.ndarray] = {}
         self._dist_dists: dict[int, DiscreteDistribution] = {}
         self._per_q_dists: dict[int, list[DiscreteDistribution]] = {}
         self._stats: dict[int, tuple[float, float, float]] = {}
         self._partitions: dict[tuple[int, int], list[tuple[MBR, np.ndarray, float]]] = {}
         self._hull_vectors: dict[int, np.ndarray] = {}
+        self._hull_extremes: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._row_extremes: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._sorted_rows: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
+
+    def distance_matrix(self, obj: UncertainObject) -> np.ndarray:
+        """Raw pair-distance matrix, shape ``(|Q|, m)``, cached.
+
+        The one broadcast every per-object artefact derives from: ``U_Q``
+        ravels it, ``U_q`` reads its rows, ``min(U_Q)`` is its minimum.
+        """
+        key = id(obj)
+        mat = self._dist_matrices.get(key)
+        if mat is None:
+            if self.kernels:
+                mat = K.distance_matrix(
+                    self.query.points, obj.points, self.metric, counters=self.counters
+                )
+            else:
+                mat = K.distance_matrix_scalar(
+                    self.query.points, obj.points, self.metric, counters=self.counters
+                )
+            self._dist_matrices[key] = mat
+        return mat
 
     def distance_distribution(self, obj: UncertainObject) -> DiscreteDistribution:
         """``U_Q`` for ``obj``, cached."""
         key = id(obj)
         if key not in self._dist_dists:
-            self._dist_dists[key] = obj.distance_distribution(
-                self.query, self.metric
-            )
+            mat = self.distance_matrix(obj)
+            probs = np.outer(self.query.probs, obj.probs)
+            self._dist_dists[key] = DiscreteDistribution(mat.ravel(), probs.ravel())
         return self._dist_dists[key]
 
     def per_instance_distributions(
@@ -92,11 +126,15 @@ class QueryContext:
         """``[U_q for q in Q]`` in query instance order, cached."""
         key = id(obj)
         if key not in self._per_q_dists:
-            dists = pairwise_distances(self.query.points, obj.points, self.metric)
+            dists = self.distance_matrix(obj)
             self._per_q_dists[key] = [
                 DiscreteDistribution(row, obj.probs) for row in dists
             ]
         return self._per_q_dists[key]
+
+    def min_distance(self, obj: UncertainObject) -> float:
+        """Exact ``min(U_Q)`` from the cached distance matrix."""
+        return float(self.distance_matrix(obj).min())
 
     def statistics(self, obj: UncertainObject) -> tuple[float, float, float]:
         """``(min, mean, max)`` of ``U_Q`` (Theorem 11 pruning inputs)."""
@@ -110,10 +148,70 @@ class QueryContext:
         """Distance of every instance to every hull vertex, shape ``(m, k)``."""
         key = id(obj)
         if key not in self._hull_vectors:
-            self._hull_vectors[key] = pairwise_distances(
-                obj.points, self.hull_points, self.metric
-            )
+            if self.hull_points is self.query.points:
+                # Hull not reduced: the distance matrix already holds these.
+                vecs = self.distance_matrix(obj).T
+            elif self.kernels:
+                vecs = K.distance_matrix(
+                    obj.points, self.hull_points, self.metric, counters=self.counters
+                )
+            else:
+                vecs = K.distance_matrix_scalar(
+                    obj.points, self.hull_points, self.metric, counters=self.counters
+                )
+            self._hull_vectors[key] = vecs
         return self._hull_vectors[key]
+
+    def hull_extremes(self, obj: UncertainObject) -> tuple[np.ndarray, np.ndarray]:
+        """Per hull vertex: (max, min) distance over the object's instances.
+
+        The F-SD per-vertex comparison reduces to these two ``(k,)``
+        vectors; they depend only on the object, so the kernel path caches
+        them instead of re-reducing the hull matrix for every pair.
+        """
+        key = id(obj)
+        out = self._hull_extremes.get(key)
+        if out is None:
+            vecs = self.hull_distance_vectors(obj)  # (m, k)
+            out = (vecs.max(axis=0), vecs.min(axis=0))
+            self._hull_extremes[key] = out
+        return out
+
+    def row_extremes(self, obj: UncertainObject) -> tuple[np.ndarray, np.ndarray]:
+        """Per query instance: (min, max) distance over the object's instances.
+
+        The SS-SD per-``q`` statistic screen inputs, shape ``(|Q|,)`` each;
+        cached per object for the same reason as :meth:`hull_extremes`.
+        """
+        key = id(obj)
+        out = self._row_extremes.get(key)
+        if out is None:
+            mat = self.distance_matrix(obj)  # (|Q|, m)
+            out = (mat.min(axis=1), mat.max(axis=1))
+            self._row_extremes[key] = out
+        return out
+
+    def sorted_rows(self, obj: UncertainObject) -> tuple[np.ndarray, np.ndarray]:
+        """Row-sorted distance matrix with prefix-summed probabilities.
+
+        Returns ``(vals, cum)`` with ``vals`` the ``(|Q|, m)`` matrix sorted
+        along each row and ``cum`` the ``(|Q|, m + 1)`` cumulative masses in
+        that order (leading zero column) — the per-``q`` CDFs of the object,
+        ready for the merge-rank dominance kernel.  The accumulation order
+        matches the scalar scan's, so borderline tolerance comparisons agree.
+        """
+        key = id(obj)
+        out = self._sorted_rows.get(key)
+        if out is None:
+            mat = self.distance_matrix(obj)  # (|Q|, m)
+            order = np.argsort(mat, axis=1, kind="stable")
+            vals = np.take_along_axis(mat, order, axis=1)
+            probs = np.asarray(obj.probs, dtype=float)[order]
+            cum = np.zeros((mat.shape[0], mat.shape[1] + 1))
+            np.cumsum(probs, axis=1, out=cum[:, 1:])
+            out = (vals, cum)
+            self._sorted_rows[key] = out
+        return out
 
     def partitions(
         self, obj: UncertainObject, groups: int | None = None
@@ -142,10 +240,14 @@ class QueryContext:
         """Drop cached artefacts of one object (memory control in sweeps)."""
         key = id(obj)
         for cache in (
+            self._dist_matrices,
             self._dist_dists,
             self._per_q_dists,
             self._stats,
             self._hull_vectors,
+            self._hull_extremes,
+            self._row_extremes,
+            self._sorted_rows,
         ):
             cache.pop(key, None)
         for part_key in [k for k in self._partitions if k[0] == key]:

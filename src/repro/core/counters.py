@@ -4,6 +4,11 @@ Figure 16 of the paper compares filtering configurations (brute force, level
 by level, pruning rules, geometric filter) by the *average number of instance
 comparisons* per dominance check.  ``Counters`` collects those numbers across
 a search so benchmarks can reproduce the study.
+
+The kernel fields track the vectorised hot path (:mod:`repro.core.kernels`):
+``kernel_invocations`` batch calls, ``kernel_elements`` total elements they
+processed, and ``scalar_fallbacks`` times a scalar loop ran instead (callable
+metrics, or a ``QueryContext(kernels=False)`` reference run).
 """
 
 from __future__ import annotations
@@ -27,6 +32,9 @@ class Counters:
     validated_by_level: int = 0
     nodes_visited: int = 0
     objects_visited: int = 0
+    kernel_invocations: int = 0
+    kernel_elements: int = 0
+    scalar_fallbacks: int = 0
     extra: dict[str, int] = field(default_factory=dict)
 
     def count_comparisons(self, n: int) -> None:
@@ -51,6 +59,9 @@ class Counters:
         self.validated_by_level += other.validated_by_level
         self.nodes_visited += other.nodes_visited
         self.objects_visited += other.objects_visited
+        self.kernel_invocations += other.kernel_invocations
+        self.kernel_elements += other.kernel_elements
+        self.scalar_fallbacks += other.scalar_fallbacks
         for key, value in other.extra.items():
             self.bump(key, value)
 
@@ -69,6 +80,9 @@ class Counters:
             "validated_by_level": self.validated_by_level,
             "nodes_visited": self.nodes_visited,
             "objects_visited": self.objects_visited,
+            "kernel_invocations": self.kernel_invocations,
+            "kernel_elements": self.kernel_elements,
+            "scalar_fallbacks": self.scalar_fallbacks,
         }
         out.update(self.extra)
         return out

@@ -50,6 +50,7 @@ def fsd_dominates(
     ctx: QueryContext,
     *,
     use_local_trees: bool = True,
+    mbr_checked: bool = False,
 ) -> bool:
     """Instance-level F-SD with the convex hull geometric filter.
 
@@ -60,11 +61,13 @@ def fsd_dominates(
         use_local_trees: answer the per-vertex extreme-distance queries with
             each object's local R-tree (the paper's setup); the vectorised
             direct computation is used otherwise.
+        mbr_checked: the strict MBR validation already ran (and failed)
+            upstream — skip repeating it.
     """
     ctx.counters.dominance_checks += 1
     if not ctx.is_euclidean:
         use_local_trees = False  # local R-tree extremes are Euclidean-only
-    else:
+    elif not mbr_checked:
         # MBR validation first: strictly dominating boxes settle it in O(d).
         ctx.counters.mbr_tests += 1
         if mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True):
@@ -75,15 +78,27 @@ def fsd_dominates(
         v_tree = v.local_rtree()
         for q in ctx.hull_points:
             ctx.counters.count_comparisons(1)
-            if u_tree.farthest_distance(q) > v_tree.nearest_distance(q) + _TOL:
+            if u_tree.farthest_distance(q, batch=ctx.kernels) > v_tree.nearest_distance(
+                q, batch=ctx.kernels
+            ) + _TOL:
                 return False
     else:
-        du = ctx.hull_distance_vectors(u)  # (m_u, k)
-        dv = ctx.hull_distance_vectors(v)  # (m_v, k)
-        ctx.counters.count_comparisons(du.shape[1])
-        if np.any(du.max(axis=0) > dv.min(axis=0) + _TOL):
+        if ctx.kernels:
+            # Per-object extreme vectors are cached: one reduction per
+            # object instead of two per checked pair.
+            u_max = ctx.hull_extremes(u)[0]  # (k,)
+            v_min = ctx.hull_extremes(v)[1]
+        else:
+            du = ctx.hull_distance_vectors(u)  # (m_u, k)
+            dv = ctx.hull_distance_vectors(v)  # (m_v, k)
+            u_max = du.max(axis=0)
+            v_min = dv.min(axis=0)
+        ctx.counters.count_comparisons(u_max.size)
+        if np.any(u_max > v_min + _TOL):
             return False
     # All pair distances are <=; exclude the degenerate identical case.
     return not stochastic_equal(
-        ctx.distance_distribution(u), ctx.distance_distribution(v)
+        ctx.distance_distribution(u),
+        ctx.distance_distribution(v),
+        use_kernel=ctx.kernels,
     )

@@ -27,6 +27,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+import numpy as np
+
+from repro.core import kernels as K
 from repro.core.context import QueryContext
 from repro.core.counters import Counters
 from repro.core.operators import OperatorKind, _BaseOperator, make_operator
@@ -35,6 +38,104 @@ from repro.index.rtree import RTree, RTreeNode
 from repro.objects.uncertain import UncertainObject
 
 _TIE_TOL = 1e-9
+
+# Operator kinds whose own filter stack re-derives the Theorem 11 statistic
+# screen, making the batch pre-screen in the search loop a pure shortcut
+# (excluded records would be rejected by the operator anyway, with the same
+# statistics and tolerance).  Gated on the operator's flags so ablation
+# configurations keep their honest cost profile.
+_SCREEN_BY_STATISTICS = frozenset({OperatorKind.S_SD})
+_SCREEN_BY_COVER = frozenset({OperatorKind.SS_SD, OperatorKind.P_SD})
+
+
+def _screen_applies(operator: _BaseOperator) -> bool:
+    """Whether the batch statistic screen mirrors this operator's pruning."""
+    if operator.kind in _SCREEN_BY_STATISTICS:
+        return operator.use_statistics
+    if operator.kind in _SCREEN_BY_COVER:
+        return operator.use_cover_pruning
+    return False
+
+
+def _mbr_screen_applies(operator: _BaseOperator, ctx: QueryContext) -> bool:
+    """Whether the batched strict MBR validation replaces the operators' own.
+
+    Every operator opens with the same strict Theorem 4 test (sufficient for
+    dominance under all five semantics, F-SD being the strongest); batching
+    it across the accepted set is valid exactly when the operator would run
+    it scalar: F+-SD always does (it *is* the test), F-SD whenever the
+    metric is Euclidean, the rest gate it on their ``use_mbr_validation``
+    flag too.
+    """
+    if operator.kind is OperatorKind.F_PLUS_SD:
+        return True
+    if not ctx.is_euclidean:
+        return False
+    if operator.kind is OperatorKind.F_SD:
+        return True
+    return operator.use_mbr_validation
+
+
+class _AcceptedIndex:
+    """Stacked arrays over the accepted candidates for the batch screens.
+
+    ``_entry_pruned`` and the statistic screen run on every heap pop, but
+    the accepted set changes only on accept/evict; the stacks are rebuilt
+    lazily against a revision counter bumped at each mutation, so steady
+    state pays one numpy call per pop instead of one ``np.stack`` each.
+    """
+
+    __slots__ = (
+        "rev",
+        "_boxes_rev",
+        "_stats_rev",
+        "_corner_rev",
+        "los",
+        "his",
+        "stats",
+        "corner",
+    )
+
+    def __init__(self) -> None:
+        self.rev = 0
+        self._boxes_rev = -1
+        self._stats_rev = -1
+        self._corner_rev = -1
+        self.los = self.his = self.stats = self.corner = None
+
+    def bump(self) -> None:
+        """Mark the accepted set as changed."""
+        self.rev += 1
+
+    def boxes(self, accepted: list[list]) -> tuple:
+        """Stacked ``(los, his)`` MBR corners of the accepted candidates."""
+        if self._boxes_rev != self.rev:
+            self.los = np.stack([record[0].mbr.lo for record in accepted])
+            self.his = np.stack([record[0].mbr.hi for record in accepted])
+            self._boxes_rev = self.rev
+        return self.los, self.his
+
+    def statistics(self, accepted: list[list], ctx: QueryContext) -> np.ndarray:
+        """``(n, 3)`` matrix of the accepted candidates' (min, mean, max)."""
+        if self._stats_rev != self.rev:
+            self.stats = np.array(
+                [ctx.statistics(record[0]) for record in accepted], dtype=float
+            )
+            self._stats_rev = self.rev
+        return self.stats
+
+    def corner_sq(self, accepted: list[list], q_mbr) -> np.ndarray:
+        """Cached :func:`repro.geometry.mbr.mbr_corner_terms` of the boxes.
+
+        The candidate-side half of the batched Theorem 4 test depends only
+        on the accepted boxes and the (fixed) query box, so it is shared by
+        every entry/object screened against the same accepted set.
+        """
+        if self._corner_rev != self.rev:
+            los, his = self.boxes(accepted)
+            self.corner = K.mbr_corner_terms(los, his, q_mbr.lo, q_mbr.hi)
+            self._corner_rev = self.rev
+        return self.corner
 
 
 @dataclass
@@ -156,6 +257,10 @@ class NNCSearch:
         start = time.perf_counter()
         q_mbr = query.mbr
         norm = ctx.norm  # metric-aware MBR distances (None = Euclidean)
+        # Batch node expansion needs a named Minkowski metric (callable
+        # metrics have no batch norm; non-Euclidean callables cannot even
+        # build a context, so this only excludes an explicit `euclidean`).
+        batch = ctx.kernels and isinstance(ctx.metric, str)
         counter = itertools.count()
         # Heap items: (key, tiebreak, kind, payload)
         #   kind 0 = R-tree node, 1 = unrefined object, 2 = refined object.
@@ -170,6 +275,7 @@ class NNCSearch:
         # ties); objects with count >= k are evicted.
         accepted: list[list] = []
         pending: list[list] = []  # not yet yielded (same record objects)
+        acc_idx = _AcceptedIndex()
         while heap:
             key, _, kind, item = heapq.heappop(heap)
             # Flush pending candidates that can no longer gain dominators:
@@ -182,41 +288,92 @@ class NNCSearch:
             if kind == 0:
                 node: RTreeNode = item  # type: ignore[assignment]
                 ctx.counters.nodes_visited += 1
-                if self._entry_pruned(node.mbr, q_mbr, accepted, ctx, k):
+                if self._entry_pruned(node.mbr, q_mbr, accepted, acc_idx, ctx, k):
                     continue
-                if node.is_leaf:
-                    for mbr, obj in node.entries:
-                        heapq.heappush(
-                            heap,
-                            (mbr.mindist_mbr(q_mbr, norm), next(counter), 1, obj),
-                        )
+                members = node.entries if node.is_leaf else node.children
+                child_kind = 1 if node.is_leaf else 0
+                if batch and members:
+                    # One broadcast keys the whole node's members at once.
+                    los, his = node.packed()
+                    dists = K.children_mindist_box(
+                        los, his, q_mbr.lo, q_mbr.hi, ctx.metric,
+                        counters=ctx.counters,
+                    ).tolist()
+                elif node.is_leaf:
+                    dists = [mbr.mindist_mbr(q_mbr, norm) for mbr, _ in node.entries]
                 else:
-                    for child in node.children:
-                        heapq.heappush(
-                            heap,
-                            (
-                                child.mbr.mindist_mbr(q_mbr, norm),  # type: ignore[union-attr]
-                                next(counter),
-                                0,
-                                child,
-                            ),
-                        )
+                    dists = [
+                        child.mbr.mindist_mbr(q_mbr, norm)  # type: ignore[union-attr]
+                        for child in node.children
+                    ]
+                for dist, member in zip(dists, members):
+                    payload = member[1] if node.is_leaf else member
+                    heapq.heappush(heap, (dist, next(counter), child_kind, payload))
                 continue
             obj: UncertainObject = item  # type: ignore[assignment]
             if kind == 1:
-                # Lazy refinement: re-key by the exact minimal distance.
-                exact = obj.min_distance(query, ctx.metric)
-                heapq.heappush(heap, (exact, next(counter), 2, obj))
+                # Lazy refinement: re-key by the exact minimal distance
+                # (shares the context's cached distance matrix).
+                heapq.heappush(heap, (ctx.min_distance(obj), next(counter), 2, obj))
                 continue
             ctx.counters.objects_visited += 1
-            if self._entry_pruned(obj.mbr, q_mbr, accepted, ctx, k):
+            screen = None
+            definite = None
+            if ctx.kernels and accepted:
+                mask = None
+                if ctx.is_euclidean or operator.kind is OperatorKind.F_PLUS_SD:
+                    # One strict Theorem 4 mask serves both the cover-based
+                    # entry pruning and the per-record validation screen.
+                    u_los, u_his = acc_idx.boxes(accepted)
+                    ctx.counters.mbr_tests += len(accepted)
+                    mask = K.mbr_dominance_mask(
+                        u_los,
+                        u_his,
+                        obj.mbr,
+                        q_mbr,
+                        strict=True,
+                        u_max_sq=acc_idx.corner_sq(accepted, q_mbr),
+                        counters=ctx.counters,
+                    )
+                if (
+                    ctx.is_euclidean
+                    and mask is not None
+                    and int(np.count_nonzero(mask)) >= k
+                ):
+                    continue  # same drop as _entry_pruned on the object box
+                if _mbr_screen_applies(operator, ctx):
+                    # Batch Theorem 4 validation: records whose boxes
+                    # strictly dominate the object's are certain dominators
+                    # (their operator call would return True immediately).
+                    definite = mask
+                    ctx.counters.validated_by_mbr += int(
+                        np.count_nonzero(definite)
+                    )
+                if _screen_applies(operator):
+                    # Batch Theorem 11 screen: records whose (min, mean, max)
+                    # vectors already violate the necessary ordering cannot
+                    # dominate, so their operator calls are skipped wholesale.
+                    u_stats = acc_idx.statistics(accepted, ctx)
+                    v_stats = np.asarray(ctx.statistics(obj), dtype=float)
+                    screen = K.statistic_prune(
+                        u_stats, v_stats, counters=ctx.counters
+                    )
+                    ctx.counters.bump(
+                        "batch_stat_screened", int(np.count_nonzero(~screen))
+                    )
+            elif self._entry_pruned(obj.mbr, q_mbr, accepted, acc_idx, ctx, k):
                 continue
+            mbr_checked = definite is not None
             dominators = 0
-            for record in accepted:
-                if operator.dominates(record[0], obj, ctx):
+            for idx, record in enumerate(accepted):
+                if mbr_checked and definite[idx]:
                     dominators += 1
-                    if dominators >= k:
-                        break
+                elif screen is not None and not screen[idx]:
+                    continue
+                elif operator.dominates(record[0], obj, ctx, mbr_checked=mbr_checked):
+                    dominators += 1
+                if dominators >= k:
+                    break
             if dominators >= k:
                 ctx.counters.bump("objects_dominated")
                 continue
@@ -231,19 +388,42 @@ class NNCSearch:
                     if record[2] >= k:
                         pending.remove(record)
                         accepted.remove(record)
+                        acc_idx.bump()
             record = [obj, key, dominators]
             accepted.append(record)
+            acc_idx.bump()
             pending.append(record)
         for record in pending:
             yield record[0], time.perf_counter() - start
 
     @staticmethod
     def _entry_pruned(
-        mbr, q_mbr, accepted: list[list], ctx: QueryContext, k: int
+        mbr,
+        q_mbr,
+        accepted: list[list],
+        acc_idx: _AcceptedIndex,
+        ctx: QueryContext,
+        k: int,
     ) -> bool:
         """Cover-based entry pruning: >= k accepted MBRs F-SD the entry."""
         if not ctx.is_euclidean:
             return False  # the MBR dominance test is Euclidean-only
+        if not accepted:
+            return False
+        if ctx.kernels:
+            # All accepted candidates' boxes against the entry in one shot.
+            u_los, u_his = acc_idx.boxes(accepted)
+            ctx.counters.mbr_tests += len(accepted)
+            mask = K.mbr_dominance_mask(
+                u_los,
+                u_his,
+                mbr,
+                q_mbr,
+                strict=True,
+                u_max_sq=acc_idx.corner_sq(accepted, q_mbr),
+                counters=ctx.counters,
+            )
+            return int(np.count_nonzero(mask)) >= k
         hits = 0
         for record in accepted:
             ctx.counters.mbr_tests += 1

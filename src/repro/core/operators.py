@@ -56,9 +56,20 @@ class _BaseOperator:
         return self.kind.value
 
     def dominates(
-        self, u: UncertainObject, v: UncertainObject, ctx: QueryContext
+        self,
+        u: UncertainObject,
+        v: UncertainObject,
+        ctx: QueryContext,
+        *,
+        mbr_checked: bool = False,
     ) -> bool:
-        """Whether ``u`` dominates ``v`` w.r.t. ``ctx.query``."""
+        """Whether ``u`` dominates ``v`` w.r.t. ``ctx.query``.
+
+        Args:
+            mbr_checked: the caller already ran the strict Theorem 4 MBR
+                validation for this pair and it failed (e.g. the search
+                loop's batched screen); operators skip repeating it.
+        """
         raise NotImplementedError
 
 
@@ -70,7 +81,12 @@ class SSDOperator(_BaseOperator):
         return OperatorKind.S_SD
 
     def dominates(
-        self, u: UncertainObject, v: UncertainObject, ctx: QueryContext
+        self,
+        u: UncertainObject,
+        v: UncertainObject,
+        ctx: QueryContext,
+        *,
+        mbr_checked: bool = False,
     ) -> bool:
         return s_dominates(
             u,
@@ -79,6 +95,7 @@ class SSDOperator(_BaseOperator):
             use_statistics=self.use_statistics,
             use_mbr_validation=self.use_mbr_validation,
             use_level=self.use_level,
+            mbr_checked=mbr_checked,
         )
 
 
@@ -90,7 +107,12 @@ class SSSDOperator(_BaseOperator):
         return OperatorKind.SS_SD
 
     def dominates(
-        self, u: UncertainObject, v: UncertainObject, ctx: QueryContext
+        self,
+        u: UncertainObject,
+        v: UncertainObject,
+        ctx: QueryContext,
+        *,
+        mbr_checked: bool = False,
     ) -> bool:
         return ss_dominates(
             u,
@@ -100,6 +122,7 @@ class SSSDOperator(_BaseOperator):
             use_mbr_validation=self.use_mbr_validation,
             use_cover_pruning=self.use_cover_pruning,
             use_level=self.use_level,
+            mbr_checked=mbr_checked,
         )
 
 
@@ -111,7 +134,12 @@ class PSDOperator(_BaseOperator):
         return OperatorKind.P_SD
 
     def dominates(
-        self, u: UncertainObject, v: UncertainObject, ctx: QueryContext
+        self,
+        u: UncertainObject,
+        v: UncertainObject,
+        ctx: QueryContext,
+        *,
+        mbr_checked: bool = False,
     ) -> bool:
         return p_dominates(
             u,
@@ -121,6 +149,7 @@ class PSDOperator(_BaseOperator):
             use_cover_pruning=self.use_cover_pruning,
             use_geometry=self.use_geometry,
             use_level=self.use_level,
+            mbr_checked=mbr_checked,
         )
 
 
@@ -132,9 +161,16 @@ class FSDOperator(_BaseOperator):
         return OperatorKind.F_SD
 
     def dominates(
-        self, u: UncertainObject, v: UncertainObject, ctx: QueryContext
+        self,
+        u: UncertainObject,
+        v: UncertainObject,
+        ctx: QueryContext,
+        *,
+        mbr_checked: bool = False,
     ) -> bool:
-        return fsd_dominates(u, v, ctx, use_local_trees=self.use_level)
+        return fsd_dominates(
+            u, v, ctx, use_local_trees=self.use_level, mbr_checked=mbr_checked
+        )
 
 
 class FPlusSDOperator(_BaseOperator):
@@ -145,8 +181,16 @@ class FPlusSDOperator(_BaseOperator):
         return OperatorKind.F_PLUS_SD
 
     def dominates(
-        self, u: UncertainObject, v: UncertainObject, ctx: QueryContext
+        self,
+        u: UncertainObject,
+        v: UncertainObject,
+        ctx: QueryContext,
+        *,
+        mbr_checked: bool = False,
     ) -> bool:
+        if mbr_checked:
+            # F+-SD *is* the strict MBR test, which already failed upstream.
+            return False
         return fplus_dominates(u, v, ctx)
 
 

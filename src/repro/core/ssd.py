@@ -16,6 +16,9 @@ can avoid it:
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core import kernels as K
 from repro.core.context import QueryContext
 from repro.geometry.mbr import mbr_dominates
 from repro.objects.uncertain import UncertainObject
@@ -46,6 +49,17 @@ def bounding_distributions(
     By construction ``L <=_st U_Q <=_st P``.
     """
     parts = ctx.partitions(obj, groups)
+    if ctx.kernels and not callable(ctx.metric):
+        los = np.stack([mbr.lo for mbr, _, _ in parts])
+        his = np.stack([mbr.hi for mbr, _, _ in parts])
+        masses = np.array([mass for _, _, mass in parts], dtype=float)
+        lo_mat, hi_mat = K.partition_bounds(
+            los, his, ctx.query.points, ctx.metric, counters=ctx.counters
+        )
+        probs_mat = masses[:, None] * np.asarray(ctx.query.probs, dtype=float)[None, :]
+        lo = DiscreteDistribution(lo_mat.ravel(), probs_mat.ravel())
+        hi = DiscreteDistribution(hi_mat.ravel(), probs_mat.ravel())
+        return lo, hi
     lo_vals: list[float] = []
     hi_vals: list[float] = []
     probs: list[float] = []
@@ -67,6 +81,7 @@ def s_dominates(
     use_statistics: bool = True,
     use_mbr_validation: bool = True,
     use_level: bool = False,
+    mbr_checked: bool = False,
 ) -> bool:
     """S-SD dominance check with configurable filters.
 
@@ -78,9 +93,11 @@ def s_dominates(
         use_mbr_validation: apply the Theorem 4 MBR validation rule.
         use_level: apply the level-by-level bounding-distribution filter
             before the exact scan (pays off for large instance counts).
+        mbr_checked: the caller already ran the strict MBR validation (and it
+            failed) — e.g. the search loop's batched screen — so skip it.
     """
     ctx.counters.dominance_checks += 1
-    if use_mbr_validation and ctx.is_euclidean:
+    if use_mbr_validation and ctx.is_euclidean and not mbr_checked:
         ctx.counters.mbr_tests += 1
         if mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True):
             ctx.counters.validated_by_mbr += 1
@@ -99,20 +116,24 @@ def s_dominates(
         for groups in _granularities(ctx.level_groups, min(len(u), len(v))):
             lo_u, hi_u = bounding_distributions(u, ctx, groups)
             lo_v, hi_v = bounding_distributions(v, ctx, groups)
-            if stochastic_leq(hi_u, lo_v, counter=ctx.counters):
+            if stochastic_leq(hi_u, lo_v, counter=ctx.counters, use_kernel=ctx.kernels):
                 # Pessimistic U below optimistic V everywhere.  If the
                 # bounds differ as distributions then U_Q != V_Q follows
                 # (equality would squeeze both bounds onto U_Q), settling
                 # the check positively; bound equality is degenerate and
                 # falls through to the scan.
-                if not stochastic_equal(hi_u, lo_v):
+                if not stochastic_equal(hi_u, lo_v, use_kernel=ctx.kernels):
                     ctx.counters.validated_by_level += 1
                     return True
-            elif not stochastic_leq(lo_u, hi_v, counter=ctx.counters):
+            elif not stochastic_leq(
+                lo_u, hi_v, counter=ctx.counters, use_kernel=ctx.kernels
+            ):
                 ctx.counters.pruned_by_level += 1
                 return False
     u_q = ctx.distance_distribution(u)
     v_q = ctx.distance_distribution(v)
-    if not stochastic_leq(u_q, v_q, counter=ctx.counters):
+    if not stochastic_leq(u_q, v_q, counter=ctx.counters, use_kernel=ctx.kernels):
         return False
-    return not stochastic_equal(u_q, v_q)
+    # Equality is two-sided <=_st; the forward sweep just returned True, so
+    # only the reverse direction remains to decide U_Q != V_Q.
+    return not (u_q == v_q or stochastic_leq(v_q, u_q))

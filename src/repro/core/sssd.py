@@ -14,6 +14,9 @@ Filters mirror S-SD with two additions from the paper:
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core import kernels as K
 from repro.core.context import QueryContext
 from repro.geometry.mbr import mbr_dominates
 from repro.objects.uncertain import UncertainObject
@@ -28,11 +31,24 @@ def bounding_distributions_per_q(
 ) -> list[tuple[DiscreteDistribution, DiscreteDistribution]]:
     """Per-query-instance optimistic/pessimistic bounds on ``U_q``."""
     parts = ctx.partitions(obj, groups)
+    masses = [mass for _, _, mass in parts]
+    if ctx.kernels and not callable(ctx.metric):
+        los = np.stack([mbr.lo for mbr, _, _ in parts])
+        his = np.stack([mbr.hi for mbr, _, _ in parts])
+        lo_mat, hi_mat = K.partition_bounds(
+            los, his, ctx.query.points, ctx.metric, counters=ctx.counters
+        )
+        return [
+            (
+                DiscreteDistribution(lo_mat[:, j], masses),
+                DiscreteDistribution(hi_mat[:, j], masses),
+            )
+            for j in range(lo_mat.shape[1])
+        ]
     out: list[tuple[DiscreteDistribution, DiscreteDistribution]] = []
     for q in ctx.query.points:
         lo_vals = [mbr.mindist(q, ctx.norm) for mbr, _, _ in parts]
         hi_vals = [mbr.maxdist(q, ctx.norm) for mbr, _, _ in parts]
-        masses = [mass for _, _, mass in parts]
         out.append(
             (
                 DiscreteDistribution(lo_vals, masses),
@@ -51,6 +67,7 @@ def ss_dominates(
     use_mbr_validation: bool = True,
     use_cover_pruning: bool = True,
     use_level: bool = False,
+    mbr_checked: bool = False,
 ) -> bool:
     """SS-SD dominance check with configurable filters.
 
@@ -63,9 +80,11 @@ def ss_dominates(
         use_cover_pruning: apply the S-SD statistic rule on the global
             distributions first (``not S-SD`` implies ``not SS-SD``).
         use_level: level-by-level bounding distributions per query instance.
+        mbr_checked: the strict MBR validation already ran (and failed)
+            upstream — skip repeating it.
     """
     ctx.counters.dominance_checks += 1
-    if use_mbr_validation and ctx.is_euclidean:
+    if use_mbr_validation and ctx.is_euclidean and not mbr_checked:
         ctx.counters.mbr_tests += 1
         if mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True):
             ctx.counters.validated_by_mbr += 1
@@ -77,14 +96,30 @@ def ss_dominates(
         if u_min > v_min + _TOL or u_mean > v_mean + _TOL or u_max > v_max + _TOL:
             ctx.counters.pruned_by_cover += 1
             return False
-    u_dists = ctx.per_instance_distributions(u)
-    v_dists = ctx.per_instance_distributions(v)
-    if use_statistics:
-        for uq, vq in zip(u_dists, v_dists):
-            ctx.counters.count_comparisons(2)
-            if uq.min() > vq.min() + _TOL or uq.max() > vq.max() + _TOL:
+    if ctx.kernels:
+        # One (|Q|, m) broadcast per object covers both the per-q statistic
+        # screen and the final per-q CDF sweeps (3-d broadcast below).
+        mat_u = ctx.distance_matrix(u)
+        mat_v = ctx.distance_matrix(v)
+        if use_statistics:
+            ctx.counters.count_comparisons(2 * mat_u.shape[0])
+            u_rmin, u_rmax = ctx.row_extremes(u)
+            v_rmin, v_rmax = ctx.row_extremes(v)
+            violated = np.any(
+                (u_rmin > v_rmin + _TOL) | (u_rmax > v_rmax + _TOL)
+            )
+            if violated:
                 ctx.counters.pruned_by_statistics += 1
                 return False
+    else:
+        u_dists = ctx.per_instance_distributions(u)
+        v_dists = ctx.per_instance_distributions(v)
+        if use_statistics:
+            for uq, vq in zip(u_dists, v_dists):
+                ctx.counters.count_comparisons(2)
+                if uq.min() > vq.min() + _TOL or uq.max() > vq.max() + _TOL:
+                    ctx.counters.pruned_by_statistics += 1
+                    return False
     if use_level:
         # Iterative level-by-level refinement, one granularity per round.
         from repro.core.ssd import _granularities
@@ -94,20 +129,37 @@ def ss_dominates(
             bounds_v = bounding_distributions_per_q(v, ctx, groups)
             validated_all = True
             for (lo_u, hi_u), (lo_v, hi_v) in zip(bounds_u, bounds_v):
-                if not stochastic_leq(lo_u, hi_v, counter=ctx.counters):
+                if not stochastic_leq(
+                    lo_u, hi_v, counter=ctx.counters, use_kernel=ctx.kernels
+                ):
                     ctx.counters.pruned_by_level += 1
                     return False
                 if validated_all and not (
-                    stochastic_leq(hi_u, lo_v, counter=ctx.counters)
-                    and not stochastic_equal(hi_u, lo_v)
+                    stochastic_leq(
+                        hi_u, lo_v, counter=ctx.counters, use_kernel=ctx.kernels
+                    )
+                    and not stochastic_equal(hi_u, lo_v, use_kernel=ctx.kernels)
                 ):
                     validated_all = False
             if validated_all:
                 ctx.counters.validated_by_level += 1
                 return True
-    for uq, vq in zip(u_dists, v_dists):
-        if not stochastic_leq(uq, vq, counter=ctx.counters):
+    if ctx.kernels:
+        # All |Q| CDF indicators at once: raw (unsorted) matrix rows feed the
+        # mask-based union-grid sweep, so no per-row DiscreteDistribution is
+        # ever materialised on the hot path.
+        ctx.counters.count_comparisons(mat_u.size + mat_v.size)
+        u_vals, u_cum = ctx.sorted_rows(u)
+        v_vals, v_cum = ctx.sorted_rows(v)
+        ok = K.cdf_dominates_sorted(
+            u_vals, u_cum, v_vals, v_cum, counters=ctx.counters
+        )
+        if not bool(ok.all()):
             return False
+    else:
+        for uq, vq in zip(u_dists, v_dists):
+            if not stochastic_leq(uq, vq, counter=ctx.counters):
+                return False
     u_q = ctx.distance_distribution(u)
     v_q = ctx.distance_distribution(v)
-    return not stochastic_equal(u_q, v_q)
+    return not stochastic_equal(u_q, v_q, use_kernel=ctx.kernels)

@@ -17,7 +17,7 @@ from repro.experiments.harness import (
     progressive_profile,
 )
 from repro.experiments.params import SCALES, ExperimentParams, Scale
-from repro.experiments.report import format_table
+from repro.experiments.report import format_table, kernel_summary, kernel_summary_table
 from repro.experiments.summary import Observation, format_summary, summarize
 
 __all__ = [
@@ -32,5 +32,7 @@ __all__ = [
     "candidate_quality",
     "evaluate_workload",
     "format_table",
+    "kernel_summary",
+    "kernel_summary_table",
     "progressive_profile",
 ]

@@ -45,6 +45,7 @@ def evaluate_workload(
     kinds: Sequence[str | _BaseOperator] = DEFAULT_KINDS,
     *,
     operator_flags: dict | None = None,
+    context_kwargs: dict | None = None,
 ) -> dict[str, WorkloadStats]:
     """Run every operator over every query; return per-operator aggregates.
 
@@ -54,15 +55,19 @@ def evaluate_workload(
         kinds: operator kinds (strings) or pre-configured operators.
         operator_flags: extra flags passed to :func:`make_operator` for
             string kinds (ignored for pre-built operators).
+        context_kwargs: extra keyword arguments for each per-query
+            :class:`QueryContext` (e.g. ``{"kernels": False}`` to time the
+            scalar reference path, or ``{"metric": "manhattan"}``).
     """
     search = NNCSearch(objects)
     flags = operator_flags or {}
+    ctx_kwargs = context_kwargs or {}
     stats: dict[str, WorkloadStats] = {}
     for kind in kinds:
         operator = kind if isinstance(kind, _BaseOperator) else make_operator(kind, **flags)
         ws = WorkloadStats(operator=operator.name)
         for query in queries:
-            ctx = QueryContext(query)
+            ctx = QueryContext(query, **ctx_kwargs)
             t0 = time.perf_counter()
             result = search.run(query, operator, ctx=ctx)
             ws.per_query_times.append(time.perf_counter() - t0)

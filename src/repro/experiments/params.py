@@ -45,6 +45,9 @@ SCALES: dict[str, Scale] = {
     "tiny": Scale("tiny", n_factor=0.0015, m_factor=0.15, q_factor=0.2, n_queries=2),
     "small": Scale("small", n_factor=0.004, m_factor=0.25, q_factor=0.27, n_queries=3),
     "medium": Scale("medium", n_factor=0.01, m_factor=0.375, q_factor=0.33, n_queries=5),
+    # Paper-faithful instance counts (m_d = 40, m_q = 30); only the object
+    # count and workload shrink.  This is the benchmark's headline scale.
+    "large": Scale("large", n_factor=0.02, m_factor=1.0, q_factor=1.0, n_queries=3),
 }
 
 

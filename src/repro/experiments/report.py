@@ -42,3 +42,41 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+def kernel_summary(counters) -> dict:
+    """Kernel-vs-scalar usage summary of one run (``repro.core.kernels``).
+
+    Args:
+        counters: a :class:`repro.core.counters.Counters` (or any object with
+            a ``snapshot()``), or an already-snapshotted plain dict.
+
+    Returns:
+        Dict with ``kernel_invocations``, ``kernel_elements``, the mean
+        ``elements_per_invocation`` (batch granularity — the rough vectorised
+        work per interpreter round-trip) and ``scalar_fallbacks``.
+    """
+    snap = counters.snapshot() if hasattr(counters, "snapshot") else dict(counters)
+    invocations = int(snap.get("kernel_invocations", 0))
+    elements = int(snap.get("kernel_elements", 0))
+    return {
+        "kernel_invocations": invocations,
+        "kernel_elements": elements,
+        "elements_per_invocation": elements / invocations if invocations else 0.0,
+        "scalar_fallbacks": int(snap.get("scalar_fallbacks", 0)),
+    }
+
+
+def kernel_summary_table(stats: dict) -> str:
+    """Render per-operator kernel summaries from workload stats.
+
+    Args:
+        stats: mapping of operator name to
+            :class:`repro.experiments.harness.WorkloadStats` (the return
+            shape of :func:`repro.experiments.harness.evaluate_workload`).
+    """
+    rows = [
+        {"operator": name, **kernel_summary(ws.counters)}
+        for name, ws in stats.items()
+    ]
+    return format_table(rows, "Kernel utilisation")

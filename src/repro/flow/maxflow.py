@@ -34,16 +34,24 @@ class FlowNetwork:
         self.graph: list[list[list[float]]] = [[] for _ in range(n)]
         self._edge_count = 0
 
-    def add_edge(self, u: int, v: int, capacity: float) -> None:
-        """Add a directed edge ``u -> v`` with the given capacity."""
+    def add_edge(
+        self, u: int, v: int, capacity: float, reverse_capacity: float = 0.0
+    ) -> None:
+        """Add a directed edge ``u -> v`` with the given capacity.
+
+        A positive ``reverse_capacity`` models flow already pushed along the
+        edge: the network then *is* the residual graph of that partial flow,
+        so ``max_flow`` computes the remaining augmentable value (used by the
+        greedy-seeded P-SD check).
+        """
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise IndexError(f"edge ({u}, {v}) outside vertex range 0..{self.n - 1}")
-        if capacity < 0:
+        if capacity < 0 or reverse_capacity < 0:
             raise ValueError("capacity must be non-negative")
         # Forward edge: [to, cap, index of reverse in graph[v]]
         self.graph[u].append([v, float(capacity), len(self.graph[v])])
-        # Residual edge with zero capacity.
-        self.graph[v].append([u, 0.0, len(self.graph[u]) - 1])
+        # Residual edge (zero capacity unless flow was pre-pushed).
+        self.graph[v].append([u, float(reverse_capacity), len(self.graph[u]) - 1])
         self._edge_count += 1
 
     @property

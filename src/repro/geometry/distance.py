@@ -18,25 +18,25 @@ Metric = Callable[[np.ndarray, np.ndarray], float]
 
 def euclidean(u: np.ndarray, v: np.ndarray) -> float:
     """Euclidean (L2) distance between two points."""
-    diff = np.asarray(u, dtype=float) - np.asarray(v, dtype=float)
+    diff = np.subtract(u, v, dtype=float)
     return float(np.sqrt(np.dot(diff, diff)))
 
 
 def squared_euclidean(u: np.ndarray, v: np.ndarray) -> float:
     """Squared Euclidean distance; monotone in :func:`euclidean`."""
-    diff = np.asarray(u, dtype=float) - np.asarray(v, dtype=float)
+    diff = np.subtract(u, v, dtype=float)
     return float(np.dot(diff, diff))
 
 
 def manhattan(u: np.ndarray, v: np.ndarray) -> float:
     """Manhattan (L1) distance between two points."""
-    diff = np.asarray(u, dtype=float) - np.asarray(v, dtype=float)
+    diff = np.subtract(u, v, dtype=float)
     return float(np.abs(diff).sum())
 
 
 def chebyshev(u: np.ndarray, v: np.ndarray) -> float:
     """Chebyshev (L-infinity) distance between two points."""
-    diff = np.asarray(u, dtype=float) - np.asarray(v, dtype=float)
+    diff = np.subtract(u, v, dtype=float)
     return float(np.abs(diff).max())
 
 
@@ -57,6 +57,35 @@ _NORMS = {
     "chebyshev": lambda v: float(np.abs(v).max()),
     "linf": lambda v: float(np.abs(v).max()),
 }
+
+
+_BATCH_NORMS = {
+    "euclidean": lambda v, axis=-1: np.sqrt((v * v).sum(axis=axis)),
+    "l2": lambda v, axis=-1: np.sqrt((v * v).sum(axis=axis)),
+    "manhattan": lambda v, axis=-1: np.abs(v).sum(axis=axis),
+    "l1": lambda v, axis=-1: np.abs(v).sum(axis=axis),
+    "chebyshev": lambda v, axis=-1: np.abs(v).max(axis=axis),
+    "linf": lambda v, axis=-1: np.abs(v).max(axis=axis),
+}
+
+
+def resolve_batch_norm(metric: str):
+    """Vectorised norm reducing per-dimension gap arrays along an axis.
+
+    The batch counterpart of :func:`resolve_norm`: maps an ``(..., d)`` array
+    of per-dimension gaps to an ``(...,)`` array of distances.  Used by the
+    batched MBR ``mindist``/``maxdist`` kernels.
+
+    Raises:
+        KeyError: for unknown names (callable metrics have no generic norm).
+    """
+    try:
+        return _BATCH_NORMS[metric.lower()]
+    except (KeyError, AttributeError):
+        known = ", ".join(sorted(_BATCH_NORMS))
+        raise KeyError(
+            f"no batch norm for metric {metric!r}; known: {known}"
+        ) from None
 
 
 def resolve_norm(metric: str):

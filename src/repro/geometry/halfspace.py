@@ -64,6 +64,25 @@ def closer_to_query(
     return bool(np.all(du2 <= dv2 + tol))
 
 
+def adjacency_from_vectors(
+    du: np.ndarray, dv: np.ndarray, *, tol: float = 1e-9
+) -> np.ndarray:
+    """``D[i, j] = (u_i <=_Q v_j)`` from precomputed distance vectors.
+
+    One broadcast over all ``(u, v)`` instance pairs and all query (hull)
+    vertices — the batched halfspace test behind the P-SD network edges.
+
+    Args:
+        du: distance vectors of the ``U`` instances, shape ``(m, k)``.
+        dv: distance vectors of the ``V`` instances, shape ``(n, k)``.
+        tol: numeric slack added to the right-hand side.
+
+    Returns:
+        Boolean array of shape ``(m, n)``.
+    """
+    return np.all(du[:, None, :] <= dv[None, :, :] + tol, axis=2)
+
+
 def dominance_matrix(
     us: np.ndarray,
     vs: np.ndarray,
@@ -78,5 +97,4 @@ def dominance_matrix(
     """
     du = pairwise_distances(us, query_points)  # (m, k)
     dv = pairwise_distances(vs, query_points)  # (n, k)
-    # D[i, j] = all_k du[i, k] <= dv[j, k] + tol
-    return np.all(du[:, None, :] <= dv[None, :, :] + tol, axis=2)
+    return adjacency_from_vectors(du, dv, tol=tol)

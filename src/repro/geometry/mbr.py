@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.geometry.distance import resolve_batch_norm
+
 
 @dataclass(frozen=True)
 class MBR:
@@ -126,6 +128,157 @@ class MBR:
         if norm is not None:
             return norm(far)
         return float(np.sqrt(np.dot(far, far)))
+
+
+# --------------------------------------------------------------------- #
+# Batched MBR bounds (vectorised kernels; see repro.core.kernels)
+# --------------------------------------------------------------------- #
+
+
+def boxes_mindist_points(
+    los: np.ndarray, his: np.ndarray, points: np.ndarray, metric: str = "euclidean"
+) -> np.ndarray:
+    """Minimal distances of many boxes to many points in one broadcast.
+
+    Args:
+        los: lower corners, shape ``(b, d)``.
+        his: upper corners, shape ``(b, d)``.
+        points: shape ``(n, d)``.
+        metric: Minkowski metric name (per-dimension gaps are metric
+            independent, so any Lp norm of the gap vector is exact).
+
+    Returns:
+        Array of shape ``(b, n)``; entry ``(i, j)`` equals
+        ``MBR(los[i], his[i]).mindist(points[j])`` under the metric.
+    """
+    los = np.atleast_2d(np.asarray(los, dtype=float))
+    his = np.atleast_2d(np.asarray(his, dtype=float))
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    gap = np.maximum(
+        np.maximum(los[:, None, :] - pts[None, :, :], pts[None, :, :] - his[:, None, :]),
+        0.0,
+    )
+    return resolve_batch_norm(metric)(gap)
+
+
+def boxes_maxdist_points(
+    los: np.ndarray, his: np.ndarray, points: np.ndarray, metric: str = "euclidean"
+) -> np.ndarray:
+    """Maximal distances of many boxes to many points; shape ``(b, n)``."""
+    los = np.atleast_2d(np.asarray(los, dtype=float))
+    his = np.atleast_2d(np.asarray(his, dtype=float))
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    far = np.maximum(
+        np.abs(pts[None, :, :] - los[:, None, :]),
+        np.abs(pts[None, :, :] - his[:, None, :]),
+    )
+    return resolve_batch_norm(metric)(far)
+
+
+def mbr_mindist_points(
+    lo: np.ndarray, hi: np.ndarray, points: np.ndarray, metric: str = "euclidean"
+) -> np.ndarray:
+    """``mindist`` of one box to many points; shape ``(n,)``."""
+    return boxes_mindist_points(lo[None, :], hi[None, :], points, metric)[0]
+
+
+def mbr_maxdist_points(
+    lo: np.ndarray, hi: np.ndarray, points: np.ndarray, metric: str = "euclidean"
+) -> np.ndarray:
+    """``maxdist`` of one box to many points; shape ``(n,)``."""
+    return boxes_maxdist_points(lo[None, :], hi[None, :], points, metric)[0]
+
+
+def boxes_mindist_box(
+    los: np.ndarray,
+    his: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    metric: str = "euclidean",
+) -> np.ndarray:
+    """``mindist`` of many boxes to one box; shape ``(b,)``.
+
+    The batch counterpart of :meth:`MBR.mindist_mbr`, used to key a whole
+    R-tree node's children against the query MBR in one call.
+    """
+    los = np.atleast_2d(np.asarray(los, dtype=float))
+    his = np.atleast_2d(np.asarray(his, dtype=float))
+    gap = np.maximum(np.maximum(los - hi[None, :], lo[None, :] - his), 0.0)
+    return resolve_batch_norm(metric)(gap)
+
+
+def boxes_mindist_point(
+    los: np.ndarray, his: np.ndarray, point: np.ndarray, metric: str = "euclidean"
+) -> np.ndarray:
+    """``mindist`` of many boxes to one point; shape ``(b,)``."""
+    p = np.asarray(point, dtype=float)
+    return boxes_mindist_points(los, his, p[None, :], metric)[:, 0]
+
+
+def boxes_maxdist_point(
+    los: np.ndarray, his: np.ndarray, point: np.ndarray, metric: str = "euclidean"
+) -> np.ndarray:
+    """``maxdist`` of many boxes to one point; shape ``(b,)``."""
+    p = np.asarray(point, dtype=float)
+    return boxes_maxdist_points(los, his, p[None, :], metric)[:, 0]
+
+
+def mbr_corner_terms(
+    u_los: np.ndarray, u_his: np.ndarray, q_lo: np.ndarray, q_hi: np.ndarray
+) -> np.ndarray:
+    """Candidate-side terms of :func:`mbr_dominates_batch`, shape ``(2, b, d)``.
+
+    Per query-box corner, ``U`` box and dimension: the maximal squared
+    coordinate distance from the corner to the box edge.  Depends only on the
+    ``U`` boxes and the query box, so callers testing many ``V`` boxes
+    against a fixed candidate set can compute it once and pass it back via
+    ``u_max_sq``.
+    """
+    u_los = np.atleast_2d(np.asarray(u_los, dtype=float))
+    u_his = np.atleast_2d(np.asarray(u_his, dtype=float))
+    q = np.stack([np.asarray(q_lo, dtype=float), np.asarray(q_hi, dtype=float)])
+    a = q[:, None, :] - u_los[None, :, :]  # (2, b, d)
+    b = q[:, None, :] - u_his[None, :, :]
+    return np.maximum(a * a, b * b)
+
+
+def mbr_dominates_batch(
+    u_los: np.ndarray,
+    u_his: np.ndarray,
+    v_lo: np.ndarray,
+    v_hi: np.ndarray,
+    q_lo: np.ndarray,
+    q_hi: np.ndarray,
+    *,
+    strict: bool = False,
+    u_max_sq: np.ndarray | None = None,
+) -> np.ndarray:
+    """:func:`mbr_dominates` of many candidate boxes against one pair.
+
+    Evaluates, for every box ``U_i = (u_los[i], u_his[i])``, whether ``U_i``
+    dominates the box ``(v_lo, v_hi)`` w.r.t. the query box ``(q_lo, q_hi)``
+    — the same per-dimension endpoint maximisation as the scalar test,
+    broadcast over all ``U`` boxes at once.
+
+    Args:
+        u_max_sq: optional precomputed :func:`mbr_corner_terms` of the ``U``
+            boxes against the query box (they are ``V``-independent).
+
+    Returns:
+        Boolean array of shape ``(b,)``.
+    """
+    if u_max_sq is None:
+        u_max_sq = mbr_corner_terms(u_los, u_his, q_lo, q_hi)
+    q = np.stack([np.asarray(q_lo, dtype=float), np.asarray(q_hi, dtype=float)])
+    v_gap = np.maximum(
+        np.maximum(np.asarray(v_lo, dtype=float)[None, :] - q, q - np.asarray(v_hi, dtype=float)[None, :]),
+        0.0,
+    )  # (2, d)
+    v_min_sq = v_gap * v_gap
+    total = (u_max_sq - v_min_sq[:, None, :]).max(axis=0).sum(axis=1)
+    if strict:
+        return total < 0.0
+    return total <= 1e-12
 
 
 def _dim_max_sq(q: float, lo: float, hi: float) -> float:

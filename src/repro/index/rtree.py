@@ -23,7 +23,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.geometry.mbr import MBR
+from repro.geometry.mbr import MBR, boxes_maxdist_point, boxes_mindist_point
 
 
 class RTreeNode:
@@ -33,16 +33,18 @@ class RTreeNode:
     nodes.  ``mbr`` always bounds everything beneath the node.
     """
 
-    __slots__ = ("mbr", "children", "entries", "is_leaf")
+    __slots__ = ("mbr", "children", "entries", "is_leaf", "_packed")
 
     def __init__(self, is_leaf: bool) -> None:
         self.is_leaf = is_leaf
         self.children: list[RTreeNode] = []
         self.entries: list[tuple[MBR, Any]] = []
         self.mbr: MBR | None = None
+        self._packed: tuple[np.ndarray, np.ndarray] | None = None
 
     def recompute_mbr(self) -> None:
         """Recompute this node's MBR from its members."""
+        self._packed = None  # member set changed; corner arrays are stale
         boxes = (
             [e[0] for e in self.entries] if self.is_leaf else [c.mbr for c in self.children]
         )
@@ -53,6 +55,25 @@ class RTreeNode:
         for b in boxes[1:]:
             mbr = mbr.union(b)  # type: ignore[union-attr]
         self.mbr = mbr
+
+    def packed(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked ``(los, his)`` corner arrays of the node's member boxes.
+
+        Cached until the member set changes (every structural mutation goes
+        through :meth:`recompute_mbr`, which invalidates the cache); feeds the
+        batched mindist/maxdist kernels used by best-first traversals.
+        """
+        if self._packed is None:
+            boxes = (
+                [e[0] for e in self.entries]
+                if self.is_leaf
+                else [c.mbr for c in self.children]
+            )
+            self._packed = (
+                np.stack([b.lo for b in boxes]),
+                np.stack([b.hi for b in boxes]),
+            )
+        return self._packed
 
     def member_count(self) -> int:
         """Number of entries or children in this node."""
@@ -169,6 +190,7 @@ class RTree:
             return False
         leaf = path[-1]
         leaf.entries = [e for e in leaf.entries if e[1] is not payload]
+        leaf.recompute_mbr()  # also invalidates the packed corner cache
         self._size -= 1
         orphans: list[tuple[MBR, Any]] = []
         # Condense from the leaf upwards.
@@ -274,19 +296,29 @@ class RTree:
         point entries)."""
         return self._best_first(lambda m: m.mindist(point), k)
 
-    def nearest_distance(self, point: np.ndarray) -> float:
-        """``delta_min(point, entries)`` — distance of the nearest entry."""
-        result = self.nearest(point, k=1)
-        if not result:
-            raise ValueError("tree is empty")
-        return result[0][0]
+    def nearest_distance(self, point: np.ndarray, *, batch: bool = True) -> float:
+        """``delta_min(point, entries)`` — distance of the nearest entry.
 
-    def farthest_distance(self, point: np.ndarray) -> float:
+        With ``batch`` (default) each visited node keys all its members in
+        one broadcast over the packed corner arrays; ``batch=False`` is the
+        scalar per-member reference path.
+        """
+        if not batch:
+            result = self.nearest(point, k=1)
+            if not result:
+                raise ValueError("tree is empty")
+            return result[0][0]
+        return self._extreme_distance_batch(point, farthest=False)
+
+    def farthest_distance(self, point: np.ndarray, *, batch: bool = True) -> float:
         """``delta_max(point, entries)`` — distance of the farthest entry.
 
         Best-first search on **negated maxdist**: a node's maxdist upper
-        bounds the maxdist of everything below it.
+        bounds the maxdist of everything below it.  ``batch`` keys each
+        visited node's members in one broadcast.
         """
+        if batch:
+            return self._extreme_distance_batch(point, farthest=True)
         if self.root.mbr is None:
             raise ValueError("tree is empty")
         counter = itertools.count()
@@ -309,6 +341,41 @@ class RTree:
                         heap,
                         (-child.mbr.maxdist(point), next(counter), False, child),  # type: ignore[union-attr]
                     )
+        raise ValueError("tree is empty")
+
+    def _extreme_distance_batch(self, point: np.ndarray, *, farthest: bool) -> float:
+        """Best-first nearest/farthest entry distance with batched bounds.
+
+        Heap keys are ``mindist`` (or negated ``maxdist``), computed for all
+        members of a popped node in one call on its packed corner arrays.
+        """
+        if self.root.mbr is None:
+            raise ValueError("tree is empty")
+        p = np.asarray(point, dtype=float)
+        bound = self.root.mbr.maxdist(p) if farthest else self.root.mbr.mindist(p)
+        sign = -1.0 if farthest else 1.0
+        counter = itertools.count()
+        heap: list[tuple[float, int, bool, Any]] = [
+            (sign * bound, next(counter), False, self.root)
+        ]
+        while heap:
+            key, _, is_entry, item = heapq.heappop(heap)
+            if is_entry:
+                return sign * key
+            node: RTreeNode = item
+            if node.member_count() == 0:
+                continue
+            los, his = node.packed()
+            if farthest:
+                dists = boxes_maxdist_point(los, his, p)
+            else:
+                dists = boxes_mindist_point(los, his, p)
+            if node.is_leaf:
+                for d, (_, payload) in zip(dists.tolist(), node.entries):
+                    heapq.heappush(heap, (sign * d, next(counter), True, payload))
+            else:
+                for d, child in zip(dists.tolist(), node.children):
+                    heapq.heappush(heap, (sign * d, next(counter), False, child))
         raise ValueError("tree is empty")
 
     def _best_first(

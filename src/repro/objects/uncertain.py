@@ -63,8 +63,10 @@ class UncertainObject:
                 f"instance probabilities sum to {total}; pass normalize=True "
                 "for multi-valued objects with raw weights"
             )
-        self.points = pts
-        self.probs = ps
+        # One contiguous float64 copy up front: every batch kernel consumes
+        # these arrays directly, so no per-call conversion happens later.
+        self.points = np.ascontiguousarray(pts, dtype=np.float64)
+        self.probs = np.ascontiguousarray(ps, dtype=np.float64)
         self.oid = oid
         self._mbr: MBR | None = None
         self._local_tree: "RTree | None" = None

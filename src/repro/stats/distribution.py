@@ -27,7 +27,7 @@ class DiscreteDistribution:
         probs: matching probabilities, shape ``(n,)``, summing to ``total``.
     """
 
-    __slots__ = ("values", "probs")
+    __slots__ = ("values", "probs", "_cum")
 
     def __init__(
         self,
@@ -36,13 +36,17 @@ class DiscreteDistribution:
         *,
         normalize: bool = False,
     ) -> None:
-        vals = np.asarray(list(values), dtype=float)
+        if not isinstance(values, np.ndarray):
+            values = list(values)
+        vals = np.asarray(values, dtype=float)
         if probs is None:
             if vals.size == 0:
                 raise ValueError("distribution needs at least one value")
             ps = np.full(vals.shape, 1.0 / vals.size)
         else:
-            ps = np.asarray(list(probs), dtype=float)
+            if not isinstance(probs, np.ndarray):
+                probs = list(probs)
+            ps = np.asarray(probs, dtype=float)
         if vals.shape != ps.shape or vals.ndim != 1:
             raise ValueError("values and probs must be equal-length 1-d arrays")
         if vals.size == 0:
@@ -57,6 +61,15 @@ class DiscreteDistribution:
         order = np.argsort(vals, kind="stable")
         vals = vals[order]
         ps = ps[order]
+        # Common case: all mass significant, no (near-)duplicate support —
+        # the merge loop below would be the identity, so skip it.
+        self._cum = None
+        if np.all(ps > _PROB_TOL) and (
+            vals.size == 1 or np.all(np.diff(vals) > 1e-12)
+        ):
+            self.values = vals
+            self.probs = ps
+            return
         # Merge duplicate support points so equality tests are canonical.
         keep_vals: list[float] = []
         keep_ps: list[float] = []
@@ -103,10 +116,20 @@ class DiscreteDistribution:
     # Statistics (Theorem 11 pruning ingredients and N1 aggregates)
     # ------------------------------------------------------------------ #
 
+    def cum_probs(self) -> np.ndarray:
+        """``[0, P(<= v_1), ..., total]`` — cumulative masses, cached.
+
+        The distribution is immutable after construction, so the prefix-sum
+        array every CDF evaluation needs is computed once.
+        """
+        if self._cum is None:
+            self._cum = np.concatenate([[0.0], np.cumsum(self.probs)])
+        return self._cum
+
     @property
     def total_mass(self) -> float:
         """Total probability mass (1.0 for normalized distributions)."""
-        return float(self.probs.sum())
+        return float(self.cum_probs()[-1])
 
     def min(self) -> float:
         """Smallest support value."""
@@ -128,7 +151,7 @@ class DiscreteDistribution:
     def cdf(self, x: float) -> float:
         """``Pr(X <= x)``."""
         idx = int(np.searchsorted(self.values, x + 1e-12, side="right"))
-        return float(self.probs[:idx].sum())
+        return float(self.cum_probs()[idx])
 
     def quantile(self, phi: float) -> float:
         """The paper's ``phi-quantile`` (Definition 10).

@@ -42,6 +42,7 @@ def stochastic_leq(
     *,
     tol: float = _TOL,
     counter: ComparisonCounter | None = None,
+    use_kernel: bool = False,
 ) -> bool:
     """Single-scan check of ``X <=_st Y``.
 
@@ -53,11 +54,17 @@ def stochastic_leq(
             support point examined (used for the Appendix C filter study).
             When no counter is attached a vectorised evaluation (same tie
             conventions, no early exit) is used instead of the scan.
+        use_kernel: force the vectorised evaluation even with a counter
+            attached (the ``QueryContext(kernels=True)`` hot path); the
+            counter then records one comparison per union support point, the
+            number the vectorised sweep actually evaluates.
 
     Returns:
         True iff ``Pr(X <= t) >= Pr(Y <= t)`` for every ``t``.
     """
-    if counter is None:
+    if counter is None or use_kernel:
+        if counter is not None:
+            counter.count_comparisons(len(x.values) + len(y.values))
         return _stochastic_leq_vectorised(x, y, tol)
     xv, xp = x.values, x.probs
     yv, yp = y.values, y.probs
@@ -99,21 +106,29 @@ def _stochastic_leq_vectorised(
     CDFs are right-continuous step functions; the ``+1e-12`` shift applies
     the same value-tie convention as the scan and ``cdf``.
     """
-    if abs(x.total_mass - y.total_mass) > 1e-6:
+    cum_x = x.cum_probs()
+    cum_y = y.cum_probs()
+    if abs(cum_x[-1] - cum_y[-1]) > 1e-6:
         return False
     grid = np.concatenate([x.values, y.values]) + 1e-12
-    cum_x = np.concatenate([[0.0], np.cumsum(x.probs)])
-    cum_y = np.concatenate([[0.0], np.cumsum(y.probs)])
     cdf_x = cum_x[np.searchsorted(x.values, grid, side="right")]
     cdf_y = cum_y[np.searchsorted(y.values, grid, side="right")]
     return bool(np.all(cdf_x >= cdf_y - tol))
 
 
 def stochastic_equal(
-    x: DiscreteDistribution, y: DiscreteDistribution, *, tol: float = _TOL
+    x: DiscreteDistribution,
+    y: DiscreteDistribution,
+    *,
+    tol: float = _TOL,
+    counter: ComparisonCounter | None = None,
+    use_kernel: bool = False,
 ) -> bool:
     """Distributional equality (``X <=_st Y`` and ``Y <=_st X``)."""
-    return x == y or (stochastic_leq(x, y, tol=tol) and stochastic_leq(y, x, tol=tol))
+    return x == y or (
+        stochastic_leq(x, y, tol=tol, counter=counter, use_kernel=use_kernel)
+        and stochastic_leq(y, x, tol=tol, counter=counter, use_kernel=use_kernel)
+    )
 
 
 def match_order_leq(
