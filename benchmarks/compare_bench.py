@@ -1,0 +1,161 @@
+"""Diff two ``bench_kernels.py`` result files and flag regressions.
+
+Compares the end-to-end section of a *current* ``BENCH_*.json`` against a
+*baseline* and exits non-zero when any operator regressed by more than the
+threshold (default 15%).
+
+Two comparison metrics::
+
+    --metric ratio   kernel_time / scalar_time per operator (default).
+                     Machine-independent: both times come from the same run
+                     on the same box, so the ratio survives CI-runner vs
+                     laptop comparisons.  It answers "did the kernels lose
+                     their edge over the scalar reference?"
+    --metric time    absolute kernel_time.  Only meaningful when baseline
+                     and current ran on comparable hardware.
+
+Both metrics are scale-sensitive, so a baseline/current ``scale`` mismatch
+downgrades the run to informational (warn, exit 0) unless ``--strict`` makes
+it a hard error.
+
+Exit codes: 0 ok / informational, 1 regression, 2 usage or strict-mode
+scale mismatch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke --out /tmp/now.json
+    PYTHONPATH=src python benchmarks/compare_bench.py \
+        benchmarks/results/BENCH_smoke_baseline.json /tmp/now.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.15
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load one ``bench_kernels.py`` payload, validating the shape."""
+    data = json.loads(Path(path).read_text())
+    if "end_to_end" not in data or not isinstance(data["end_to_end"], list):
+        raise ValueError(f"{path}: not a bench_kernels result (no end_to_end)")
+    return data
+
+
+def _metric_value(row: dict, metric: str) -> float | None:
+    if metric == "time":
+        return float(row["kernel_time"])
+    scalar = float(row.get("scalar_time", 0.0))
+    return float(row["kernel_time"]) / scalar if scalar else None
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    *,
+    metric: str = "ratio",
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[dict], list[str]]:
+    """Per-operator comparison rows plus the list of regression messages.
+
+    A regression is a current metric value more than ``threshold`` (relative)
+    above the baseline's.  Operators present in only one file are reported
+    but never flagged.
+    """
+    base_rows = {row["operator"]: row for row in baseline["end_to_end"]}
+    cur_rows = {row["operator"]: row for row in current["end_to_end"]}
+    rows: list[dict] = []
+    regressions: list[str] = []
+    for op in list(base_rows) + [op for op in cur_rows if op not in base_rows]:
+        base_val = (
+            _metric_value(base_rows[op], metric) if op in base_rows else None
+        )
+        cur_val = _metric_value(cur_rows[op], metric) if op in cur_rows else None
+        row = {"operator": op, "baseline": base_val, "current": cur_val}
+        if base_val is not None and cur_val is not None and base_val > 0:
+            change = cur_val / base_val - 1.0
+            row["change"] = f"{change:+.1%}"
+            if change > threshold:
+                regressions.append(
+                    f"{op}: {metric} {base_val:.4g} -> {cur_val:.4g} "
+                    f"({change:+.1%} > {threshold:.0%} threshold)"
+                )
+        else:
+            row["change"] = "-"
+        rows.append(row)
+    return rows, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; see the module docstring for exit codes."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative regression budget (default 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=["ratio", "time"],
+        default="ratio",
+        help="ratio = kernel_time/scalar_time (machine-independent, default); "
+        "time = absolute kernel_time",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 2) on a baseline/current scale mismatch instead of "
+        "downgrading to informational",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_bench(args.baseline)
+        current = load_bench(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    informational = False
+    base_scale = baseline.get("scale")
+    cur_scale = current.get("scale")
+    if base_scale != cur_scale:
+        msg = (
+            f"scale mismatch: baseline={base_scale!r} current={cur_scale!r} — "
+            "end-to-end numbers are not comparable across workload scales"
+        )
+        if args.strict:
+            print(f"error: {msg}", file=sys.stderr)
+            return 2
+        print(f"warning: {msg}; comparison is informational only", file=sys.stderr)
+        informational = True
+
+    rows, regressions = compare(
+        baseline, current, metric=args.metric, threshold=args.threshold
+    )
+    from repro.experiments.report import format_table
+
+    title = (
+        f"End-to-end {args.metric} vs baseline "
+        f"(threshold {args.threshold:.0%}"
+        + (", informational)" if informational else ")")
+    )
+    print(format_table(rows, title))
+    if regressions:
+        print()
+        for msg in regressions:
+            print(f"REGRESSION {msg}", file=sys.stderr)
+        if not informational:
+            return 1
+        print("(ignored: scale mismatch)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,18 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
                    choices=["euclidean", "manhattan", "chebyshev"])
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--quiet", action="store_true", help="summary only")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record spans and write a trace file "
+                   "(.jsonl = flat event log, else Chrome trace JSON "
+                   "for chrome://tracing / ui.perfetto.dev)")
+    p.add_argument("--trace-format", choices=["chrome", "jsonl"],
+                   help="override the trace format inferred from the suffix")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="collect metrics and write them "
+                   "(.json = JSON dump, else Prometheus text format)")
+    p.add_argument("--breakdown", action="store_true",
+                   help="print the per-span comparison-count breakdown "
+                   "(Figure 16 style; implies tracing)")
 
 
 def _add_figure(sub: argparse._SubParsersAction) -> None:
@@ -100,7 +112,17 @@ def _cmd_search(args: argparse.Namespace) -> int:
             centers[rng.integers(args.n)], max(2, args.m // 2), 200.0 * scale, rng
         )
     search = NNCSearch(objects)
-    ctx = QueryContext(query, metric=args.metric)
+    tracer = None
+    registry = None
+    if args.trace or args.breakdown:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    ctx = QueryContext(query, metric=args.metric, tracer=tracer, metrics=registry)
     start = time.perf_counter()
     count = 0
     for candidate in search.stream(query, args.operator, k=args.k, ctx=ctx):
@@ -113,6 +135,22 @@ def _cmd_search(args: argparse.Namespace) -> int:
         f"{args.operator}: {count} candidate(s) of {len(objects)} objects "
         f"in {total * 1000:.1f} ms (k={args.k})"
     )
+    if args.breakdown:
+        from repro.experiments.report import trace_breakdown_table
+
+        print()
+        print(trace_breakdown_table(tracer.spans()))
+    if args.trace:
+        from repro.obs import write_trace
+
+        path = write_trace(args.trace, tracer, format=args.trace_format)
+        dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+        print(f"trace: {len(tracer)} span(s){dropped} -> {path}")
+    if args.metrics:
+        from repro.obs import write_metrics
+
+        path = write_metrics(args.metrics, registry)
+        print(f"metrics -> {path}")
     return 0
 
 

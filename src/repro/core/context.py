@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core import kernels as K
 from repro.core.counters import Counters
+from repro.obs.tracer import NULL_TRACER
 from repro.geometry.convexhull import convex_hull
 from repro.geometry.distance import is_euclidean, resolve_norm
 from repro.geometry.mbr import MBR
@@ -55,6 +56,14 @@ class QueryContext:
             single-scan CDF merge, per-point MBR bounds) — bit-compatible
             results, used as the property-testing oracle and the baseline
             of ``benchmarks/bench_kernels.py``.
+        tracer: optional :class:`repro.obs.tracer.Tracer`; defaults to the
+            shared no-op :data:`repro.obs.tracer.NULL_TRACER`, so untraced
+            queries pay only an ``enabled`` attribute check per span site.
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`; when
+            set, searches feed per-query metrics (latency, counter totals,
+            prune-rule hits), the kernels feed batch-size histograms, and a
+            tracer without its own registry adopts this one for span
+            latencies.
     """
 
     def __init__(
@@ -66,9 +75,19 @@ class QueryContext:
         level_groups: int = 4,
         metric: str = "euclidean",
         kernels: bool = True,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.query = query
         self.counters = counters if counters is not None else Counters()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        if metrics is not None:
+            # Instance attribute shadows the Counters.metrics ClassVar, so
+            # the kernel hot path finds the sink without extra plumbing.
+            self.counters.metrics = metrics
+            if getattr(self.tracer, "metrics", None) is None and self.tracer.enabled:
+                self.tracer.metrics = metrics
         self.level_groups = level_groups
         self.metric = metric
         self.kernels = bool(kernels)

@@ -13,12 +13,27 @@ metrics, or a ``QueryContext(kernels=False)`` reference run).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 
 @dataclass
 class Counters:
-    """Mutable counter bag threaded through dominance checks and searches."""
+    """Mutable counter bag threaded through dominance checks and searches.
+
+    ``merge`` and ``snapshot`` iterate :func:`dataclasses.fields`, so a new
+    counter field participates in both automatically — no hand-maintained
+    field list to drift.  Free-form ``extra`` keys that would shadow a
+    built-in field are namespaced as ``extra.<key>`` in ``snapshot()``.
+    """
+
+    #: Optional :class:`repro.obs.metrics.MetricsRegistry` sink; when set
+    #: (by a query context with metrics enabled) the batch kernels feed
+    #: per-kernel batch-size histograms through it.  Deliberately a class
+    #: attribute, not a dataclass field: it is instrumentation wiring, not
+    #: a counter, and must stay out of ``merge``/``snapshot``.
+    metrics: ClassVar = None
 
     instance_comparisons: int = 0
     dominance_checks: int = 0
@@ -46,43 +61,26 @@ class Counters:
         self.extra[key] = self.extra.get(key, 0) + n
 
     def merge(self, other: "Counters") -> None:
-        """Accumulate another counter bag into this one."""
-        self.instance_comparisons += other.instance_comparisons
-        self.dominance_checks += other.dominance_checks
-        self.mbr_tests += other.mbr_tests
-        self.maxflow_calls += other.maxflow_calls
-        self.pruned_by_statistics += other.pruned_by_statistics
-        self.pruned_by_cover += other.pruned_by_cover
-        self.pruned_by_level += other.pruned_by_level
-        self.pruned_by_geometry += other.pruned_by_geometry
-        self.validated_by_mbr += other.validated_by_mbr
-        self.validated_by_level += other.validated_by_level
-        self.nodes_visited += other.nodes_visited
-        self.objects_visited += other.objects_visited
-        self.kernel_invocations += other.kernel_invocations
-        self.kernel_elements += other.kernel_elements
-        self.scalar_fallbacks += other.scalar_fallbacks
+        """Accumulate another counter bag into this one (field-list free)."""
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
         for key, value in other.extra.items():
             self.bump(key, value)
 
     def snapshot(self) -> dict[str, int]:
-        """Plain-dict view (for reports and assertions)."""
-        out = {
-            "instance_comparisons": self.instance_comparisons,
-            "dominance_checks": self.dominance_checks,
-            "mbr_tests": self.mbr_tests,
-            "maxflow_calls": self.maxflow_calls,
-            "pruned_by_statistics": self.pruned_by_statistics,
-            "pruned_by_cover": self.pruned_by_cover,
-            "pruned_by_level": self.pruned_by_level,
-            "pruned_by_geometry": self.pruned_by_geometry,
-            "validated_by_mbr": self.validated_by_mbr,
-            "validated_by_level": self.validated_by_level,
-            "nodes_visited": self.nodes_visited,
-            "objects_visited": self.objects_visited,
-            "kernel_invocations": self.kernel_invocations,
-            "kernel_elements": self.kernel_elements,
-            "scalar_fallbacks": self.scalar_fallbacks,
-        }
-        out.update(self.extra)
+        """Plain-dict view (for reports and assertions).
+
+        Built-in fields always win their own key; an ``extra`` key that
+        collides with a field name is emitted as ``extra.<key>`` instead of
+        silently shadowing the field.
+        """
+        out = {name: getattr(self, name) for name in _COUNTER_FIELDS}
+        for key, value in self.extra.items():
+            out[key if key not in out else f"extra.{key}"] = value
         return out
+
+
+_COUNTER_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(Counters) if f.name != "extra"
+)
+"""Integer counter fields, derived once from the dataclass definition."""

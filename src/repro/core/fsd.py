@@ -73,32 +73,51 @@ def fsd_dominates(
         if mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True):
             ctx.counters.validated_by_mbr += 1
             return True
-    if use_local_trees:
-        u_tree = u.local_rtree()
-        v_tree = v.local_rtree()
-        for q in ctx.hull_points:
-            ctx.counters.count_comparisons(1)
-            if u_tree.farthest_distance(q, batch=ctx.kernels) > v_tree.nearest_distance(
-                q, batch=ctx.kernels
-            ) + _TOL:
-                return False
+    tracer = ctx.tracer
+    if tracer.enabled:
+        with tracer.span(
+            "hull-extremes",
+            counters=ctx.counters,
+            op="FSD",
+            vertices=len(ctx.hull_points),
+        ):
+            ok = _extremes_ok(u, v, ctx, use_local_trees)
     else:
-        if ctx.kernels:
-            # Per-object extreme vectors are cached: one reduction per
-            # object instead of two per checked pair.
-            u_max = ctx.hull_extremes(u)[0]  # (k,)
-            v_min = ctx.hull_extremes(v)[1]
-        else:
-            du = ctx.hull_distance_vectors(u)  # (m_u, k)
-            dv = ctx.hull_distance_vectors(v)  # (m_v, k)
-            u_max = du.max(axis=0)
-            v_min = dv.min(axis=0)
-        ctx.counters.count_comparisons(u_max.size)
-        if np.any(u_max > v_min + _TOL):
-            return False
+        ok = _extremes_ok(u, v, ctx, use_local_trees)
+    if not ok:
+        return False
     # All pair distances are <=; exclude the degenerate identical case.
     return not stochastic_equal(
         ctx.distance_distribution(u),
         ctx.distance_distribution(v),
         use_kernel=ctx.kernels,
     )
+
+
+def _extremes_ok(
+    u: UncertainObject, v: UncertainObject, ctx: QueryContext, use_local_trees: bool
+) -> bool:
+    """Per hull vertex: does ``delta_max(q, U) <= delta_min(q, V)`` hold?"""
+    if use_local_trees:
+        u_tree = u.local_rtree()
+        v_tree = v.local_rtree()
+        u_tree.metrics = v_tree.metrics = ctx.counters.metrics
+        for q in ctx.hull_points:
+            ctx.counters.count_comparisons(1)
+            if u_tree.farthest_distance(q, batch=ctx.kernels) > v_tree.nearest_distance(
+                q, batch=ctx.kernels
+            ) + _TOL:
+                return False
+        return True
+    if ctx.kernels:
+        # Per-object extreme vectors are cached: one reduction per
+        # object instead of two per checked pair.
+        u_max = ctx.hull_extremes(u)[0]  # (k,)
+        v_min = ctx.hull_extremes(v)[1]
+    else:
+        du = ctx.hull_distance_vectors(u)  # (m_u, k)
+        dv = ctx.hull_distance_vectors(v)  # (m_v, k)
+        u_max = du.max(axis=0)
+        v_min = dv.min(axis=0)
+    ctx.counters.count_comparisons(u_max.size)
+    return not np.any(u_max > v_min + _TOL)

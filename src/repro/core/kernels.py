@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.geometry.distance import pairwise_distances, resolve_metric
 from repro.geometry.halfspace import adjacency_from_vectors
+from repro.obs.metrics import SIZE_BUCKETS
 from repro.geometry.mbr import (
     boxes_maxdist_point,
     boxes_maxdist_points,
@@ -81,8 +82,17 @@ _CDF_TIE = 1e-12
 _MASS_TOL = 1e-6
 
 
-def record(counters, elements: int, *, fallback: bool = False) -> None:
-    """Record one kernel invocation (or scalar fallback) on a counter sink."""
+def record(
+    counters, elements: int, *, fallback: bool = False, kernel: str | None = None
+) -> None:
+    """Record one kernel invocation (or scalar fallback) on a counter sink.
+
+    When the counter bag carries a metrics registry (see
+    :class:`repro.obs.metrics.MetricsRegistry`; attached by query contexts
+    with metrics enabled), the invocation also feeds the per-kernel batch
+    size histogram ``repro_kernel_batch_elements{kernel=...}`` — the batch
+    granularity distribution of the vectorised hot path.
+    """
     if counters is None:
         return
     if fallback:
@@ -90,6 +100,16 @@ def record(counters, elements: int, *, fallback: bool = False) -> None:
     else:
         counters.kernel_invocations += 1
         counters.kernel_elements += int(elements)
+    metrics = counters.metrics
+    if metrics is not None:
+        labels = {"kernel": kernel or "unknown"}
+        if fallback:
+            metrics.inc("repro_kernel_scalar_fallbacks_total", 1, labels)
+        else:
+            metrics.observe(
+                "repro_kernel_batch_elements", int(elements), labels,
+                buckets=SIZE_BUCKETS,
+            )
 
 
 # --------------------------------------------------------------------- #
@@ -106,7 +126,12 @@ def distance_matrix(
     metrics fall back to the per-pair loop (recorded as a scalar fallback).
     """
     out = pairwise_distances(xs, ys, metric)
-    record(counters, out.size, fallback=callable(metric) and not _is_named(metric))
+    record(
+        counters,
+        out.size,
+        fallback=callable(metric) and not _is_named(metric),
+        kernel="distance_matrix",
+    )
     return out
 
 
@@ -127,7 +152,7 @@ def distance_matrix_scalar(
     for i, x in enumerate(xs):
         for j, y in enumerate(ys):
             out[i, j] = fn(x, y)
-    record(counters, out.size, fallback=True)
+    record(counters, out.size, fallback=True, kernel="distance_matrix")
     return out
 
 
@@ -161,7 +186,7 @@ def cdf_dominates(
     xp = np.asarray(x_probs, dtype=float)
     yv = np.asarray(y_values, dtype=float)
     yp = np.asarray(y_probs, dtype=float)
-    record(counters, xv.size + yv.size)
+    record(counters, xv.size + yv.size, kernel="cdf_dominates")
     if abs(xp.sum() - yp.sum()) > _MASS_TOL:
         return False
     grid = np.concatenate([xv, yv]) + _CDF_TIE
@@ -201,7 +226,7 @@ def cdf_dominates_many(
     yv = np.atleast_2d(np.asarray(y_values, dtype=float))
     xp = np.asarray(x_probs, dtype=float)
     yp = np.asarray(y_probs, dtype=float)
-    record(counters, xv.size + yv.size)
+    record(counters, xv.size + yv.size, kernel="cdf_dominates_many")
     grid = np.concatenate([xv, yv], axis=1) + _CDF_TIE  # (k, g)
     xpb = xp[:, None, :] if xp.ndim == 2 else xp
     ypb = yp[:, None, :] if yp.ndim == 2 else yp
@@ -244,7 +269,7 @@ def cdf_dominates_sorted(
     values plus ``(k, n + 1)`` cumulative masses — replacing the masked
     ``O(k g n)`` summation with ``O(k g log g)`` merge ranks.
     """
-    record(counters, x_vals.size + y_vals.size)
+    record(counters, x_vals.size + y_vals.size, kernel="cdf_dominates_sorted")
     grid = np.sort(np.concatenate([x_vals, y_vals], axis=1), axis=1) + _CDF_TIE
     cdf_x = np.take_along_axis(x_cum, _union_counts(x_vals, grid), axis=1)
     cdf_y = np.take_along_axis(y_cum, _union_counts(y_vals, grid), axis=1)
@@ -273,7 +298,7 @@ def partition_bounds(
     """
     lo_mat = boxes_mindist_points(los, his, points, metric)
     hi_mat = boxes_maxdist_points(los, his, points, metric)
-    record(counters, lo_mat.size * 2)
+    record(counters, lo_mat.size * 2, kernel="partition_bounds")
     return lo_mat, hi_mat
 
 
@@ -288,7 +313,7 @@ def children_mindist_box(
 ) -> np.ndarray:
     """``mindist`` of a node's child boxes to the query box; shape ``(b,)``."""
     out = boxes_mindist_box(los, his, lo, hi, metric)
-    record(counters, out.size)
+    record(counters, out.size, kernel="children_mindist_box")
     return out
 
 
@@ -319,7 +344,7 @@ def mbr_dominance_mask(
         strict=strict,
         u_max_sq=u_max_sq,
     )
-    record(counters, out.size)
+    record(counters, out.size, kernel="mbr_dominance_mask")
     return out
 
 
@@ -345,14 +370,14 @@ def statistic_prune(
     """
     u = np.atleast_2d(np.asarray(u_stats, dtype=float))
     v = np.asarray(v_stats, dtype=float)
-    record(counters, u.size)
+    record(counters, u.size, kernel="statistic_prune")
     return np.all(u <= v[None, :] + tol, axis=1)
 
 
 def points_in_box(lo: np.ndarray, hi: np.ndarray, points: np.ndarray, *, counters=None) -> np.ndarray:
     """Which points lie inside the closed box; boolean shape ``(n,)``."""
     pts = np.atleast_2d(np.asarray(points, dtype=float))
-    record(counters, pts.size)
+    record(counters, pts.size, kernel="points_in_box")
     return np.all((pts >= lo[None, :]) & (pts <= hi[None, :]), axis=1)
 
 
@@ -365,5 +390,9 @@ def halfspace_adjacency(
     the edge set of the P-SD max-flow network (Theorem 12).
     """
     out = adjacency_from_vectors(du, dv, tol=tol)
-    record(counters, du.shape[0] * dv.shape[0] * du.shape[1])
+    record(
+        counters,
+        du.shape[0] * dv.shape[0] * du.shape[1],
+        kernel="halfspace_adjacency",
+    )
     return out

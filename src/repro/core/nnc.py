@@ -36,6 +36,7 @@ from repro.core.operators import OperatorKind, _BaseOperator, make_operator
 from repro.geometry.mbr import mbr_dominates
 from repro.index.rtree import RTree, RTreeNode
 from repro.objects.uncertain import UncertainObject
+from repro.obs.metrics import query_metrics_from_counters
 
 _TIE_TOL = 1e-9
 
@@ -254,147 +255,286 @@ class NNCSearch:
         if ctx is None:
             ctx = QueryContext(query)
         self._last_counters = ctx.counters
+        tracer = ctx.tracer
+        traced = tracer.enabled
+        metrics = ctx.metrics
+        base_counts = ctx.counters.snapshot() if metrics is not None else None
+        yielded = 0
         start = time.perf_counter()
-        q_mbr = query.mbr
-        norm = ctx.norm  # metric-aware MBR distances (None = Euclidean)
-        # Batch node expansion needs a named Minkowski metric (callable
-        # metrics have no batch norm; non-Euclidean callables cannot even
-        # build a context, so this only excludes an explicit `euclidean`).
-        batch = ctx.kernels and isinstance(ctx.metric, str)
-        counter = itertools.count()
-        # Heap items: (key, tiebreak, kind, payload)
-        #   kind 0 = R-tree node, 1 = unrefined object, 2 = refined object.
-        heap: list[tuple[float, int, int, object]] = []
-        root = self.tree.root
-        if root.mbr is not None:
-            heapq.heappush(
-                heap, (root.mbr.mindist_mbr(q_mbr, norm), next(counter), 0, root)
+        root_span = None
+        if traced:
+            # The generator may be abandoned mid-stream, so the root span is
+            # entered/exited explicitly under try/finally instead of `with`.
+            root_span = tracer.span(
+                "search", counters=ctx.counters, op=operator.name, k=k
             )
-        # Accepted candidates: [obj, exact dmin, dominator count].  The
-        # count can only grow while the candidate is pending (distance
-        # ties); objects with count >= k are evicted.
-        accepted: list[list] = []
-        pending: list[list] = []  # not yet yielded (same record objects)
-        acc_idx = _AcceptedIndex()
-        while heap:
-            key, _, kind, item = heapq.heappop(heap)
-            # Flush pending candidates that can no longer gain dominators:
-            # every unseen object has exact dmin >= key (keys are lower
-            # bounds), so strictly-smaller pending dmins are final.
-            for record in list(pending):
-                if record[1] < key - _TIE_TOL:
-                    pending.remove(record)
-                    yield record[0], time.perf_counter() - start
-            if kind == 0:
-                node: RTreeNode = item  # type: ignore[assignment]
-                ctx.counters.nodes_visited += 1
-                if self._entry_pruned(node.mbr, q_mbr, accepted, acc_idx, ctx, k):
-                    continue
-                members = node.entries if node.is_leaf else node.children
-                child_kind = 1 if node.is_leaf else 0
-                if batch and members:
-                    # One broadcast keys the whole node's members at once.
-                    los, his = node.packed()
-                    dists = K.children_mindist_box(
-                        los, his, q_mbr.lo, q_mbr.hi, ctx.metric,
-                        counters=ctx.counters,
-                    ).tolist()
-                elif node.is_leaf:
-                    dists = [mbr.mindist_mbr(q_mbr, norm) for mbr, _ in node.entries]
-                else:
-                    dists = [
-                        child.mbr.mindist_mbr(q_mbr, norm)  # type: ignore[union-attr]
-                        for child in node.children
-                    ]
-                for dist, member in zip(dists, members):
-                    payload = member[1] if node.is_leaf else member
-                    heapq.heappush(heap, (dist, next(counter), child_kind, payload))
-                continue
-            obj: UncertainObject = item  # type: ignore[assignment]
-            if kind == 1:
-                # Lazy refinement: re-key by the exact minimal distance
-                # (shares the context's cached distance matrix).
-                heapq.heappush(heap, (ctx.min_distance(obj), next(counter), 2, obj))
-                continue
-            ctx.counters.objects_visited += 1
-            screen = None
-            definite = None
-            if ctx.kernels and accepted:
-                mask = None
-                if ctx.is_euclidean or operator.kind is OperatorKind.F_PLUS_SD:
-                    # One strict Theorem 4 mask serves both the cover-based
-                    # entry pruning and the per-record validation screen.
-                    u_los, u_his = acc_idx.boxes(accepted)
-                    ctx.counters.mbr_tests += len(accepted)
-                    mask = K.mbr_dominance_mask(
-                        u_los,
-                        u_his,
-                        obj.mbr,
-                        q_mbr,
-                        strict=True,
-                        u_max_sq=acc_idx.corner_sq(accepted, q_mbr),
-                        counters=ctx.counters,
-                    )
-                if (
-                    ctx.is_euclidean
-                    and mask is not None
-                    and int(np.count_nonzero(mask)) >= k
-                ):
-                    continue  # same drop as _entry_pruned on the object box
-                if _mbr_screen_applies(operator, ctx):
-                    # Batch Theorem 4 validation: records whose boxes
-                    # strictly dominate the object's are certain dominators
-                    # (their operator call would return True immediately).
-                    definite = mask
-                    ctx.counters.validated_by_mbr += int(
-                        np.count_nonzero(definite)
-                    )
-                if _screen_applies(operator):
-                    # Batch Theorem 11 screen: records whose (min, mean, max)
-                    # vectors already violate the necessary ordering cannot
-                    # dominate, so their operator calls are skipped wholesale.
-                    u_stats = acc_idx.statistics(accepted, ctx)
-                    v_stats = np.asarray(ctx.statistics(obj), dtype=float)
-                    screen = K.statistic_prune(
-                        u_stats, v_stats, counters=ctx.counters
-                    )
-                    ctx.counters.bump(
-                        "batch_stat_screened", int(np.count_nonzero(~screen))
-                    )
-            elif self._entry_pruned(obj.mbr, q_mbr, accepted, acc_idx, ctx, k):
-                continue
-            mbr_checked = definite is not None
-            dominators = 0
-            for idx, record in enumerate(accepted):
-                if mbr_checked and definite[idx]:
-                    dominators += 1
-                elif screen is not None and not screen[idx]:
-                    continue
-                elif operator.dominates(record[0], obj, ctx, mbr_checked=mbr_checked):
-                    dominators += 1
-                if dominators >= k:
-                    break
-            if dominators >= k:
-                ctx.counters.bump("objects_dominated")
-                continue
-            # Tie correction: the new candidate may dominate accepted
-            # candidates with (numerically) equal exact minimal distance
-            # that have not been yielded yet.
-            for record in list(pending):
-                if abs(record[1] - key) <= _TIE_TOL and operator.dominates(
-                    obj, record[0], ctx
-                ):
-                    record[2] += 1
-                    if record[2] >= k:
+            root_span.__enter__()
+        try:
+            q_mbr = query.mbr
+            norm = ctx.norm  # metric-aware MBR distances (None = Euclidean)
+            # Batch node expansion needs a named Minkowski metric (callable
+            # metrics have no batch norm; non-Euclidean callables cannot even
+            # build a context, so this only excludes an explicit `euclidean`).
+            batch = ctx.kernels and isinstance(ctx.metric, str)
+            counter = itertools.count()
+            # Heap items: (key, tiebreak, kind, payload)
+            #   kind 0 = R-tree node, 1 = unrefined object, 2 = refined object.
+            heap: list[tuple[float, int, int, object]] = []
+            root = self.tree.root
+            if root.mbr is not None:
+                heapq.heappush(
+                    heap, (root.mbr.mindist_mbr(q_mbr, norm), next(counter), 0, root)
+                )
+            # Accepted candidates: [obj, exact dmin, dominator count].  The
+            # count can only grow while the candidate is pending (distance
+            # ties); objects with count >= k are evicted.
+            accepted: list[list] = []
+            pending: list[list] = []  # not yet yielded (same record objects)
+            acc_idx = _AcceptedIndex()
+            while heap:
+                key, _, kind, item = heapq.heappop(heap)
+                # Flush pending candidates that can no longer gain dominators:
+                # every unseen object has exact dmin >= key (keys are lower
+                # bounds), so strictly-smaller pending dmins are final.
+                for record in list(pending):
+                    if record[1] < key - _TIE_TOL:
                         pending.remove(record)
-                        accepted.remove(record)
-                        acc_idx.bump()
-            record = [obj, key, dominators]
-            accepted.append(record)
-            acc_idx.bump()
-            pending.append(record)
-        for record in pending:
-            yield record[0], time.perf_counter() - start
+                        yielded += 1
+                        yield record[0], time.perf_counter() - start
+                if kind == 0:
+                    node: RTreeNode = item  # type: ignore[assignment]
+                    ctx.counters.nodes_visited += 1
+                    if traced:
+                        with tracer.span(
+                            "entry-prune", counters=ctx.counters, target="node"
+                        ) as span:
+                            pruned = self._entry_pruned(
+                                node.mbr, q_mbr, accepted, acc_idx, ctx, k
+                            )
+                            span.labels["pruned"] = pruned
+                    else:
+                        pruned = self._entry_pruned(
+                            node.mbr, q_mbr, accepted, acc_idx, ctx, k
+                        )
+                    if pruned:
+                        continue
+                    if traced:
+                        with tracer.span(
+                            "rtree-descent",
+                            counters=ctx.counters,
+                            leaf=node.is_leaf,
+                        ) as span:
+                            span.labels["members"] = self._expand_node(
+                                node, heap, counter, q_mbr, norm, batch, ctx
+                            )
+                    else:
+                        self._expand_node(node, heap, counter, q_mbr, norm, batch, ctx)
+                    continue
+                obj: UncertainObject = item  # type: ignore[assignment]
+                if kind == 1:
+                    # Lazy refinement: re-key by the exact minimal distance
+                    # (shares the context's cached distance matrix).
+                    heapq.heappush(
+                        heap, (ctx.min_distance(obj), next(counter), 2, obj)
+                    )
+                    continue
+                ctx.counters.objects_visited += 1
+                if traced:
+                    with tracer.span(
+                        "dominance-check",
+                        counters=ctx.counters,
+                        oid=obj.oid,
+                        op=operator.name,
+                    ) as span:
+                        dominators = self._dominator_count(
+                            obj, operator, ctx, accepted, acc_idx, q_mbr, k
+                        )
+                        span.labels["dominators"] = dominators
+                else:
+                    dominators = self._dominator_count(
+                        obj, operator, ctx, accepted, acc_idx, q_mbr, k
+                    )
+                if dominators is None:
+                    continue  # cover-based entry pruning dropped the object
+                if dominators >= k:
+                    ctx.counters.bump("objects_dominated")
+                    continue
+                # Tie correction: the new candidate may dominate accepted
+                # candidates with (numerically) equal exact minimal distance
+                # that have not been yielded yet.
+                for record in list(pending):
+                    if abs(record[1] - key) <= _TIE_TOL and operator.dominates(
+                        obj, record[0], ctx
+                    ):
+                        record[2] += 1
+                        if record[2] >= k:
+                            pending.remove(record)
+                            accepted.remove(record)
+                            acc_idx.bump()
+                record = [obj, key, dominators]
+                accepted.append(record)
+                acc_idx.bump()
+                pending.append(record)
+            for record in pending:
+                yielded += 1
+                yield record[0], time.perf_counter() - start
+        finally:
+            if root_span is not None:
+                root_span.__exit__(None, None, None)
+            if metrics is not None:
+                snap = ctx.counters.snapshot()
+                deltas = {
+                    name: value - base_counts.get(name, 0)
+                    for name, value in snap.items()
+                    if value != base_counts.get(name, 0)
+                }
+                query_metrics_from_counters(
+                    metrics,
+                    deltas,
+                    operator=operator.name,
+                    elapsed=time.perf_counter() - start,
+                    candidates=yielded,
+                )
+
+    @staticmethod
+    def _expand_node(
+        node: RTreeNode, heap: list, counter, q_mbr, norm, batch: bool, ctx
+    ) -> int:
+        """Key a node's members and push them on the search heap.
+
+        Returns the number of members pushed (a span label when tracing).
+        """
+        members = node.entries if node.is_leaf else node.children
+        child_kind = 1 if node.is_leaf else 0
+        if batch and members:
+            # One broadcast keys the whole node's members at once.
+            los, his = node.packed()
+            dists = K.children_mindist_box(
+                los, his, q_mbr.lo, q_mbr.hi, ctx.metric, counters=ctx.counters
+            ).tolist()
+        elif node.is_leaf:
+            dists = [mbr.mindist_mbr(q_mbr, norm) for mbr, _ in node.entries]
+        else:
+            dists = [
+                child.mbr.mindist_mbr(q_mbr, norm)  # type: ignore[union-attr]
+                for child in node.children
+            ]
+        for dist, member in zip(dists, members):
+            payload = member[1] if node.is_leaf else member
+            heapq.heappush(heap, (dist, next(counter), child_kind, payload))
+        return len(members)
+
+    def _dominator_count(
+        self,
+        obj: UncertainObject,
+        operator: _BaseOperator,
+        ctx: QueryContext,
+        accepted: list[list],
+        acc_idx: _AcceptedIndex,
+        q_mbr,
+        k: int,
+    ) -> int | None:
+        """Count dominators of ``obj`` among the accepted records.
+
+        Returns None when cover-based entry pruning drops the object outright
+        (>= k accepted MBRs strictly F-SD-dominate its box), else the number
+        of dominators found before the early exit at ``k``.
+
+        The kernel path keeps **scalar-equivalent counter accounting**: the
+        batch screens decide each pair exactly as the scalar operator calls
+        would, so ``dominance_checks``, ``mbr_tests`` and the prune/validate
+        tallies are incremented pair by pair, in visit order, with the same
+        early exit — a ``kernels=True`` run reports the same filter
+        effectiveness totals as the ``kernels=False`` reference
+        (``tests/test_counters_parity.py``).
+        """
+        counters = ctx.counters
+        screen = None
+        definite = None
+        if ctx.kernels and accepted:
+            mask = None
+            if ctx.is_euclidean or operator.kind is OperatorKind.F_PLUS_SD:
+                # One strict Theorem 4 mask serves both the cover-based
+                # entry pruning and the per-record validation screen.
+                u_los, u_his = acc_idx.boxes(accepted)
+                mask = K.mbr_dominance_mask(
+                    u_los,
+                    u_his,
+                    obj.mbr,
+                    q_mbr,
+                    strict=True,
+                    u_max_sq=acc_idx.corner_sq(accepted, q_mbr),
+                    counters=counters,
+                )
+            if ctx.is_euclidean and mask is not None:
+                # Scalar-equivalent cover-prune tally: the scalar loop tests
+                # record boxes in order and stops at the k-th hit.
+                hits = np.nonzero(mask)[0]
+                if hits.size >= k:
+                    counters.mbr_tests += int(hits[k - 1]) + 1
+                    return None  # same drop as _entry_pruned on the object box
+                counters.mbr_tests += len(accepted)
+            if _mbr_screen_applies(operator, ctx):
+                # Batch Theorem 4 validation: records whose boxes strictly
+                # dominate the object's are certain dominators (their
+                # operator call would return True immediately).
+                definite = mask
+            if _screen_applies(operator):
+                # Batch Theorem 11 screen: records whose (min, mean, max)
+                # vectors already violate the necessary ordering cannot
+                # dominate, so their operator calls are skipped wholesale.
+                u_stats = acc_idx.statistics(accepted, ctx)
+                v_stats = np.asarray(ctx.statistics(obj), dtype=float)
+                screen = K.statistic_prune(u_stats, v_stats, counters=counters)
+        elif self._entry_pruned(obj.mbr, q_mbr, accepted, acc_idx, ctx, k):
+            return None
+        mbr_checked = definite is not None
+        op_kind = operator.kind
+        is_psd = op_kind is OperatorKind.P_SD
+        dominators = 0
+        for idx, record in enumerate(accepted):
+            if mbr_checked and definite[idx]:
+                # Scalar equivalent: the operator's own strict Theorem 4
+                # test succeeds immediately for this pair.
+                counters.mbr_tests += 1
+                if op_kind is not OperatorKind.F_PLUS_SD:
+                    counters.dominance_checks += 1
+                    counters.validated_by_mbr += 1
+                dominators += 1
+            elif screen is not None and not screen[idx]:
+                # Scalar equivalent: the operator runs its (failed) strict
+                # MBR test, then its statistic screen rejects the pair.
+                counters.count_comparisons(3)
+                if is_psd:
+                    # P-SD pays the screen through its nested SS-SD call:
+                    # two dominance checks, two cover-prune hits, and an MBR
+                    # test each for the outer check (gated on the validation
+                    # flag, tracked by `mbr_checked`) and the nested SS-SD
+                    # (unconditional under the Euclidean metric).
+                    counters.dominance_checks += 2
+                    counters.mbr_tests += (1 if mbr_checked else 0) + (
+                        1 if ctx.is_euclidean else 0
+                    )
+                    counters.pruned_by_cover += 2
+                else:
+                    counters.dominance_checks += 1
+                    if mbr_checked:
+                        counters.mbr_tests += 1
+                    if op_kind is OperatorKind.S_SD:
+                        counters.pruned_by_statistics += 1
+                    else:
+                        counters.pruned_by_cover += 1
+            else:
+                if mbr_checked:
+                    # The operator skips re-running the strict MBR test the
+                    # batch already settled negatively; keep the scalar
+                    # tally (P-SD would run it twice: itself + nested SS-SD).
+                    counters.mbr_tests += 2 if is_psd else 1
+                if operator.dominates(record[0], obj, ctx, mbr_checked=mbr_checked):
+                    dominators += 1
+            if dominators >= k:
+                break
+        return dominators
 
     @staticmethod
     def _entry_pruned(
@@ -413,7 +553,6 @@ class NNCSearch:
         if ctx.kernels:
             # All accepted candidates' boxes against the entry in one shot.
             u_los, u_his = acc_idx.boxes(accepted)
-            ctx.counters.mbr_tests += len(accepted)
             mask = K.mbr_dominance_mask(
                 u_los,
                 u_his,
@@ -423,7 +562,14 @@ class NNCSearch:
                 u_max_sq=acc_idx.corner_sq(accepted, q_mbr),
                 counters=ctx.counters,
             )
-            return int(np.count_nonzero(mask)) >= k
+            # Scalar-equivalent tally: the scalar loop below tests boxes in
+            # order and stops at the k-th hit.
+            hits = np.nonzero(mask)[0]
+            if hits.size >= k:
+                ctx.counters.mbr_tests += int(hits[k - 1]) + 1
+                return True
+            ctx.counters.mbr_tests += len(accepted)
+            return False
         hits = 0
         for record in accepted:
             ctx.counters.mbr_tests += 1

@@ -144,7 +144,14 @@ def _instance_max_flow(
         gu.append([1 + m + j, 2.0, len(gv)])
         gv.append([1 + i, pushed.get((i, j), 0.0), len(gu) - 1])
     ctx.counters.maxflow_calls += 1
-    return seed + max_flow(net, source, sink)
+    tracer = ctx.tracer
+    metrics = ctx.counters.metrics
+    if tracer.enabled:
+        with tracer.span(
+            "maxflow", counters=ctx.counters, op="PSD", edges=net.edge_count
+        ):
+            return seed + max_flow(net, source, sink, metrics=metrics)
+    return seed + max_flow(net, source, sink, metrics=metrics)
 
 
 def _level_flow(
@@ -154,6 +161,7 @@ def _level_flow(
     *,
     validation: bool,
     counters,
+    tracer=None,
 ) -> float:
     """Max flow of the coarse partition network ``G-`` or ``G+``."""
     m, n = len(u_parts), len(v_parts)
@@ -173,7 +181,13 @@ def _level_flow(
             if has_edge:
                 net.add_edge(1 + i, 1 + m + j, 2.0)
     counters.maxflow_calls += 1
-    return max_flow(net, source, sink)
+    metrics = counters.metrics
+    if tracer is not None and tracer.enabled:
+        with tracer.span(
+            "level-flow", counters=counters, op="PSD", validation=validation
+        ):
+            return max_flow(net, source, sink, metrics=metrics)
+    return max_flow(net, source, sink, metrics=metrics)
 
 
 def p_dominates(
@@ -243,7 +257,12 @@ def p_dominates(
             if len(u_parts) <= 1 and len(v_parts) <= 1:
                 continue
             flow_minus = _level_flow(
-                u_parts, v_parts, ctx.query_mbr, validation=True, counters=ctx.counters
+                u_parts,
+                v_parts,
+                ctx.query_mbr,
+                validation=True,
+                counters=ctx.counters,
+                tracer=ctx.tracer,
             )
             if flow_minus >= 1.0 - _FLOW_TOL:
                 # Coarse validation; still guard the U_Q != V_Q clause.
@@ -254,7 +273,12 @@ def p_dominates(
                     use_kernel=ctx.kernels,
                 )
             flow_plus = _level_flow(
-                u_parts, v_parts, ctx.query_mbr, validation=False, counters=ctx.counters
+                u_parts,
+                v_parts,
+                ctx.query_mbr,
+                validation=False,
+                counters=ctx.counters,
+                tracer=ctx.tracer,
             )
             if flow_plus < 1.0 - _FLOW_TOL:
                 ctx.counters.pruned_by_level += 1

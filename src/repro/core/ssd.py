@@ -130,6 +130,15 @@ def s_dominates(
             ):
                 ctx.counters.pruned_by_level += 1
                 return False
+    tracer = ctx.tracer
+    if tracer.enabled:
+        with tracer.span("cdf-scan", counters=ctx.counters, op="SSD"):
+            return _exact_scan(u, v, ctx)
+    return _exact_scan(u, v, ctx)
+
+
+def _exact_scan(u: UncertainObject, v: UncertainObject, ctx: QueryContext) -> bool:
+    """The unfiltered S-SD decision: the Section 5.1.1 single-scan sweep."""
     u_q = ctx.distance_distribution(u)
     v_q = ctx.distance_distribution(v)
     if not stochastic_leq(u_q, v_q, counter=ctx.counters, use_kernel=ctx.kernels):

@@ -144,6 +144,7 @@ def ss_dominates(
             if validated_all:
                 ctx.counters.validated_by_level += 1
                 return True
+    tracer = ctx.tracer
     if ctx.kernels:
         # All |Q| CDF indicators at once: raw (unsorted) matrix rows feed the
         # mask-based union-grid sweep, so no per-row DiscreteDistribution is
@@ -151,11 +152,22 @@ def ss_dominates(
         ctx.counters.count_comparisons(mat_u.size + mat_v.size)
         u_vals, u_cum = ctx.sorted_rows(u)
         v_vals, v_cum = ctx.sorted_rows(v)
-        ok = K.cdf_dominates_sorted(
-            u_vals, u_cum, v_vals, v_cum, counters=ctx.counters
-        )
+        if tracer.enabled:
+            with tracer.span("cdf-sweep", counters=ctx.counters, op="SSSD"):
+                ok = K.cdf_dominates_sorted(
+                    u_vals, u_cum, v_vals, v_cum, counters=ctx.counters
+                )
+        else:
+            ok = K.cdf_dominates_sorted(
+                u_vals, u_cum, v_vals, v_cum, counters=ctx.counters
+            )
         if not bool(ok.all()):
             return False
+    elif tracer.enabled:
+        with tracer.span("cdf-sweep", counters=ctx.counters, op="SSSD"):
+            for uq, vq in zip(u_dists, v_dists):
+                if not stochastic_leq(uq, vq, counter=ctx.counters):
+                    return False
     else:
         for uq, vq in zip(u_dists, v_dists):
             if not stochastic_leq(uq, vq, counter=ctx.counters):

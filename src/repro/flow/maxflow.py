@@ -97,11 +97,17 @@ def _dfs_blocking(
     return 0.0
 
 
-def max_flow(net: FlowNetwork, source: int, sink: int) -> float:
+def max_flow(net: FlowNetwork, source: int, sink: int, *, metrics=None) -> float:
     """Compute the maximum flow from ``source`` to ``sink`` in-place.
 
     Residual capacities inside ``net`` are mutated, so the flow on each
     forward edge can be read back as ``original_capacity - remaining``.
+
+    Args:
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`; when
+            set, the run feeds ``repro_maxflow_phases_total`` (level graphs
+            built) and ``repro_maxflow_augmentations_total`` (augmenting
+            paths pushed).
 
     Returns:
         The max-flow value.
@@ -109,13 +115,20 @@ def max_flow(net: FlowNetwork, source: int, sink: int) -> float:
     if source == sink:
         raise ValueError("source and sink must differ")
     total = 0.0
+    phases = 0
+    augmentations = 0
     while True:
         level = _bfs_levels(net, source, sink)
         if level is None:
+            if metrics is not None:
+                metrics.inc("repro_maxflow_phases_total", phases)
+                metrics.inc("repro_maxflow_augmentations_total", augmentations)
             return total
+        phases += 1
         it = [0] * net.n
         while True:
             flowed = _dfs_blocking(net, source, sink, float("inf"), level, it)
             if flowed <= _EPS:
                 break
+            augmentations += 1
             total += flowed

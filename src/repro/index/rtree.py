@@ -98,6 +98,11 @@ class RTree:
             self.min_entries = max(1, max_entries // 2)
         self.root = RTreeNode(is_leaf=True)
         self._size = 0
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` sink; when
+        #: set, best-first traversals count node visits under
+        #: ``repro_rtree_node_visits_total{tree=metrics_label, mode=...}``.
+        self.metrics = None
+        self.metrics_label = "local"
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -358,11 +363,22 @@ class RTree:
         heap: list[tuple[float, int, bool, Any]] = [
             (sign * bound, next(counter), False, self.root)
         ]
+        visits = 0
         while heap:
             key, _, is_entry, item = heapq.heappop(heap)
             if is_entry:
+                if self.metrics is not None and visits:
+                    self.metrics.inc(
+                        "repro_rtree_node_visits_total",
+                        visits,
+                        {
+                            "tree": self.metrics_label,
+                            "mode": "farthest" if farthest else "nearest",
+                        },
+                    )
                 return sign * key
             node: RTreeNode = item
+            visits += 1
             if node.member_count() == 0:
                 continue
             los, his = node.packed()
@@ -388,12 +404,14 @@ class RTree:
         heap: list[tuple[float, int, bool, Any]] = [
             (score(self.root.mbr), next(counter), False, self.root)
         ]
+        visits = 0
         while heap and len(out) < k:
             dist, _, is_entry, item = heapq.heappop(heap)
             if is_entry:
                 out.append((dist, item))
                 continue
             node: RTreeNode = item
+            visits += 1
             if node.is_leaf:
                 for mbr, payload in node.entries:
                     heapq.heappush(heap, (score(mbr), next(counter), True, payload))
@@ -402,6 +420,12 @@ class RTree:
                     heapq.heappush(
                         heap, (score(child.mbr), next(counter), False, child)  # type: ignore[union-attr]
                     )
+        if self.metrics is not None and visits:
+            self.metrics.inc(
+                "repro_rtree_node_visits_total",
+                visits,
+                {"tree": self.metrics_label, "mode": "best-first"},
+            )
         return out
 
     def incremental_by_mindist(

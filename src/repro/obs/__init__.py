@@ -1,0 +1,46 @@
+"""Observability: tracing, metrics, and profiling for the NNC pipeline.
+
+The paper's whole experimental study (Section 6, Appendix C / Figure 16) is
+about *where time and comparisons go* — per-operator response time, filter
+effectiveness, node accesses.  This package makes those quantities visible
+inside a single query instead of only as end-of-run aggregates:
+
+* :mod:`repro.obs.tracer` — nested spans (``search -> rtree-descent ->
+  entry-prune -> dominance-check -> maxflow``) carrying wall time, counter
+  deltas, and operator/object labels, recorded into a bounded ring buffer;
+* :mod:`repro.obs.metrics` — a registry of named counters / gauges /
+  histograms (per-operator latency, kernel batch sizes, prune-rule hits);
+* :mod:`repro.obs.export` — Chrome-trace JSON (``chrome://tracing`` /
+  ``ui.perfetto.dev`` compatible), flat JSONL event logs, Prometheus text
+  and JSON metric dumps.
+
+Everything is zero-dependency and opt-in: :class:`~repro.obs.tracer.NullTracer`
+(the default on every :class:`repro.core.context.QueryContext`) turns every
+instrumentation site into a single attribute check, so the hot path pays
+nothing when observability is off.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    spans_to_jsonl,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    query_metrics_from_counters,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace",
+    "query_metrics_from_counters",
+    "spans_to_jsonl",
+    "write_metrics",
+    "write_trace",
+]

@@ -1,0 +1,350 @@
+"""Named counters, gauges, and histograms with Prometheus/JSON export.
+
+A :class:`MetricsRegistry` is a flat map from ``(name, labels)`` to a metric
+instance.  Instruments are created on first use, so call sites never need
+set-up code; the registry stays zero-dependency (Prometheus *text* format is
+just strings).
+
+Metric families emitted by the instrumented pipeline:
+
+================================== =========== ==================================
+name                               type        labels
+================================== =========== ==================================
+``repro_queries_total``            counter     ``operator``
+``repro_query_seconds``            histogram   ``operator``
+``repro_candidates``               histogram   ``operator``
+``repro_span_seconds``             histogram   ``span`` (+ ``operator``)
+``repro_counter_total``            counter     ``counter``, ``operator``
+``repro_prune_hits_total``         counter     ``rule``, ``operator``
+``repro_validate_hits_total``      counter     ``rule``, ``operator``
+``repro_kernel_batch_elements``    histogram   ``kernel``
+``repro_kernel_scalar_fallbacks_total`` counter ``kernel``
+``repro_rtree_node_visits_total``  counter     ``tree``, ``mode``
+``repro_maxflow_phases_total``     counter     (none)
+``repro_maxflow_augmentations_total`` counter  (none)
+================================== =========== ==================================
+
+``repro_counter_total`` mirrors :meth:`repro.core.counters.Counters.snapshot`
+field for field (per query, per operator), so the Prometheus export always
+reconciles with the in-process counter bag.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "query_metrics_from_counters",
+]
+
+LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+"""Default histogram buckets for durations, in seconds."""
+
+SIZE_BUCKETS: tuple[float, ...] = (
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144,
+)
+"""Default histogram buckets for counts/sizes (kernel batch elements)."""
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any] | None) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (must be non-negative)."""
+        if n < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += n
+
+
+class Gauge:
+    """Point-in-time value."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self.value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` to the gauge."""
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        """Subtract ``n`` from the gauge."""
+        self.value -= n
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    Args:
+        buckets: increasing upper bounds; a ``+Inf`` bucket is implicit.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Iterable[float] = LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("buckets must be a non-empty increasing sequence")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation of ``value``."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[int]:
+        """Cumulative counts per bucket, ``+Inf`` last (== total count)."""
+        out: list[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled metrics.
+
+    Thread-unsafe by design (the search is single-threaded); sharing one
+    registry across sequential queries aggregates them.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, _LabelKey], Any] = {}
+        self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+
+    # -------------------------- instruments --------------------------- #
+
+    def counter(self, name: str, labels: dict | None = None,
+                help: str | None = None) -> Counter:
+        """Get or create the counter ``name{labels}``."""
+        return self._get(name, labels, Counter, (), help)
+
+    def gauge(self, name: str, labels: dict | None = None,
+              help: str | None = None) -> Gauge:
+        """Get or create the gauge ``name{labels}``."""
+        return self._get(name, labels, Gauge, (), help)
+
+    def histogram(self, name: str, labels: dict | None = None,
+                  buckets: Iterable[float] | None = None,
+                  help: str | None = None) -> Histogram:
+        """Get or create the histogram ``name{labels}``."""
+        return self._get(name, labels, Histogram,
+                         (buckets if buckets is not None else LATENCY_BUCKETS,),
+                         help)
+
+    def _get(self, name, labels, cls, args, help):
+        key = (name, _label_key(labels))
+        known = self._kinds.setdefault(name, cls.kind)
+        if known != cls.kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {known}, not {cls.kind}"
+            )
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(*args)
+            self._metrics[key] = metric
+            if help:
+                self._help.setdefault(name, help)
+        return metric
+
+    # -------------------------- conveniences -------------------------- #
+
+    def inc(self, name: str, n: float = 1.0, labels: dict | None = None) -> None:
+        """Increment the counter ``name{labels}`` by ``n``."""
+        self.counter(name, labels).inc(n)
+
+    def set_gauge(self, name: str, value: float, labels: dict | None = None) -> None:
+        """Set the gauge ``name{labels}``."""
+        self.gauge(name, labels).set(value)
+
+    def observe(self, name: str, value: float, labels: dict | None = None,
+                buckets: Iterable[float] | None = None) -> None:
+        """Observe ``value`` on the histogram ``name{labels}``."""
+        self.histogram(name, labels, buckets=buckets).observe(value)
+
+    # ---------------------------- reading ----------------------------- #
+
+    def get(self, name: str, labels: dict | None = None):
+        """The metric instance, or None when never touched."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def value(self, name: str, labels: dict | None = None) -> float:
+        """Counter/gauge value (0.0 when never touched)."""
+        metric = self.get(name, labels)
+        return metric.value if metric is not None else 0.0
+
+    def total(self, name: str) -> float:
+        """Sum of a counter family's values across all label sets."""
+        return sum(
+            m.value for (n, _), m in self._metrics.items()
+            if n == name and not isinstance(m, Histogram)
+        )
+
+    def families(self) -> dict[str, list[tuple[_LabelKey, Any]]]:
+        """Metrics grouped by family name (stable label order)."""
+        out: dict[str, list[tuple[_LabelKey, Any]]] = {}
+        for (name, labels), metric in sorted(
+            self._metrics.items(), key=lambda item: item[0]
+        ):
+            out.setdefault(name, []).append((labels, metric))
+        return out
+
+    # ---------------------------- export ------------------------------ #
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name, entries in self.families().items():
+            help_text = self._help.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {self._kinds[name]}")
+            for labels, metric in entries:
+                if isinstance(metric, Histogram):
+                    cum = metric.cumulative()
+                    for bound, count in zip(metric.buckets, cum):
+                        lines.append(
+                            f"{name}_bucket{_fmt_labels(labels, ('le', _fmt_float(bound)))} {count}"
+                        )
+                    lines.append(
+                        f"{name}_bucket{_fmt_labels(labels, ('le', '+Inf'))} {cum[-1]}"
+                    )
+                    lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_float(metric.sum)}")
+                    lines.append(f"{name}_count{_fmt_labels(labels)} {metric.count}")
+                else:
+                    lines.append(
+                        f"{name}{_fmt_labels(labels)} {_fmt_float(metric.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> dict:
+        """JSON-able dump: one entry per (family, label set)."""
+        out: dict[str, list[dict]] = {}
+        for name, entries in self.families().items():
+            rows = []
+            for labels, metric in entries:
+                row: dict[str, Any] = {"labels": dict(labels)}
+                if isinstance(metric, Histogram):
+                    row["sum"] = metric.sum
+                    row["count"] = metric.count
+                    row["buckets"] = {
+                        _fmt_float(b): c
+                        for b, c in zip(metric.buckets, metric.cumulative())
+                    }
+                else:
+                    row["value"] = metric.value
+                rows.append(row)
+            out[name] = rows
+        return {
+            "metrics": {
+                name: {"type": self._kinds[name], "series": rows}
+                for name, rows in out.items()
+            }
+        }
+
+
+def _fmt_float(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels: _LabelKey, extra: tuple[str, str] | None = None) -> str:
+    items = list(labels)
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+# --------------------------------------------------------------------- #
+# Counter-bag bridging
+# --------------------------------------------------------------------- #
+
+_PRUNE_PREFIX = "pruned_by_"
+_VALIDATE_PREFIX = "validated_by_"
+
+
+def query_metrics_from_counters(
+    registry: MetricsRegistry,
+    deltas: dict[str, int],
+    *,
+    operator: str,
+    elapsed: float | None = None,
+    candidates: int | None = None,
+) -> None:
+    """Feed one query's counter deltas into the registry.
+
+    Every delta lands in ``repro_counter_total{counter=...,operator=...}``
+    (so sums reconcile exactly with ``Counters.snapshot()``); ``pruned_by_*``
+    and ``validated_by_*`` fields are additionally exposed as
+    ``repro_prune_hits_total`` / ``repro_validate_hits_total`` keyed by rule.
+    """
+    op_labels = {"operator": operator}
+    registry.inc("repro_queries_total", 1, op_labels)
+    if elapsed is not None:
+        registry.observe("repro_query_seconds", elapsed, op_labels)
+    if candidates is not None:
+        registry.observe("repro_candidates", candidates, op_labels,
+                         buckets=SIZE_BUCKETS)
+    for key, value in deltas.items():
+        if not value:
+            continue
+        registry.inc(
+            "repro_counter_total", value, {"counter": key, "operator": operator}
+        )
+        if key.startswith(_PRUNE_PREFIX):
+            registry.inc(
+                "repro_prune_hits_total", value,
+                {"rule": key[len(_PRUNE_PREFIX):], "operator": operator},
+            )
+        elif key.startswith(_VALIDATE_PREFIX):
+            registry.inc(
+                "repro_validate_hits_total", value,
+                {"rule": key[len(_VALIDATE_PREFIX):], "operator": operator},
+            )

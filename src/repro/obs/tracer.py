@@ -1,0 +1,265 @@
+"""Span tracing for the NNC search pipeline.
+
+A :class:`Tracer` records nested *spans* — named wall-clock intervals with
+labels and (optionally) the delta of the query's
+:class:`repro.core.counters.Counters` across the interval.  Completed spans
+land in a bounded ring buffer, oldest dropped first, so tracing a long run
+has a fixed memory footprint.
+
+The instrumentation sites in :mod:`repro.core.nnc`, the operators, and the
+max-flow solver all guard on ``tracer.enabled`` and default to the shared
+:data:`NULL_TRACER`, so a query without tracing pays one attribute check per
+site and allocates nothing.
+
+Span tree for one traced query::
+
+    search                      (operator, k)
+    ├── rtree-descent           (per popped node: members, leaf)
+    ├── entry-prune             (per screened node: pruned)
+    └── dominance-check         (per surviving object: oid, dominators)
+        ├── cdf-scan            (S-SD exact sweep)
+        ├── cdf-sweep           (SS-SD per-q sweep)
+        ├── hull-extremes       (F-SD per-vertex comparison)
+        ├── level-flow          (P-SD coarse G-/G+ networks)
+        └── maxflow             (P-SD instance network)
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Iterator
+
+__all__ = ["NULL_TRACER", "NullTracer", "SpanRecord", "Tracer"]
+
+
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        name: span name (e.g. ``"dominance-check"``).
+        start: seconds since the tracer's epoch at span entry.
+        duration: wall-clock seconds spent inside the span.
+        depth: nesting depth (0 for root spans).
+        parent: name of the enclosing span, or None.
+        labels: free-form labels passed at span creation.
+        counter_deltas: per-field increments of the attached counter bag
+            across the span (only non-zero entries; empty when no counters
+            were attached).
+    """
+
+    __slots__ = ("name", "start", "duration", "depth", "parent", "labels",
+                 "counter_deltas")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        depth: int,
+        parent: str | None,
+        labels: dict[str, Any],
+        counter_deltas: dict[str, int],
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.depth = depth
+        self.parent = parent
+        self.labels = labels
+        self.counter_deltas = counter_deltas
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict view (the JSONL event shape)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+        }
+        if self.parent is not None:
+            out["parent"] = self.parent
+        if self.labels:
+            out["labels"] = self.labels
+        if self.counter_deltas:
+            out["counters"] = self.counter_deltas
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanRecord({self.name!r}, start={self.start:.6f}, "
+            f"duration={self.duration:.6f}, depth={self.depth})"
+        )
+
+
+class _ActiveSpan:
+    """Context manager for one in-flight span of a real :class:`Tracer`."""
+
+    __slots__ = ("_tracer", "name", "labels", "_counters", "_t0", "_snap0",
+                 "_parent", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, counters, labels) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.labels = labels
+        self._counters = counters
+        self._t0 = 0.0
+        self._snap0: dict[str, int] | None = None
+
+    def __enter__(self) -> "_ActiveSpan":
+        tracer = self._tracer
+        self._depth = len(tracer._stack)
+        self._parent = tracer._stack[-1] if tracer._stack else None
+        tracer._stack.append(self.name)
+        if self._counters is not None:
+            self._snap0 = self._counters.snapshot()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        t1 = time.perf_counter()
+        tracer = self._tracer
+        deltas: dict[str, int] = {}
+        if self._snap0 is not None:
+            snap1 = self._counters.snapshot()
+            base = self._snap0
+            deltas = {
+                key: value - base.get(key, 0)
+                for key, value in snap1.items()
+                if value != base.get(key, 0)
+            }
+        record = SpanRecord(
+            self.name,
+            self._t0 - tracer.epoch,
+            t1 - self._t0,
+            self._depth,
+            self._parent,
+            self.labels,
+            deltas,
+        )
+        tracer._finish(record)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Span recorder with a bounded ring buffer.
+
+    Args:
+        capacity: maximum retained completed spans; older spans are dropped
+            (and counted in :attr:`dropped`) once the buffer is full.
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`; when
+            set, every closed span feeds a ``repro_span_seconds`` latency
+            histogram labelled by span name (and operator, when the span
+            carries an ``op`` label).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536, metrics=None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.metrics = metrics
+        self.epoch = time.perf_counter()
+        self.completed = 0
+        self._buffer: deque[SpanRecord] = deque(maxlen=capacity)
+        self._stack: list[str] = []
+
+    def span(self, name: str, *, counters=None, **labels) -> _ActiveSpan:
+        """Open a span; use as a context manager.
+
+        Args:
+            name: span name.
+            counters: optional :class:`repro.core.counters.Counters` whose
+                delta across the span is recorded.
+            **labels: free-form labels stored on the span record.
+        """
+        return _ActiveSpan(self, name, counters, labels)
+
+    def _finish(self, record: SpanRecord) -> None:
+        stack = self._stack
+        if stack and stack[-1] == record.name:
+            stack.pop()
+        else:  # unbalanced exit (abandoned generator): resync best-effort
+            while stack and stack[-1] != record.name:
+                stack.pop()
+            if stack:
+                stack.pop()
+        self.completed += 1
+        self._buffer.append(record)
+        metrics = self.metrics
+        if metrics is not None:
+            labels = {"span": record.name}
+            op = record.labels.get("op")
+            if op is not None:
+                labels["operator"] = str(op)
+            metrics.observe("repro_span_seconds", record.duration, labels=labels)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dropped(self) -> int:
+        """Completed spans evicted from the ring buffer."""
+        return self.completed - len(self._buffer)
+
+    def spans(self) -> list[SpanRecord]:
+        """Retained spans in completion order."""
+        return list(self._buffer)
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def clear(self) -> None:
+        """Drop all retained spans (the drop/completed tallies reset too)."""
+        self._buffer.clear()
+        self._stack.clear()
+        self.completed = 0
+
+
+class NullTracer:
+    """No-op tracer: every span is the shared, state-free null span.
+
+    ``enabled`` is False so hot-path call sites can skip span bookkeeping
+    entirely; calling :meth:`span` anyway is still safe and free.
+    """
+
+    enabled = False
+
+    def span(self, name: str, *, counters=None, **labels) -> _NullSpan:
+        """Return the shared no-op span (arguments ignored)."""
+        return _NULL_SPAN
+
+    def spans(self) -> list[SpanRecord]:
+        """Always empty — a null tracer retains nothing."""
+        return []
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    @property
+    def dropped(self) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()
+"""Shared no-op tracer — the default on every query context."""

@@ -1,0 +1,135 @@
+"""Tests for ``benchmarks/compare_bench.py`` (the bench regression gate)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from benchmarks.compare_bench import compare, load_bench, main
+
+BASE = {
+    "scale": "tiny",
+    "end_to_end": [
+        {"operator": "SSD", "kernel_time": 1.0, "scalar_time": 2.0},
+        {"operator": "PSD", "kernel_time": 2.0, "scalar_time": 8.0},
+    ],
+}
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestCompare:
+    def test_no_regression_on_self(self):
+        rows, regressions = compare(BASE, copy.deepcopy(BASE))
+        assert regressions == []
+        assert {r["operator"] for r in rows} == {"SSD", "PSD"}
+        assert all(r["change"] == "+0.0%" for r in rows)
+
+    def test_flags_ratio_regression(self):
+        current = copy.deepcopy(BASE)
+        current["end_to_end"][0]["kernel_time"] = 1.4  # ratio 0.5 -> 0.7
+        rows, regressions = compare(BASE, current)
+        assert len(regressions) == 1 and regressions[0].startswith("SSD")
+
+    def test_improvement_is_not_a_regression(self):
+        current = copy.deepcopy(BASE)
+        current["end_to_end"][0]["kernel_time"] = 0.5
+        _, regressions = compare(BASE, current)
+        assert regressions == []
+
+    def test_within_threshold_passes(self):
+        current = copy.deepcopy(BASE)
+        current["end_to_end"][0]["kernel_time"] = 1.1  # +10% < 15%
+        _, regressions = compare(BASE, current)
+        assert regressions == []
+
+    def test_time_metric(self):
+        current = copy.deepcopy(BASE)
+        current["end_to_end"][1]["kernel_time"] = 2.2
+        current["end_to_end"][1]["scalar_time"] = 8.8  # same ratio, slower
+        _, by_ratio = compare(BASE, current, metric="ratio")
+        assert by_ratio == []
+        _, by_time = compare(BASE, current, metric="time", threshold=0.05)
+        assert len(by_time) == 1 and by_time[0].startswith("PSD")
+
+    def test_operator_only_in_one_file_never_flags(self):
+        current = copy.deepcopy(BASE)
+        current["end_to_end"].append(
+            {"operator": "FSD", "kernel_time": 99.0, "scalar_time": 1.0}
+        )
+        rows, regressions = compare(BASE, current)
+        assert regressions == []
+        fsd = next(r for r in rows if r["operator"] == "FSD")
+        assert fsd["baseline"] is None and fsd["change"] == "-"
+
+
+class TestLoadBench:
+    def test_rejects_wrong_shape(self, tmp_path):
+        path = _write(tmp_path, "bad.json", {"micro": []})
+        with pytest.raises(ValueError, match="end_to_end"):
+            load_bench(path)
+
+
+class TestMainExitCodes:
+    def test_exit_0_on_identical(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", BASE)
+        assert main([a, b]) == 0
+        assert "REGRESSION" not in capsys.readouterr().err
+
+    def test_exit_1_on_regression(self, tmp_path, capsys):
+        current = copy.deepcopy(BASE)
+        current["end_to_end"][0]["kernel_time"] = 1.5  # +50% ratio
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", current)
+        assert main([a, b]) == 1
+        assert "REGRESSION SSD" in capsys.readouterr().err
+
+    def test_threshold_flag(self, tmp_path):
+        current = copy.deepcopy(BASE)
+        current["end_to_end"][0]["kernel_time"] = 1.1  # +10%
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", current)
+        assert main([a, b]) == 0
+        assert main([a, b, "--threshold", "0.05"]) == 1
+
+    def test_scale_mismatch_informational(self, tmp_path, capsys):
+        current = copy.deepcopy(BASE)
+        current["scale"] = "large"
+        current["end_to_end"][0]["kernel_time"] = 1.5  # regression, but...
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", current)
+        assert main([a, b]) == 0  # ...ignored across scales
+        err = capsys.readouterr().err
+        assert "scale mismatch" in err and "ignored" in err
+
+    def test_scale_mismatch_strict_is_exit_2(self, tmp_path, capsys):
+        current = copy.deepcopy(BASE)
+        current["scale"] = "large"
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", current)
+        assert main([a, b, "--strict"]) == 2
+        assert "scale mismatch" in capsys.readouterr().err
+
+    def test_exit_2_on_missing_or_invalid_file(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", BASE)
+        assert main([a, str(tmp_path / "nope.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main([a, str(bad)]) == 2
+
+    def test_committed_smoke_baseline_self_compares_clean(self, capsys):
+        # The artifact CI gates against must be valid and self-consistent.
+        from pathlib import Path
+
+        baseline = str(
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "results" / "BENCH_smoke_baseline.json"
+        )
+        assert main([baseline, baseline, "--strict"]) == 0

@@ -1,0 +1,136 @@
+"""Counter parity between the kernel and scalar search paths (plus the
+field-list-free ``Counters.merge``/``snapshot`` mechanics).
+
+The batch screens in :mod:`repro.core.nnc` attribute their counters
+pair-by-pair in visit order with early exit at ``k`` — exactly as the scalar
+operator loop would — so ``dominance_checks`` and ``mbr_tests`` (and the
+prune/validate tallies) are identical between ``QueryContext(kernels=True)``
+and ``kernels=False``.  ``instance_comparisons`` legitimately differs: batch
+CDF sweeps charge whole matrices where the scalar merge scan stops early.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.context import QueryContext
+from repro.core.counters import Counters
+from repro.core.nnc import NNCSearch
+from tests.conftest import random_scene
+
+OPERATORS = ["SSD", "SSSD", "PSD", "FSD", "F+SD"]
+
+#: Counter fields the kernel path must reproduce exactly.  Everything the
+#: paper's Appendix C study reads — dominance checks, MBR tests, and the
+#: per-rule prune/validate attribution — plus the traversal tallies.
+PARITY_FIELDS = (
+    "dominance_checks",
+    "mbr_tests",
+    "validated_by_mbr",
+    "pruned_by_statistics",
+    "pruned_by_cover",
+    "nodes_visited",
+    "objects_visited",
+)
+
+
+class TestKernelScalarCounterParity:
+    @pytest.mark.parametrize("kind", OPERATORS)
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_same_totals(self, kind, k):
+        rng = np.random.default_rng(20150531 + k)
+        objects, query = random_scene(rng, n_objects=40, m=4, spread=3.0)
+        search = NNCSearch(objects)
+        snaps = {}
+        oids = {}
+        for kernels in (True, False):
+            ctx = QueryContext(query, kernels=kernels)
+            result = search.run(query, kind, ctx=ctx, k=k)
+            oids[kernels] = sorted(result.oids())
+            snaps[kernels] = ctx.counters.snapshot()
+        assert oids[True] == oids[False]
+        for name in PARITY_FIELDS:
+            assert snaps[True][name] == snaps[False][name], (
+                f"{kind} k={k}: {name} diverged "
+                f"(kernels={snaps[True][name]}, scalar={snaps[False][name]})"
+            )
+        # Sanity: the workload actually exercised the counters.  (F+-SD is
+        # the MBR-only baseline — it never performs full dominance checks.)
+        if kind != "F+SD":
+            assert snaps[True]["dominance_checks"] > 0
+        assert snaps[True]["mbr_tests"] > 0
+
+    def test_weighted_instances_too(self):
+        rng = np.random.default_rng(7)
+        objects, query = random_scene(
+            rng, n_objects=25, m=5, uniform_probs=False
+        )
+        search = NNCSearch(objects)
+        for kind in OPERATORS:
+            snaps = {}
+            for kernels in (True, False):
+                ctx = QueryContext(query, kernels=kernels)
+                search.run(query, kind, ctx=ctx, k=2)
+                snaps[kernels] = ctx.counters.snapshot()
+            for name in ("dominance_checks", "mbr_tests"):
+                assert snaps[True][name] == snaps[False][name], (kind, name)
+
+
+class TestCountersMechanics:
+    """``merge``/``snapshot`` iterate ``dataclasses.fields`` — no drift."""
+
+    def test_merge_covers_every_field(self):
+        a, b = Counters(), Counters()
+        for i, field in enumerate(dataclasses.fields(Counters)):
+            if field.name != "extra":
+                setattr(b, field.name, i + 1)
+        b.bump("custom", 9)
+        a.merge(b)
+        for i, field in enumerate(dataclasses.fields(Counters)):
+            if field.name != "extra":
+                assert getattr(a, field.name) == i + 1
+        assert a.extra == {"custom": 9}
+
+    def test_field_list_derived_from_dataclass(self):
+        # The iteration order is the dataclass definition itself, so adding
+        # a field to Counters automatically extends merge/snapshot — there
+        # is no second hand-maintained list to drift out of sync.
+        from repro.core.counters import _COUNTER_FIELDS
+
+        declared = tuple(
+            f.name for f in dataclasses.fields(Counters) if f.name != "extra"
+        )
+        assert _COUNTER_FIELDS == declared
+        snap = Counters().snapshot()
+        assert set(snap) == set(declared)
+
+    def test_snapshot_extra_keys(self):
+        c = Counters()
+        c.bump("objects_dominated", 3)
+        c.bump("objects_dominated")
+        assert c.snapshot()["objects_dominated"] == 4
+
+    def test_snapshot_shadow_guard(self):
+        # A free-form key colliding with a built-in field must not clobber it.
+        c = Counters()
+        c.dominance_checks = 7
+        c.bump("dominance_checks", 99)
+        snap = c.snapshot()
+        assert snap["dominance_checks"] == 7
+        assert snap["extra.dominance_checks"] == 99
+
+    def test_merge_accumulates_extras(self):
+        a, b = Counters(), Counters()
+        a.bump("x", 1)
+        b.bump("x", 2)
+        b.bump("y", 3)
+        a.merge(b)
+        assert a.extra == {"x": 3, "y": 3}
+
+    def test_metrics_attr_stays_out_of_snapshot(self):
+        c = Counters()
+        assert c.metrics is None  # ClassVar default
+        assert "metrics" not in c.snapshot()
