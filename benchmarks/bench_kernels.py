@@ -11,7 +11,10 @@ Measures two things and writes both to ``BENCH_kernels.json``:
   identical and reporting the speedup;
 * **obs** — observability overhead: the default context vs an explicit
   ``NullTracer`` (asserted within a 3% budget — tracing off must be free)
-  and vs a fully enabled ``Tracer`` + ``MetricsRegistry`` (informational).
+  and vs a fully enabled ``Tracer`` + ``MetricsRegistry`` (informational);
+* **resilience** — resilience overhead: the default context vs one armed
+  with a generous :class:`repro.resilience.Budget` (asserted within the
+  same 3% budget — caps that never trip must be near-free).
 
 ``benchmarks/compare_bench.py`` diffs two result files and flags end-to-end
 regressions (used by CI against the committed smoke baseline).
@@ -244,6 +247,62 @@ def obs_overhead(scale_name: str) -> dict:
     }
 
 
+def resilience_overhead(scale_name: str) -> dict:
+    """Resilience overhead on the end-to-end search (disabled vs armed).
+
+    Resilience-disabled must be near-free: an unbudgeted, unfaulted query
+    pays one ``ctx.resilient`` attribute check per dominance check (the
+    end-to-end section, gated by ``compare_bench.py`` against the committed
+    baseline, catches any drift of that path).  Here the default context is
+    timed against a context armed with a *generous* budget — caps far above
+    what the workload spends, so nothing degrades and every checkpoint runs
+    — and asserted within a 3% + 2 ms budget.
+    """
+    from repro.resilience import Budget
+
+    params = ExperimentParams().scaled(SCALES[scale_name])
+    rng = np.random.default_rng(params.seed)
+    objects, queries = build_dataset("A-N", params, rng)
+    search = NNCSearch(objects)
+    kind = "PSD"
+    for query in queries:  # warm shared dataset caches, as in end_to_end()
+        search.run(query, kind, ctx=QueryContext(query))
+
+    def run_all(make_ctx) -> float:
+        t0 = time.perf_counter()
+        for query in queries:
+            search.run(query, kind, ctx=make_ctx(query))
+        return time.perf_counter() - t0
+
+    def generous_ctx(q):
+        return QueryContext(
+            q,
+            budget=Budget(
+                deadline_ms=600_000.0,
+                max_dominance_checks=10**12,
+                max_flow_augmentations=10**12,
+            ),
+        )
+
+    disabled = armed = float("inf")
+    for _ in range(3):
+        disabled = min(disabled, run_all(QueryContext))
+        armed = min(armed, run_all(generous_ctx))
+    overhead_armed = armed / disabled - 1.0
+    if armed - disabled > 0.03 * disabled + 0.002:
+        raise AssertionError(
+            f"budget-armed overhead {overhead_armed:.1%} exceeds the 3% budget "
+            f"(disabled {disabled:.4f}s, armed {armed:.4f}s)"
+        )
+    return {
+        "operator": kind,
+        "n_queries": len(queries),
+        "disabled_time": disabled,
+        "armed_time": armed,
+        "overhead_armed": overhead_armed,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -269,18 +328,26 @@ def main(argv: list[str] | None = None) -> int:
     micro = micro_benchmarks(repeats=repeats, rng=rng)
     e2e = end_to_end(scale)
     obs = obs_overhead(scale)
+    resilience = resilience_overhead(scale)
     payload = {
         "scale": scale,
         "smoke": args.smoke,
         "micro": micro,
         "end_to_end": e2e,
         "obs": obs,
+        "resilience": resilience,
     }
     print(format_table(micro, "Micro kernels (ops/sec)"))
     print()
     print(format_table(e2e, f"End-to-end NNC, Fig 12 default A-N ({scale})"))
     print()
     print(format_table([obs], "Observability overhead (off asserted <3%)"))
+    print()
+    print(
+        format_table(
+            [resilience], "Resilience overhead (generous budget asserted <3%)"
+        )
+    )
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {out}")

@@ -29,21 +29,42 @@ from repro.core.nnc import NNCResult, NNCSearch, nn_candidates
 from repro.core.operators import OperatorKind, make_operator
 from repro.objects.io import load_objects, save_objects
 from repro.objects.uncertain import UncertainObject, normalize_objects
+from repro.objects.validate import (
+    DatasetFormatError,
+    InvalidInputError,
+    ValidationReport,
+    validate_objects,
+)
 from repro.query.topk import FunctionTopK, top_k
+from repro.resilience import (
+    Budget,
+    BudgetExhausted,
+    DegradationReport,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.stats.distribution import DiscreteDistribution
 from repro.stats.stochastic import stochastic_leq
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Budget",
+    "BudgetExhausted",
     "Counters",
+    "DatasetFormatError",
+    "DegradationReport",
     "DiscreteDistribution",
+    "FaultPlan",
+    "FaultSpec",
     "FunctionTopK",
+    "InvalidInputError",
     "NNCResult",
     "NNCSearch",
     "OperatorKind",
     "QueryContext",
     "UncertainObject",
+    "ValidationReport",
     "__version__",
     "load_objects",
     "make_operator",
@@ -52,4 +73,5 @@ __all__ = [
     "save_objects",
     "stochastic_leq",
     "top_k",
+    "validate_objects",
 ]

@@ -44,7 +44,22 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
                    "(.json = JSON dump, else Prometheus text format)")
     p.add_argument("--breakdown", action="store_true",
                    help="print the per-span comparison-count breakdown "
-                   "(Figure 16 style; implies tracing)")
+                   "(Figure 16 style; implies tracing) and, for degraded "
+                   "runs, the full degradation report")
+    p.add_argument("--deadline-ms", type=float, metavar="MS",
+                   help="wall-clock budget; on exhaustion the search "
+                   "degrades to a certified superset (exit code 3)")
+    p.add_argument("--max-dominance-checks", type=int, metavar="N",
+                   help="cap on dominance checks (degrades like "
+                   "--deadline-ms)")
+    p.add_argument("--max-flow-augmentations", type=int, metavar="N",
+                   help="cap on P-SD max-flow augmentation iterations; "
+                   "interrupted flow checks fall back to conservative "
+                   "non-dominance")
+    p.add_argument("--on-invalid", choices=["strict", "repair", "skip"],
+                   help="validate input objects: strict rejects the dataset "
+                   "(exit code 2), repair fixes what it can, skip "
+                   "quarantines dirty objects")
 
 
 def _add_figure(sub: argparse._SubParsersAction) -> None:
@@ -98,31 +113,74 @@ def _cmd_search(args: argparse.Namespace) -> int:
         make_query,
     )
     from repro.objects.io import load_objects
+    from repro.objects.validate import InvalidInputError
 
     rng = np.random.default_rng(args.seed)
-    if args.dataset:
-        objects = load_objects(args.dataset)
-        center = objects[rng.integers(len(objects))].mbr.center
-        query = make_query(center, max(2, args.m // 2), 200.0, rng)
-    else:
-        centers = anticorrelated_centers(args.n, args.d, rng)
-        scale = (args.n / 100_000) ** (-1.0 / args.d)
-        objects = make_objects(centers, args.m, 400.0 * scale, rng)
-        query = make_query(
-            centers[rng.integers(args.n)], max(2, args.m // 2), 200.0 * scale, rng
-        )
-    search = NNCSearch(objects)
-    tracer = None
     registry = None
-    if args.trace or args.breakdown:
-        from repro.obs import Tracer
-
-        tracer = Tracer()
     if args.metrics:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
-    ctx = QueryContext(query, metric=args.metric, tracer=tracer, metrics=registry)
+    report = None
+    try:
+        if args.dataset:
+            if args.on_invalid:
+                objects, report = load_objects(
+                    args.dataset, on_invalid=args.on_invalid, metrics=registry
+                )
+            else:
+                objects = load_objects(args.dataset)
+            if not objects:
+                print("no objects survived quarantine", file=sys.stderr)
+                return 2
+            center = objects[rng.integers(len(objects))].mbr.center
+            query = make_query(center, max(2, args.m // 2), 200.0, rng)
+        else:
+            centers = anticorrelated_centers(args.n, args.d, rng)
+            scale = (args.n / 100_000) ** (-1.0 / args.d)
+            objects = make_objects(
+                centers, args.m, 400.0 * scale, rng, on_invalid=args.on_invalid
+            )
+            query = make_query(
+                centers[rng.integers(args.n)], max(2, args.m // 2), 200.0 * scale, rng
+            )
+    except InvalidInputError as exc:
+        print(f"input rejected: {exc}", file=sys.stderr)
+        for issue in exc.report.issues[:10]:
+            print(
+                f"  object #{issue.row} ({issue.oid!r}): "
+                f"[{issue.code}] {issue.message}",
+                file=sys.stderr,
+            )
+        return 2
+    if report is not None and not report.clean:
+        print(report.summary())
+    budget = None
+    if (
+        args.deadline_ms is not None
+        or args.max_dominance_checks is not None
+        or args.max_flow_augmentations is not None
+    ):
+        from repro.resilience import Budget
+
+        budget = Budget(
+            deadline_ms=args.deadline_ms,
+            max_dominance_checks=args.max_dominance_checks,
+            max_flow_augmentations=args.max_flow_augmentations,
+        )
+    search = NNCSearch(objects)
+    tracer = None
+    if args.trace or args.breakdown:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    ctx = QueryContext(
+        query,
+        metric=args.metric,
+        tracer=tracer,
+        metrics=registry,
+        budget=budget,
+    )
     start = time.perf_counter()
     count = 0
     for candidate in search.stream(query, args.operator, k=args.k, ctx=ctx):
@@ -135,11 +193,20 @@ def _cmd_search(args: argparse.Namespace) -> int:
         f"{args.operator}: {count} candidate(s) of {len(objects)} objects "
         f"in {total * 1000:.1f} ms (k={args.k})"
     )
+    degradation = search.last_degradation
+    if degradation is not None:
+        print(degradation.summary())
     if args.breakdown:
         from repro.experiments.report import trace_breakdown_table
 
         print()
         print(trace_breakdown_table(tracer.spans()))
+        if degradation is not None:
+            import json
+
+            print()
+            print("degradation report:")
+            print(json.dumps(degradation.to_dict(), indent=2))
     if args.trace:
         from repro.obs import write_trace
 
@@ -151,7 +218,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
         path = write_metrics(args.metrics, registry)
         print(f"metrics -> {path}")
-    return 0
+    # Exit code 3: the answer is a certified superset, not exact (see
+    # repro.resilience); 0 means exact.
+    return 3 if degradation is not None else 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:

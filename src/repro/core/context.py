@@ -27,6 +27,7 @@ from repro.geometry.convexhull import convex_hull
 from repro.geometry.distance import is_euclidean, resolve_norm
 from repro.geometry.mbr import MBR
 from repro.objects.uncertain import UncertainObject
+from repro.resilience.faults import NumericalFault
 from repro.stats.distribution import DiscreteDistribution
 
 
@@ -64,6 +65,14 @@ class QueryContext:
             prune-rule hits), the kernels feed batch-size histograms, and a
             tracer without its own registry adopts this one for span
             latencies.
+        budget: optional :class:`repro.resilience.budget.Budget`; when set,
+            the search driver, operators, kernels, R-tree descents, and the
+            max-flow loop hit cooperative checkpoints, and on exhaustion the
+            search degrades to a certified superset instead of failing (see
+            DESIGN.md §12).
+        faults: optional :class:`repro.resilience.faults.FaultPlan`; fires
+            deterministic injected faults at named pipeline sites.  Test
+            machinery — never set in production paths.
     """
 
     def __init__(
@@ -77,6 +86,8 @@ class QueryContext:
         kernels: bool = True,
         tracer=None,
         metrics=None,
+        budget=None,
+        faults=None,
     ) -> None:
         self.query = query
         self.counters = counters if counters is not None else Counters()
@@ -88,6 +99,19 @@ class QueryContext:
             self.counters.metrics = metrics
             if getattr(self.tracer, "metrics", None) is None and self.tracer.enabled:
                 self.tracer.metrics = metrics
+        self.budget = budget
+        self.faults = faults
+        #: One flag for the operator hot path: resilience plumbing is only
+        #: consulted behind it, so an unbudgeted, unfaulted query pays a
+        #: single attribute check per dominance check.
+        self.resilient = budget is not None or faults is not None
+        if budget is not None:
+            # Same shadow trick as metrics: the kernels find the budget on
+            # the counter bag and hit a deadline checkpoint per invocation.
+            self.counters.budget = budget
+        #: ``(site, reason)`` pairs for dominance decisions that defaulted
+        #: to conservative non-dominance (capped; the counter keeps going).
+        self.unresolved_events: list[tuple[str, str]] = []
         self.level_groups = level_groups
         self.metric = metric
         self.kernels = bool(kernels)
@@ -110,6 +134,38 @@ class QueryContext:
 
     # ------------------------------------------------------------------ #
 
+    def spend_check(self, n: int = 1, *, fire: bool = False) -> None:
+        """Charge ``n`` dominance checks to the budget; optionally fire faults.
+
+        Called behind ``self.resilient`` wherever ``counters.dominance_checks``
+        is bumped — operator entries pass ``fire=True`` (the injection point
+        for ``dominance-check`` faults); the search driver's batch-equivalent
+        accounting charges without firing.
+
+        Raises:
+            BudgetExhausted: the dominance-check cap or deadline tripped
+                (the driver catches this and drains conservatively).
+            InjectedFault: a ``dominance-check`` fault fired (callers treat
+                the pair as unresolved — conservative non-dominance).
+        """
+        budget = self.budget
+        if budget is not None:
+            budget.spend_dominance_checks(n)
+        if fire and self.faults is not None:
+            self.faults.fire("dominance-check")
+
+    def note_unresolved(self, site: str, reason: str) -> None:
+        """Record one dominance decision that defaulted conservatively.
+
+        Feeds the ``unresolved_checks`` counter (and through it the metrics
+        export) plus a capped event list for the degradation report.
+        """
+        self.counters.bump("unresolved_checks")
+        if len(self.unresolved_events) < 32:
+            self.unresolved_events.append((site, reason))
+
+    # ------------------------------------------------------------------ #
+
     def distance_matrix(self, obj: UncertainObject) -> np.ndarray:
         """Raw pair-distance matrix, shape ``(|Q|, m)``, cached.
 
@@ -127,6 +183,13 @@ class QueryContext:
                 mat = K.distance_matrix_scalar(
                     self.query.points, obj.points, self.metric, counters=self.counters
                 )
+            if self.faults is not None:
+                # Fault harness only: poison + finiteness guard.  A corrupted
+                # matrix is detected, NOT cached — the next access recomputes
+                # it cleanly once the fault's firing window is spent.
+                mat = self.faults.corrupt("distance-matrix", mat)
+                if not np.isfinite(mat).all():
+                    raise NumericalFault("distance-matrix")
             self._dist_matrices[key] = mat
         return mat
 

@@ -35,6 +35,12 @@ class Counters:
     #: a counter, and must stay out of ``merge``/``snapshot``.
     metrics: ClassVar = None
 
+    #: Optional :class:`repro.resilience.budget.Budget`; when set (by a query
+    #: context with a budget) the batch kernels hit a deadline checkpoint per
+    #: invocation.  Same ClassVar-shadow pattern as ``metrics``: wiring, not
+    #: a counter.
+    budget: ClassVar = None
+
     instance_comparisons: int = 0
     dominance_checks: int = 0
     mbr_tests: int = 0

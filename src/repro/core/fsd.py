@@ -41,6 +41,10 @@ def fplus_dominates(
     needed here.
     """
     ctx.counters.mbr_tests += 1
+    if ctx.resilient:
+        # No dominance-check charge (F+-SD is not counted as one), but the
+        # site still fires faults and hits the deadline checkpoint.
+        ctx.spend_check(0, fire=True)
     return mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True)
 
 
@@ -65,6 +69,8 @@ def fsd_dominates(
             upstream — skip repeating it.
     """
     ctx.counters.dominance_checks += 1
+    if ctx.resilient:
+        ctx.spend_check(fire=True)
     if not ctx.is_euclidean:
         use_local_trees = False  # local R-tree extremes are Euclidean-only
     elif not mbr_checked:
@@ -73,6 +79,8 @@ def fsd_dominates(
         if mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True):
             ctx.counters.validated_by_mbr += 1
             return True
+    if ctx.faults is not None:
+        ctx.faults.fire("hull-extremes")
     tracer = ctx.tracer
     if tracer.enabled:
         with tracer.span(
@@ -102,6 +110,7 @@ def _extremes_ok(
         u_tree = u.local_rtree()
         v_tree = v.local_rtree()
         u_tree.metrics = v_tree.metrics = ctx.counters.metrics
+        u_tree.budget = v_tree.budget = ctx.budget
         for q in ctx.hull_points:
             ctx.counters.count_comparisons(1)
             if u_tree.farthest_distance(q, batch=ctx.kernels) > v_tree.nearest_distance(

@@ -92,9 +92,17 @@ def record(
     with metrics enabled), the invocation also feeds the per-kernel batch
     size histogram ``repro_kernel_batch_elements{kernel=...}`` — the batch
     granularity distribution of the vectorised hot path.
+
+    When the bag carries a :class:`repro.resilience.budget.Budget` (attached
+    the same way by budgeted contexts), every invocation doubles as a
+    deadline checkpoint — the natural cooperative-cancellation cadence of
+    the vectorised hot path, on both the kernel and the fallback branch.
     """
     if counters is None:
         return
+    budget = counters.budget
+    if budget is not None:
+        budget.checkpoint("kernel")
     if fallback:
         counters.scalar_fallbacks += 1
     else:

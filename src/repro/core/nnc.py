@@ -34,11 +34,19 @@ from repro.core.context import QueryContext
 from repro.core.counters import Counters
 from repro.core.operators import OperatorKind, _BaseOperator, make_operator
 from repro.geometry.mbr import mbr_dominates
-from repro.index.rtree import RTree, RTreeNode
+from repro.index.rtree import RTree, RTreeNode, _collect_entries
 from repro.objects.uncertain import UncertainObject
 from repro.obs.metrics import query_metrics_from_counters
+from repro.resilience import RECOVERABLE_FAULTS
+from repro.resilience.budget import BudgetExhausted, DegradationReport
+from repro.resilience.faults import NumericalFault
 
 _TIE_TOL = 1e-9
+
+
+def _fault_reason(exc: Exception) -> str:
+    """Event-label for a recovered fault (degradation report vocabulary)."""
+    return "non-finite" if isinstance(exc, NumericalFault) else "injected"
 
 # Operator kinds whose own filter stack re-derives the Theorem 11 statistic
 # screen, making the batch pre-screen in the search loop a pure shortcut
@@ -149,15 +157,26 @@ class NNCResult:
         yield_times: seconds (from search start) at which each candidate
             became certain — the progressive profile of Figure 14(a).
         counters: instrumentation collected during the search.
+        degradation: ``None`` for an exact answer; otherwise the
+            :class:`repro.resilience.budget.DegradationReport` explaining why
+            the candidate list is a certified *superset* of the exact NNC
+            (budget exhausted, or dominance decisions lost to recovered
+            faults and defaulted to conservative non-dominance).
     """
 
     candidates: list[UncertainObject] = field(default_factory=list)
     elapsed: float = 0.0
     yield_times: list[float] = field(default_factory=list)
     counters: Counters = field(default_factory=Counters)
+    degradation: DegradationReport | None = None
 
     def __len__(self) -> int:
         return len(self.candidates)
+
+    @property
+    def exact(self) -> bool:
+        """Whether the answer is exact (no degradation occurred)."""
+        return self.degradation is None
 
     def oids(self) -> list:
         """Candidate object ids in acceptance order."""
@@ -180,6 +199,10 @@ class NNCSearch:
         self.objects = list(objects)
         entries = [(obj.mbr, obj) for obj in self.objects]
         self.tree = RTree.bulk_load(entries, max_entries=global_fanout)
+        #: Degradation report of the most recent search on this instance
+        #: (``None`` = exact); the escape hatch for :meth:`stream` consumers,
+        #: who have no :class:`NNCResult` to read it from.
+        self.last_degradation: DegradationReport | None = None
 
     def add_object(self, obj: UncertainObject) -> None:
         """Insert a new object into the collection and the global R-tree.
@@ -216,6 +239,9 @@ class NNCSearch:
         With ``k > 1`` this computes the *k-NN candidates* (the k-skyband
         under the operator): objects dominated by fewer than ``k`` others —
         the natural candidate set for top-k NN queries.
+
+        With a budget or fault plan on ``ctx``, the result may be a flagged
+        superset — check ``result.degradation`` (``None`` = exact).
         """
         result = NNCResult()
         start = time.perf_counter()
@@ -224,6 +250,7 @@ class NNCSearch:
             result.yield_times.append(when)
         result.elapsed = time.perf_counter() - start
         result.counters = self._last_counters
+        result.degradation = self.last_degradation
         return result
 
     def stream(
@@ -255,10 +282,22 @@ class NNCSearch:
         if ctx is None:
             ctx = QueryContext(query)
         self._last_counters = ctx.counters
+        self.last_degradation = None
         tracer = ctx.tracer
         traced = tracer.enabled
         metrics = ctx.metrics
+        budget = ctx.budget
+        faults = ctx.faults
         base_counts = ctx.counters.snapshot() if metrics is not None else None
+        base_unresolved = ctx.counters.extra.get("unresolved_checks", 0)
+        base_events = len(ctx.unresolved_events)
+        # Degradation state: `aborted` is the BudgetExhausted that stopped
+        # the traversal (or a (site, reason) pair for an unrecoverable-site
+        # fault); `carry` holds the heap item popped when it struck, so the
+        # conservative drain loses nothing.
+        aborted: BudgetExhausted | tuple | None = None
+        carry: tuple | None = None
+        conservative = 0
         yielded = 0
         start = time.perf_counter()
         root_span = None
@@ -291,7 +330,17 @@ class NNCSearch:
             accepted: list[list] = []
             pending: list[list] = []  # not yet yielded (same record objects)
             acc_idx = _AcceptedIndex()
-            while heap:
+            if budget is not None:
+                budget.arm()
+            if faults is not None:
+                try:
+                    faults.fire("search")
+                except RECOVERABLE_FAULTS as exc:
+                    # Nothing has been decided yet: degrade to the trivial
+                    # superset (every object is a candidate) via the drain.
+                    ctx.note_unresolved("search", _fault_reason(exc))
+                    aborted = ("fault", "search")
+            while heap and aborted is None:
                 key, _, kind, item = heapq.heappop(heap)
                 # Flush pending candidates that can no longer gain dominators:
                 # every unseen object has exact dmin >= key (keys are lower
@@ -301,84 +350,190 @@ class NNCSearch:
                         pending.remove(record)
                         yielded += 1
                         yield record[0], time.perf_counter() - start
-                if kind == 0:
-                    node: RTreeNode = item  # type: ignore[assignment]
-                    ctx.counters.nodes_visited += 1
-                    if traced:
-                        with tracer.span(
-                            "entry-prune", counters=ctx.counters, target="node"
-                        ) as span:
-                            pruned = self._entry_pruned(
-                                node.mbr, q_mbr, accepted, acc_idx, ctx, k
-                            )
-                            span.labels["pruned"] = pruned
-                    else:
-                        pruned = self._entry_pruned(
-                            node.mbr, q_mbr, accepted, acc_idx, ctx, k
-                        )
-                    if pruned:
+                try:
+                    if kind == 0:
+                        node: RTreeNode = item  # type: ignore[assignment]
+                        ctx.counters.nodes_visited += 1
+                        if budget is not None:
+                            budget.checkpoint("rtree-descent")
+                        try:
+                            if faults is not None:
+                                faults.fire("entry-prune")
+                            if traced:
+                                with tracer.span(
+                                    "entry-prune", counters=ctx.counters, target="node"
+                                ) as span:
+                                    pruned = self._entry_pruned(
+                                        node.mbr, q_mbr, accepted, acc_idx, ctx, k
+                                    )
+                                    span.labels["pruned"] = pruned
+                            else:
+                                pruned = self._entry_pruned(
+                                    node.mbr, q_mbr, accepted, acc_idx, ctx, k
+                                )
+                        except RECOVERABLE_FAULTS as exc:
+                            # An unpruned node only costs work, never
+                            # correctness: descend as if the test failed.
+                            ctx.note_unresolved("entry-prune", _fault_reason(exc))
+                            pruned = False
+                        if pruned:
+                            continue
+                        try:
+                            if faults is not None:
+                                faults.fire("rtree-descent")
+                            if traced:
+                                with tracer.span(
+                                    "rtree-descent",
+                                    counters=ctx.counters,
+                                    leaf=node.is_leaf,
+                                ) as span:
+                                    span.labels["members"] = self._expand_node(
+                                        node, heap, counter, q_mbr, norm, batch, ctx
+                                    )
+                            else:
+                                self._expand_node(
+                                    node, heap, counter, q_mbr, norm, batch, ctx
+                                )
+                        except RECOVERABLE_FAULTS as exc:
+                            # Conservative subtree recovery: enqueue every
+                            # object under the node keyed by the node's own
+                            # key — a valid lower bound for all of them.
+                            # (`_expand_node` pushes nothing before its batch
+                            # keying succeeds, so no member is half-pushed.)
+                            ctx.note_unresolved("rtree-descent", _fault_reason(exc))
+                            for _, payload in _collect_entries(node):
+                                heapq.heappush(
+                                    heap, (key, next(counter), 1, payload)
+                                )
                         continue
+                    obj: UncertainObject = item  # type: ignore[assignment]
+                    if kind == 1:
+                        # Lazy refinement: re-key by the exact minimal distance
+                        # (shares the context's cached distance matrix).
+                        try:
+                            exact_key = ctx.min_distance(obj)
+                        except RECOVERABLE_FAULTS as exc:
+                            # Keep the MBR-mindist key: a lower bound, so the
+                            # object is only visited (and flushed) earlier —
+                            # never dropped.
+                            ctx.note_unresolved(
+                                "distance-matrix", _fault_reason(exc)
+                            )
+                            exact_key = key
+                        heapq.heappush(heap, (exact_key, next(counter), 2, obj))
+                        continue
+                    ctx.counters.objects_visited += 1
                     if traced:
                         with tracer.span(
-                            "rtree-descent",
+                            "dominance-check",
                             counters=ctx.counters,
-                            leaf=node.is_leaf,
+                            oid=obj.oid,
+                            op=operator.name,
                         ) as span:
-                            span.labels["members"] = self._expand_node(
-                                node, heap, counter, q_mbr, norm, batch, ctx
+                            dominators = self._dominator_count(
+                                obj, operator, ctx, accepted, acc_idx, q_mbr, k
                             )
+                            span.labels["dominators"] = dominators
                     else:
-                        self._expand_node(node, heap, counter, q_mbr, norm, batch, ctx)
-                    continue
-                obj: UncertainObject = item  # type: ignore[assignment]
-                if kind == 1:
-                    # Lazy refinement: re-key by the exact minimal distance
-                    # (shares the context's cached distance matrix).
-                    heapq.heappush(
-                        heap, (ctx.min_distance(obj), next(counter), 2, obj)
-                    )
-                    continue
-                ctx.counters.objects_visited += 1
-                if traced:
-                    with tracer.span(
-                        "dominance-check",
-                        counters=ctx.counters,
-                        oid=obj.oid,
-                        op=operator.name,
-                    ) as span:
                         dominators = self._dominator_count(
                             obj, operator, ctx, accepted, acc_idx, q_mbr, k
                         )
-                        span.labels["dominators"] = dominators
-                else:
-                    dominators = self._dominator_count(
-                        obj, operator, ctx, accepted, acc_idx, q_mbr, k
-                    )
-                if dominators is None:
-                    continue  # cover-based entry pruning dropped the object
-                if dominators >= k:
-                    ctx.counters.bump("objects_dominated")
-                    continue
-                # Tie correction: the new candidate may dominate accepted
-                # candidates with (numerically) equal exact minimal distance
-                # that have not been yielded yet.
-                for record in list(pending):
-                    if abs(record[1] - key) <= _TIE_TOL and operator.dominates(
-                        obj, record[0], ctx
-                    ):
-                        record[2] += 1
-                        if record[2] >= k:
-                            pending.remove(record)
-                            accepted.remove(record)
-                            acc_idx.bump()
-                record = [obj, key, dominators]
-                accepted.append(record)
-                acc_idx.bump()
-                pending.append(record)
+                    if dominators is None:
+                        continue  # cover-based entry pruning dropped the object
+                    if dominators >= k:
+                        ctx.counters.bump("objects_dominated")
+                        continue
+                    # Tie correction: the new candidate may dominate accepted
+                    # candidates with (numerically) equal exact minimal distance
+                    # that have not been yielded yet.
+                    for record in list(pending):
+                        if abs(record[1] - key) <= _TIE_TOL:
+                            try:
+                                evicts = operator.dominates(obj, record[0], ctx)
+                            except RECOVERABLE_FAULTS as exc:
+                                # Skipping an eviction keeps a candidate:
+                                # superset-safe.
+                                ctx.note_unresolved(
+                                    "dominance-check", _fault_reason(exc)
+                                )
+                                evicts = False
+                            if evicts:
+                                record[2] += 1
+                                if record[2] >= k:
+                                    pending.remove(record)
+                                    accepted.remove(record)
+                                    acc_idx.bump()
+                    record = [obj, key, dominators]
+                    accepted.append(record)
+                    acc_idx.bump()
+                    pending.append(record)
+                except BudgetExhausted as exc:
+                    aborted = exc
+                    carry = (kind, item)
+                    break
             for record in pending:
                 yielded += 1
                 yield record[0], time.perf_counter() - start
+            if aborted is not None:
+                # Conservative drain: the containment chain certifies that
+                # treating every unresolved dominance check as "not
+                # dominated" yields a superset of the exact NNC, so every
+                # object still on (or under) the frontier is emitted as a
+                # candidate.  Pruning/eviction so far acted only on genuine
+                # dominance wins, which brute force honors too — nothing
+                # already dropped could have been in the exact answer.
+                stash: list[tuple[int, object]] = []
+                if carry is not None:
+                    stash.append(carry)
+                stash.extend((kind_, item_) for _, _, kind_, item_ in heap)
+                seen = {id(rec[0]) for rec in accepted}
+                for kind_, item_ in stash:
+                    if kind_ == 0:
+                        members = [p for _, p in _collect_entries(item_)]
+                    else:
+                        members = [item_]
+                    for member in members:
+                        if id(member) in seen:
+                            continue
+                        seen.add(id(member))
+                        conservative += 1
+                        yielded += 1
+                        yield member, time.perf_counter() - start
         finally:
+            unresolved = (
+                ctx.counters.extra.get("unresolved_checks", 0) - base_unresolved
+            )
+            report = None
+            if aborted is not None or unresolved > 0:
+                events = list(ctx.unresolved_events[base_events:])
+                if isinstance(aborted, BudgetExhausted):
+                    reason, site, phase = aborted.reason, aborted.site, "traversal"
+                elif aborted is not None:
+                    reason, site = aborted
+                    phase = "traversal"
+                else:
+                    # Traversal finished; individual checks were unresolved.
+                    site, first_reason = events[0]
+                    reason = (
+                        first_reason
+                        if first_reason == "flow_augmentations"
+                        else "fault"
+                    )
+                    phase = "completed"
+                if conservative:
+                    ctx.counters.bump("conservative_accepts", conservative)
+                report = DegradationReport(
+                    reason=reason,
+                    site=site,
+                    phase=phase,
+                    unresolved_checks=unresolved,
+                    conservative_accepts=conservative,
+                    elapsed_ms=(time.perf_counter() - start) * 1e3,
+                    budget=budget.limits() if budget is not None else None,
+                    spent=budget.spent() if budget is not None else {},
+                    events=events,
+                )
+            self.last_degradation = report
             if root_span is not None:
                 root_span.__exit__(None, None, None)
             if metrics is not None:
@@ -395,6 +550,12 @@ class NNCSearch:
                     elapsed=time.perf_counter() - start,
                     candidates=yielded,
                 )
+                if report is not None:
+                    metrics.inc(
+                        "repro_degraded_queries_total",
+                        1,
+                        {"operator": operator.name, "reason": report.reason},
+                    )
 
     @staticmethod
     def _expand_node(
@@ -449,43 +610,50 @@ class NNCSearch:
         (``tests/test_counters_parity.py``).
         """
         counters = ctx.counters
+        resilient = ctx.resilient
         screen = None
         definite = None
         if ctx.kernels and accepted:
-            mask = None
-            if ctx.is_euclidean or operator.kind is OperatorKind.F_PLUS_SD:
-                # One strict Theorem 4 mask serves both the cover-based
-                # entry pruning and the per-record validation screen.
-                u_los, u_his = acc_idx.boxes(accepted)
-                mask = K.mbr_dominance_mask(
-                    u_los,
-                    u_his,
-                    obj.mbr,
-                    q_mbr,
-                    strict=True,
-                    u_max_sq=acc_idx.corner_sq(accepted, q_mbr),
-                    counters=counters,
-                )
-            if ctx.is_euclidean and mask is not None:
-                # Scalar-equivalent cover-prune tally: the scalar loop tests
-                # record boxes in order and stops at the k-th hit.
-                hits = np.nonzero(mask)[0]
-                if hits.size >= k:
-                    counters.mbr_tests += int(hits[k - 1]) + 1
-                    return None  # same drop as _entry_pruned on the object box
-                counters.mbr_tests += len(accepted)
-            if _mbr_screen_applies(operator, ctx):
-                # Batch Theorem 4 validation: records whose boxes strictly
-                # dominate the object's are certain dominators (their
-                # operator call would return True immediately).
-                definite = mask
-            if _screen_applies(operator):
-                # Batch Theorem 11 screen: records whose (min, mean, max)
-                # vectors already violate the necessary ordering cannot
-                # dominate, so their operator calls are skipped wholesale.
-                u_stats = acc_idx.statistics(accepted, ctx)
-                v_stats = np.asarray(ctx.statistics(obj), dtype=float)
-                screen = K.statistic_prune(u_stats, v_stats, counters=counters)
+            try:
+                mask = None
+                if ctx.is_euclidean or operator.kind is OperatorKind.F_PLUS_SD:
+                    # One strict Theorem 4 mask serves both the cover-based
+                    # entry pruning and the per-record validation screen.
+                    u_los, u_his = acc_idx.boxes(accepted)
+                    mask = K.mbr_dominance_mask(
+                        u_los,
+                        u_his,
+                        obj.mbr,
+                        q_mbr,
+                        strict=True,
+                        u_max_sq=acc_idx.corner_sq(accepted, q_mbr),
+                        counters=counters,
+                    )
+                if ctx.is_euclidean and mask is not None:
+                    # Scalar-equivalent cover-prune tally: the scalar loop tests
+                    # record boxes in order and stops at the k-th hit.
+                    hits = np.nonzero(mask)[0]
+                    if hits.size >= k:
+                        counters.mbr_tests += int(hits[k - 1]) + 1
+                        return None  # same drop as _entry_pruned on the object box
+                    counters.mbr_tests += len(accepted)
+                if _mbr_screen_applies(operator, ctx):
+                    # Batch Theorem 4 validation: records whose boxes strictly
+                    # dominate the object's are certain dominators (their
+                    # operator call would return True immediately).
+                    definite = mask
+                if _screen_applies(operator):
+                    # Batch Theorem 11 screen: records whose (min, mean, max)
+                    # vectors already violate the necessary ordering cannot
+                    # dominate, so their operator calls are skipped wholesale.
+                    u_stats = acc_idx.statistics(accepted, ctx)
+                    v_stats = np.asarray(ctx.statistics(obj), dtype=float)
+                    screen = K.statistic_prune(u_stats, v_stats, counters=counters)
+            except RECOVERABLE_FAULTS as exc:
+                # Screens are shortcuts; without them every pair just runs
+                # its full scalar check below.
+                ctx.note_unresolved("dominance-check", _fault_reason(exc))
+                screen = definite = None
         elif self._entry_pruned(obj.mbr, q_mbr, accepted, acc_idx, ctx, k):
             return None
         mbr_checked = definite is not None
@@ -500,6 +668,8 @@ class NNCSearch:
                 if op_kind is not OperatorKind.F_PLUS_SD:
                     counters.dominance_checks += 1
                     counters.validated_by_mbr += 1
+                    if resilient:
+                        ctx.spend_check(1)
                 dominators += 1
             elif screen is not None and not screen[idx]:
                 # Scalar equivalent: the operator runs its (failed) strict
@@ -516,6 +686,8 @@ class NNCSearch:
                         1 if ctx.is_euclidean else 0
                     )
                     counters.pruned_by_cover += 2
+                    if resilient:
+                        ctx.spend_check(2)
                 else:
                     counters.dominance_checks += 1
                     if mbr_checked:
@@ -524,13 +696,24 @@ class NNCSearch:
                         counters.pruned_by_statistics += 1
                     else:
                         counters.pruned_by_cover += 1
+                    if resilient:
+                        ctx.spend_check(1)
             else:
                 if mbr_checked:
                     # The operator skips re-running the strict MBR test the
                     # batch already settled negatively; keep the scalar
                     # tally (P-SD would run it twice: itself + nested SS-SD).
                     counters.mbr_tests += 2 if is_psd else 1
-                if operator.dominates(record[0], obj, ctx, mbr_checked=mbr_checked):
+                try:
+                    dominates = operator.dominates(
+                        record[0], obj, ctx, mbr_checked=mbr_checked
+                    )
+                except RECOVERABLE_FAULTS as exc:
+                    # Conservative non-dominance: the pair stays unresolved
+                    # and contributes no dominator, so the object survives.
+                    ctx.note_unresolved("dominance-check", _fault_reason(exc))
+                    dominates = False
+                if dominates:
                     dominators += 1
             if dominators >= k:
                 break

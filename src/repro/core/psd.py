@@ -31,7 +31,7 @@ import numpy as np
 from repro.core import kernels as K
 from repro.core.context import QueryContext
 from repro.core.sssd import ss_dominates
-from repro.flow.maxflow import FlowNetwork, max_flow
+from repro.flow.maxflow import FlowBudgetError, FlowNetwork, max_flow
 from repro.geometry.convexhull import point_in_hull
 from repro.geometry.mbr import mbr_dominates
 from repro.objects.uncertain import UncertainObject
@@ -144,14 +144,23 @@ def _instance_max_flow(
         gu.append([1 + m + j, 2.0, len(gv)])
         gv.append([1 + i, pushed.get((i, j), 0.0), len(gu) - 1])
     ctx.counters.maxflow_calls += 1
+    if ctx.faults is not None:
+        ctx.faults.fire("maxflow")
+    budget = ctx.budget
+    max_aug = budget.remaining_augmentations() if budget is not None else None
     tracer = ctx.tracer
     metrics = ctx.counters.metrics
     if tracer.enabled:
         with tracer.span(
             "maxflow", counters=ctx.counters, op="PSD", edges=net.edge_count
         ):
-            return seed + max_flow(net, source, sink, metrics=metrics)
-    return seed + max_flow(net, source, sink, metrics=metrics)
+            return seed + max_flow(
+                net, source, sink, metrics=metrics,
+                max_augmentations=max_aug, budget=budget,
+            )
+    return seed + max_flow(
+        net, source, sink, metrics=metrics, max_augmentations=max_aug, budget=budget
+    )
 
 
 def _level_flow(
@@ -162,6 +171,7 @@ def _level_flow(
     validation: bool,
     counters,
     tracer=None,
+    budget=None,
 ) -> float:
     """Max flow of the coarse partition network ``G-`` or ``G+``."""
     m, n = len(u_parts), len(v_parts)
@@ -182,12 +192,18 @@ def _level_flow(
                 net.add_edge(1 + i, 1 + m + j, 2.0)
     counters.maxflow_calls += 1
     metrics = counters.metrics
+    max_aug = budget.remaining_augmentations() if budget is not None else None
     if tracer is not None and tracer.enabled:
         with tracer.span(
             "level-flow", counters=counters, op="PSD", validation=validation
         ):
-            return max_flow(net, source, sink, metrics=metrics)
-    return max_flow(net, source, sink, metrics=metrics)
+            return max_flow(
+                net, source, sink, metrics=metrics,
+                max_augmentations=max_aug, budget=budget,
+            )
+    return max_flow(
+        net, source, sink, metrics=metrics, max_augmentations=max_aug, budget=budget
+    )
 
 
 def p_dominates(
@@ -215,8 +231,15 @@ def p_dominates(
             the full instance-level max flow.
         mbr_checked: the strict MBR validation already ran (and failed)
             upstream — skip repeating it.
+
+    Under a flow-augmentation budget, an interrupted max-flow run degrades
+    *this check only*: the pair is recorded as unresolved and decided by
+    conservative non-dominance (False — the object stays a candidate, which
+    the containment chain certifies as superset-safe); the search continues.
     """
     ctx.counters.dominance_checks += 1
+    if ctx.resilient:
+        ctx.spend_check(fire=True)
     if not ctx.is_euclidean:
         # Bisector-based geometric machinery is Euclidean-only.
         use_mbr_validation = use_geometry = use_level = False
@@ -256,33 +279,44 @@ def p_dominates(
             v_parts = ctx.partitions(v, groups)
             if len(u_parts) <= 1 and len(v_parts) <= 1:
                 continue
-            flow_minus = _level_flow(
-                u_parts,
-                v_parts,
-                ctx.query_mbr,
-                validation=True,
-                counters=ctx.counters,
-                tracer=ctx.tracer,
-            )
-            if flow_minus >= 1.0 - _FLOW_TOL:
-                # Coarse validation; still guard the U_Q != V_Q clause.
-                ctx.counters.validated_by_level += 1
-                return not stochastic_equal(
-                    ctx.distance_distribution(u),
-                    ctx.distance_distribution(v),
-                    use_kernel=ctx.kernels,
+            if ctx.faults is not None:
+                ctx.faults.fire("level-flow")
+            try:
+                flow_minus = _level_flow(
+                    u_parts,
+                    v_parts,
+                    ctx.query_mbr,
+                    validation=True,
+                    counters=ctx.counters,
+                    tracer=ctx.tracer,
+                    budget=ctx.budget,
                 )
-            flow_plus = _level_flow(
-                u_parts,
-                v_parts,
-                ctx.query_mbr,
-                validation=False,
-                counters=ctx.counters,
-                tracer=ctx.tracer,
-            )
-            if flow_plus < 1.0 - _FLOW_TOL:
-                ctx.counters.pruned_by_level += 1
-                return False
+                if flow_minus >= 1.0 - _FLOW_TOL:
+                    # Coarse validation; still guard the U_Q != V_Q clause.
+                    ctx.counters.validated_by_level += 1
+                    return not stochastic_equal(
+                        ctx.distance_distribution(u),
+                        ctx.distance_distribution(v),
+                        use_kernel=ctx.kernels,
+                    )
+                flow_plus = _level_flow(
+                    u_parts,
+                    v_parts,
+                    ctx.query_mbr,
+                    validation=False,
+                    counters=ctx.counters,
+                    tracer=ctx.tracer,
+                    budget=ctx.budget,
+                )
+                if flow_plus < 1.0 - _FLOW_TOL:
+                    ctx.counters.pruned_by_level += 1
+                    return False
+            except FlowBudgetError:
+                # Interrupted coarse network: the filter is inconclusive, so
+                # stop refining and let the exact path decide (where another
+                # interruption degrades the pair conservatively).
+                ctx.note_unresolved("level-flow", "flow_augmentations")
+                break
     # Degree shortcuts: an unmatched V instance (no incoming edge) or a U
     # instance with no outgoing edge caps the flow strictly below 1 — decided
     # on the adjacency alone, before paying for network construction.
@@ -292,7 +326,12 @@ def p_dominates(
     if not adj.all():
         # Complete bipartite adjacency routes every supply to any demand, so
         # the flow trivially saturates; only sparse networks need solving.
-        if _instance_max_flow(u, v, adj, ctx) < 1.0 - _FLOW_TOL:
+        try:
+            saturated = _instance_max_flow(u, v, adj, ctx) >= 1.0 - _FLOW_TOL
+        except FlowBudgetError:
+            ctx.note_unresolved("maxflow", "flow_augmentations")
+            return False
+        if not saturated:
             return False
     return not stochastic_equal(
         ctx.distance_distribution(u),

@@ -97,6 +97,8 @@ def s_dominates(
             failed) — e.g. the search loop's batched screen — so skip it.
     """
     ctx.counters.dominance_checks += 1
+    if ctx.resilient:
+        ctx.spend_check(fire=True)
     if use_mbr_validation and ctx.is_euclidean and not mbr_checked:
         ctx.counters.mbr_tests += 1
         if mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True):
@@ -139,6 +141,8 @@ def s_dominates(
 
 def _exact_scan(u: UncertainObject, v: UncertainObject, ctx: QueryContext) -> bool:
     """The unfiltered S-SD decision: the Section 5.1.1 single-scan sweep."""
+    if ctx.faults is not None:
+        ctx.faults.fire("cdf-scan")
     u_q = ctx.distance_distribution(u)
     v_q = ctx.distance_distribution(v)
     if not stochastic_leq(u_q, v_q, counter=ctx.counters, use_kernel=ctx.kernels):

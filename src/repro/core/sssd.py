@@ -84,6 +84,8 @@ def ss_dominates(
             upstream — skip repeating it.
     """
     ctx.counters.dominance_checks += 1
+    if ctx.resilient:
+        ctx.spend_check(fire=True)
     if use_mbr_validation and ctx.is_euclidean and not mbr_checked:
         ctx.counters.mbr_tests += 1
         if mbr_dominates(u.mbr, v.mbr, ctx.query_mbr, strict=True):
@@ -144,6 +146,8 @@ def ss_dominates(
             if validated_all:
                 ctx.counters.validated_by_level += 1
                 return True
+    if ctx.faults is not None:
+        ctx.faults.fire("cdf-sweep")
     tracer = ctx.tracer
     if ctx.kernels:
         # All |Q| CDF indicators at once: raw (unsorted) matrix rows feed the

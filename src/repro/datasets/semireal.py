@@ -26,12 +26,15 @@ import numpy as np
 
 from repro.datasets.synthetic import DOMAIN
 from repro.objects.uncertain import UncertainObject
+from repro.objects.validate import validate_objects
 
 
 def nba_like(
     n_players: int,
     games_per_player: int,
     rng: np.random.Generator,
+    *,
+    on_invalid: str | None = None,
 ) -> list[UncertainObject]:
     """NBA-style 3-d objects (points, assists, rebounds per game).
 
@@ -52,6 +55,8 @@ def nba_like(
         games *= DOMAIN / np.array([60.0, 25.0, 30.0])
         games = np.clip(games, 0.0, DOMAIN)
         objects.append(UncertainObject(games, oid=pid))
+    if on_invalid is not None:
+        objects, _report = validate_objects(objects, on_invalid=on_invalid)
     return objects
 
 
@@ -61,6 +66,7 @@ def gowalla_like(
     rng: np.random.Generator,
     *,
     n_hotspots: int = 12,
+    on_invalid: str | None = None,
 ) -> list[UncertainObject]:
     """GoWalla-style 2-d objects (per-user check-in clouds).
 
@@ -79,6 +85,8 @@ def gowalla_like(
             else:
                 pts[i] = rng.normal(home, 0.03 * DOMAIN)
         objects.append(UncertainObject(np.clip(pts, 0.0, DOMAIN), oid=uid))
+    if on_invalid is not None:
+        objects, _report = validate_objects(objects, on_invalid=on_invalid)
     return objects
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.objects.uncertain import UncertainObject
+from repro.objects.validate import validate_rows
 
 DOMAIN = 10000.0
 
@@ -73,6 +74,7 @@ def make_objects(
     rng: np.random.Generator,
     *,
     vary_count: bool = True,
+    on_invalid: str | None = None,
 ) -> list[UncertainObject]:
     """Instantiate multi-instance objects around the given centers.
 
@@ -84,23 +86,29 @@ def make_objects(
         vary_count: draw per-object instance counts around ``m_d`` (Normal,
             sd ``m_d / 5``) as "on average" in the paper; a fixed count
             otherwise.
+        on_invalid: optional quarantine policy (see
+            :mod:`repro.objects.validate`) applied to the generated clouds —
+            a guard against non-finite ``centers``/``h_d`` inputs poisoning
+            the dataset.
 
     Returns:
         Objects with uniform instance probabilities (as in the experiments).
     """
     if m_d < 1:
         raise ValueError("m_d must be at least 1")
-    objects: list[UncertainObject] = []
     n, d = centers.shape
+    rows: list[tuple[np.ndarray, None, int]] = []
     for i in range(n):
         if vary_count:
             count = max(1, int(round(rng.normal(m_d, m_d / 5.0))))
         else:
             count = m_d
         edge = rng.uniform(0.0, 2.0 * h_d, size=d)
-        pts = _instance_cloud(centers[i], count, edge, rng)
-        objects.append(UncertainObject(pts, oid=i))
-    return objects
+        rows.append((_instance_cloud(centers[i], count, edge, rng), None, i))
+    if on_invalid is not None:
+        kept, _report = validate_rows(rows, on_invalid=on_invalid)
+        return kept
+    return [UncertainObject(pts, oid=oid) for pts, _, oid in rows]
 
 
 def make_query(

@@ -6,7 +6,13 @@ to a minimum-cost maximum flow (Appendix A, Definition 12).  Both solvers
 support real-valued capacities, which is what instance probabilities are.
 """
 
-from repro.flow.maxflow import FlowNetwork, max_flow
+from repro.flow.maxflow import FlowBudgetError, FlowNetwork, max_flow
 from repro.flow.mincost import MinCostFlowNetwork, min_cost_flow
 
-__all__ = ["FlowNetwork", "MinCostFlowNetwork", "max_flow", "min_cost_flow"]
+__all__ = [
+    "FlowBudgetError",
+    "FlowNetwork",
+    "MinCostFlowNetwork",
+    "max_flow",
+    "min_cost_flow",
+]

@@ -18,6 +18,29 @@ from collections import deque
 _EPS = 1e-12
 
 
+class FlowBudgetError(RuntimeError):
+    """:func:`max_flow` exceeded its augmentation-iteration cap.
+
+    Defined here (not in :mod:`repro.resilience`) so the flow substrate
+    never imports the resilience layer; P-SD catches this and falls back to
+    conservative non-dominance.  Carries enough to diagnose the run:
+
+    Attributes:
+        limit: the ``max_augmentations`` cap that was exceeded.
+        augmentations: augmenting paths pushed when the cap tripped.
+        phases: Dinic phases (level graphs) completed by then.
+    """
+
+    def __init__(self, limit: int, augmentations: int, phases: int) -> None:
+        super().__init__(
+            f"max-flow exceeded its augmentation budget: {augmentations} paths "
+            f"> cap {limit} after {phases} phase(s)"
+        )
+        self.limit = limit
+        self.augmentations = augmentations
+        self.phases = phases
+
+
 class FlowNetwork:
     """Adjacency-list flow network with residual edges.
 
@@ -97,7 +120,15 @@ def _dfs_blocking(
     return 0.0
 
 
-def max_flow(net: FlowNetwork, source: int, sink: int, *, metrics=None) -> float:
+def max_flow(
+    net: FlowNetwork,
+    source: int,
+    sink: int,
+    *,
+    metrics=None,
+    max_augmentations: int | None = None,
+    budget=None,
+) -> float:
     """Compute the maximum flow from ``source`` to ``sink`` in-place.
 
     Residual capacities inside ``net`` are mutated, so the flow on each
@@ -107,28 +138,46 @@ def max_flow(net: FlowNetwork, source: int, sink: int, *, metrics=None) -> float
         metrics: optional :class:`repro.obs.metrics.MetricsRegistry`; when
             set, the run feeds ``repro_maxflow_phases_total`` (level graphs
             built) and ``repro_maxflow_augmentations_total`` (augmenting
-            paths pushed).
+            paths pushed) — flushed even when the run is interrupted.
+        max_augmentations: cap on augmenting paths; exceeding it raises a
+            diagnosable :class:`FlowBudgetError` instead of grinding through
+            a pathological run on adversarial capacities.
+        budget: optional :class:`repro.resilience.budget.Budget`; each phase
+            hits a deadline checkpoint and each augmenting path is charged
+            to the budget's cross-call augmentation tally.
 
     Returns:
         The max-flow value.
+
+    Raises:
+        FlowBudgetError: ``max_augmentations`` exceeded (partial flow and
+            residual state remain in ``net``).
     """
     if source == sink:
         raise ValueError("source and sink must differ")
     total = 0.0
     phases = 0
     augmentations = 0
-    while True:
-        level = _bfs_levels(net, source, sink)
-        if level is None:
-            if metrics is not None:
-                metrics.inc("repro_maxflow_phases_total", phases)
-                metrics.inc("repro_maxflow_augmentations_total", augmentations)
-            return total
-        phases += 1
-        it = [0] * net.n
+    try:
         while True:
-            flowed = _dfs_blocking(net, source, sink, float("inf"), level, it)
-            if flowed <= _EPS:
-                break
-            augmentations += 1
-            total += flowed
+            level = _bfs_levels(net, source, sink)
+            if level is None:
+                return total
+            phases += 1
+            if budget is not None:
+                budget.checkpoint("maxflow")
+            it = [0] * net.n
+            while True:
+                flowed = _dfs_blocking(net, source, sink, float("inf"), level, it)
+                if flowed <= _EPS:
+                    break
+                augmentations += 1
+                if budget is not None:
+                    budget.spend_augmentations(1)
+                if max_augmentations is not None and augmentations > max_augmentations:
+                    raise FlowBudgetError(max_augmentations, augmentations, phases)
+                total += flowed
+    finally:
+        if metrics is not None:
+            metrics.inc("repro_maxflow_phases_total", phases)
+            metrics.inc("repro_maxflow_augmentations_total", augmentations)

@@ -54,14 +54,17 @@ def closer_to_query(
         u: candidate closer instance, shape ``(d,)``.
         v: candidate farther instance, shape ``(d,)``.
         query_points: shape ``(k, d)``.
-        tol: numeric slack added to the right-hand side.
+        tol: numeric slack added to the right-hand side, in (unsquared)
+            distance units — the same boundary semantics as
+            :func:`adjacency_from_vectors`, so the scalar and batched
+            halfspace tests agree on near-tie pairs.
     """
     q = np.atleast_2d(np.asarray(query_points, dtype=float))
     du = q - np.asarray(u, dtype=float)
     dv = q - np.asarray(v, dtype=float)
     du2 = np.einsum("ij,ij->i", du, du)
     dv2 = np.einsum("ij,ij->i", dv, dv)
-    return bool(np.all(du2 <= dv2 + tol))
+    return bool(np.all(np.sqrt(du2) <= np.sqrt(dv2) + tol))
 
 
 def adjacency_from_vectors(

@@ -103,6 +103,10 @@ class RTree:
         #: ``repro_rtree_node_visits_total{tree=metrics_label, mode=...}``.
         self.metrics = None
         self.metrics_label = "local"
+        #: Optional :class:`repro.resilience.budget.Budget`; when set,
+        #: best-first traversals hit a deadline checkpoint per node visit
+        #: (set alongside ``metrics`` by the F-SD extreme-distance queries).
+        self.budget = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -379,6 +383,8 @@ class RTree:
                 return sign * key
             node: RTreeNode = item
             visits += 1
+            if self.budget is not None:
+                self.budget.checkpoint("rtree-descent")
             if node.member_count() == 0:
                 continue
             los, his = node.packed()
@@ -412,6 +418,8 @@ class RTree:
                 continue
             node: RTreeNode = item
             visits += 1
+            if self.budget is not None:
+                self.budget.checkpoint("rtree-descent")
             if node.is_leaf:
                 for mbr, payload in node.entries:
                     heapq.heappush(heap, (score(mbr), next(counter), True, payload))

@@ -10,13 +10,29 @@ variable with total mass 1 for dominance checking (Section 1 / 2.1).
 from repro.objects.io import load_objects, save_objects
 from repro.objects.match import Match, MatchTuple, is_valid_match
 from repro.objects.uncertain import UncertainObject, normalize_objects
+from repro.objects.validate import (
+    POLICIES,
+    DatasetFormatError,
+    InvalidInputError,
+    ValidationIssue,
+    ValidationReport,
+    validate_objects,
+    validate_rows,
+)
 
 __all__ = [
+    "DatasetFormatError",
+    "InvalidInputError",
     "Match",
     "MatchTuple",
+    "POLICIES",
     "UncertainObject",
+    "ValidationIssue",
+    "ValidationReport",
     "is_valid_match",
     "load_objects",
     "normalize_objects",
     "save_objects",
+    "validate_objects",
+    "validate_rows",
 ]

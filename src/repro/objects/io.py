@@ -15,8 +15,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.objects.uncertain import UncertainObject
+from repro.objects.validate import DatasetFormatError, validate_rows
 
 _FORMAT_VERSION = 1
+_REQUIRED_FIELDS = ("version", "offsets", "points", "probs", "oids")
 
 
 def save_objects(path: str | Path, objects: Sequence[UncertainObject]) -> None:
@@ -48,24 +50,111 @@ def save_objects(path: str | Path, objects: Sequence[UncertainObject]) -> None:
     )
 
 
-def load_objects(path: str | Path) -> list[UncertainObject]:
+def load_objects(
+    path: str | Path,
+    *,
+    on_invalid: str | None = None,
+    metrics=None,
+):
     """Read a dataset written by :func:`save_objects`.
 
     Object ids are restored as ``int`` when they round-trip through ``int``
     cleanly, as strings otherwise, and as positional indices when they were
     ``None`` at save time.
+
+    Args:
+        path: ``.npz`` archive written by :func:`save_objects`.
+        on_invalid: optional quarantine policy (``"strict"``, ``"repair"``,
+            ``"skip"``; see :mod:`repro.objects.validate`).  When set, the
+            decoded rows additionally pass semantic validation and the return
+            value becomes ``(objects, ValidationReport)``.
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry` for
+            quarantine tallies (only used with ``on_invalid``).
+
+    Returns:
+        ``list[UncertainObject]``, or ``(objects, report)`` when
+        ``on_invalid`` is set.
+
+    Raises:
+        DatasetFormatError: the archive is structurally corrupt — always
+            raised regardless of ``on_invalid`` (a file that cannot be
+            decoded has no rows to quarantine).  Carries ``path``, ``row``,
+            and ``field`` attributes locating the corruption.
+        repro.objects.validate.InvalidInputError: semantic issues under
+            ``on_invalid="strict"``.
     """
-    with np.load(Path(path), allow_pickle=False) as data:
-        version = int(data["version"])
+    path = Path(path)
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise DatasetFormatError(
+            f"not a readable dataset archive ({exc})", path=path
+        ) from exc
+    with archive as data:
+        for name in _REQUIRED_FIELDS:
+            if name not in data.files:
+                raise DatasetFormatError(
+                    "missing archive field", path=path, field=name
+                )
+        try:
+            version = int(data["version"])
+        except (TypeError, ValueError) as exc:
+            raise DatasetFormatError(
+                "version is not an integer", path=path, field="version"
+            ) from exc
         if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported dataset format version {version}")
+            raise DatasetFormatError(
+                f"unsupported dataset format version {version}",
+                path=path,
+                field="version",
+            )
         offsets = data["offsets"]
         points = data["points"]
         probs = data["probs"]
         oids = data["oids"]
-    objects: list[UncertainObject] = []
-    for i in range(len(offsets) - 1):
+    if offsets.ndim != 1 or offsets.size < 2 or int(offsets[0]) != 0:
+        raise DatasetFormatError(
+            "offsets must be a 1-d vector starting at 0",
+            path=path,
+            field="offsets",
+        )
+    if points.ndim != 2:
+        raise DatasetFormatError(
+            f"points must be a 2-d matrix, got shape {points.shape}",
+            path=path,
+            field="points",
+        )
+    if probs.shape != (points.shape[0],):
+        raise DatasetFormatError(
+            f"probs shape {probs.shape} does not match {points.shape[0]} "
+            "instance rows",
+            path=path,
+            field="probs",
+        )
+    n_objects = len(offsets) - 1
+    if oids.shape != (n_objects,):
+        raise DatasetFormatError(
+            f"oids shape {oids.shape} does not match {n_objects} objects",
+            path=path,
+            field="oids",
+        )
+    if int(offsets[-1]) != points.shape[0]:
+        raise DatasetFormatError(
+            f"offsets end at {int(offsets[-1])} but there are "
+            f"{points.shape[0]} instance rows",
+            path=path,
+            field="offsets",
+        )
+    rows: list[tuple[np.ndarray, np.ndarray, int | str]] = []
+    for i in range(n_objects):
         lo, hi = int(offsets[i]), int(offsets[i + 1])
+        if hi < lo:
+            raise DatasetFormatError(
+                f"offsets decrease ({lo} -> {hi})", path=path, row=i,
+                field="offsets",
+            )
         raw = str(oids[i])
         if raw == "":
             oid: int | str = i
@@ -74,7 +163,13 @@ def load_objects(path: str | Path) -> list[UncertainObject]:
                 oid = int(raw)
             except ValueError:
                 oid = raw
-        objects.append(
-            UncertainObject(points[lo:hi], probs[lo:hi], oid=oid, normalize=True)
-        )
+        rows.append((points[lo:hi], probs[lo:hi], oid))
+    if on_invalid is not None:
+        return validate_rows(rows, on_invalid=on_invalid, metrics=metrics)
+    objects: list[UncertainObject] = []
+    for i, (pts, ps, oid) in enumerate(rows):
+        try:
+            objects.append(UncertainObject(pts, ps, oid=oid, normalize=True))
+        except ValueError as exc:
+            raise DatasetFormatError(str(exc), path=path, row=i) from exc
     return objects

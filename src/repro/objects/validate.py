@@ -1,0 +1,429 @@
+"""Input validation and quarantine for multi-instance datasets.
+
+Dirty rows — NaN/Inf coordinates, negative or non-finite weights, empty
+instance sets, dimensionality mismatches — are caught *before* they reach the
+search pipeline, where they would otherwise surface as silent wrong answers
+(NaN never compares, so a poisoned distance "loses" every dominance check).
+
+Three quarantine policies, selected by ``on_invalid``:
+
+* ``"strict"`` — any issue rejects the whole dataset with
+  :class:`InvalidInputError` (carries the full :class:`ValidationReport`).
+* ``"repair"`` — fix what is safely fixable (drop non-finite instances, zero
+  out negative/non-finite weights, renormalise); objects that cannot be
+  repaired (no finite instance left, zero total mass, wrong dimensionality)
+  are quarantined (dropped) and recorded.
+* ``"skip"`` — quarantine any object with an issue, keep the rest.
+
+Structural corruption of a serialised dataset (bad archive, inconsistent
+offsets, shape mismatches) is a different failure class and raises
+:class:`DatasetFormatError` from :func:`repro.objects.io.load_objects`
+regardless of policy — a file that cannot be decoded has no rows to
+quarantine.
+
+Every recorded issue can be exported through the PR 2 metrics layer as
+``repro_validation_issues_total{code, action}`` by passing a
+:class:`repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.objects.uncertain import UncertainObject
+
+__all__ = [
+    "POLICIES",
+    "DatasetFormatError",
+    "InvalidInputError",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_objects",
+    "validate_rows",
+]
+
+POLICIES: tuple[str, ...] = ("strict", "repair", "skip")
+"""Accepted ``on_invalid`` policies."""
+
+
+class DatasetFormatError(ValueError):
+    """A serialised dataset is structurally corrupt (undecodable).
+
+    Attributes:
+        path: dataset file the error came from.
+        row: object index of the offending record (``None`` for file-level
+            problems such as a bad archive or version).
+        field: archive field involved (``"version"``, ``"offsets"``,
+            ``"points"``, ``"probs"``, ``"oids"``; ``None`` for archive-level
+            problems).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Any = None,
+        row: int | None = None,
+        field: str | None = None,
+    ) -> None:
+        where = str(path) if path is not None else "<dataset>"
+        if row is not None:
+            where += f", object #{row}"
+        if field is not None:
+            where += f", field {field!r}"
+        super().__init__(f"{where}: {message}")
+        self.path = path
+        self.row = row
+        self.field = field
+
+
+class InvalidInputError(ValueError):
+    """Dataset rejected under the ``strict`` quarantine policy.
+
+    Attributes:
+        report: the full :class:`ValidationReport` (every issue found, not
+            just the first).
+    """
+
+    def __init__(self, report: "ValidationReport") -> None:
+        super().__init__(
+            f"invalid input rejected (strict): {len(report.issues)} issue(s), "
+            f"first: {report.issues[0].message if report.issues else '?'}"
+        )
+        self.report = report
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in one object's raw data.
+
+    Attributes:
+        row: object index in the input sequence.
+        oid: object id when one was present (``None`` otherwise).
+        field: which part was bad (``"points"``, ``"probs"``,
+            ``"instances"``, ``"dim"``).
+        code: machine-readable issue code (``"non-finite-coord"``,
+            ``"non-finite-weight"``, ``"negative-weight"``, ``"zero-mass"``,
+            ``"empty-instances"``, ``"dim-mismatch"``, ``"count-mismatch"``).
+        message: human-readable description.
+        action: what the policy did — ``"repaired"``, ``"dropped"``, or
+            ``"rejected"`` (strict).
+    """
+
+    row: int
+    oid: Any
+    field: str
+    code: str
+    message: str
+    action: str
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one dataset under one policy.
+
+    Attributes:
+        policy: the ``on_invalid`` policy applied.
+        n_input: objects examined.
+        n_kept: objects that survived (clean or repaired).
+        n_repaired: objects kept only after repair.
+        n_dropped: objects quarantined.
+        issues: every issue found, in input order.
+    """
+
+    policy: str
+    n_input: int = 0
+    n_kept: int = 0
+    n_repaired: int = 0
+    n_dropped: int = 0
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no issues were found at all."""
+        return not self.issues
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output."""
+        if self.clean:
+            return f"validated {self.n_input} object(s): clean"
+        return (
+            f"validated {self.n_input} object(s) [{self.policy}]: "
+            f"{self.n_kept} kept ({self.n_repaired} repaired), "
+            f"{self.n_dropped} quarantined, {len(self.issues)} issue(s)"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict view (CLI ``--breakdown`` / JSON logging)."""
+        return {
+            "policy": self.policy,
+            "n_input": self.n_input,
+            "n_kept": self.n_kept,
+            "n_repaired": self.n_repaired,
+            "n_dropped": self.n_dropped,
+            "issues": [
+                {
+                    "row": i.row,
+                    "oid": i.oid,
+                    "field": i.field,
+                    "code": i.code,
+                    "message": i.message,
+                    "action": i.action,
+                }
+                for i in self.issues
+            ],
+        }
+
+    def export(self, metrics: Any) -> None:
+        """Feed the issue tallies into a :class:`MetricsRegistry`."""
+        for issue in self.issues:
+            metrics.inc(
+                "repro_validation_issues_total",
+                1,
+                {"code": issue.code, "action": issue.action},
+            )
+        if self.n_dropped:
+            metrics.inc(
+                "repro_quarantined_objects_total",
+                self.n_dropped,
+                {"policy": self.policy},
+            )
+
+
+# --------------------------------------------------------------------- #
+
+
+def _infer_dim(point_rows: Iterable[Any]) -> int | None:
+    """Dataset dimensionality: that of the first non-empty point matrix.
+
+    Shape evidence only — a row later quarantined for NaNs or bad weights
+    still anchors the dimensionality, so the reference does not depend on
+    which rows happen to survive.
+    """
+    for points in point_rows:
+        try:
+            pts = np.atleast_2d(np.asarray(points, dtype=float))
+        except (TypeError, ValueError):
+            continue
+        if pts.size:
+            return int(pts.shape[1])
+    return None
+
+
+def _check_one(
+    points: Any,
+    probs: Any,
+    dim_ref: int | None,
+    repair: bool,
+) -> tuple[np.ndarray | None, np.ndarray | None, list[tuple[str, str, str, bool]]]:
+    """Validate (and under ``repair`` fix) one object's raw arrays.
+
+    Returns ``(points, probs, findings)`` where each finding is
+    ``(field, code, message, fixed)``; ``points is None`` means the object is
+    unrepairable and must be quarantined.
+    """
+    findings: list[tuple[str, str, str, bool]] = []
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    if pts.size == 0:
+        findings.append(
+            ("instances", "empty-instances", "object has no instances", False)
+        )
+        return None, None, findings
+
+    if dim_ref is not None and pts.shape[1] != dim_ref:
+        findings.append(
+            (
+                "dim",
+                "dim-mismatch",
+                f"dimensionality {pts.shape[1]} != dataset dimensionality {dim_ref}",
+                False,
+            )
+        )
+        return None, None, findings
+
+    if probs is None:
+        ps = np.full(pts.shape[0], 1.0 / pts.shape[0])
+    else:
+        ps = np.asarray(probs, dtype=float).reshape(-1)
+        if ps.shape[0] != pts.shape[0]:
+            findings.append(
+                (
+                    "probs",
+                    "count-mismatch",
+                    f"{ps.shape[0]} weight(s) for {pts.shape[0]} instance(s)",
+                    repair,
+                )
+            )
+            if not repair:
+                return None, None, findings
+            ps = np.full(pts.shape[0], 1.0 / pts.shape[0])
+
+    finite_pts = np.isfinite(pts).all(axis=1)
+    if not finite_pts.all():
+        bad = int((~finite_pts).sum())
+        findings.append(
+            (
+                "points",
+                "non-finite-coord",
+                f"{bad} instance(s) with NaN/Inf coordinates",
+                repair and bool(finite_pts.any()),
+            )
+        )
+        if not repair:
+            return None, None, findings
+        pts = pts[finite_pts]
+        ps = ps[finite_pts]
+        if pts.shape[0] == 0:
+            findings.append(
+                ("instances", "empty-instances", "no finite instance left", False)
+            )
+            return None, None, findings
+
+    if not np.isfinite(ps).all():
+        findings.append(
+            (
+                "probs",
+                "non-finite-weight",
+                f"{int((~np.isfinite(ps)).sum())} non-finite weight(s)",
+                repair,
+            )
+        )
+        if not repair:
+            return None, None, findings
+        ps = np.where(np.isfinite(ps), ps, 0.0)
+
+    if np.any(ps < 0):
+        findings.append(
+            (
+                "probs",
+                "negative-weight",
+                f"{int((ps < 0).sum())} negative weight(s)",
+                repair,
+            )
+        )
+        if not repair:
+            return None, None, findings
+        ps = np.maximum(ps, 0.0)
+
+    total = float(ps.sum())
+    if total <= 0:
+        findings.append(
+            ("probs", "zero-mass", "total instance weight is zero", False)
+        )
+        return None, None, findings
+
+    return pts, ps / total, findings
+
+
+def validate_rows(
+    rows: Iterable[tuple[Any, Any, Any]],
+    *,
+    on_invalid: str = "strict",
+    dim: int | None = None,
+    metrics: Any = None,
+) -> tuple[list[UncertainObject], ValidationReport]:
+    """Validate raw ``(points, probs, oid)`` rows into objects.
+
+    Args:
+        rows: per-object raw data; ``probs`` may be ``None`` (uniform).
+        on_invalid: one of :data:`POLICIES`.
+        dim: expected dimensionality; defaults to that of the first object
+            with a well-formed point matrix.
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`; issue
+            tallies are exported when given.
+
+    Returns:
+        ``(objects, report)`` — the kept objects (weights normalised to mass
+        1) and the full report.
+
+    Raises:
+        ValueError: unknown policy.
+        InvalidInputError: any issue under ``on_invalid="strict"``.
+    """
+    if on_invalid not in POLICIES:
+        raise ValueError(
+            f"unknown on_invalid policy {on_invalid!r}; expected one of {POLICIES}"
+        )
+    repair = on_invalid == "repair"
+    report = ValidationReport(policy=on_invalid)
+    kept: list[UncertainObject] = []
+    rows = list(rows)
+    dim_ref = dim if dim is not None else _infer_dim(r[0] for r in rows)
+    for row, (points, probs, oid) in enumerate(rows):
+        report.n_input += 1
+        pts, ps, findings = _check_one(points, probs, dim_ref, repair)
+        dropped = pts is None
+        for fld, code, message, fixed in findings:
+            action = (
+                "rejected"
+                if on_invalid == "strict"
+                else ("repaired" if fixed and not dropped else "dropped")
+            )
+            report.issues.append(
+                ValidationIssue(row, oid, fld, code, message, action)
+            )
+        if dropped:
+            report.n_dropped += 1
+            continue
+        report.n_kept += 1
+        if findings:
+            report.n_repaired += 1
+        kept.append(UncertainObject(pts, ps, oid=oid, normalize=True))
+    if metrics is not None:
+        report.export(metrics)
+    if on_invalid == "strict" and report.issues:
+        raise InvalidInputError(report)
+    return kept, report
+
+
+def validate_objects(
+    objects: Sequence[UncertainObject],
+    *,
+    on_invalid: str = "strict",
+    dim: int | None = None,
+    metrics: Any = None,
+) -> tuple[list[UncertainObject], ValidationReport]:
+    """Validate already-constructed objects (finiteness, weights, dim).
+
+    Clean objects are passed through by identity (preserving cached MBRs and
+    local trees); repaired objects are rebuilt.  Same policies and return
+    shape as :func:`validate_rows`.
+    """
+    if on_invalid not in POLICIES:
+        raise ValueError(
+            f"unknown on_invalid policy {on_invalid!r}; expected one of {POLICIES}"
+        )
+    repair = on_invalid == "repair"
+    report = ValidationReport(policy=on_invalid)
+    kept: list[UncertainObject] = []
+    dim_ref = dim if dim is not None else (objects[0].dim if objects else None)
+    for row, obj in enumerate(objects):
+        report.n_input += 1
+        pts, ps, findings = _check_one(obj.points, obj.probs, dim_ref, repair)
+        dropped = pts is None
+        for fld, code, message, fixed in findings:
+            action = (
+                "rejected"
+                if on_invalid == "strict"
+                else ("repaired" if fixed and not dropped else "dropped")
+            )
+            report.issues.append(
+                ValidationIssue(row, obj.oid, fld, code, message, action)
+            )
+        if dropped:
+            report.n_dropped += 1
+            continue
+        report.n_kept += 1
+        if findings:
+            report.n_repaired += 1
+            kept.append(UncertainObject(pts, ps, oid=obj.oid, normalize=True))
+        else:
+            kept.append(obj)
+    if metrics is not None:
+        report.export(metrics)
+    if on_invalid == "strict" and report.issues:
+        raise InvalidInputError(report)
+    return kept, report

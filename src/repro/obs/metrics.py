@@ -22,6 +22,9 @@ name                               type        labels
 ``repro_rtree_node_visits_total``  counter     ``tree``, ``mode``
 ``repro_maxflow_phases_total``     counter     (none)
 ``repro_maxflow_augmentations_total`` counter  (none)
+``repro_degraded_queries_total``   counter     ``operator``, ``reason``
+``repro_validation_issues_total``  counter     ``code``, ``action``
+``repro_quarantined_objects_total`` counter    ``policy``
 ================================== =========== ==================================
 
 ``repro_counter_total`` mirrors :meth:`repro.core.counters.Counters.snapshot`

@@ -1,0 +1,39 @@
+"""Resilience layer: budgets, graceful degradation, and fault injection.
+
+See DESIGN.md §12.  The core guarantee: any search interrupted by a budget
+or a recoverable fault still returns a *certified superset* of the exact NN
+candidate set, because every unresolved dominance decision defaults to
+"not dominated" (the paper's containment chain makes that conservative).
+"""
+
+from repro.resilience.budget import (
+    Budget,
+    BudgetExhausted,
+    DegradationReport,
+    ResilienceError,
+)
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    NumericalFault,
+)
+
+#: Exceptions a single dominance decision may absorb by falling back to
+#: conservative non-dominance.  ``BudgetExhausted`` is deliberately NOT here:
+#: it aborts the traversal (the driver drains the frontier instead).
+RECOVERABLE_FAULTS = (InjectedFault, NumericalFault)
+
+__all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "DegradationReport",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "NumericalFault",
+    "RECOVERABLE_FAULTS",
+    "ResilienceError",
+]

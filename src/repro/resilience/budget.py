@@ -1,0 +1,251 @@
+"""Per-query resource budgets and certified graceful degradation.
+
+A :class:`Budget` bounds what one NNC search may spend: a wall-clock
+deadline, a cap on dominance checks, and a cap on max-flow augmentation
+iterations.  It is threaded through :class:`repro.core.context.QueryContext`
+and consulted at cooperative checkpoints in the search driver, all five
+dominance operators, the batch kernels, R-tree descent, and the Dinic loop.
+
+Exhaustion is *not* an error for the search: the containment chain of the
+paper (``NNC(S-SD) ⊆ NNC(SS-SD) ⊆ NNC(P-SD) ⊆ NNC(F-SD)``, Theorem 3) rests
+on the fact that skipping a dominance decision can only *keep* a candidate.
+Treating every unresolved check as "not dominated" therefore yields a
+certified **superset** of the exact NN candidate set — the driver finishes by
+conservative non-dominance and flags the answer with a
+:class:`DegradationReport` instead of failing.
+
+The ladder has two rungs:
+
+* **deadline / dominance-check cap** — raises :class:`BudgetExhausted`; the
+  driver drains the remaining search frontier without further checks.
+* **flow-augmentation cap** — never raises out of P-SD; each interrupted
+  max-flow run is individually recorded as an unresolved check and decided
+  by conservative non-dominance, and the search continues.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Budget", "BudgetExhausted", "DegradationReport", "ResilienceError"]
+
+
+class ResilienceError(Exception):
+    """Base class of the resilience layer's control-flow exceptions."""
+
+
+class BudgetExhausted(ResilienceError):
+    """A per-query budget ran out at a cooperative checkpoint.
+
+    Attributes:
+        reason: which limit tripped (``"deadline"`` or
+            ``"dominance_checks"``).
+        site: checkpoint site name (reuses the tracer span vocabulary:
+            ``"search"``, ``"rtree-descent"``, ``"dominance-check"``,
+            ``"maxflow"``, ``"kernel"``, ...).
+    """
+
+    def __init__(self, reason: str, site: str, message: str | None = None) -> None:
+        super().__init__(message or f"budget exhausted ({reason}) at {site}")
+        self.reason = reason
+        self.site = site
+
+
+class Budget:
+    """Resource budget for one query, spent at cooperative checkpoints.
+
+    Args:
+        deadline_ms: wall-clock limit for the search, in milliseconds.  The
+            clock is armed lazily at the first checkpoint (the search driver
+            arms it explicitly at search start).
+        max_dominance_checks: cap on dominance checks (mirrors the
+            ``dominance_checks`` counter exactly, including the nested
+            SS-SD call inside P-SD and the batch screens' scalar-equivalent
+            accounting).
+        max_flow_augmentations: cap on Dinic augmenting paths across all
+            max-flow runs of the query.  Exhaustion degrades only the flow
+            based decisions (P-SD falls back to conservative non-dominance
+            per check); it never aborts the search.
+
+    A budget is single-query state; call :meth:`reset` to reuse one across
+    queries.  All checks are ``None``-safe no-ops when unset, and every
+    checkpoint site guards on ``ctx.budget is not None``, so an unbudgeted
+    query pays one attribute check per site.
+    """
+
+    __slots__ = (
+        "deadline_ms",
+        "max_dominance_checks",
+        "max_flow_augmentations",
+        "dominance_checks_spent",
+        "flow_augmentations_spent",
+        "exhausted",
+        "_t0",
+        "_deadline_at",
+    )
+
+    def __init__(
+        self,
+        *,
+        deadline_ms: float | None = None,
+        max_dominance_checks: int | None = None,
+        max_flow_augmentations: int | None = None,
+    ) -> None:
+        if deadline_ms is not None and deadline_ms < 0:
+            raise ValueError("deadline_ms must be non-negative")
+        if max_dominance_checks is not None and max_dominance_checks < 0:
+            raise ValueError("max_dominance_checks must be non-negative")
+        if max_flow_augmentations is not None and max_flow_augmentations < 0:
+            raise ValueError("max_flow_augmentations must be non-negative")
+        self.deadline_ms = deadline_ms
+        self.max_dominance_checks = max_dominance_checks
+        self.max_flow_augmentations = max_flow_augmentations
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> None:
+        """Zero the spent tallies and disarm the clock (reuse across queries)."""
+        self.dominance_checks_spent = 0
+        self.flow_augmentations_spent = 0
+        self.exhausted: BudgetExhausted | None = None
+        self._t0: float | None = None
+        self._deadline_at: float | None = None
+
+    def arm(self) -> None:
+        """Start the wall clock (idempotent; auto-called at first checkpoint)."""
+        if self._t0 is None:
+            self._t0 = time.perf_counter()
+            if self.deadline_ms is not None:
+                self._deadline_at = self._t0 + self.deadline_ms / 1000.0
+
+    def elapsed_ms(self) -> float:
+        """Milliseconds since the budget was armed (0 before arming)."""
+        return 0.0 if self._t0 is None else (time.perf_counter() - self._t0) * 1e3
+
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self, site: str) -> None:
+        """Deadline-only checkpoint for cheap loops (node visits, kernels).
+
+        Raises:
+            BudgetExhausted: when the wall-clock deadline has passed.
+        """
+        if self._t0 is None:
+            self.arm()
+        if self._deadline_at is not None and time.perf_counter() > self._deadline_at:
+            self._trip("deadline", site)
+
+    def spend_dominance_checks(self, n: int = 1, site: str = "dominance-check") -> None:
+        """Charge ``n`` dominance checks; checks the cap and the deadline.
+
+        ``n`` mirrors the counter bumps of the batch-equivalent accounting in
+        the search driver (a kernel screen that settles a pair charges the
+        same as the scalar operator call it replaced), so ``kernels=True``
+        and ``kernels=False`` runs spend identically.
+
+        Raises:
+            BudgetExhausted: cap reached or deadline passed.
+        """
+        self.dominance_checks_spent += n
+        if (
+            self.max_dominance_checks is not None
+            and self.dominance_checks_spent > self.max_dominance_checks
+        ):
+            self._trip("dominance_checks", site)
+        self.checkpoint(site)
+
+    def spend_augmentations(self, n: int = 1) -> None:
+        """Charge ``n`` max-flow augmentation iterations (never raises)."""
+        self.flow_augmentations_spent += n
+
+    def remaining_augmentations(self) -> int | None:
+        """Augmentations left under the cap (``None`` = unlimited)."""
+        if self.max_flow_augmentations is None:
+            return None
+        return max(0, self.max_flow_augmentations - self.flow_augmentations_spent)
+
+    def _trip(self, reason: str, site: str) -> None:
+        exc = BudgetExhausted(reason, site)
+        if self.exhausted is None:
+            self.exhausted = exc
+        raise exc
+
+    # ------------------------------------------------------------------ #
+
+    def limits(self) -> dict[str, float | int | None]:
+        """The configured caps (for reports)."""
+        return {
+            "deadline_ms": self.deadline_ms,
+            "max_dominance_checks": self.max_dominance_checks,
+            "max_flow_augmentations": self.max_flow_augmentations,
+        }
+
+    def spent(self) -> dict[str, float | int]:
+        """What the query has consumed so far (for reports)."""
+        return {
+            "elapsed_ms": self.elapsed_ms(),
+            "dominance_checks": self.dominance_checks_spent,
+            "flow_augmentations": self.flow_augmentations_spent,
+        }
+
+
+@dataclass
+class DegradationReport:
+    """Why and how a search answer is a flagged superset instead of exact.
+
+    Attached to :class:`repro.core.nnc.NNCResult` (``None`` for exact
+    answers).  The superset guarantee holds regardless of the content here:
+    every unresolved dominance decision defaulted to "not dominated", which
+    can only keep candidates.
+
+    Attributes:
+        reason: first cause (``"deadline"``, ``"dominance_checks"``,
+            ``"flow_augmentations"``, ``"fault"``).
+        site: checkpoint / fault site of the first cause.
+        phase: how far the search got — ``"traversal"`` when the frontier
+            was drained conservatively mid-search, ``"completed"`` when the
+            traversal finished but individual checks were unresolved.
+        unresolved_checks: dominance decisions defaulted conservatively.
+        conservative_accepts: objects admitted without a completed check
+            (each also counts as one unresolved check).
+        elapsed_ms: wall-clock of the search when the report was built.
+        budget: configured caps (``None`` when no budget was set).
+        spent: budget consumption (empty when no budget was set).
+        events: first few ``(site, reason)`` unresolved events, in order.
+    """
+
+    reason: str
+    site: str
+    phase: str
+    unresolved_checks: int
+    conservative_accepts: int
+    elapsed_ms: float
+    budget: dict[str, Any] | None = None
+    spent: dict[str, Any] = field(default_factory=dict)
+    events: list[tuple[str, str]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict view (CLI ``--breakdown`` / JSON logging)."""
+        return {
+            "reason": self.reason,
+            "site": self.site,
+            "phase": self.phase,
+            "unresolved_checks": self.unresolved_checks,
+            "conservative_accepts": self.conservative_accepts,
+            "elapsed_ms": self.elapsed_ms,
+            "budget": self.budget,
+            "spent": dict(self.spent),
+            "events": [list(e) for e in self.events],
+        }
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output."""
+        return (
+            f"DEGRADED ({self.reason} at {self.site}, phase={self.phase}): "
+            f"{self.unresolved_checks} unresolved check(s), "
+            f"{self.conservative_accepts} conservative accept(s) — "
+            "result is a certified superset of the exact NNC"
+        )

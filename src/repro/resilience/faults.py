@@ -1,0 +1,195 @@
+"""Deterministic, seed-driven fault injection at named pipeline sites.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` triggers plus a seed.
+Instrumented sites in the search pipeline call ``plan.fire(site)`` (raise an
+:class:`InjectedFault` / sleep) or ``plan.corrupt(site, array)`` (NaN/Inf
+poisoning of numeric intermediates).  The site vocabulary reuses the PR 2
+tracer span names, so a fault lands exactly where the trace says time goes:
+
+``search``, ``rtree-descent``, ``entry-prune``, ``dominance-check``,
+``distance-matrix``, ``cdf-scan``, ``cdf-sweep``, ``hull-extremes``,
+``level-flow``, ``maxflow``.
+
+Everything is deterministic given ``seed``: probabilistic triggers draw from
+a private ``random.Random`` and per-site visit counters drive ``after`` /
+``count`` windows, so a failing test seed replays exactly.
+
+The harness exists to *prove degradation*: the search driver and operators
+catch :class:`InjectedFault` / :class:`NumericalFault` at per-decision
+granularity and fall back to conservative non-dominance (a certified
+superset, per the containment chain) instead of crashing or silently
+dropping candidates.  ``plan.fire`` is only ever called behind
+``if faults is not None`` guards, so unfaulted queries pay one attribute
+check per site.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.resilience.budget import ResilienceError
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "NumericalFault",
+]
+
+FAULT_SITES: tuple[str, ...] = (
+    "search",
+    "rtree-descent",
+    "entry-prune",
+    "dominance-check",
+    "distance-matrix",
+    "cdf-scan",
+    "cdf-sweep",
+    "hull-extremes",
+    "level-flow",
+    "maxflow",
+)
+"""Named injection sites (the PR 2 tracer span vocabulary + distance-matrix)."""
+
+
+class InjectedFault(ResilienceError):
+    """Exception raised by a ``kind="error"`` fault trigger.
+
+    Attributes:
+        site: injection site name.
+        kind: always ``"error"`` for raised faults.
+    """
+
+    def __init__(self, site: str, kind: str = "error") -> None:
+        super().__init__(f"injected fault ({kind}) at {site}")
+        self.site = site
+        self.kind = kind
+
+
+class NumericalFault(ResilienceError):
+    """Non-finite data detected in a numeric intermediate under fault testing.
+
+    Raised by finiteness guards (e.g. on the query distance matrix) when a
+    ``kind="nan"`` fault corrupted the data.  Recoverable: the affected
+    dominance decision defaults to conservative non-dominance.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"non-finite values detected at {site}")
+        self.site = site
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault trigger.
+
+    Args:
+        site: where to fire (one of :data:`FAULT_SITES`).
+        kind: ``"error"`` raises :class:`InjectedFault`; ``"latency"`` sleeps
+            ``latency_ms``; ``"nan"`` poisons arrays passed to
+            :meth:`FaultPlan.corrupt` at this site.
+        count: how many times this spec fires (``None`` = unlimited).
+        after: skip the first ``after`` eligible visits to the site.
+        probability: chance of firing per eligible visit (seeded RNG).
+        latency_ms: sleep duration for ``kind="latency"``.
+        fraction: fraction of array entries poisoned for ``kind="nan"``.
+        value: poison value (default NaN; use ``float("inf")`` for Inf).
+    """
+
+    site: str
+    kind: str = "error"
+    count: int | None = 1
+    after: int = 0
+    probability: float = 1.0
+    latency_ms: float = 0.0
+    fraction: float = 0.25
+    value: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "nan", "latency"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of fault triggers, attached via ``QueryContext(faults=)``.
+
+    Per-site visit counters and a private ``random.Random(seed)`` make every
+    firing decision deterministic, so ``FaultPlan(specs, seed=s)`` replays
+    identically run after run.  One plan is single-use state; build a fresh
+    plan (same specs, same seed) to replay.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+    _visits: dict[str, int] = field(init=False, repr=False)
+    _fired: dict[int, int] = field(init=False, repr=False)
+    fired_events: list[tuple[str, str]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.specs = tuple(self.specs)
+        self._rng = random.Random(self.seed)
+        self._visits = {}
+        self._fired = {}
+        self.fired_events = []
+
+    # ------------------------------------------------------------------ #
+
+    def _eligible(self, site: str, kinds: tuple[str, ...]) -> list[FaultSpec]:
+        visit = self._visits.get(site, 0)
+        self._visits[site] = visit + 1
+        out = []
+        for i, spec in enumerate(self.specs):
+            if spec.site != site or spec.kind not in kinds:
+                continue
+            if visit < spec.after:
+                continue
+            if spec.count is not None and self._fired.get(i, 0) >= spec.count:
+                continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            self._fired[i] = self._fired.get(i, 0) + 1
+            out.append(spec)
+        return out
+
+    def fire(self, site: str) -> None:
+        """Fire any matching ``error``/``latency`` spec at ``site``.
+
+        Raises:
+            InjectedFault: when an ``error`` spec triggers.
+        """
+        for spec in self._eligible(site, ("error", "latency")):
+            self.fired_events.append((site, spec.kind))
+            if spec.kind == "latency":
+                time.sleep(spec.latency_ms / 1000.0)
+            else:
+                raise InjectedFault(site)
+
+    def corrupt(self, site: str, arr: np.ndarray) -> np.ndarray:
+        """Poison a copy of ``arr`` if a ``nan`` spec triggers at ``site``.
+
+        Returns the original array untouched when nothing fires, so callers
+        can pass intermediates through unconditionally.
+        """
+        for spec in self._eligible(site, ("nan",)):
+            self.fired_events.append((site, spec.kind))
+            out = np.array(arr, dtype=float, copy=True)
+            flat = out.reshape(-1)
+            n = max(1, int(round(spec.fraction * flat.size)))
+            idx = self._rng.sample(range(flat.size), min(n, flat.size))
+            flat[idx] = spec.value
+            return out
+        return arr
+
+    def fired_count(self) -> int:
+        """Total triggers fired so far."""
+        return len(self.fired_events)

@@ -1,0 +1,173 @@
+"""Fault-injection smoke harness (``python -m repro.resilience.smoke``).
+
+The CI teeth of the resilience layer: a deterministic sweep of seeded
+:class:`FaultPlan` and :class:`Budget` combinations over the paper's worked
+examples plus a synthetic scene, for every operator, with the batch kernels
+both on and off.  For each run it asserts the two load-bearing guarantees:
+
+* **superset invariant** — the (possibly degraded) candidate set contains
+  the exact NN candidate set, and any inexact answer carries a
+  :class:`DegradationReport`;
+* **clean taxonomy** — nothing escapes the search: recoverable faults and
+  budget exhaustion degrade, they never raise out of ``NNCSearch.run``.
+
+Exit code 0 when every combination holds, 1 with a per-failure listing
+otherwise.  The sweep is pure-deterministic (seeded RNGs everywhere), so a
+CI failure replays locally with the same command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.context import QueryContext
+from repro.core.nnc import NNCSearch
+from repro.datasets import paper_examples
+from repro.datasets.synthetic import (
+    anticorrelated_centers,
+    make_objects,
+    make_query,
+)
+from repro.resilience import FAULT_SITES, Budget, FaultPlan, FaultSpec
+
+OPERATORS = ("SSD", "SSSD", "PSD", "FSD", "F+SD")
+
+
+def _scenes() -> list[tuple[str, list, object]]:
+    """Named (objects, query) scenes: paper examples + one synthetic."""
+    scenes = []
+    for name in ("figure1", "figure3", "figure4", "figure8", "figure9"):
+        scene = getattr(paper_examples, name)()
+        scenes.append((name, scene.object_list(), scene.query))
+    rng = np.random.default_rng(20150531)
+    centers = anticorrelated_centers(20, 2, rng)
+    objects = make_objects(centers, 4, 300.0, rng, on_invalid="strict")
+    query = make_query(centers[0], 3, 150.0, rng)
+    scenes.append(("synthetic-A20", objects, query))
+    return scenes
+
+
+def _budgets() -> list[tuple[str, Budget | None]]:
+    return [
+        ("none", None),
+        ("deadline-0ms", Budget(deadline_ms=0.0)),
+        ("checks-3", Budget(max_dominance_checks=3)),
+        ("flow-0", Budget(max_flow_augmentations=0)),
+        (
+            "generous",
+            Budget(
+                deadline_ms=600_000.0,
+                max_dominance_checks=10**12,
+                max_flow_augmentations=10**12,
+            ),
+        ),
+    ]
+
+
+def _fault_plans(seed: int) -> list[tuple[str, tuple[FaultSpec, ...]]]:
+    plans: list[tuple[str, tuple[FaultSpec, ...]]] = [("none", ())]
+    for site in FAULT_SITES:
+        plans.append((f"error@{site}", (FaultSpec(site, count=2),)))
+    plans.append(
+        (
+            "nan@distance-matrix",
+            (FaultSpec("distance-matrix", kind="nan", count=2),),
+        )
+    )
+    plans.append(
+        (
+            "mixed",
+            tuple(
+                FaultSpec(site, count=1, probability=0.5)
+                for site in FAULT_SITES
+            ),
+        )
+    )
+    return plans
+
+
+def run_sweep(seed: int = 0, *, verbose: bool = False) -> list[str]:
+    """Run the full sweep; returns a list of failure descriptions."""
+    failures: list[str] = []
+    runs = 0
+    for scene_name, objects, query in _scenes():
+        search = NNCSearch(objects)
+        exact: dict[tuple[str, bool], frozenset] = {}
+        for operator in OPERATORS:
+            for kernels in (True, False):
+                ctx = QueryContext(query, kernels=kernels)
+                exact[(operator, kernels)] = frozenset(
+                    search.run(query, operator, ctx=ctx).oids()
+                )
+        for operator in OPERATORS:
+            for kernels in (True, False):
+                want = exact[(operator, kernels)]
+                for budget_name, budget in _budgets():
+                    for plan_name, specs in _fault_plans(seed):
+                        if budget is not None:
+                            budget.reset()
+                        plan = FaultPlan(specs, seed=seed) if specs else None
+                        label = (
+                            f"{scene_name}/{operator}/kernels={kernels}/"
+                            f"budget={budget_name}/faults={plan_name}"
+                        )
+                        runs += 1
+                        ctx = QueryContext(
+                            query,
+                            kernels=kernels,
+                            budget=budget,
+                            faults=plan,
+                        )
+                        try:
+                            result = search.run(query, operator, ctx=ctx)
+                        except Exception as exc:  # taxonomy violation
+                            failures.append(
+                                f"{label}: escaped "
+                                f"{type(exc).__name__}: {exc}"
+                            )
+                            continue
+                        got = frozenset(result.oids())
+                        if not got >= want:
+                            failures.append(
+                                f"{label}: superset violated "
+                                f"(missing {sorted(want - got)})"
+                            )
+                        elif got != want and result.degradation is None:
+                            failures.append(
+                                f"{label}: inexact answer with no "
+                                "degradation report"
+                            )
+                        elif (
+                            budget_name in ("none", "generous")
+                            and plan_name == "none"
+                            and got != want
+                        ):
+                            failures.append(
+                                f"{label}: generous/no budget must be exact"
+                            )
+                        if verbose and result.degradation is not None:
+                            print(f"  degraded: {label}: "
+                                  f"{result.degradation.reason}")
+    print(f"fault smoke: {runs} runs, {len(failures)} failure(s)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the sweep, list failures, exit 1 on any."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault plan RNG seed (sweep replays exactly)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every degraded combination")
+    args = parser.parse_args(argv)
+    failures = run_sweep(args.seed, verbose=args.verbose)
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,11 +2,49 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import strategies as st
 
 from repro.objects.uncertain import UncertainObject
+
+# --------------------------------------------------------------------- #
+# Global per-test timeout
+# --------------------------------------------------------------------- #
+
+#: Hard wall-clock cap per test, in seconds (0 disables).  Hand-rolled on
+#: SIGALRM instead of pytest-timeout so the suite has no extra dependency;
+#: a hung resilience test (deadlock in the degradation drain, a fault that
+#: swallows the loop exit) fails loudly instead of wedging CI.
+_TEST_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT", "180"))
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if (
+        _TEST_TIMEOUT_S <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return (yield)
+
+    def _alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the {_TEST_TIMEOUT_S}s global test "
+            "timeout (REPRO_TEST_TIMEOUT)"
+        )
+
+    old = signal.signal(signal.SIGALRM, _alarm)
+    signal.alarm(_TEST_TIMEOUT_S)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
 
 # --------------------------------------------------------------------- #
 # Hypothesis strategies

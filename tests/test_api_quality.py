@@ -61,6 +61,7 @@ def test_subpackage_all_exports_resolve():
         "repro.experiments",
         "repro.flow",
         "repro.index",
+        "repro.resilience",
     ]:
         pkg = importlib.import_module(pkg_name)
         for name in getattr(pkg, "__all__", []):

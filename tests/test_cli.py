@@ -88,3 +88,95 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 11(f)" in out
         assert "SSD" in out
+
+
+class TestResilienceFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.deadline_ms is None
+        assert args.max_dominance_checks is None
+        assert args.max_flow_augmentations is None
+        assert args.on_invalid is None
+
+    def test_on_invalid_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--on-invalid", "maybe"])
+
+    def test_zero_deadline_exits_degraded(self, capsys):
+        rc = main(
+            [
+                "search", "--n", "40", "--m", "4", "--operator", "PSD",
+                "--quiet", "--seed", "3", "--deadline-ms", "0",
+            ]
+        )
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "certified superset" in out
+
+    def test_breakdown_includes_degradation_report(self, capsys):
+        rc = main(
+            [
+                "search", "--n", "40", "--m", "4", "--operator", "SSD",
+                "--quiet", "--seed", "3", "--max-dominance-checks", "1",
+                "--breakdown",
+            ]
+        )
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "degradation report:" in out
+        assert '"reason": "dominance_checks"' in out
+
+    def test_generous_budget_exits_exact(self, capsys):
+        rc = main(
+            [
+                "search", "--n", "40", "--m", "4", "--operator", "SSD",
+                "--quiet", "--seed", "3", "--deadline-ms", "60000",
+                "--max-dominance-checks", "1000000000",
+            ]
+        )
+        assert rc == 0
+        assert "DEGRADED" not in capsys.readouterr().out
+
+    def _poisoned_dataset(self, tmp_path):
+        import numpy as np
+
+        from repro.objects import UncertainObject, save_objects
+
+        obj = UncertainObject([[0.0, 0.0], [1.0, 1.0]], oid=0)
+        obj.points[1, 0] = np.nan
+        path = tmp_path / "bad.npz"
+        save_objects(path, [obj, UncertainObject([[2.0, 2.0]], oid=1)])
+        return path
+
+    def test_strict_rejects_dirty_dataset(self, tmp_path, capsys):
+        path = self._poisoned_dataset(tmp_path)
+        rc = main(
+            ["search", "--dataset", str(path), "--on-invalid", "strict",
+             "--quiet"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "input rejected" in err
+        assert "non-finite-coord" in err
+
+    def test_repair_recovers_dirty_dataset(self, tmp_path, capsys):
+        path = self._poisoned_dataset(tmp_path)
+        rc = main(
+            ["search", "--dataset", str(path), "--on-invalid", "repair",
+             "--quiet", "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 repaired" in out
+
+    def test_skip_quarantines_dirty_dataset(self, tmp_path, capsys):
+        path = self._poisoned_dataset(tmp_path)
+        rc = main(
+            ["search", "--dataset", str(path), "--on-invalid", "skip",
+             "--quiet", "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+        assert "of 1 objects" in out

@@ -122,3 +122,58 @@ class TestAgainstNetworkx:
             for j in range(k):
                 net.add_edge(1 + i, 1 + m + j, 2.0)
         assert max_flow(net, 0, m + k + 1) == pytest.approx(1.0)
+
+
+class TestAugmentationCap:
+    """Regression tests for the resilience layer's flow-augmentation cap."""
+
+    def _two_path_net(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 3, 1.0)
+        net.add_edge(0, 2, 2.0)
+        net.add_edge(2, 3, 2.0)
+        return net
+
+    def test_zero_cap_trips_on_first_augmentation(self):
+        from repro.flow import FlowBudgetError
+
+        with pytest.raises(FlowBudgetError) as exc:
+            max_flow(self._two_path_net(), 0, 3, max_augmentations=0)
+        assert exc.value.limit == 0
+        assert exc.value.augmentations == 1
+        assert exc.value.phases >= 1
+
+    def test_generous_cap_is_exact(self):
+        assert max_flow(
+            self._two_path_net(), 0, 3, max_augmentations=1000
+        ) == pytest.approx(3.0)
+
+    def test_budget_tallies_augmentations(self):
+        from repro.resilience import Budget
+
+        budget = Budget()
+        max_flow(self._two_path_net(), 0, 3, budget=budget)
+        assert budget.flow_augmentations_spent >= 1
+
+    def test_shared_budget_cap_flows_into_max_augmentations(self):
+        # The P-SD integration: remaining_augmentations() feeds the cap.
+        from repro.flow import FlowBudgetError
+        from repro.resilience import Budget
+
+        budget = Budget(max_flow_augmentations=1)
+        net = self._two_path_net()
+        with pytest.raises(FlowBudgetError):
+            max_flow(net, 0, 3, budget=budget,
+                     max_augmentations=budget.remaining_augmentations())
+        assert budget.remaining_augmentations() == 0
+
+    def test_metrics_flushed_even_when_interrupted(self):
+        from repro.flow import FlowBudgetError
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with pytest.raises(FlowBudgetError):
+            max_flow(self._two_path_net(), 0, 3, metrics=registry,
+                     max_augmentations=0)
+        assert registry.total("repro_maxflow_phases_total") >= 1

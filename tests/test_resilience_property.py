@@ -1,0 +1,110 @@
+"""Property tests for certified graceful degradation.
+
+The headline invariant (ISSUE 3): for *any* budget — deadline, dominance-check
+cap, flow-augmentation cap, in any combination — the degraded answer is a
+superset of the exact NN candidate set, and a generous budget reproduces the
+exact answer bit-for-bit.  Checked for every operator, with the batch kernels
+both on and off.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import QueryContext
+from repro.core.nnc import NNCSearch
+from repro.resilience import Budget, FaultPlan, FaultSpec, FAULT_SITES
+
+from .conftest import uncertain_objects
+
+OPERATORS = ("SSD", "SSSD", "PSD", "FSD", "F+SD")
+
+small_scenes = st.tuples(
+    st.lists(
+        uncertain_objects(max_instances=3, coord_range=8.0),
+        min_size=2,
+        max_size=6,
+    ),
+    uncertain_objects(max_instances=3, coord_range=8.0, uniform_probs=True),
+)
+
+budgets = st.builds(
+    Budget,
+    deadline_ms=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=5.0)
+    ),
+    max_dominance_checks=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=40)
+    ),
+    max_flow_augmentations=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=10)
+    ),
+)
+
+
+def _with_ids(objects):
+    for i, obj in enumerate(objects):
+        obj.oid = i
+    return objects
+
+
+def _run(search, query, operator, *, kernels, budget=None, faults=None):
+    ctx = QueryContext(query, kernels=kernels, budget=budget, faults=faults)
+    return search.run(query, operator, ctx=ctx)
+
+
+class TestBudgetedSearchProperty:
+    @given(small_scenes, budgets, st.sampled_from(OPERATORS),
+           st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_any_budget_yields_superset(self, scene, budget, operator,
+                                        kernels):
+        objects, query = scene
+        objects = _with_ids(objects)
+        search = NNCSearch(objects)
+        exact = set(_run(search, query, operator, kernels=kernels).oids())
+        budget.reset()
+        result = _run(search, query, operator, kernels=kernels, budget=budget)
+        got = set(result.oids())
+        assert got >= exact, (operator, kernels, budget.limits())
+        # A degradation flag must accompany any inexact answer.
+        if got != exact:
+            assert result.degradation is not None
+
+    @given(small_scenes, st.sampled_from(OPERATORS), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_generous_budget_is_bitwise_exact(self, scene, operator, kernels):
+        objects, query = scene
+        objects = _with_ids(objects)
+        search = NNCSearch(objects)
+        exact = _run(search, query, operator, kernels=kernels)
+        budget = Budget(
+            deadline_ms=60_000.0,
+            max_dominance_checks=10**9,
+            max_flow_augmentations=10**9,
+        )
+        got = _run(search, query, operator, kernels=kernels, budget=budget)
+        assert got.exact
+        assert got.oids() == exact.oids()
+
+    @given(small_scenes, st.sampled_from(FAULT_SITES),
+           st.sampled_from(OPERATORS), st.integers(min_value=0, max_value=9))
+    @settings(max_examples=50, deadline=None)
+    def test_injected_faults_yield_superset(self, scene, site, operator,
+                                            seed):
+        objects, query = scene
+        objects = _with_ids(objects)
+        search = NNCSearch(objects)
+        exact = set(_run(search, query, operator, kernels=True).oids())
+        plan = FaultPlan(
+            (
+                FaultSpec(site, count=2, probability=0.8),
+                FaultSpec("distance-matrix", kind="nan", count=1,
+                          probability=0.5),
+            ),
+            seed=seed,
+        )
+        result = _run(search, query, operator, kernels=True, faults=plan)
+        got = set(result.oids())
+        assert got >= exact, (operator, site, seed)
+        if got != exact:
+            assert result.degradation is not None

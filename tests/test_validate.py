@@ -1,0 +1,271 @@
+"""Tests for input validation, quarantine policies, and dataset format errors."""
+
+import numpy as np
+import pytest
+
+from repro.objects import (
+    DatasetFormatError,
+    InvalidInputError,
+    UncertainObject,
+    load_objects,
+    save_objects,
+    validate_objects,
+    validate_rows,
+)
+from repro.obs import MetricsRegistry
+
+
+def _clean_rows():
+    return [
+        (np.array([[0.0, 0.0], [1.0, 1.0]]), None, "a"),
+        (np.array([[2.0, 2.0]]), np.array([1.0]), "b"),
+    ]
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_invalid"):
+            validate_rows(_clean_rows(), on_invalid="explode")
+
+    def test_clean_rows_pass_all_policies(self):
+        for policy in ("strict", "repair", "skip"):
+            kept, report = validate_rows(_clean_rows(), on_invalid=policy)
+            assert len(kept) == 2
+            assert report.clean
+            assert "clean" in report.summary()
+
+    def test_strict_rejects_with_full_report(self):
+        rows = _clean_rows() + [
+            (np.array([[np.nan, 0.0]]), None, "bad1"),
+            (np.array([[1.0, 1.0]]), np.array([-0.5]), "bad2"),
+        ]
+        with pytest.raises(InvalidInputError) as exc:
+            validate_rows(rows, on_invalid="strict")
+        codes = {i.code for i in exc.value.report.issues}
+        assert codes == {"non-finite-coord", "negative-weight"}
+        assert all(i.action == "rejected" for i in exc.value.report.issues)
+
+    def test_skip_quarantines_dirty_objects(self):
+        rows = _clean_rows() + [(np.array([[np.inf, 0.0]]), None, "dirty")]
+        kept, report = validate_rows(rows, on_invalid="skip")
+        assert [o.oid for o in kept] == ["a", "b"]
+        assert report.n_dropped == 1
+        assert report.issues[0].action == "dropped"
+
+    def test_repair_drops_nonfinite_instances(self):
+        rows = [(np.array([[0.0, 0.0], [np.nan, 1.0], [2.0, 2.0]]), None, "x")]
+        kept, report = validate_rows(rows, on_invalid="repair")
+        assert len(kept) == 1 and len(kept[0]) == 2
+        assert report.n_repaired == 1
+        assert report.issues[0].action == "repaired"
+
+    def test_repair_clamps_weights_and_renormalises(self):
+        rows = [
+            (
+                np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]),
+                np.array([0.5, -1.0, np.nan]),
+                "w",
+            )
+        ]
+        kept, report = validate_rows(rows, on_invalid="repair")
+        assert len(kept) == 1
+        np.testing.assert_allclose(kept[0].probs, [1.0, 0.0, 0.0])
+        assert {i.code for i in report.issues} == {
+            "negative-weight",
+            "non-finite-weight",
+        }
+
+    def test_repair_cannot_fix_zero_mass(self):
+        rows = [(np.array([[0.0, 0.0]]), np.array([0.0]), "zero")]
+        kept, report = validate_rows(rows, on_invalid="repair")
+        assert not kept
+        assert report.issues[-1].code == "zero-mass"
+        assert report.n_dropped == 1
+
+    def test_empty_instances_unrepairable(self):
+        kept, report = validate_rows(
+            [(np.zeros((0, 2)), None, "e")], on_invalid="repair"
+        )
+        assert not kept
+        assert report.issues[0].code == "empty-instances"
+
+    def test_dim_mismatch_anchored_to_first_wellformed_row(self):
+        rows = [
+            (np.array([[np.nan, 0.0]]), None, "dropped-but-2d"),
+            (np.array([[1.0, 2.0, 3.0]]), None, "threed"),
+            (np.array([[1.0, 2.0]]), None, "twod"),
+        ]
+        kept, report = validate_rows(rows, on_invalid="skip")
+        # The quarantined first row still defines dimensionality 2.
+        assert [o.oid for o in kept] == ["twod"]
+        assert any(i.code == "dim-mismatch" for i in report.issues)
+
+    def test_count_mismatch(self):
+        rows = [(np.array([[0.0, 0.0], [1.0, 1.0]]), np.array([1.0]), "c")]
+        kept, _ = validate_rows(rows, on_invalid="skip")
+        assert not kept
+        kept, _ = validate_rows(rows, on_invalid="repair")
+        np.testing.assert_allclose(kept[0].probs, [0.5, 0.5])
+
+    def test_explicit_dim_overrides_inference(self):
+        kept, report = validate_rows(
+            [(np.array([[1.0, 2.0]]), None, "a")], on_invalid="skip", dim=3
+        )
+        assert not kept
+        assert report.issues[0].code == "dim-mismatch"
+
+    def test_metrics_export(self):
+        registry = MetricsRegistry()
+        validate_rows(
+            _clean_rows() + [(np.zeros((0, 2)), None, "e")],
+            on_invalid="skip",
+            metrics=registry,
+        )
+        assert registry.value(
+            "repro_validation_issues_total",
+            {"code": "empty-instances", "action": "dropped"},
+        ) == 1
+        assert registry.value(
+            "repro_quarantined_objects_total", {"policy": "skip"}
+        ) == 1
+
+
+class TestValidateObjects:
+    def test_clean_objects_pass_by_identity(self):
+        objs = [UncertainObject([[0.0, 0.0]], oid=1)]
+        out, report = validate_objects(objs, on_invalid="strict")
+        assert out[0] is objs[0]
+        assert report.clean
+
+    def test_poisoned_object_repaired(self):
+        obj = UncertainObject([[0.0, 0.0], [1.0, 1.0]], oid=1)
+        obj.points[1, 0] = np.inf  # corrupted after construction
+        out, report = validate_objects([obj], on_invalid="repair")
+        assert len(out) == 1 and len(out[0]) == 1
+        assert report.n_repaired == 1
+
+    def test_strict_raises_on_poisoned_object(self):
+        obj = UncertainObject([[0.0, 0.0]], oid=1)
+        obj.points[0, 0] = np.nan
+        with pytest.raises(InvalidInputError):
+            validate_objects([obj], on_invalid="strict")
+
+
+class TestDatasetFormatErrors:
+    def _write(self, tmp_path, **overrides):
+        """A valid archive with selected fields overridden/removed."""
+        fields = {
+            "version": np.int64(1),
+            "offsets": np.array([0, 2, 3], dtype=np.int64),
+            "points": np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]),
+            "probs": np.array([0.5, 0.5, 1.0]),
+            "oids": np.array(["a", "b"]),
+        }
+        for key, value in overrides.items():
+            if value is None:
+                del fields[key]
+            else:
+                fields[key] = value
+        path = tmp_path / "ds.npz"
+        np.savez_compressed(path, **fields)
+        return path
+
+    def test_valid_archive_loads(self, tmp_path):
+        objs = load_objects(self._write(tmp_path))
+        assert [o.oid for o in objs] == ["a", "b"]
+
+    def test_unreadable_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not a zip file")
+        with pytest.raises(DatasetFormatError) as exc:
+            load_objects(path)
+        assert exc.value.path == path
+        assert exc.value.field is None
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_objects(tmp_path / "absent.npz")
+
+    def test_missing_field(self, tmp_path):
+        with pytest.raises(DatasetFormatError) as exc:
+            load_objects(self._write(tmp_path, probs=None))
+        assert exc.value.field == "probs"
+
+    def test_bad_version(self, tmp_path):
+        with pytest.raises(DatasetFormatError) as exc:
+            load_objects(self._write(tmp_path, version=np.int64(99)))
+        assert exc.value.field == "version"
+        assert "99" in str(exc.value)
+
+    def test_offsets_not_starting_at_zero(self, tmp_path):
+        with pytest.raises(DatasetFormatError) as exc:
+            load_objects(
+                self._write(tmp_path, offsets=np.array([1, 3], dtype=np.int64))
+            )
+        assert exc.value.field == "offsets"
+
+    def test_offsets_end_mismatch(self, tmp_path):
+        with pytest.raises(DatasetFormatError) as exc:
+            load_objects(
+                self._write(tmp_path, offsets=np.array([0, 2, 9], dtype=np.int64))
+            )
+        assert exc.value.field == "offsets"
+
+    def test_offsets_decreasing(self, tmp_path):
+        with pytest.raises(DatasetFormatError) as exc:
+            load_objects(
+                self._write(
+                    tmp_path, offsets=np.array([0, 3, 2, 3], dtype=np.int64),
+                    oids=np.array(["a", "b", "c"]),
+                )
+            )
+        assert exc.value.field == "offsets"
+        assert exc.value.row == 1
+
+    def test_points_not_2d(self, tmp_path):
+        with pytest.raises(DatasetFormatError) as exc:
+            load_objects(self._write(tmp_path, points=np.zeros(3)))
+        assert exc.value.field == "points"
+
+    def test_probs_shape_mismatch(self, tmp_path):
+        with pytest.raises(DatasetFormatError) as exc:
+            load_objects(self._write(tmp_path, probs=np.array([1.0])))
+        assert exc.value.field == "probs"
+
+    def test_oids_shape_mismatch(self, tmp_path):
+        with pytest.raises(DatasetFormatError) as exc:
+            load_objects(self._write(tmp_path, oids=np.array(["a"])))
+        assert exc.value.field == "oids"
+
+    def test_semantic_row_error_carries_row(self, tmp_path):
+        # Zero-mass object: structurally fine, semantically unbuildable.
+        path = self._write(tmp_path, probs=np.array([0.0, 0.0, 1.0]))
+        with pytest.raises(DatasetFormatError) as exc:
+            load_objects(path)
+        assert exc.value.row == 0
+
+    def test_on_invalid_quarantines_instead(self, tmp_path):
+        path = self._write(tmp_path, probs=np.array([0.0, 0.0, 1.0]))
+        kept, report = load_objects(path, on_invalid="skip")
+        assert [o.oid for o in kept] == ["b"]
+        assert report.n_dropped == 1
+
+
+class TestGeneratorWiring:
+    def test_make_objects_quarantines_nan_centers(self):
+        from repro.datasets.synthetic import independent_centers, make_objects
+
+        rng = np.random.default_rng(0)
+        centers = independent_centers(6, 2, rng)
+        centers[2, 1] = np.nan
+        objs = make_objects(centers, 3, 10.0, rng, on_invalid="skip")
+        assert len(objs) == 5
+        with pytest.raises(InvalidInputError):
+            make_objects(centers, 3, 10.0, rng, on_invalid="strict")
+
+    def test_semireal_generators_accept_policy(self):
+        from repro.datasets.semireal import gowalla_like, nba_like
+
+        rng = np.random.default_rng(1)
+        assert len(nba_like(4, 3, rng, on_invalid="strict")) == 4
+        assert len(gowalla_like(4, 3, rng, on_invalid="strict")) == 4
