@@ -1,22 +1,28 @@
-"""Diff two ``bench_kernels.py`` result files and flag regressions.
+"""Diff two benchmark result files and flag regressions.
 
-Compares the end-to-end section of a *current* ``BENCH_*.json`` against a
-*baseline* and exits non-zero when any operator regressed by more than the
-threshold (default 15%).
+Understands two payload shapes, auto-detected from the JSON:
 
-Two comparison metrics::
+* **kernels** (``bench_kernels.py``, has ``end_to_end``) — compares the
+  end-to-end section per operator.  Two comparison metrics::
 
-    --metric ratio   kernel_time / scalar_time per operator (default).
-                     Machine-independent: both times come from the same run
-                     on the same box, so the ratio survives CI-runner vs
-                     laptop comparisons.  It answers "did the kernels lose
-                     their edge over the scalar reference?"
-    --metric time    absolute kernel_time.  Only meaningful when baseline
-                     and current ran on comparable hardware.
+      --metric ratio   kernel_time / scalar_time per operator (default).
+                       Machine-independent: both times come from the same
+                       run on the same box, so the ratio survives CI-runner
+                       vs laptop comparisons.  It answers "did the kernels
+                       lose their edge over the scalar reference?"
+      --metric time    absolute kernel_time.  Only meaningful when baseline
+                       and current ran on comparable hardware.
 
-Both metrics are scale-sensitive, so a baseline/current ``scale`` mismatch
+* **serve** (``bench_serve.py``, has ``shard_scaling``) — gates on the
+  machine-independent numbers: per-K ``speedup_vs_1`` (both runs normalise
+  against their own K=1, so core counts cancel out of the comparison) and
+  the cache ``hit_ratio``; a false ``equal`` flag (sharded answer diverged
+  from the monolith) in the *current* file is always a hard failure.
+  ``--metric`` is ignored for serve payloads.
+
+All metrics are scale-sensitive, so a baseline/current ``scale`` mismatch
 downgrades the run to informational (warn, exit 0) unless ``--strict`` makes
-it a hard error.
+it a hard error.  A kernels/serve kind mismatch is a usage error.
 
 Exit codes: 0 ok / informational, 1 regression, 2 usage or strict-mode
 scale mismatch.
@@ -26,6 +32,9 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_kernels.py --smoke --out /tmp/now.json
     PYTHONPATH=src python benchmarks/compare_bench.py \
         benchmarks/results/BENCH_smoke_baseline.json /tmp/now.json
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke --out /tmp/serve.json
+    PYTHONPATH=src python benchmarks/compare_bench.py \
+        benchmarks/results/BENCH_serve_smoke_baseline.json /tmp/serve.json
 """
 
 from __future__ import annotations
@@ -39,11 +48,21 @@ DEFAULT_THRESHOLD = 0.15
 
 
 def load_bench(path: str | Path) -> dict:
-    """Load one ``bench_kernels.py`` payload, validating the shape."""
+    """Load one benchmark payload (kernels or serve), validating the shape."""
     data = json.loads(Path(path).read_text())
-    if "end_to_end" not in data or not isinstance(data["end_to_end"], list):
-        raise ValueError(f"{path}: not a bench_kernels result (no end_to_end)")
-    return data
+    if isinstance(data.get("end_to_end"), list):
+        return data
+    if isinstance(data.get("shard_scaling"), list):
+        return data
+    raise ValueError(
+        f"{path}: neither a bench_kernels result (no end_to_end) nor a "
+        "bench_serve result (no shard_scaling)"
+    )
+
+
+def bench_kind(data: dict) -> str:
+    """``"serve"`` for bench_serve payloads, ``"kernels"`` otherwise."""
+    return "serve" if "shard_scaling" in data else "kernels"
 
 
 def _metric_value(row: dict, metric: str) -> float | None:
@@ -90,6 +109,62 @@ def compare(
     return rows, regressions
 
 
+def compare_serve(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[dict], list[str]]:
+    """Serve-payload comparison rows plus regression messages.
+
+    Gated metrics are machine-independent: per-K ``speedup_vs_1`` (each run
+    is normalised against its own K=1) and the cache ``hit_ratio``.  Both
+    are higher-is-better, so a regression is a *drop* beyond ``threshold``.
+    A false ``equal`` flag in the current file — the sharded answer diverged
+    from the single-process one — is flagged unconditionally.
+    """
+    rows: list[dict] = []
+    regressions: list[str] = []
+
+    def _gauge(name: str, base_val, cur_val) -> None:
+        row = {"metric": name, "baseline": base_val, "current": cur_val}
+        if base_val is not None and cur_val is not None and base_val > 0:
+            change = cur_val / base_val - 1.0
+            row["change"] = f"{change:+.1%}"
+            if change < -threshold:
+                regressions.append(
+                    f"{name}: {base_val:.4g} -> {cur_val:.4g} "
+                    f"({change:+.1%} < -{threshold:.0%} threshold)"
+                )
+        else:
+            row["change"] = "-"
+        rows.append(row)
+
+    base_rows = {row["shards"]: row for row in baseline["shard_scaling"]}
+    cur_rows = {row["shards"]: row for row in current["shard_scaling"]}
+    for shards in sorted(set(base_rows) | set(cur_rows)):
+        cur = cur_rows.get(shards)
+        if cur is not None and not cur.get("equal", True):
+            regressions.append(
+                f"K={shards}: sharded answer diverged from the monolith "
+                "(equal=false) — correctness, not perf"
+            )
+        if shards == 1:
+            continue  # speedup_vs_1 is 1.0 by construction
+        base = base_rows.get(shards)
+        _gauge(
+            f"speedup_vs_1[K={shards}]",
+            base.get("speedup_vs_1") if base else None,
+            cur.get("speedup_vs_1") if cur else None,
+        )
+    _gauge(
+        "cache.hit_ratio",
+        baseline.get("cache", {}).get("hit_ratio"),
+        current.get("cache", {}).get("hit_ratio"),
+    )
+    return rows, regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; see the module docstring for exit codes."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -122,6 +197,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    kind = bench_kind(current)
+    if bench_kind(baseline) != kind:
+        print(
+            f"error: kind mismatch: baseline is {bench_kind(baseline)}, "
+            f"current is {kind}",
+            file=sys.stderr,
+        )
+        return 2
+
     informational = False
     base_scale = baseline.get("scale")
     cur_scale = current.get("scale")
@@ -136,16 +220,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"warning: {msg}; comparison is informational only", file=sys.stderr)
         informational = True
 
-    rows, regressions = compare(
-        baseline, current, metric=args.metric, threshold=args.threshold
-    )
+    if kind == "serve":
+        rows, regressions = compare_serve(
+            baseline, current, threshold=args.threshold
+        )
+        title = f"Serve scaling vs baseline (threshold {args.threshold:.0%}"
+    else:
+        rows, regressions = compare(
+            baseline, current, metric=args.metric, threshold=args.threshold
+        )
+        title = (
+            f"End-to-end {args.metric} vs baseline "
+            f"(threshold {args.threshold:.0%}"
+        )
     from repro.experiments.report import format_table
 
-    title = (
-        f"End-to-end {args.metric} vs baseline "
-        f"(threshold {args.threshold:.0%}"
-        + (", informational)" if informational else ")")
-    )
+    title += ", informational)" if informational else ")"
     print(format_table(rows, title))
     if regressions:
         print()

@@ -8,6 +8,9 @@
 * ``report``   — regenerate every figure and write the Markdown report
   (same as ``python -m repro.experiments.runner``).
 * ``generate`` — synthesise a dataset to a ``.npz`` file for reuse.
+* ``serve``    — serve NNC queries over HTTP (sharded, cached, dynamic
+  updates; see :mod:`repro.serve`).
+* ``client``   — query / mutate a running server from the shell.
 * ``info``     — library / configuration summary.
 """
 
@@ -60,6 +63,61 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
                    help="validate input objects: strict rejects the dataset "
                    "(exit code 2), repair fixes what it can, skip "
                    "quarantines dirty objects")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="json prints one machine-readable document "
+                   "(candidates + dominator counts + counters + "
+                   "degradation) instead of the progressive text output")
+
+
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve", help="serve NNC queries over HTTP (sharded, cached)"
+    )
+    p.add_argument("--dataset", help=".npz dataset (from `generate`); "
+                   "omit for a synthetic one")
+    p.add_argument("--n", type=int, default=500, help="synthetic object count")
+    p.add_argument("--m", type=int, default=10, help="instances per object")
+    p.add_argument("--d", type=int, default=2, help="dimensionality")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--partitioner", default="round-robin",
+                   choices=["round-robin", "centroid"])
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "serial", "thread", "process"])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="0 picks an ephemeral port")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="LRU result-cache entries (0 disables)")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="concurrent engine requests before 429")
+    p.add_argument("--deadline-ms", type=float, metavar="MS",
+                   help="default per-query budget for requests without one")
+    p.add_argument("--on-invalid", default="strict",
+                   choices=["strict", "repair", "skip"])
+    p.add_argument("--compact-threshold", type=float, default=0.3,
+                   help="masked fraction that triggers a shard rebuild")
+
+
+def _add_client(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("client", help="talk to a running `repro serve`")
+    p.add_argument("action",
+                   choices=["query", "insert", "delete", "health", "metrics"])
+    p.add_argument("--url", default="http://127.0.0.1:8080")
+    p.add_argument("--points", help="JSON 2-D array of instances")
+    p.add_argument("--probs", help="JSON array of instance weights")
+    p.add_argument("--operator", default="FSD",
+                   choices=["SSD", "SSSD", "PSD", "FSD", "F+SD"])
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--metric", default="euclidean",
+                   choices=["euclidean", "manhattan", "chebyshev"])
+    p.add_argument("--oid", help="object id (insert/delete)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the server result cache")
+    p.add_argument("--deadline-ms", type=float, metavar="MS",
+                   help="per-request budget")
+    p.add_argument("--format", choices=["text", "json"], default="json",
+                   help="json prints the raw server response")
 
 
 def _add_figure(sub: argparse._SubParsersAction) -> None:
@@ -100,6 +158,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_figure(sub)
     _add_report(sub)
     _add_generate(sub)
+    _add_serve(sub)
+    _add_client(sub)
     sub.add_parser("info", help="print library information")
     return parser
 
@@ -181,6 +241,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
         metrics=registry,
         budget=budget,
     )
+    if args.format == "json":
+        import json as _json
+
+        result = search.run(query, args.operator, k=args.k, ctx=ctx)
+        print(_json.dumps(search_json_document(result, args, len(objects)),
+                          indent=2))
+        return 3 if result.degradation is not None else 0
     start = time.perf_counter()
     count = 0
     for candidate in search.stream(query, args.operator, k=args.k, ctx=ctx):
@@ -221,6 +288,213 @@ def _cmd_search(args: argparse.Namespace) -> int:
     # Exit code 3: the answer is a certified superset, not exact (see
     # repro.resilience); 0 means exact.
     return 3 if degradation is not None else 0
+
+
+def search_json_document(result, args, n_objects: int) -> dict:
+    """Machine-readable search outcome (shared with ``repro client``).
+
+    Same candidate shape as the server's /query response
+    (:func:`repro.serve.protocol.query_response`), plus the counter bag.
+    """
+    return {
+        "operator": args.operator,
+        "k": args.k,
+        "metric": args.metric,
+        "n_objects": n_objects,
+        "candidates": [
+            {
+                "oid": obj.oid,
+                "dominators": count,
+                "yield_ms": when * 1000.0,
+            }
+            for obj, count, when in zip(
+                result.candidates, result.dominator_counts, result.yield_times
+            )
+        ],
+        "count": len(result.candidates),
+        "elapsed_ms": result.elapsed * 1000.0,
+        "degraded": result.degradation is not None,
+        "degradation": (
+            result.degradation.to_dict()
+            if result.degradation is not None
+            else None
+        ),
+        "counters": result.counters.snapshot(),
+    }
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.objects.io import load_objects
+    from repro.objects.validate import InvalidInputError
+    from repro.obs import MetricsRegistry
+    from repro.serve.cache import ResultCache
+    from repro.serve.server import NNCServer, ServeApp
+    from repro.serve.updates import DatasetManager
+
+    rng = np.random.default_rng(args.seed)
+    try:
+        if args.dataset:
+            objects = load_objects(args.dataset)
+        else:
+            from repro.datasets.synthetic import (
+                anticorrelated_centers,
+                make_objects,
+            )
+
+            centers = anticorrelated_centers(args.n, args.d, rng)
+            scale = (args.n / 100_000) ** (-1.0 / args.d)
+            objects = make_objects(centers, args.m, 400.0 * scale, rng)
+        registry = MetricsRegistry()
+        manager = DatasetManager(
+            objects,
+            shards=args.shards,
+            partitioner=args.partitioner,
+            backend=args.backend,
+            on_invalid=args.on_invalid,
+            compact_threshold=args.compact_threshold,
+            metrics=registry,
+        )
+    except InvalidInputError as exc:
+        print(f"input rejected: {exc}", file=sys.stderr)
+        return 2
+    default_budget = (
+        {"deadline_ms": args.deadline_ms}
+        if args.deadline_ms is not None
+        else None
+    )
+    app = ServeApp(
+        manager,
+        cache=ResultCache(args.cache_size, metrics=registry),
+        registry=registry,
+        max_inflight=args.max_inflight,
+        default_budget=default_budget,
+    )
+    server = NNCServer(app, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"serving {manager.size} objects on http://{args.host}:"
+            f"{server.port} ({manager.search.shards} shard(s), "
+            f"backend={manager.search.backend}); Ctrl-C / SIGTERM drains",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        import signal as _signal
+
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await stop.wait()
+        print("draining...", flush=True)
+        await server.drain()
+
+    asyncio.run(_run())
+    print("drained cleanly")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import http.client
+    import json as _json
+    from urllib.parse import urlparse
+
+    url = urlparse(args.url)
+    host = url.hostname or "127.0.0.1"
+    port = url.port or 8080
+
+    method, path, payload = "GET", None, None
+    if args.action == "health":
+        path = "/healthz"
+    elif args.action == "metrics":
+        path = "/metrics"
+    elif args.action == "query":
+        if not args.points:
+            print("query needs --points", file=sys.stderr)
+            return 2
+        method, path = "POST", "/query"
+        try:
+            payload = {
+                "points": _json.loads(args.points),
+                "operator": args.operator,
+                "k": args.k,
+                "metric": args.metric,
+            }
+            if args.probs:
+                payload["probs"] = _json.loads(args.probs)
+        except _json.JSONDecodeError as exc:
+            print(f"--points/--probs must be JSON: {exc}", file=sys.stderr)
+            return 2
+        if args.no_cache:
+            payload["cache"] = False
+        if args.deadline_ms is not None:
+            payload["budget"] = {"deadline_ms": args.deadline_ms}
+    elif args.action == "insert":
+        if not args.points:
+            print("insert needs --points", file=sys.stderr)
+            return 2
+        method, path = "POST", "/insert"
+        try:
+            payload = {"points": _json.loads(args.points)}
+            if args.probs:
+                payload["probs"] = _json.loads(args.probs)
+        except _json.JSONDecodeError as exc:
+            print(f"--points/--probs must be JSON: {exc}", file=sys.stderr)
+            return 2
+        if args.oid is not None:
+            payload["oid"] = args.oid
+    else:  # delete
+        if args.oid is None:
+            print("delete needs --oid", file=sys.stderr)
+            return 2
+        method, path = "POST", "/delete"
+        payload = {"oid": args.oid}
+
+    conn = http.client.HTTPConnection(host, port, timeout=60.0)
+    try:
+        conn.request(
+            method, path,
+            body=_json.dumps(payload) if payload is not None else None,
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        raw = resp.read()
+        status = resp.status
+        is_json = resp.getheader("Content-Type", "").startswith(
+            "application/json"
+        )
+    except (ConnectionError, OSError) as exc:
+        print(f"connection failed: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        conn.close()
+    if not is_json:
+        print(raw.decode())
+        return 0 if status == 200 else 1
+    body = _json.loads(raw)
+    if args.format == "json":
+        print(_json.dumps(body, indent=2))
+    elif args.action == "query" and status == 200:
+        oids = [c["oid"] for c in body["candidates"]]
+        tag = " (cached)" if body.get("cached") else ""
+        flag = " DEGRADED" if body.get("degraded") else ""
+        print(
+            f"{args.operator}: {body['count']} candidate(s) in "
+            f"{body['elapsed_ms']:.1f} ms{tag}{flag}: {oids}"
+        )
+    else:
+        print(_json.dumps(body, indent=2))
+    if status != 200:
+        return 1
+    # Mirror the search verb: degraded answers exit 3.
+    if args.action == "query" and body.get("degraded"):
+        return 3
+    return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -287,6 +561,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
     if args.command == "info":
         return _cmd_info()
     return 2  # pragma: no cover - argparse enforces the choices

@@ -112,6 +112,11 @@ class QueryContext:
         #: ``(site, reason)`` pairs for dominance decisions that defaulted
         #: to conservative non-dominance (capped; the counter keeps going).
         self.unresolved_events: list[tuple[str, str]] = []
+        #: :class:`repro.resilience.budget.DegradationReport` of the most
+        #: recent search run with this context (``None`` = exact).  Request
+        #: -scoped — unlike any shared search-instance state, concurrent
+        #: queries each hold their own context and cannot cross-observe.
+        self.degradation = None
         self.level_groups = level_groups
         self.metric = metric
         self.kernels = bool(kernels)

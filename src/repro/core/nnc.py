@@ -21,6 +21,7 @@ candidates as soon as they are certain, long before the traversal finishes.
 
 from __future__ import annotations
 
+import contextvars
 import heapq
 import itertools
 import time
@@ -42,6 +43,15 @@ from repro.resilience.budget import BudgetExhausted, DegradationReport
 from repro.resilience.faults import NumericalFault
 
 _TIE_TOL = 1e-9
+
+#: ``(id(search), report)`` of the most recent search finished in this
+#: thread/task.  A ContextVar (not module or instance state) so concurrent
+#: server requests sharing one :class:`NNCSearch` cannot observe each
+#: other's degradation reports; read through
+#: :attr:`NNCSearch.last_degradation`.
+_LAST_DEGRADATION: contextvars.ContextVar[tuple[int, object] | None] = (
+    contextvars.ContextVar("repro_last_degradation", default=None)
+)
 
 
 def _fault_reason(exc: Exception) -> str:
@@ -169,6 +179,12 @@ class NNCResult:
     yield_times: list[float] = field(default_factory=list)
     counters: Counters = field(default_factory=Counters)
     degradation: DegradationReport | None = None
+    #: Dominators found for each candidate (same order as ``candidates``),
+    #: capped at ``k``.  Exact enough for membership: a candidate's true
+    #: dominator count reaches ``k`` iff this one does (the k-skyband
+    #: counting equivalence) — the input to the scatter-gather refiner of
+    #: :mod:`repro.serve.shard`.  Conservative (drained) accepts report 0.
+    dominator_counts: list[int] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.candidates)
@@ -197,12 +213,31 @@ class NNCSearch:
         self, objects: Sequence[UncertainObject], global_fanout: int = 16
     ) -> None:
         self.objects = list(objects)
+        self._fanout = global_fanout
         entries = [(obj.mbr, obj) for obj in self.objects]
         self.tree = RTree.bulk_load(entries, max_entries=global_fanout)
-        #: Degradation report of the most recent search on this instance
-        #: (``None`` = exact); the escape hatch for :meth:`stream` consumers,
-        #: who have no :class:`NNCResult` to read it from.
-        self.last_degradation: DegradationReport | None = None
+        #: Deletion mask (tombstones): ids of objects logically removed but
+        #: still present in the R-tree.  Masked objects are skipped by every
+        #: search path; :meth:`compact` rebuilds the tree without them.
+        #: Cheap O(1) deletes for the dynamic-update path of ``repro.serve``
+        #: (a Guttman delete cascades reinserts; a mask does not).
+        self._masked: dict[int, UncertainObject] = {}
+
+    @property
+    def last_degradation(self) -> DegradationReport | None:
+        """Degradation report of this thread/task's most recent search here.
+
+        ``None`` = exact.  The escape hatch for :meth:`stream` consumers, who
+        have no :class:`NNCResult` to read the report from.  Backed by a
+        :class:`contextvars.ContextVar`, not instance state: concurrent
+        searches on one shared :class:`NNCSearch` (the serving layer runs
+        many requests against one index) each observe only their own report.
+        Prefer ``result.degradation`` / ``ctx.degradation`` where available.
+        """
+        entry = _LAST_DEGRADATION.get()
+        if entry is None or entry[0] != id(self):
+            return None
+        return entry[1]
 
     def add_object(self, obj: UncertainObject) -> None:
         """Insert a new object into the collection and the global R-tree.
@@ -222,7 +257,50 @@ class NNCSearch:
         if not self.tree.delete(obj.mbr, obj):
             return False
         self.objects = [o for o in self.objects if o is not obj]
+        self._masked.pop(id(obj), None)
         return True
+
+    def mask_object(self, obj: UncertainObject) -> bool:
+        """Logically delete ``obj`` without touching the R-tree (tombstone).
+
+        O(1): the entry stays in the index but every search skips it.  Call
+        :meth:`compact` periodically to rebuild the tree without tombstones
+        (``repro.serve.updates`` does so once the masked fraction passes its
+        rebuild threshold).
+
+        Returns:
+            True when the object belongs to this collection and was not
+            already masked.
+        """
+        key = id(obj)
+        if key in self._masked or not any(o is obj for o in self.objects):
+            return False
+        self._masked[key] = obj
+        return True
+
+    @property
+    def masked_count(self) -> int:
+        """Number of tombstoned (masked, not yet compacted) objects."""
+        return len(self._masked)
+
+    def live_objects(self) -> list[UncertainObject]:
+        """Objects not masked out (insertion order)."""
+        if not self._masked:
+            return list(self.objects)
+        return [o for o in self.objects if id(o) not in self._masked]
+
+    def compact(self) -> int:
+        """Rebuild the R-tree without tombstoned objects.
+
+        Returns the number of tombstones removed.
+        """
+        dropped = len(self._masked)
+        if dropped:
+            self.objects = self.live_objects()
+            self._masked.clear()
+            entries = [(obj.mbr, obj) for obj in self.objects]
+            self.tree = RTree.bulk_load(entries, max_entries=self._fanout)
+        return dropped
 
     # ------------------------------------------------------------------ #
 
@@ -233,6 +311,7 @@ class NNCSearch:
         *,
         k: int = 1,
         ctx: QueryContext | None = None,
+        seeds: Sequence[UncertainObject] = (),
     ) -> NNCResult:
         """Compute the full NN candidate set (batch form of Algorithm 1).
 
@@ -240,17 +319,29 @@ class NNCSearch:
         under the operator): objects dominated by fewer than ``k`` others —
         the natural candidate set for top-k NN queries.
 
+        ``seeds`` are known objects from *outside* this collection (e.g.
+        survivors of other shards in a scatter-gather search) that join the
+        accepted set as dominators/pruners but are never reported as
+        candidates.  Seeding is conservative: a seed can only add genuine
+        dominance wins, so the output restricted to this collection stays a
+        superset of the global answer (see ``repro.serve.shard``).
+
         With a budget or fault plan on ``ctx``, the result may be a flagged
         superset — check ``result.degradation`` (``None`` = exact).
         """
         result = NNCResult()
         start = time.perf_counter()
-        for candidate, when in self._stream_timed(query, operator, k=k, ctx=ctx):
+        if ctx is None:
+            ctx = QueryContext(query)
+        for candidate, when, dominators in self._stream_timed(
+            query, operator, k=k, ctx=ctx, seeds=seeds
+        ):
             result.candidates.append(candidate)
             result.yield_times.append(when)
+            result.dominator_counts.append(dominators)
         result.elapsed = time.perf_counter() - start
         result.counters = self._last_counters
-        result.degradation = self.last_degradation
+        result.degradation = ctx.degradation
         return result
 
     def stream(
@@ -260,9 +351,12 @@ class NNCSearch:
         *,
         k: int = 1,
         ctx: QueryContext | None = None,
+        seeds: Sequence[UncertainObject] = (),
     ) -> Iterator[UncertainObject]:
         """Yield (k-)NN candidates progressively (Figure 14)."""
-        for candidate, _ in self._stream_timed(query, operator, k=k, ctx=ctx):
+        for candidate, _, _ in self._stream_timed(
+            query, operator, k=k, ctx=ctx, seeds=seeds
+        ):
             yield candidate
 
     # ------------------------------------------------------------------ #
@@ -274,6 +368,7 @@ class NNCSearch:
         *,
         k: int = 1,
         ctx: QueryContext | None = None,
+        seeds: Sequence[UncertainObject] = (),
     ) -> Iterator[tuple[UncertainObject, float]]:
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -282,7 +377,8 @@ class NNCSearch:
         if ctx is None:
             ctx = QueryContext(query)
         self._last_counters = ctx.counters
-        self.last_degradation = None
+        ctx.degradation = None
+        _LAST_DEGRADATION.set((id(self), None))
         tracer = ctx.tracer
         traced = tracer.enabled
         metrics = ctx.metrics
@@ -330,6 +426,18 @@ class NNCSearch:
             accepted: list[list] = []
             pending: list[list] = []  # not yet yielded (same record objects)
             acc_idx = _AcceptedIndex()
+            if seeds:
+                # Foreign pre-accepted candidates (scatter-gather sharding):
+                # they prune entries and count as dominators exactly like
+                # locally accepted candidates, but never enter `pending`, so
+                # they are not reported.  Keyed by exact dmin so the ordered
+                # accept-tally accounting stays meaningful.
+                seed_records = sorted(
+                    ([s, ctx.min_distance(s), 0] for s in seeds),
+                    key=lambda rec: rec[1],
+                )
+                accepted.extend(seed_records)
+                acc_idx.bump()
             if budget is not None:
                 budget.arm()
             if faults is not None:
@@ -349,7 +457,7 @@ class NNCSearch:
                     if record[1] < key - _TIE_TOL:
                         pending.remove(record)
                         yielded += 1
-                        yield record[0], time.perf_counter() - start
+                        yield record[0], time.perf_counter() - start, record[2]
                 try:
                     if kind == 0:
                         node: RTreeNode = item  # type: ignore[assignment]
@@ -407,6 +515,8 @@ class NNCSearch:
                                 )
                         continue
                     obj: UncertainObject = item  # type: ignore[assignment]
+                    if self._masked and id(obj) in self._masked:
+                        continue  # tombstoned (see mask_object)
                     if kind == 1:
                         # Lazy refinement: re-key by the exact minimal distance
                         # (shares the context's cached distance matrix).
@@ -473,7 +583,7 @@ class NNCSearch:
                     break
             for record in pending:
                 yielded += 1
-                yield record[0], time.perf_counter() - start
+                yield record[0], time.perf_counter() - start, record[2]
             if aborted is not None:
                 # Conservative drain: the containment chain certifies that
                 # treating every unresolved dominance check as "not
@@ -493,12 +603,12 @@ class NNCSearch:
                     else:
                         members = [item_]
                     for member in members:
-                        if id(member) in seen:
+                        if id(member) in seen or id(member) in self._masked:
                             continue
                         seen.add(id(member))
                         conservative += 1
                         yielded += 1
-                        yield member, time.perf_counter() - start
+                        yield member, time.perf_counter() - start, 0
         finally:
             unresolved = (
                 ctx.counters.extra.get("unresolved_checks", 0) - base_unresolved
@@ -533,7 +643,8 @@ class NNCSearch:
                     spent=budget.spent() if budget is not None else {},
                     events=events,
                 )
-            self.last_degradation = report
+            ctx.degradation = report
+            _LAST_DEGRADATION.set((id(self), report))
             if root_span is not None:
                 root_span.__exit__(None, None, None)
             if metrics is not None:

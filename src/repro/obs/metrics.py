@@ -25,7 +25,21 @@ name                               type        labels
 ``repro_degraded_queries_total``   counter     ``operator``, ``reason``
 ``repro_validation_issues_total``  counter     ``code``, ``action``
 ``repro_quarantined_objects_total`` counter    ``policy``
+``repro_serve_requests_total``     counter     ``route``, ``status``
+``repro_serve_request_seconds``    histogram   ``route``
+``repro_serve_inflight``           gauge       (none)
+``repro_serve_shard_fanout``       histogram   ``operator``
+``repro_serve_cache_hits_total``   counter     (none)
+``repro_serve_cache_misses_total`` counter     (none)
+``repro_serve_cache_evictions_total`` counter  (none)
+``repro_serve_cache_size``         gauge       (none)
+``repro_serve_updates_total``      counter     ``op``
+``repro_serve_epoch``              gauge       (none)
+``repro_serve_objects``            gauge       (none)
 ================================== =========== ==================================
+
+The ``repro_serve_*`` families are fed by :mod:`repro.serve` (server
+admission, result cache, sharded fan-out, dataset epoch/size).
 
 ``repro_counter_total`` mirrors :meth:`repro.core.counters.Counters.snapshot`
 field for field (per query, per operator), so the Prometheus export always
@@ -34,6 +48,7 @@ reconciles with the in-process counter bag.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Any, Iterable
 
@@ -145,14 +160,18 @@ class Histogram:
 class MetricsRegistry:
     """Get-or-create registry of labelled metrics.
 
-    Thread-unsafe by design (the search is single-threaded); sharing one
-    registry across sequential queries aggregates them.
+    Registry *structure* (instrument creation, family iteration, export) is
+    guarded by an RLock so the serving layer can share one registry across
+    concurrent request threads.  Individual instrument updates stay
+    lock-free: a lost increment under extreme contention is acceptable for
+    telemetry, a corrupted registry dict is not.
     """
 
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, _LabelKey], Any] = {}
         self._kinds: dict[str, str] = {}
         self._help: dict[str, str] = {}
+        self._lock = threading.RLock()
 
     # -------------------------- instruments --------------------------- #
 
@@ -176,18 +195,19 @@ class MetricsRegistry:
 
     def _get(self, name, labels, cls, args, help):
         key = (name, _label_key(labels))
-        known = self._kinds.setdefault(name, cls.kind)
-        if known != cls.kind:
-            raise ValueError(
-                f"metric {name!r} already registered as {known}, not {cls.kind}"
-            )
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = cls(*args)
-            self._metrics[key] = metric
-            if help:
-                self._help.setdefault(name, help)
-        return metric
+        with self._lock:
+            known = self._kinds.setdefault(name, cls.kind)
+            if known != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {known}, not {cls.kind}"
+                )
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(*args)
+                self._metrics[key] = metric
+                if help:
+                    self._help.setdefault(name, help)
+            return metric
 
     # -------------------------- conveniences -------------------------- #
 
@@ -225,9 +245,9 @@ class MetricsRegistry:
     def families(self) -> dict[str, list[tuple[_LabelKey, Any]]]:
         """Metrics grouped by family name (stable label order)."""
         out: dict[str, list[tuple[_LabelKey, Any]]] = {}
-        for (name, labels), metric in sorted(
-            self._metrics.items(), key=lambda item: item[0]
-        ):
+        with self._lock:
+            items = sorted(self._metrics.items(), key=lambda item: item[0])
+        for (name, labels), metric in items:
             out.setdefault(name, []).append((labels, metric))
         return out
 

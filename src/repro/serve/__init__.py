@@ -1,0 +1,36 @@
+"""Serving layer: sharded, cached, concurrent NNC queries with updates.
+
+Layers (bottom-up):
+
+* :mod:`repro.serve.shard` — scatter-gather search over K shards, pinned
+  equal to the single-shard answer via the Theorem-3 superset argument.
+* :mod:`repro.serve.cache` — versioned LRU result cache keyed by dataset
+  epoch (stale hits are structurally impossible).
+* :mod:`repro.serve.updates` — dynamic inserts/deletes with validation,
+  tombstone deletes, periodic compaction, and epoch bumps.
+* :mod:`repro.serve.protocol` / :mod:`repro.serve.server` — JSON-over-HTTP
+  front end (stdlib asyncio) with budget admission and graceful drain.
+"""
+
+from repro.serve.cache import ResultCache, query_digest
+from repro.serve.shard import (
+    BACKENDS,
+    PARTITIONERS,
+    ShardedResult,
+    ShardedSearch,
+    partition_centroid,
+    partition_round_robin,
+)
+from repro.serve.updates import DatasetManager
+
+__all__ = [
+    "BACKENDS",
+    "PARTITIONERS",
+    "DatasetManager",
+    "ResultCache",
+    "ShardedResult",
+    "ShardedSearch",
+    "partition_centroid",
+    "partition_round_robin",
+    "query_digest",
+]

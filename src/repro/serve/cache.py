@@ -1,0 +1,134 @@
+"""Versioned LRU result cache for served NNC queries.
+
+Keys embed the **dataset epoch** (bumped by every insert/delete in
+:mod:`repro.serve.updates`), so a stale hit after an update is structurally
+impossible: the post-update key differs and misses.  No invalidation
+scanning is needed — superseded entries simply age out of the LRU.
+
+Payloads are the JSON-ready response dicts of :mod:`repro.serve.protocol`
+(plain data, safe to share across threads).  Degraded answers are *not*
+cached: a budget-truncated superset reflects one request's budget, not the
+dataset, and the next request may afford the exact answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from repro.objects.uncertain import UncertainObject
+
+__all__ = ["ResultCache", "query_digest"]
+
+
+def query_digest(query: UncertainObject) -> str:
+    """Content digest of a query object (instances + weights).
+
+    The ``oid`` is deliberately excluded: two requests shipping the same
+    instance cloud are the same query.
+    """
+    h = hashlib.sha1()
+    pts = np.ascontiguousarray(query.points, dtype=np.float64)
+    ps = np.ascontiguousarray(query.probs, dtype=np.float64)
+    h.update(str(pts.shape).encode())
+    h.update(pts.tobytes())
+    h.update(ps.tobytes())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Thread-safe LRU cache keyed by (epoch, operator, metric, k, digest).
+
+    Args:
+        capacity: maximum number of entries (0 disables caching).
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`; feeds
+            ``repro_serve_cache_hits_total`` / ``_misses_total`` /
+            ``_evictions_total`` and the ``repro_serve_cache_size`` gauge.
+    """
+
+    def __init__(self, capacity: int = 256, *, metrics: Any = None) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(
+        epoch: int,
+        operator: str,
+        metric: str,
+        k: int,
+        query: UncertainObject,
+    ) -> tuple:
+        """Cache key for one query request against one dataset version."""
+        return (epoch, operator, metric, k, query_digest(query))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Any | None:
+        """Cached payload for ``key`` (LRU-refreshed), or None on miss."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        if self.metrics is not None:
+            name = (
+                "repro_serve_cache_hits_total"
+                if payload is not None
+                else "repro_serve_cache_misses_total"
+            )
+            self.metrics.inc(name)
+        return payload
+
+    def put(self, key: tuple, payload: Any) -> None:
+        """Store ``payload``; evicts the least recently used past capacity."""
+        if self.capacity == 0:
+            return
+        evicted = 0
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+            size = len(self._entries)
+        if self.metrics is not None:
+            if evicted:
+                self.metrics.inc("repro_serve_cache_evictions_total", evicted)
+            self.metrics.set_gauge("repro_serve_cache_size", size)
+
+    def clear(self) -> int:
+        """Drop every entry (epoch keys make this unnecessary for updates)."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+        if self.metrics is not None:
+            self.metrics.set_gauge("repro_serve_cache_size", 0)
+        return n
+
+    def stats(self) -> dict[str, int | float]:
+        """Hit/miss/eviction tallies and the current hit ratio."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_ratio": (self.hits / total) if total else 0.0,
+            }

@@ -1,0 +1,192 @@
+"""JSON request/response shapes for the NNC query service.
+
+Kept separate from the transport so the CLI client, the server, tests, and
+the smoke runner all speak one dialect.  Parsing is strict: unknown
+operators, malformed arrays, and bad budgets fail with
+:class:`ProtocolError` (mapped to HTTP 400) before any engine code runs.
+
+Request shapes (all POST bodies)::
+
+    /query  {"points": [[..],..], "probs": [..]?, "operator": "FSD",
+             "k": 1?, "metric": "euclidean"?, "cache": true?,
+             "budget": {"deadline_ms": ..?, "max_dominance_checks": ..?,
+                        "max_flow_augmentations": ..?}?}
+    /insert {"points": [[..],..], "probs": [..]?, "oid": ..?}
+    /delete {"oid": ..}
+
+The query response mirrors the CLI ``--format json`` output: candidates
+with final dominator counts, the serving epoch the answer is valid for,
+and a ``degraded`` flag with the PR-3 report when the answer is a
+certified superset instead of exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.operators import OperatorKind
+from repro.objects.uncertain import UncertainObject
+from repro.resilience.budget import Budget
+
+__all__ = [
+    "OPERATOR_NAMES",
+    "ProtocolError",
+    "parse_query_request",
+    "parse_insert_request",
+    "parse_delete_request",
+    "query_response",
+    "insert_response",
+    "delete_response",
+    "error_body",
+]
+
+OPERATOR_NAMES: tuple[str, ...] = tuple(kind.value for kind in OperatorKind)
+
+_BUDGET_FIELDS = ("deadline_ms", "max_dominance_checks", "max_flow_augmentations")
+
+
+class ProtocolError(ValueError):
+    """A malformed request body (HTTP 400)."""
+
+
+def _require_dict(payload: Any) -> dict:
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return payload
+
+
+def _parse_object(payload: dict, *, oid=None) -> UncertainObject:
+    points = payload.get("points")
+    if points is None:
+        raise ProtocolError("missing 'points'")
+    probs = payload.get("probs")
+    try:
+        pts = np.asarray(points, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad 'points': {exc}")
+    if pts.ndim != 2:
+        raise ProtocolError("'points' must be a 2-D array of instances")
+    try:
+        return UncertainObject(pts, probs, oid=oid, normalize=True)
+    except ValueError as exc:
+        raise ProtocolError(str(exc))
+
+
+def _parse_budget(spec: Any) -> Budget | None:
+    if spec is None:
+        return None
+    if not isinstance(spec, dict):
+        raise ProtocolError("'budget' must be an object")
+    unknown = set(spec) - set(_BUDGET_FIELDS)
+    if unknown:
+        raise ProtocolError(f"unknown budget fields: {sorted(unknown)}")
+    kwargs = {}
+    for name in _BUDGET_FIELDS:
+        value = spec.get(name)
+        if value is None:
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ProtocolError(f"budget.{name} must be a number")
+        kwargs[name] = value if name == "deadline_ms" else int(value)
+    if not kwargs:
+        return None
+    try:
+        return Budget(**kwargs)
+    except ValueError as exc:
+        raise ProtocolError(str(exc))
+
+
+def parse_query_request(payload: Any) -> dict:
+    """Validate a /query body into engine-ready pieces.
+
+    Returns:
+        dict with ``query`` (UncertainObject), ``operator`` (name),
+        ``k``, ``metric``, ``budget`` (Budget or None), ``cache`` (bool).
+    """
+    payload = _require_dict(payload)
+    operator = payload.get("operator", "FSD")
+    if operator not in OPERATOR_NAMES:
+        raise ProtocolError(
+            f"unknown operator {operator!r}; expected one of {OPERATOR_NAMES}"
+        )
+    k = payload.get("k", 1)
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ProtocolError("'k' must be a positive integer")
+    metric = payload.get("metric", "euclidean")
+    if not isinstance(metric, str):
+        raise ProtocolError("'metric' must be a string")
+    cache = payload.get("cache", True)
+    if not isinstance(cache, bool):
+        raise ProtocolError("'cache' must be a boolean")
+    return {
+        "query": _parse_object(payload, oid=payload.get("oid", "Q")),
+        "operator": operator,
+        "k": k,
+        "metric": metric,
+        "budget": _parse_budget(payload.get("budget")),
+        "cache": cache,
+    }
+
+
+def parse_insert_request(payload: Any) -> UncertainObject:
+    """Validate an /insert body into an object (oid may be None)."""
+    payload = _require_dict(payload)
+    oid = payload.get("oid")
+    if oid is not None and not isinstance(oid, (int, str)):
+        raise ProtocolError("'oid' must be an integer or string")
+    return _parse_object(payload, oid=oid)
+
+
+def parse_delete_request(payload: Any):
+    """Validate a /delete body into its oid."""
+    payload = _require_dict(payload)
+    if "oid" not in payload:
+        raise ProtocolError("missing 'oid'")
+    oid = payload["oid"]
+    if not isinstance(oid, (int, str)):
+        raise ProtocolError("'oid' must be an integer or string")
+    return oid
+
+
+# ------------------------------ responses ----------------------------- #
+
+def query_response(result, epoch: int, *, cached: bool = False) -> dict:
+    """JSON body for a sharded query result (see module docstring)."""
+    degradation = (
+        result.degradation.to_dict() if result.degradation is not None else None
+    )
+    return {
+        "candidates": [
+            {"oid": obj.oid, "dominators": count}
+            for obj, count in zip(result.candidates, result.dominator_counts)
+        ],
+        "count": len(result.candidates),
+        "degraded": result.degradation is not None,
+        "degradation": degradation,
+        "elapsed_ms": result.elapsed * 1000.0,
+        "epoch": epoch,
+        "cached": cached,
+        "shards": result.shards,
+        "backend": result.backend,
+        "fanout": result.fanout,
+        "refine_checks": result.refine_checks,
+    }
+
+
+def insert_response(oid, epoch: int) -> dict:
+    """JSON body acknowledging an insert at its new epoch."""
+    return {"oid": oid, "epoch": epoch, "inserted": True}
+
+
+def delete_response(oid, epoch: int) -> dict:
+    """JSON body acknowledging a delete at its new epoch."""
+    return {"oid": oid, "epoch": epoch, "deleted": True}
+
+
+def error_body(message: str, **extra) -> dict:
+    """JSON error body; ``extra`` keys ride along (e.g. a report)."""
+    body = {"error": message}
+    body.update(extra)
+    return body

@@ -1,0 +1,399 @@
+"""Asyncio JSON-over-HTTP front end for the sharded NNC service.
+
+Stdlib only: a hand-rolled HTTP/1.1 loop over ``asyncio.start_server``
+(``Connection: close`` per request — the protocol surface stays tiny and
+auditable).  Engine work runs on a thread-pool executor so the event loop
+never blocks on a search; NumPy kernels release the GIL for the heavy
+part.
+
+Admission control (ISSUE: per-request budget admission):
+
+* ``max_inflight`` concurrent engine requests; beyond that → **429** with
+  ``Retry-After`` (load shedding, the request was never started).
+* draining (SIGTERM/SIGINT) → **503** for new engine requests while
+  in-flight ones finish; ``/healthz`` and ``/metrics`` keep answering.
+* a per-request :class:`repro.resilience.budget.Budget` (from the request
+  body, else the server default) bounds each search; exhaustion returns a
+  normal **200** with ``degraded: true`` — the PR-3 certified superset,
+  the HTTP twin of the CLI's exit code 3.
+
+Metric families (``repro_serve_*``) land in the shared registry exported
+at ``/metrics``; see :mod:`repro.obs.metrics` for the catalogue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.objects.validate import InvalidInputError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.budget import Budget
+from repro.serve import protocol
+from repro.serve.cache import ResultCache
+from repro.serve.updates import (
+    DatasetManager,
+    DuplicateOidError,
+    UnknownOidError,
+)
+
+__all__ = ["ServeApp", "NNCServer"]
+
+_MAX_BODY = 16 * 1024 * 1024
+_MAX_HEADER = 64 * 1024
+
+
+class ServeApp:
+    """Transport-independent request handlers (shared by server and tests).
+
+    Args:
+        manager: the dataset.
+        cache: result cache (None disables caching).
+        registry: metrics registry; created when None so ``/metrics``
+            always works.
+        max_inflight: concurrent engine-request cap (admission control).
+        default_budget: limits dict applied when a query carries none
+            (e.g. ``{"deadline_ms": 2000}``); None = unbudgeted default.
+    """
+
+    def __init__(
+        self,
+        manager: DatasetManager,
+        *,
+        cache: ResultCache | None = None,
+        registry: MetricsRegistry | None = None,
+        max_inflight: int = 8,
+        default_budget: dict | None = None,
+    ) -> None:
+        self.manager = manager
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.cache = cache
+        self.max_inflight = max_inflight
+        self.default_budget = dict(default_budget) if default_budget else None
+        self.draining = False
+        self._inflight = 0
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+
+    # --------------------------- admission ----------------------------- #
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def try_acquire(self) -> bool:
+        """Reserve an engine-request slot; False = saturated (429)."""
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                return False
+            self._inflight += 1
+            self.registry.set_gauge("repro_serve_inflight", self._inflight)
+            return True
+
+    def release(self) -> None:
+        """Return an engine-request slot taken by :meth:`try_acquire`."""
+        with self._lock:
+            self._inflight -= 1
+            self.registry.set_gauge("repro_serve_inflight", self._inflight)
+
+    def _observe(self, route: str, status: int, elapsed: float) -> None:
+        self.registry.inc(
+            "repro_serve_requests_total",
+            1,
+            {"route": route, "status": str(status)},
+        )
+        self.registry.observe(
+            "repro_serve_request_seconds", elapsed, {"route": route}
+        )
+
+    # --------------------------- handlers ------------------------------ #
+
+    def handle(self, method: str, path: str, payload: Any) -> tuple[int, dict]:
+        """Route one parsed request; returns ``(status, json_body)``."""
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, self.healthz()
+            if method == "GET" and path == "/metrics":
+                # Caller special-cases the content type; body is text.
+                return 200, {"text": self.registry.to_prometheus()}
+            if method != "POST" or path not in ("/query", "/insert", "/delete"):
+                return 404, protocol.error_body(f"no route {method} {path}")
+            if path == "/query":
+                return self.handle_query(payload)
+            if path == "/insert":
+                return self.handle_insert(payload)
+            return self.handle_delete(payload)
+        except protocol.ProtocolError as exc:
+            return 400, protocol.error_body(str(exc))
+        except InvalidInputError as exc:
+            return 422, protocol.error_body(
+                "validation failed", report=exc.report.to_dict()
+            )
+        except DuplicateOidError as exc:
+            return 409, protocol.error_body(str(exc))
+        except UnknownOidError as exc:
+            return 404, protocol.error_body(f"unknown oid {exc.args[0]!r}")
+
+    def dispatch(self, method: str, path: str, payload: Any) -> tuple[int, dict]:
+        """handle() plus request metrics (single entry point for servers)."""
+        start = time.perf_counter()
+        status, body = self.handle(method, path, payload)
+        self._observe(path, status, time.perf_counter() - start)
+        return status, body
+
+    def handle_query(self, payload: Any) -> tuple[int, dict]:
+        """POST /query: cache lookup, sharded search, epoch-keyed store."""
+        req = protocol.parse_query_request(payload)
+        budget = req["budget"]
+        if budget is None and self.default_budget:
+            budget = Budget(**self.default_budget)
+        # Budgeted answers depend on the request's budget, not just the
+        # dataset — never cached, never served from cache.
+        use_cache = self.cache is not None and req["cache"] and budget is None
+        if use_cache:
+            key = ResultCache.key(
+                self.manager.epoch, req["operator"], req["metric"],
+                req["k"], req["query"],
+            )
+            hit = self.cache.get(key)
+            if hit is not None:
+                body = dict(hit)
+                body["cached"] = True
+                return 200, body
+        result, epoch = self.manager.query(
+            req["query"], req["operator"], k=req["k"],
+            metric=req["metric"], budget=budget,
+        )
+        body = protocol.query_response(result, epoch)
+        if use_cache and result.degradation is None:
+            # Keyed by the epoch the answer was computed under (atomic with
+            # the search), so a concurrent update can't version-skew it.
+            self.cache.put(
+                ResultCache.key(
+                    epoch, req["operator"], req["metric"],
+                    req["k"], req["query"],
+                ),
+                body,
+            )
+        return 200, body
+
+    def handle_insert(self, payload: Any) -> tuple[int, dict]:
+        """POST /insert: validate and index one object (422/409 on failure)."""
+        obj = protocol.parse_insert_request(payload)
+        oid, epoch = self.manager.insert(obj.points, obj.probs, oid=obj.oid)
+        self.registry.inc("repro_serve_updates_total", 1, {"op": "insert"})
+        return 200, protocol.insert_response(oid, epoch)
+
+    def handle_delete(self, payload: Any) -> tuple[int, dict]:
+        """POST /delete: tombstone by oid (404 when not live)."""
+        oid = protocol.parse_delete_request(payload)
+        _, epoch = self.manager.delete(oid)
+        self.registry.inc("repro_serve_updates_total", 1, {"op": "delete"})
+        return 200, protocol.delete_response(oid, epoch)
+
+    def healthz(self) -> dict:
+        """GET /healthz body: liveness, epoch, sizes, cache stats."""
+        return {
+            "status": "draining" if self.draining else "ok",
+            "epoch": self.manager.epoch,
+            "objects": self.manager.size,
+            "shards": self.manager.search.shards,
+            "backend": self.manager.search.backend,
+            "inflight": self._inflight,
+            "uptime_s": time.time() - self.started_at,
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
+
+
+class NNCServer:
+    """Asyncio HTTP server wrapping a :class:`ServeApp`.
+
+    Usage::
+
+        server = NNCServer(app, host="127.0.0.1", port=8080)
+        asyncio.run(server.run())          # serves until SIGTERM/SIGINT
+
+    or, embedded (tests / smoke)::
+
+        await server.start()               # binds; server.port is real
+        ...
+        await server.drain()
+    """
+
+    def __init__(
+        self,
+        app: ServeApp,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self.drain_timeout = drain_timeout
+        self._server: asyncio.AbstractServer | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2, app.max_inflight),
+            thread_name_prefix="repro-serve",
+        )
+
+    async def start(self) -> None:
+        """Bind and start accepting; updates ``self.port`` when it was 0."""
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def run(self) -> None:
+        """Serve until SIGTERM/SIGINT, then drain gracefully."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await stop.wait()
+        await self.drain()
+
+    async def drain(self) -> None:
+        """Stop accepting, let in-flight requests finish, release workers."""
+        self.app.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.drain_timeout
+        while self.app.inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        self._executor.shutdown(wait=True)
+        self.app.manager.close()
+
+    # ----------------------------- plumbing ---------------------------- #
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                await self._respond(
+                    writer, 400, protocol.error_body("malformed request")
+                )
+                return
+            method, path, payload = request
+            await self._route(writer, method, path, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=30.0
+            )
+        except (asyncio.LimitOverrunError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError):
+            return None
+        if len(head) > _MAX_HEADER:
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return None
+        method, target, _version = parts
+        path = target.split("?", 1)[0]
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, value = line.split(":", 1)
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length < 0 or length > _MAX_BODY:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        payload = None
+        if body:
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError:
+                return None
+        return method.upper(), path, payload
+
+    async def _route(self, writer, method: str, path: str, payload) -> None:
+        app = self.app
+        engine_route = method == "POST" and path in (
+            "/query", "/insert", "/delete"
+        )
+        if engine_route and app.draining:
+            app._observe(path, 503, 0.0)
+            await self._respond(
+                writer, 503, protocol.error_body("draining"),
+                headers=[("Retry-After", "1")],
+            )
+            return
+        if engine_route:
+            if not app.try_acquire():
+                app._observe(path, 429, 0.0)
+                await self._respond(
+                    writer, 429, protocol.error_body("saturated"),
+                    headers=[("Retry-After", "1")],
+                )
+                return
+            loop = asyncio.get_running_loop()
+            try:
+                status, body = await loop.run_in_executor(
+                    self._executor, app.dispatch, method, path, payload
+                )
+            finally:
+                app.release()
+            await self._respond(writer, status, body)
+            return
+        status, body = app.dispatch(method, path, payload)
+        if path == "/metrics" and status == 200:
+            await self._respond_text(writer, 200, body["text"])
+        else:
+            await self._respond(writer, status, body)
+
+    async def _respond(
+        self, writer, status: int, body: dict, headers=None
+    ) -> None:
+        data = json.dumps(body).encode()
+        await self._write(
+            writer, status, data, "application/json", headers
+        )
+
+    async def _respond_text(self, writer, status: int, text: str) -> None:
+        await self._write(
+            writer, status, text.encode(), "text/plain; version=0.0.4"
+        )
+
+    async def _write(
+        self, writer, status: int, data: bytes, ctype: str, headers=None
+    ) -> None:
+        reason = {
+            200: "OK", 400: "Bad Request", 404: "Not Found",
+            409: "Conflict", 422: "Unprocessable Entity",
+            429: "Too Many Requests", 503: "Service Unavailable",
+        }.get(status, "Error")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {ctype}",
+            f"Content-Length: {len(data)}",
+            "Connection: close",
+        ]
+        for name, value in headers or ():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + data)
+        await writer.drain()

@@ -1,0 +1,680 @@
+"""Sharded scatter-gather NNC search, exact by the Theorem-3 argument.
+
+The object set is partitioned into K shards, Algorithm 1 runs per shard,
+and a cross-shard refiner eliminates survivors dominated from other shards.
+Correctness rests on two facts (DESIGN.md §13):
+
+1. **Per-shard supersets.** A shard's k-NNC is computed against fewer
+   objects, so every globally surviving object survives its own shard:
+   the union of shard answers is a superset of the global answer.
+2. **Skyband counting equivalence.** If ``u`` dominates ``v`` but ``u`` is
+   not in its shard's k-skyband, then at least ``k`` shard members dominate
+   ``u`` — and by transitivity (all five operators are strict partial
+   orders) they dominate ``v`` too.  Counting dominators of ``v`` among
+   *survivors only*, capped at ``k``, therefore reaches ``k`` exactly when
+   the true global count does.  The refiner never needs eliminated objects.
+
+Backends:
+
+* ``serial`` — cascade: shards ordered by min-distance to the query; each
+  shard search is *seeded* with the survivors found so far, so earlier
+  survivors prune later shards and per-survivor counts already cover all
+  earlier shards.  The refiner then only checks later-shard survivors.
+* ``thread`` — independent shard searches on a thread pool (helps when the
+  per-shard work releases the GIL inside NumPy kernels).
+* ``process`` — fork-based ``multiprocessing`` pool; workers inherit the
+  shard indexes by fork, results travel back as indices.  The pool is
+  invalidated on any mutation and lazily re-forked.
+* ``auto`` — ``serial`` on one core or one shard, else ``process`` where
+  ``fork`` exists, else ``thread``.
+
+The refine filter ``min(U_Q) <= min(V_Q) + tol`` is sound for all five
+operators: dominance of ``v`` by ``u`` requires ``u`` to be at least as
+close in the best case (Definition 5 / Theorem 4 lower-bound corner), so a
+strictly farther minimum distance can never dominate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.context import QueryContext
+from repro.core.counters import Counters
+from repro.core.nnc import NNCSearch
+from repro.core.operators import OperatorKind, _BaseOperator, make_operator
+from repro.objects.uncertain import UncertainObject
+from repro.obs.metrics import query_metrics_from_counters
+from repro.resilience.budget import Budget, BudgetExhausted, DegradationReport
+
+__all__ = [
+    "BACKENDS",
+    "PARTITIONERS",
+    "FANOUT_BUCKETS",
+    "ShardedResult",
+    "ShardedSearch",
+    "partition_centroid",
+    "partition_round_robin",
+]
+
+#: Safety margin for the refine filter (exact distances; the margin only
+#: admits a few extra candidate pairs, never drops one).
+_REFINE_TOL = 1e-7
+
+BACKENDS: tuple[str, ...] = ("auto", "serial", "thread", "process")
+
+FANOUT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+"""Histogram buckets for the per-query shard fan-out metric."""
+
+
+# --------------------------------------------------------------------- #
+# Partitioners
+# --------------------------------------------------------------------- #
+
+def partition_round_robin(
+    objects: Sequence[UncertainObject], shards: int
+) -> list[list[UncertainObject]]:
+    """Deal objects round-robin into ``shards`` lists (load-balanced)."""
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    return [list(objects[i::shards]) for i in range(shards)]
+
+
+def partition_centroid(
+    objects: Sequence[UncertainObject],
+    shards: int,
+    *,
+    iterations: int = 8,
+    seed: int = 0,
+) -> list[list[UncertainObject]]:
+    """Spatial partition: k-means over MBR centers (deterministic).
+
+    Farthest-point initialisation from a seeded pick, a few Lloyd rounds,
+    then empty shards (possible with degenerate geometry) are repaired by
+    stealing the farthest member of the largest shard.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    objects = list(objects)
+    if shards == 1 or len(objects) <= shards:
+        # Degenerate: round-robin gives the same one-object-per-shard split.
+        return partition_round_robin(objects, shards)
+    centers = np.array(
+        [(o.mbr.lo + o.mbr.hi) / 2.0 for o in objects], dtype=float
+    )
+    rng = np.random.default_rng(seed)
+    picked = [int(rng.integers(len(objects)))]
+    best = ((centers - centers[picked[0]]) ** 2).sum(axis=1)
+    for _ in range(shards - 1):
+        nxt = int(np.argmax(best))
+        picked.append(nxt)
+        best = np.minimum(best, ((centers - centers[nxt]) ** 2).sum(axis=1))
+    cents = centers[picked].copy()
+    assign = np.zeros(len(objects), dtype=int)
+    for _ in range(max(1, iterations)):
+        d2 = ((centers[:, None, :] - cents[None, :, :]) ** 2).sum(axis=2)
+        assign = d2.argmin(axis=1)
+        for j in range(shards):
+            mask = assign == j
+            if mask.any():
+                cents[j] = centers[mask].mean(axis=0)
+    while True:
+        sizes = np.bincount(assign, minlength=shards)
+        empties = np.flatnonzero(sizes == 0)
+        if empties.size == 0:
+            break
+        donor = int(sizes.argmax())
+        members = np.flatnonzero(assign == donor)
+        far = members[
+            int(np.argmax(((centers[members] - cents[donor]) ** 2).sum(axis=1)))
+        ]
+        assign[far] = int(empties[0])
+    return [
+        [objects[i] for i in np.flatnonzero(assign == j)] for j in range(shards)
+    ]
+
+
+PARTITIONERS: dict[str, Callable[..., list[list[UncertainObject]]]] = {
+    "round-robin": partition_round_robin,
+    "centroid": partition_centroid,
+}
+
+
+def _mbr_min_dist(q_lo, q_hi, lo, hi) -> float:
+    gap = np.maximum(0.0, np.maximum(lo - q_hi, q_lo - hi))
+    return float(np.sqrt((gap * gap).sum()))
+
+
+# --------------------------------------------------------------------- #
+# Result
+# --------------------------------------------------------------------- #
+
+@dataclass
+class ShardedResult:
+    """Outcome of a scatter-gather NNC search.
+
+    ``candidates`` are sorted by exact min-distance (ties by shard order)
+    and, absent degradation, are exactly the single-process answer set.
+    """
+
+    candidates: list[UncertainObject] = field(default_factory=list)
+    #: Final dominator counts after cross-shard refinement, capped at ``k``.
+    dominator_counts: list[int] = field(default_factory=list)
+    elapsed: float = 0.0
+    shards: int = 0
+    backend: str = "serial"
+    #: One dict per shard: ``objects``, ``survivors``, ``elapsed``,
+    #: ``degraded``.
+    per_shard: list[dict] = field(default_factory=list)
+    #: Cross-shard dominance checks spent by the refiner.
+    refine_checks: int = 0
+    #: Shards that contributed at least one pre-refine survivor.
+    fanout: int = 0
+    degradation: DegradationReport | None = None
+    counters: Counters = field(default_factory=Counters)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def exact(self) -> bool:
+        """Whether every shard answered exactly (no degradation)."""
+        return self.degradation is None
+
+    def oids(self) -> list:
+        """Candidate object ids in final (min-distance) order."""
+        return [c.oid for c in self.candidates]
+
+
+# --------------------------------------------------------------------- #
+# Fork-pool worker plumbing
+# --------------------------------------------------------------------- #
+
+#: Shard searches inherited by fork; set immediately before the pool is
+#: created so workers snapshot exactly the current dataset version.
+_FORK_SEARCHES: list[NNCSearch] | None = None
+
+
+def _fork_run_one(task: tuple) -> tuple:
+    """Run one shard search in a pool worker; results travel as indices."""
+    shard_idx, query, operator, k, metric, kernels, limits = task
+    search = _FORK_SEARCHES[shard_idx]
+    budget = Budget(**limits) if limits is not None else None
+    ctx = QueryContext(query, metric=metric, kernels=kernels, budget=budget)
+    result = search.run(query, operator, k=k, ctx=ctx)
+    index_of = {id(o): i for i, o in enumerate(search.objects)}
+    idxs = [index_of[id(c)] for c in result.candidates]
+    report = (
+        result.degradation.to_dict() if result.degradation is not None else None
+    )
+    return (
+        idxs,
+        list(result.dominator_counts),
+        result.elapsed,
+        report,
+        result.counters.snapshot(),
+    )
+
+
+def _counters_from_snapshot(snap: dict) -> Counters:
+    c = Counters()
+    names = {f.name for f in c.__dataclass_fields__.values()} - {"extra"}
+    for key, value in snap.items():
+        if key in names:
+            setattr(c, key, value)
+        elif key.startswith("extra."):
+            c.extra[key[len("extra."):]] = value
+        else:
+            c.extra[key] = value
+    return c
+
+
+def _report_from_dict(d: dict) -> DegradationReport:
+    return DegradationReport(
+        reason=d["reason"],
+        site=d["site"],
+        phase=d["phase"],
+        unresolved_checks=d["unresolved_checks"],
+        conservative_accepts=d["conservative_accepts"],
+        elapsed_ms=d["elapsed_ms"],
+        budget=d.get("budget"),
+        spent=dict(d.get("spent") or {}),
+        events=[tuple(e) for e in d.get("events") or []],
+    )
+
+
+# --------------------------------------------------------------------- #
+# ShardedSearch
+# --------------------------------------------------------------------- #
+
+class ShardedSearch:
+    """K-shard scatter-gather NNC search with a cross-shard refiner.
+
+    Args:
+        objects: the dataset (partitioned once at construction).
+        shards: number of shards K.
+        partitioner: one of :data:`PARTITIONERS`.
+        backend: one of :data:`BACKENDS` (``auto`` picks per the machine).
+        global_fanout: R-tree fan-out per shard.
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`; feeds
+            the ``repro_serve_shard_fanout`` histogram per query.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[UncertainObject],
+        *,
+        shards: int = 1,
+        partitioner: str = "round-robin",
+        backend: str = "auto",
+        global_fanout: int = 16,
+        metrics: Any = None,
+    ) -> None:
+        if partitioner not in PARTITIONERS:
+            raise ValueError(
+                f"unknown partitioner {partitioner!r}; "
+                f"expected one of {tuple(PARTITIONERS)}"
+            )
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.partitioner = partitioner
+        self.requested_backend = backend
+        self.metrics = metrics
+        self._fanout = global_fanout
+        parts = PARTITIONERS[partitioner](list(objects), shards)
+        self.searches = [NNCSearch(p, global_fanout) for p in parts]
+        #: Shard centroids (MBR centers) for partitioner-aware inserts;
+        #: empty shards get +inf so they never attract until refilled.
+        self._centroids = self._compute_centroids()
+        self._pool = None
+        self._executor: ThreadPoolExecutor | None = None
+
+    # ------------------------------ topology --------------------------- #
+
+    @property
+    def shards(self) -> int:
+        return len(self.searches)
+
+    @property
+    def backend(self) -> str:
+        """The backend actually used (``auto`` resolved per machine)."""
+        backend = self.requested_backend
+        if backend != "auto":
+            return backend
+        if self.shards <= 1 or (os.cpu_count() or 1) <= 1:
+            return "serial"
+        if "fork" in multiprocessing.get_all_start_methods():
+            return "process"
+        return "thread"
+
+    def shard_sizes(self) -> list[int]:
+        """Live (unmasked) object count per shard."""
+        return [len(s.objects) - s.masked_count for s in self.searches]
+
+    @property
+    def size(self) -> int:
+        """Total live objects across shards."""
+        return sum(self.shard_sizes())
+
+    def live_objects(self) -> list[UncertainObject]:
+        """All live objects, shard-major order."""
+        out: list[UncertainObject] = []
+        for s in self.searches:
+            out.extend(s.live_objects())
+        return out
+
+    def _compute_centroids(self) -> np.ndarray | None:
+        if self.partitioner != "centroid":
+            return None
+        dims = next(
+            (s.objects[0].dim for s in self.searches if s.objects), None
+        )
+        if dims is None:
+            return None
+        cents = np.full((len(self.searches), dims), np.inf)
+        for j, s in enumerate(self.searches):
+            if s.objects:
+                cents[j] = np.mean(
+                    [(o.mbr.lo + o.mbr.hi) / 2.0 for o in s.objects], axis=0
+                )
+        return cents
+
+    # ------------------------------ mutation --------------------------- #
+
+    def choose_shard(self, obj: UncertainObject) -> int:
+        """Partitioner-consistent shard for a new object.
+
+        Centroid partitioning sends the object to the nearest shard
+        centroid; round-robin keeps shards balanced (smallest live shard).
+        """
+        if self._centroids is not None:
+            center = (obj.mbr.lo + obj.mbr.hi) / 2.0
+            return int(
+                np.argmin(((self._centroids - center) ** 2).sum(axis=1))
+            )
+        sizes = self.shard_sizes()
+        return int(np.argmin(sizes))
+
+    def insert(self, obj: UncertainObject, shard: int | None = None) -> int:
+        """Insert ``obj`` (incremental R-tree insert); returns its shard."""
+        if shard is None:
+            shard = self.choose_shard(obj)
+        self.searches[shard].add_object(obj)
+        if self._centroids is not None and not np.isfinite(
+            self._centroids[shard]
+        ).all():
+            self._centroids[shard] = (obj.mbr.lo + obj.mbr.hi) / 2.0
+        self.invalidate_pool()
+        return shard
+
+    def mask(self, shard: int, obj: UncertainObject) -> bool:
+        """Tombstone ``obj`` in its shard (O(1) logical delete)."""
+        ok = self.searches[shard].mask_object(obj)
+        if ok:
+            self.invalidate_pool()
+        return ok
+
+    def compact(self, threshold: float = 0.0) -> int:
+        """Rebuild shards whose masked fraction exceeds ``threshold``.
+
+        Returns the total number of tombstones removed.
+        """
+        removed = 0
+        for s in self.searches:
+            total = len(s.objects)
+            if total and s.masked_count / total > threshold:
+                removed += s.compact()
+        if removed:
+            self.invalidate_pool()
+        return removed
+
+    def invalidate_pool(self) -> None:
+        """Drop the fork pool; the next process-backend query re-forks."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def close(self) -> None:
+        """Release pool/executor resources."""
+        self.invalidate_pool()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------ querying --------------------------- #
+
+    def run(
+        self,
+        query: UncertainObject,
+        operator: _BaseOperator | OperatorKind | str,
+        *,
+        k: int = 1,
+        metric: str = "euclidean",
+        kernels: bool = True,
+        budget: Budget | None = None,
+    ) -> ShardedResult:
+        """Scatter-gather k-NNC; pinned equal to the single-shard answer.
+
+        With a ``budget``, the serial backend shares it across the cascade
+        (request-level semantics); parallel backends give each shard a
+        fresh budget with the same limits.  Any shard degradation makes the
+        combined answer a flagged superset, same contract as
+        :class:`repro.core.nnc.NNCResult`.
+        """
+        if not isinstance(operator, _BaseOperator):
+            operator = make_operator(operator)
+        start = time.perf_counter()
+        backend = self.backend
+        if backend == "serial" or self.shards == 1:
+            survivors, covered, per_shard, merged, degradation, refine_ctx = (
+                self._scatter_serial(query, operator, k, metric, kernels, budget)
+            )
+        elif backend == "thread":
+            survivors, covered, per_shard, merged, degradation, refine_ctx = (
+                self._scatter_thread(query, operator, k, metric, kernels, budget)
+            )
+        else:
+            survivors, covered, per_shard, merged, degradation, refine_ctx = (
+                self._scatter_process(query, operator, k, metric, kernels, budget)
+            )
+
+        final, counts, refine_checks, unresolved = self._refine(
+            query, operator, k, survivors, covered, refine_ctx
+        )
+        if unresolved and degradation is None:
+            # The budget tripped during refinement with every shard exact:
+            # unresolved cross-shard checks defaulted to non-dominance, so
+            # the answer is a flagged superset (same contract as the engine).
+            exhausted = budget.exhausted if budget is not None else None
+            degradation = DegradationReport(
+                reason=exhausted.reason if exhausted else "budget",
+                site="refine",
+                phase="refine",
+                unresolved_checks=unresolved,
+                conservative_accepts=0,
+                elapsed_ms=(time.perf_counter() - start) * 1000.0,
+                budget=budget.limits() if budget is not None else None,
+                spent=budget.spent() if budget is not None else {},
+            )
+        result = ShardedResult(
+            candidates=[obj for obj, _ in final],
+            dominator_counts=counts,
+            elapsed=time.perf_counter() - start,
+            shards=self.shards,
+            backend=backend,
+            per_shard=per_shard,
+            refine_checks=refine_checks,
+            fanout=sum(1 for group in survivors if group),
+            degradation=degradation,
+            counters=merged,
+        )
+        if self.metrics is not None:
+            self.metrics.observe(
+                "repro_serve_shard_fanout",
+                result.fanout,
+                {"operator": operator.name},
+                buckets=FANOUT_BUCKETS,
+            )
+            query_metrics_from_counters(
+                self.metrics,
+                merged.snapshot(),
+                operator=operator.name,
+                elapsed=result.elapsed,
+                candidates=len(result.candidates),
+            )
+        return result
+
+    # --------------------------- scatter phases ------------------------ #
+
+    def _shard_order(self, query: UncertainObject) -> list[int]:
+        """Shards by min-distance of the query MBR to the shard root MBR."""
+        q = query.mbr
+        keyed = []
+        for j, s in enumerate(self.searches):
+            root = s.tree.root.mbr
+            key = (
+                _mbr_min_dist(q.lo, q.hi, root.lo, root.hi)
+                if root is not None
+                else float("inf")
+            )
+            keyed.append((key, j))
+        keyed.sort()
+        return [j for _, j in keyed]
+
+    def _scatter_serial(self, query, operator, k, metric, kernels, budget):
+        """Cascade: near shards first, survivors seed the later shards."""
+        ctx = QueryContext(query, metric=metric, kernels=kernels, budget=budget)
+        order = self._shard_order(query)
+        survivors: list[list[tuple[UncertainObject, int]]] = [
+            [] for _ in order
+        ]
+        covered: list[set[int]] = []
+        per_shard: list[dict] = [None] * self.shards  # type: ignore[list-item]
+        degradation: DegradationReport | None = None
+        seeds: list[UncertainObject] = []
+        for pos, j in enumerate(order):
+            search = self.searches[j]
+            res = search.run(query, operator, k=k, ctx=ctx, seeds=seeds)
+            survivors[pos] = list(
+                zip(res.candidates, res.dominator_counts)
+            )
+            # Seeds joined the accepted set, so counts cover this group AND
+            # every earlier one in the cascade (group = cascade position).
+            covered.append(set(range(pos + 1)))
+            per_shard[j] = {
+                "shard": j,
+                "objects": len(search.objects) - search.masked_count,
+                "survivors": len(res.candidates),
+                "elapsed": res.elapsed,
+                "degraded": res.degradation is not None,
+            }
+            if degradation is None and res.degradation is not None:
+                degradation = res.degradation
+            seeds.extend(res.candidates)
+        return survivors, covered, per_shard, ctx.counters, degradation, ctx
+
+    def _scatter_thread(self, query, operator, k, metric, kernels, budget):
+        """Independent shard searches on a thread pool, full refine."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(2, min(self.shards, (os.cpu_count() or 1))),
+                thread_name_prefix="repro-shard",
+            )
+        limits = budget.limits() if budget is not None else None
+
+        def one(j: int):
+            shard_budget = Budget(**limits) if limits is not None else None
+            ctx = QueryContext(
+                query, metric=metric, kernels=kernels, budget=shard_budget
+            )
+            res = self.searches[j].run(query, operator, k=k, ctx=ctx)
+            return j, res
+
+        results = list(self._executor.map(one, range(self.shards)))
+        return self._gather_independent(query, metric, kernels, results)
+
+    def _scatter_process(self, query, operator, k, metric, kernels, budget):
+        """Fork-pool shard searches; falls back to threads when fork fails."""
+        global _FORK_SEARCHES
+        limits = budget.limits() if budget is not None else None
+        if self._pool is None:
+            try:
+                mp = multiprocessing.get_context("fork")
+                _FORK_SEARCHES = self.searches
+                self._pool = mp.Pool(
+                    processes=max(2, min(self.shards, (os.cpu_count() or 2)))
+                )
+            except (OSError, ValueError):
+                return self._scatter_thread(
+                    query, operator, k, metric, kernels, budget
+                )
+        tasks = [
+            (j, query, operator, k, metric, kernels, limits)
+            for j in range(self.shards)
+        ]
+        raw = self._pool.map(_fork_run_one, tasks)
+        results = []
+        for j, (idxs, counts, elapsed, report, snap) in enumerate(raw):
+            objs = self.searches[j].objects
+            res = _RemoteShardResult(
+                candidates=[objs[i] for i in idxs],
+                dominator_counts=counts,
+                elapsed=elapsed,
+                degradation=_report_from_dict(report) if report else None,
+                counters=_counters_from_snapshot(snap),
+            )
+            results.append((j, res))
+        return self._gather_independent(query, metric, kernels, results)
+
+    def _gather_independent(self, query, metric, kernels, results):
+        """Shape independent per-shard results for the full refiner."""
+        results.sort(key=lambda item: item[0])
+        survivors = []
+        covered = []
+        per_shard = []
+        merged = Counters()
+        degradation: DegradationReport | None = None
+        for j, res in results:
+            survivors.append(list(zip(res.candidates, res.dominator_counts)))
+            covered.append({j})
+            search = self.searches[j]
+            per_shard.append({
+                "shard": j,
+                "objects": len(search.objects) - search.masked_count,
+                "survivors": len(res.candidates),
+                "elapsed": res.elapsed,
+                "degraded": res.degradation is not None,
+            })
+            merged.merge(res.counters)
+            if degradation is None and res.degradation is not None:
+                degradation = res.degradation
+        refine_ctx = QueryContext(query, metric=metric, kernels=kernels)
+        return survivors, covered, per_shard, merged, degradation, refine_ctx
+
+    # ------------------------------ gather ----------------------------- #
+
+    def _refine(self, query, operator, k, survivors, covered, ctx):
+        """Count cross-shard dominators among survivors; keep counts < k.
+
+        Sound because dominators of a survivor that were eliminated in
+        their own shard are themselves dominated by >= k survivors there,
+        which dominate the target by transitivity (counting equivalence).
+        """
+        flat: list[tuple[float, int, int, UncertainObject, int]] = []
+        for gi, group in enumerate(survivors):
+            for obj, base in group:
+                flat.append((ctx.min_distance(obj), gi, len(flat), obj, base))
+        flat.sort(key=lambda rec: (rec[0], rec[1], rec[2]))
+        checks = 0
+        unresolved = 0
+        kept: list[tuple[UncertainObject, float]] = []
+        counts: list[int] = []
+        for dmin, gi, _, obj, base in flat:
+            total = base
+            if total < k:
+                for gj, group in enumerate(survivors):
+                    if gj in covered[gi]:
+                        continue
+                    for other, _ in group:
+                        if other is obj:
+                            continue
+                        if ctx.min_distance(other) > dmin + _REFINE_TOL:
+                            continue
+                        checks += 1
+                        try:
+                            dominated = operator.dominates(other, obj, ctx)
+                        except BudgetExhausted:
+                            # Conservative non-dominance: the candidate is
+                            # kept; run() flags the answer as degraded.
+                            unresolved += 1
+                            dominated = False
+                        if dominated:
+                            total += 1
+                            if total >= k:
+                                break
+                    if total >= k:
+                        break
+            if total < k:
+                kept.append((obj, dmin))
+                counts.append(total)
+        return kept, counts, checks, unresolved
+
+
+@dataclass
+class _RemoteShardResult:
+    """NNCResult-shaped view of a pool worker's return value."""
+
+    candidates: list[UncertainObject]
+    dominator_counts: list[int]
+    elapsed: float
+    degradation: DegradationReport | None
+    counters: Counters

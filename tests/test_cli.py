@@ -90,6 +90,89 @@ class TestCommands:
         assert "SSD" in out
 
 
+class TestJSONFormat:
+    def test_search_json_shape(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "search", "--n", "50", "--m", "4", "--operator", "FSD",
+                "--k", "2", "--seed", "2", "--format", "json",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["operator"] == "FSD" and doc["k"] == 2
+        assert doc["n_objects"] == 50
+        assert doc["count"] == len(doc["candidates"]) >= 1
+        assert all(
+            {"oid", "dominators"} <= set(c) for c in doc["candidates"]
+        )
+        assert doc["degraded"] is False and doc["degradation"] is None
+        assert doc["elapsed_ms"] >= 0
+        assert doc["counters"]["dominance_checks"] >= 0
+
+    def test_search_json_degraded_keeps_exit_code(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "search", "--n", "40", "--m", "4", "--operator", "PSD",
+                "--seed", "3", "--deadline-ms", "0", "--format", "json",
+            ]
+        )
+        assert rc == 3
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["degraded"] is True
+        assert doc["degradation"]["reason"] == "deadline"
+
+
+class TestServeClientParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.shards == 1
+        assert args.partitioner == "round-robin"
+        assert args.backend == "auto"
+        assert args.port == 8080
+        assert args.cache_size == 256
+        assert args.max_inflight == 8
+        assert args.on_invalid == "strict"
+
+    def test_serve_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--partitioner", "mod-hash"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "gpu"])
+
+    def test_client_defaults_and_actions(self):
+        args = build_parser().parse_args(["client", "health"])
+        assert args.url == "http://127.0.0.1:8080"
+        assert args.format == "json"
+        for action in ("query", "insert", "delete", "health", "metrics"):
+            assert build_parser().parse_args(["client", action])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client", "ping"])
+
+    def test_client_connection_refused_is_usage_error(self, capsys):
+        # Nothing listens on this port: exit 2, not a traceback.
+        rc = main(
+            ["client", "health", "--url", "http://127.0.0.1:1"]
+        )
+        assert rc == 2
+        assert "connection failed" in capsys.readouterr().err
+
+    def test_client_query_requires_points(self, capsys):
+        rc = main(["client", "query", "--url", "http://127.0.0.1:1"])
+        assert rc == 2
+
+    def test_client_bad_points_json(self, capsys):
+        rc = main(
+            ["client", "query", "--points", "not-json",
+             "--url", "http://127.0.0.1:1"]
+        )
+        assert rc == 2
+
+
 class TestResilienceFlags:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["search"])

@@ -7,7 +7,13 @@ import json
 
 import pytest
 
-from benchmarks.compare_bench import compare, load_bench, main
+from benchmarks.compare_bench import (
+    bench_kind,
+    compare,
+    compare_serve,
+    load_bench,
+    main,
+)
 
 BASE = {
     "scale": "tiny",
@@ -15,6 +21,17 @@ BASE = {
         {"operator": "SSD", "kernel_time": 1.0, "scalar_time": 2.0},
         {"operator": "PSD", "kernel_time": 2.0, "scalar_time": 8.0},
     ],
+}
+
+SERVE_BASE = {
+    "bench": "serve",
+    "scale": "smoke",
+    "shard_scaling": [
+        {"shards": 1, "qps": 30.0, "speedup_vs_1": 1.0, "equal": True},
+        {"shards": 2, "qps": 45.0, "speedup_vs_1": 1.5, "equal": True},
+        {"shards": 4, "qps": 75.0, "speedup_vs_1": 2.5, "equal": True},
+    ],
+    "cache": {"hit_ratio": 0.75},
 }
 
 
@@ -69,11 +86,76 @@ class TestCompare:
         assert fsd["baseline"] is None and fsd["change"] == "-"
 
 
+class TestCompareServe:
+    def test_no_regression_on_self(self):
+        rows, regressions = compare_serve(SERVE_BASE, copy.deepcopy(SERVE_BASE))
+        assert regressions == []
+        assert {r["metric"] for r in rows} == {
+            "speedup_vs_1[K=2]", "speedup_vs_1[K=4]", "cache.hit_ratio",
+        }
+
+    def test_flags_scaling_drop(self):
+        current = copy.deepcopy(SERVE_BASE)
+        current["shard_scaling"][2]["speedup_vs_1"] = 1.2  # 2.5 -> 1.2
+        _, regressions = compare_serve(SERVE_BASE, current)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("speedup_vs_1[K=4]")
+
+    def test_scaling_improvement_passes(self):
+        current = copy.deepcopy(SERVE_BASE)
+        current["shard_scaling"][2]["speedup_vs_1"] = 3.5
+        _, regressions = compare_serve(SERVE_BASE, current)
+        assert regressions == []
+
+    def test_equal_false_is_always_a_regression(self):
+        current = copy.deepcopy(SERVE_BASE)
+        current["shard_scaling"][1]["equal"] = False
+        _, regressions = compare_serve(SERVE_BASE, current)
+        assert any("diverged" in msg for msg in regressions)
+
+    def test_flags_cache_hit_ratio_drop(self):
+        current = copy.deepcopy(SERVE_BASE)
+        current["cache"]["hit_ratio"] = 0.25
+        _, regressions = compare_serve(SERVE_BASE, current)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("cache.hit_ratio")
+
+    def test_main_autodetects_serve(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", SERVE_BASE)
+        b = _write(tmp_path, "b.json", SERVE_BASE)
+        assert main([a, b]) == 0
+        assert "Serve scaling" in capsys.readouterr().out
+        current = copy.deepcopy(SERVE_BASE)
+        current["shard_scaling"][2]["speedup_vs_1"] = 0.5
+        c = _write(tmp_path, "c.json", current)
+        assert main([a, c]) == 1
+        assert "REGRESSION speedup_vs_1[K=4]" in capsys.readouterr().err
+
+    def test_kind_mismatch_is_exit_2(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", SERVE_BASE)
+        assert main([a, b]) == 2
+        assert "kind mismatch" in capsys.readouterr().err
+
+    def test_committed_serve_baseline_self_compares_clean(self):
+        from pathlib import Path
+
+        baseline = str(
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "results" / "BENCH_serve_smoke_baseline.json"
+        )
+        assert main([baseline, baseline, "--strict"]) == 0
+
+
 class TestLoadBench:
     def test_rejects_wrong_shape(self, tmp_path):
         path = _write(tmp_path, "bad.json", {"micro": []})
         with pytest.raises(ValueError, match="end_to_end"):
             load_bench(path)
+
+    def test_kind_detection(self):
+        assert bench_kind(BASE) == "kernels"
+        assert bench_kind(SERVE_BASE) == "serve"
 
 
 class TestMainExitCodes:

@@ -472,6 +472,99 @@ class TestPipelineInstrumentation:
             assert sorted(plain.oids()) == sorted(traced.oids())
 
 
+class TestServeMetricFamilies:
+    """The PR-4 serving families export correctly from the shared registry."""
+
+    def _served_registry(self):
+        from repro.obs.metrics import MetricsRegistry as Registry
+        from repro.serve.cache import ResultCache
+        from repro.serve.server import ServeApp
+        from repro.serve.updates import DatasetManager
+        from repro.datasets import synthetic
+
+        gen = np.random.default_rng(4)
+        centers = synthetic.independent_centers(25, 2, gen)
+        objects = synthetic.make_objects(centers, 3, 30.0, gen)
+        registry = Registry()
+        app = ServeApp(
+            DatasetManager(objects, shards=2, metrics=registry),
+            cache=ResultCache(8, metrics=registry),
+            registry=registry,
+        )
+        body = {"points": [[50.0, 50.0]], "operator": "FSD"}
+        # Admission happens in the transport loop; mirror it here so the
+        # inflight gauge materializes.
+        app.try_acquire()
+        app.dispatch("POST", "/query", body)
+        app.release()
+        app.dispatch("POST", "/query", body)       # cache hit
+        app.dispatch("POST", "/insert", {"points": [[1.0, 2.0]], "oid": "x"})
+        app.dispatch("POST", "/delete", {"oid": "x"})
+        app.dispatch("POST", "/query", {"bad": True})  # 400
+        app.manager.close()
+        return registry
+
+    def test_prometheus_export_has_all_families(self):
+        text = self._served_registry().to_prometheus()
+        for family in (
+            "repro_serve_requests_total",
+            "repro_serve_request_seconds",
+            "repro_serve_inflight",
+            "repro_serve_shard_fanout",
+            "repro_serve_cache_hits_total",
+            "repro_serve_cache_misses_total",
+            "repro_serve_cache_size",
+            "repro_serve_updates_total",
+            "repro_serve_epoch",
+            "repro_serve_objects",
+            "repro_queries_total",
+        ):
+            assert family in text, f"{family} missing"
+        assert 'repro_serve_requests_total{route="/query",status="200"} 2' in text
+        assert 'repro_serve_requests_total{route="/query",status="400"} 1' in text
+        assert 'repro_serve_updates_total{op="insert"} 1' in text
+        assert 'repro_serve_updates_total{op="delete"} 1' in text
+
+    def test_json_export_reconciles(self):
+        registry = self._served_registry()
+        dump = registry.to_json()["metrics"]
+        assert dump["repro_serve_cache_hits_total"]["type"] == "counter"
+        assert registry.value("repro_serve_cache_hits_total") == 1.0
+        assert registry.value("repro_serve_epoch") == 2.0
+        assert registry.value("repro_serve_objects") == 25.0
+        fanout = registry.get("repro_serve_shard_fanout", {"operator": "FSD"})
+        assert fanout is not None and fanout.count == 1
+
+    def test_registry_is_thread_safe_under_concurrent_writes(self):
+        import threading
+
+        registry = MetricsRegistry()
+        errors = []
+
+        def pound(tag):
+            try:
+                for i in range(300):
+                    registry.inc("x_total", 1, {"t": tag})
+                    registry.observe("y_seconds", 0.001 * i, {"t": tag})
+                    registry.set_gauge("z", i)
+                    registry.families()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=pound, args=(str(j),)) for j in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[0]
+        assert registry.total("x_total") == 1200
+        assert sum(
+            registry.get("y_seconds", {"t": str(j)}).count for j in range(4)
+        ) == 1200
+
+
 class TestBreakdown:
     def test_trace_breakdown_rows(self, rng):
         objects, query = random_scene(rng, n_objects=25)

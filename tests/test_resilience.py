@@ -278,6 +278,37 @@ class TestDegradedSearch:
         assert isinstance(search.last_degradation, DegradationReport)
         assert "superset" in search.last_degradation.summary()
 
+    def test_last_degradation_is_isolated_per_thread(self, scene):
+        # A degraded query on one thread must not leak its report into a
+        # concurrent exact query's view (the serving layer runs many
+        # requests through one NNCSearch).
+        import threading
+
+        objects, query = scene
+        search = NNCSearch(objects)
+        seen_exact: list = []
+        barrier = threading.Barrier(2)
+
+        def degraded():
+            barrier.wait()
+            ctx = QueryContext(query, budget=Budget(deadline_ms=0.0))
+            search.run(query, "SSD", ctx=ctx)
+
+        def exact():
+            barrier.wait()
+            search.run(query, "SSD", ctx=QueryContext(query))
+            seen_exact.append(search.last_degradation)
+
+        threads = [
+            threading.Thread(target=degraded),
+            threading.Thread(target=exact),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen_exact == [None]
+
     def test_degradation_report_shape(self, scene):
         objects, query = scene
         search = NNCSearch(objects)

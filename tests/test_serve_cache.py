@@ -1,0 +1,128 @@
+"""Result cache: LRU behaviour, digests, metrics, epoch invalidation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.cache import ResultCache, query_digest
+from repro.serve.updates import DatasetManager
+
+
+def _query(seed: int = 0, oid: str = "Q"):
+    rng = np.random.default_rng(seed)
+    return synthetic.make_query(np.array([50.0, 50.0]), 3, 10.0, rng, oid=oid)
+
+
+class TestDigest:
+    def test_same_content_same_digest_regardless_of_oid(self):
+        q1 = _query(0, oid="A")
+        q2 = _query(0, oid="B")
+        assert query_digest(q1) == query_digest(q2)
+
+    def test_different_content_different_digest(self):
+        assert query_digest(_query(0)) != query_digest(_query(1))
+
+
+class TestLRU:
+    def test_get_put_and_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        keys = [ResultCache.key(0, "FSD", "euclidean", 1, _query(i))
+                for i in range(3)]
+        cache.put(keys[0], {"a": 1})
+        cache.put(keys[1], {"b": 2})
+        assert cache.get(keys[0]) == {"a": 1}  # refreshes key 0
+        cache.put(keys[2], {"c": 3})           # evicts key 1 (LRU)
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) == {"a": 1}
+        assert cache.get(keys[2]) == {"c": 3}
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        key = ResultCache.key(0, "FSD", "euclidean", 1, _query())
+        cache.put(key, {"x": 1})
+        assert cache.get(key) is None and len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+    def test_stats_and_metrics_export(self):
+        registry = MetricsRegistry()
+        cache = ResultCache(capacity=1, metrics=registry)
+        key = ResultCache.key(0, "FSD", "euclidean", 1, _query())
+        cache.get(key)
+        cache.put(key, {"x": 1})
+        cache.get(key)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_ratio"] == 0.5
+        assert registry.value("repro_serve_cache_hits_total") == 1.0
+        assert registry.value("repro_serve_cache_misses_total") == 1.0
+        assert registry.value("repro_serve_cache_size") == 1.0
+
+    def test_key_separates_every_dimension(self):
+        q = _query()
+        base = ResultCache.key(0, "FSD", "euclidean", 1, q)
+        assert ResultCache.key(1, "FSD", "euclidean", 1, q) != base
+        assert ResultCache.key(0, "PSD", "euclidean", 1, q) != base
+        assert ResultCache.key(0, "FSD", "manhattan", 1, q) != base
+        assert ResultCache.key(0, "FSD", "euclidean", 2, q) != base
+
+
+class TestEpochInvalidation:
+    """Satellite pin: a cache hit after insert/delete is impossible."""
+
+    @pytest.fixture()
+    def manager(self):
+        rng = np.random.default_rng(3)
+        centers = synthetic.independent_centers(60, 2, rng)
+        objects = synthetic.make_objects(centers, 4, 30.0, rng)
+        m = DatasetManager(objects, shards=2)
+        yield m
+        m.close()
+
+    def _serve_once(self, manager, cache, query):
+        """The server's cache discipline: check, compute, store at epoch."""
+        key = manager.cache_key("FSD", "euclidean", 1, query)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit, True
+        result, epoch = manager.query(query, "FSD")
+        payload = {"oids": result.oids()}
+        cache.put(
+            ResultCache.key(epoch, "FSD", "euclidean", 1, query), payload
+        )
+        return payload, False
+
+    def test_no_stale_hit_after_insert(self, manager):
+        cache = ResultCache(32)
+        query = _query()
+        first, cached = self._serve_once(manager, cache, query)
+        assert not cached
+        _, cached = self._serve_once(manager, cache, query)
+        assert cached  # warm before the update
+        manager.insert([[50.0, 50.0], [50.5, 50.5]], oid="close")
+        after, cached = self._serve_once(manager, cache, query)
+        assert not cached, "cache hit survived an insert"
+        assert "close" in after["oids"]
+
+    def test_no_stale_hit_after_delete(self, manager):
+        cache = ResultCache(32)
+        query = _query()
+        oid, _ = manager.insert([[50.0, 50.0], [50.5, 50.5]])
+        first, cached = self._serve_once(manager, cache, query)
+        assert not cached and oid in first["oids"]
+        manager.delete(oid)
+        after, cached = self._serve_once(manager, cache, query)
+        assert not cached, "cache hit survived a delete"
+        assert oid not in after["oids"]
+
+    def test_epoch_monotone_across_mutations(self, manager):
+        e0 = manager.epoch
+        oid, e1 = manager.insert([[1.0, 2.0]])
+        _, e2 = manager.delete(oid)
+        assert e0 < e1 < e2

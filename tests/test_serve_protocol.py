@@ -1,0 +1,124 @@
+"""Wire protocol: strict request parsing and response shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic
+from repro.serve.protocol import (
+    OPERATOR_NAMES,
+    ProtocolError,
+    delete_response,
+    error_body,
+    insert_response,
+    parse_delete_request,
+    parse_insert_request,
+    parse_query_request,
+    query_response,
+)
+from repro.serve.shard import ShardedSearch
+
+
+def _query_body(**overrides):
+    body = {"points": [[1.0, 2.0], [3.0, 4.0]], "operator": "FSD"}
+    body.update(overrides)
+    return body
+
+
+class TestParseQuery:
+    def test_minimal_body_defaults(self):
+        parsed = parse_query_request({"points": [[1.0, 2.0]]})
+        assert parsed["operator"] == "FSD"
+        assert parsed["k"] == 1
+        assert parsed["metric"] == "euclidean"
+        assert parsed["budget"] is None
+        assert parsed["cache"] is True
+        assert parsed["query"].points.shape == (1, 2)
+
+    def test_probs_normalized(self):
+        parsed = parse_query_request(_query_body(probs=[3.0, 1.0]))
+        assert np.allclose(parsed["query"].probs, [0.75, 0.25])
+
+    def test_all_operator_names_accepted(self):
+        assert set(OPERATOR_NAMES) == {"SSD", "SSSD", "PSD", "FSD", "F+SD"}
+        for name in OPERATOR_NAMES:
+            assert parse_query_request(_query_body(operator=name))
+
+    @pytest.mark.parametrize("body,fragment", [
+        ("not a dict", "JSON object"),
+        ({}, "points"),
+        (_query_body(operator="NN"), "unknown operator"),
+        (_query_body(k=0), "'k'"),
+        (_query_body(k=True), "'k'"),
+        (_query_body(k="2"), "'k'"),
+        (_query_body(metric=7), "'metric'"),
+        (_query_body(cache="yes"), "'cache'"),
+        (_query_body(points=[1.0, 2.0]), "2-D"),
+        (_query_body(points=[["a", "b"]]), "points"),
+        (_query_body(budget="fast"), "budget"),
+        (_query_body(budget={"deadline": 5}), "unknown budget"),
+        (_query_body(budget={"deadline_ms": "5"}), "deadline_ms"),
+        (_query_body(budget={"deadline_ms": True}), "deadline_ms"),
+    ])
+    def test_malformed_bodies_rejected(self, body, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            parse_query_request(body)
+
+    def test_budget_parsed_into_limits(self):
+        parsed = parse_query_request(_query_body(
+            budget={"deadline_ms": 50, "max_dominance_checks": 100}
+        ))
+        limits = parsed["budget"].limits()
+        assert limits["deadline_ms"] == 50
+        assert limits["max_dominance_checks"] == 100
+
+    def test_empty_budget_object_means_none(self):
+        assert parse_query_request(_query_body(budget={}))["budget"] is None
+
+
+class TestParseInsertDelete:
+    def test_insert_with_and_without_oid(self):
+        obj = parse_insert_request({"points": [[1.0, 2.0]], "oid": "A"})
+        assert obj.oid == "A"
+        assert parse_insert_request({"points": [[1.0, 2.0]]}).oid is None
+
+    def test_insert_bad_oid_type(self):
+        with pytest.raises(ProtocolError, match="'oid'"):
+            parse_insert_request({"points": [[1.0, 2.0]], "oid": [1]})
+
+    def test_delete_requires_oid(self):
+        assert parse_delete_request({"oid": 3}) == 3
+        assert parse_delete_request({"oid": "x"}) == "x"
+        with pytest.raises(ProtocolError, match="missing 'oid'"):
+            parse_delete_request({})
+        with pytest.raises(ProtocolError, match="'oid'"):
+            parse_delete_request({"oid": 1.5})
+
+
+class TestResponses:
+    def test_query_response_shape(self):
+        rng = np.random.default_rng(0)
+        centers = synthetic.independent_centers(20, 2, rng)
+        objects = synthetic.make_objects(centers, 3, 30.0, rng)
+        query = synthetic.make_query(centers[0], 2, 10.0, rng)
+        search = ShardedSearch(objects, shards=2)
+        result = search.run(query, "FSD")
+        search.close()
+        body = query_response(result, 5, cached=True)
+        assert body["count"] == len(body["candidates"]) >= 1
+        assert all(
+            set(c) == {"oid", "dominators"} for c in body["candidates"]
+        )
+        assert body["epoch"] == 5 and body["cached"] is True
+        assert body["degraded"] is False and body["degradation"] is None
+        assert body["shards"] == 2 and body["elapsed_ms"] >= 0
+
+    def test_insert_delete_error_bodies(self):
+        assert insert_response("A", 3) == {
+            "oid": "A", "epoch": 3, "inserted": True,
+        }
+        assert delete_response(7, 4) == {
+            "oid": 7, "epoch": 4, "deleted": True,
+        }
+        assert error_body("boom", hint="k") == {"error": "boom", "hint": "k"}

@@ -1,0 +1,259 @@
+"""ServeApp routing/status codes and the asyncio HTTP server end to end."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.cache import ResultCache
+from repro.serve.server import NNCServer, ServeApp
+from repro.serve.smoke import _ServerThread
+from repro.serve.updates import DatasetManager
+
+# Mid-dataset query over overlapping objects: dominance checks actually
+# run, so budget-degradation paths are reachable.
+QUERY_POINTS = [[4700.0, 5300.0], [5200.0, 5800.0]]
+
+
+def _manager(registry=None, n: int = 40):
+    rng = np.random.default_rng(13)
+    centers = synthetic.anticorrelated_centers(n, 2, rng)
+    objects = synthetic.make_objects(centers, 4, 2000.0, rng)
+    return DatasetManager(objects, shards=2, metrics=registry)
+
+
+@pytest.fixture()
+def app():
+    registry = MetricsRegistry()
+    a = ServeApp(
+        _manager(registry),
+        cache=ResultCache(32, metrics=registry),
+        registry=registry,
+        max_inflight=2,
+    )
+    yield a
+    a.manager.close()
+
+
+class TestServeApp:
+    def test_query_roundtrip(self, app):
+        status, body = app.handle(
+            "POST", "/query", {"points": QUERY_POINTS, "operator": "FSD"}
+        )
+        assert status == 200
+        assert body["count"] >= 1 and not body["degraded"]
+        assert body["epoch"] == 0 and body["cached"] is False
+
+    def test_second_query_served_from_cache(self, app):
+        payload = {"points": QUERY_POINTS, "operator": "PSD", "k": 2}
+        first = app.handle("POST", "/query", payload)
+        status, body = app.handle("POST", "/query", payload)
+        assert status == 200 and body["cached"] is True
+        assert body["candidates"] == first[1]["candidates"]
+
+    def test_cache_opt_out_and_budget_bypass(self, app):
+        payload = {"points": QUERY_POINTS, "operator": "FSD"}
+        app.handle("POST", "/query", payload)
+        _, body = app.handle("POST", "/query", {**payload, "cache": False})
+        assert body["cached"] is False
+        # A budgeted query never touches the cache, even on repeat.
+        budgeted = {**payload, "budget": {"deadline_ms": 10_000}}
+        app.handle("POST", "/query", budgeted)
+        _, body = app.handle("POST", "/query", budgeted)
+        assert body["cached"] is False
+
+    def test_degraded_answer_not_cached(self, app):
+        payload = {
+            "points": QUERY_POINTS,
+            "operator": "FSD",
+            "budget": {"max_dominance_checks": 2},
+        }
+        status, body = app.handle("POST", "/query", payload)
+        assert status == 200 and body["degraded"]
+        assert body["degradation"] is not None
+        assert app.cache.stats()["hits"] == 0
+
+    def test_insert_then_delete_roundtrip(self, app):
+        status, body = app.handle(
+            "POST", "/insert", {"points": QUERY_POINTS, "oid": "it"}
+        )
+        assert status == 200 and body == {
+            "oid": "it", "epoch": 1, "inserted": True,
+        }
+        status, body = app.handle("POST", "/delete", {"oid": "it"})
+        assert status == 200 and body["deleted"] and body["epoch"] == 2
+
+    @pytest.mark.parametrize("method,path,payload,status", [
+        ("POST", "/query", {"operator": "FSD"}, 400),        # no points
+        ("POST", "/query", {"points": [[1.0, 2.0]], "k": 0}, 400),
+        ("GET", "/query", None, 404),                        # wrong method
+        ("POST", "/nope", {}, 404),
+        ("POST", "/delete", {"oid": "ghost"}, 404),
+        ("POST", "/insert", {"points": [[float("nan"), 1.0]]}, 422),
+    ])
+    def test_error_statuses(self, app, method, path, payload, status):
+        got, body = app.handle(method, path, payload)
+        assert got == status and "error" in body
+
+    def test_duplicate_insert_is_conflict(self, app):
+        app.handle("POST", "/insert", {"points": QUERY_POINTS, "oid": "dup"})
+        status, body = app.handle(
+            "POST", "/insert", {"points": QUERY_POINTS, "oid": "dup"}
+        )
+        assert status == 409 and "dup" in body["error"]
+
+    def test_invalid_insert_carries_validation_report(self, app):
+        status, body = app.handle(
+            "POST", "/insert", {"points": [[1.0, float("inf")]]}
+        )
+        assert status == 422
+        assert body["report"]["n_dropped"] == 1
+
+    def test_admission_counter(self, app):
+        assert app.try_acquire() and app.try_acquire()
+        assert not app.try_acquire()  # max_inflight=2
+        app.release()
+        assert app.try_acquire()
+        app.release(), app.release()
+        assert app.inflight == 0
+
+    def test_healthz_and_metrics(self, app):
+        app.handle("POST", "/query", {"points": QUERY_POINTS})
+        status, health = app.handle("GET", "/healthz", None)
+        assert status == 200 and health["status"] == "ok"
+        assert health["objects"] == 40 and health["shards"] == 2
+        status, body = app.dispatch("GET", "/metrics", None)
+        assert status == 200 and "repro_serve_cache_misses_total" in body["text"]
+
+    def test_dispatch_records_request_metrics(self, app):
+        app.dispatch("POST", "/query", {"points": QUERY_POINTS})
+        app.dispatch("POST", "/query", {"bad": True})
+        assert app.registry.value(
+            "repro_serve_requests_total", {"route": "/query", "status": "200"}
+        ) == 1.0
+        assert app.registry.value(
+            "repro_serve_requests_total", {"route": "/query", "status": "400"}
+        ) == 1.0
+
+    def test_default_budget_applies_when_request_has_none(self):
+        registry = MetricsRegistry()
+        app = ServeApp(
+            _manager(registry),
+            registry=registry,
+            default_budget={"max_dominance_checks": 2},
+        )
+        try:
+            status, body = app.handle(
+                "POST", "/query", {"points": QUERY_POINTS}
+            )
+            assert status == 200 and body["degraded"]
+        finally:
+            app.manager.close()
+
+
+# ----------------------------------------------------------------------- #
+# Full HTTP server on a background event loop
+# ----------------------------------------------------------------------- #
+
+def _http(port: int, method: str, path: str, payload=None, timeout=30.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        data = resp.read()
+        if resp.getheader("Content-Type", "").startswith("application/json"):
+            return resp.status, json.loads(data), resp
+        return resp.status, data.decode(), resp
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    registry = MetricsRegistry()
+    app = ServeApp(
+        _manager(registry),
+        cache=ResultCache(32, metrics=registry),
+        registry=registry,
+        max_inflight=4,
+    )
+    runner = _ServerThread(NNCServer(app, port=0))
+    port = runner.start()
+    yield app, port, runner
+    if not app.draining:
+        runner.drain()
+
+
+class TestHTTPServer:
+    def test_query_over_http(self, live_server):
+        _, port, _ = live_server
+        status, body, _ = _http(
+            port, "POST", "/query",
+            {"points": QUERY_POINTS, "operator": "SSD"},
+        )
+        assert status == 200 and body["count"] >= 1
+
+    def test_insert_delete_over_http(self, live_server):
+        _, port, _ = live_server
+        status, body, _ = _http(
+            port, "POST", "/insert", {"points": QUERY_POINTS, "oid": "http"}
+        )
+        assert status == 200 and body["inserted"]
+        status, body, _ = _http(port, "POST", "/delete", {"oid": "http"})
+        assert status == 200 and body["deleted"]
+
+    def test_bad_json_is_400(self, live_server):
+        _, port, _ = live_server
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10.0)
+        try:
+            conn.request("POST", "/query", body="{not json",
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            assert resp.status == 400
+        finally:
+            conn.close()
+
+    def test_healthz_and_metrics_over_http(self, live_server):
+        _, port, _ = live_server
+        status, body, _ = _http(port, "GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        status, text, resp = _http(port, "GET", "/metrics")
+        assert status == 200
+        assert "repro_serve_requests_total" in text
+
+    def test_saturated_engine_returns_429(self, live_server):
+        app, port, _ = live_server
+        # Fill every admission slot from the test, then knock.
+        grabbed = 0
+        while app.try_acquire():
+            grabbed += 1
+        try:
+            status, body, resp = _http(
+                port, "POST", "/query", {"points": QUERY_POINTS}, timeout=10.0
+            )
+            assert status == 429
+            assert resp.getheader("Retry-After") == "1"
+        finally:
+            for _ in range(grabbed):
+                app.release()
+
+    def test_drain_refuses_new_engine_traffic(self, live_server):
+        # Runs last in the class: drains the module-scoped server.
+        app, port, runner = live_server
+        runner.drain()
+        assert app.draining and app.inflight == 0
+        try:
+            status, _, _ = _http(
+                port, "POST", "/query", {"points": QUERY_POINTS}, timeout=2.0
+            )
+            refused = status == 503
+        except (ConnectionError, OSError):
+            refused = True  # listener already closed — equally refused
+        assert refused

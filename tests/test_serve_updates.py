@@ -1,0 +1,216 @@
+"""DatasetManager: validated inserts, tombstone deletes, epochs, locking."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.nnc import NNCSearch
+from repro.datasets import synthetic
+from repro.obs.metrics import MetricsRegistry
+from repro.objects.validate import InvalidInputError
+from repro.serve.updates import (
+    DatasetManager,
+    DuplicateOidError,
+    UnknownOidError,
+)
+
+
+def _dataset(n: int = 40, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    centers = synthetic.independent_centers(n, 2, rng)
+    return synthetic.make_objects(centers, 4, 40.0, rng)
+
+
+def _query(seed: int = 1):
+    rng = np.random.default_rng(seed)
+    return synthetic.make_query(np.array([50.0, 50.0]), 3, 20.0, rng, oid="Q")
+
+
+@pytest.fixture()
+def manager():
+    m = DatasetManager(_dataset(), shards=2)
+    yield m
+    m.close()
+
+
+class TestLifecycle:
+    def test_initial_load_registers_all_oids(self, manager):
+        assert manager.size == 40
+        assert manager.epoch == 0
+        for shard_search in manager.search.searches:
+            for obj in shard_search.objects:
+                assert manager.get(obj.oid) is obj
+
+    def test_duplicate_oid_in_initial_dataset_rejected(self):
+        objects = _dataset(4)
+        for obj in objects:
+            obj.oid = "same"
+        with pytest.raises(DuplicateOidError):
+            DatasetManager(objects)
+
+    def test_auto_oid_assignment_avoids_collisions(self):
+        objects = _dataset(4)
+        objects[0].oid = 0
+        objects[1].oid = 2
+        objects[2].oid = None
+        objects[3].oid = None
+        m = DatasetManager(objects)
+        try:
+            assert len({o.oid for _, o in m._registry.values()}) == 4
+        finally:
+            m.close()
+
+
+class TestInsert:
+    def test_insert_returns_oid_and_bumps_epoch(self, manager):
+        oid, epoch = manager.insert([[1.0, 2.0], [3.0, 4.0]])
+        assert epoch == 1
+        assert manager.get(oid) is not None
+        assert manager.size == 41
+
+    def test_insert_visible_to_queries(self, manager):
+        query = _query()
+        manager.insert([[50.0, 50.0]], oid="bullseye")
+        result, epoch = manager.query(query, "FSD")
+        assert "bullseye" in result.oids()
+        assert epoch == manager.epoch
+
+    def test_duplicate_oid_rejected_without_epoch_bump(self, manager):
+        manager.insert([[1.0, 1.0]], oid="X")
+        before = manager.epoch
+        with pytest.raises(DuplicateOidError):
+            manager.insert([[2.0, 2.0]], oid="X")
+        assert manager.epoch == before
+
+    def test_malformed_points_rejected(self, manager):
+        before = manager.epoch
+        with pytest.raises(InvalidInputError):
+            manager.insert([[1.0], [2.0, 3.0]])  # ragged
+        assert manager.epoch == before
+
+    def test_nan_points_rejected_under_strict(self, manager):
+        with pytest.raises(InvalidInputError) as excinfo:
+            manager.insert([[float("nan"), 1.0]])
+        assert not excinfo.value.report.clean
+
+    def test_negative_probs_rejected(self, manager):
+        with pytest.raises(InvalidInputError):
+            manager.insert([[1.0, 2.0], [3.0, 4.0]], [0.5, -0.5])
+
+    def test_repair_policy_normalizes_instead_of_rejecting(self):
+        m = DatasetManager(_dataset(10), on_invalid="repair")
+        try:
+            oid, _ = m.insert([[1.0, 2.0], [3.0, 4.0]], [2.0, 6.0])
+            obj = m.get(oid)
+            assert np.isclose(obj.probs.sum(), 1.0)
+        finally:
+            m.close()
+
+
+class TestDelete:
+    def test_delete_bumps_epoch_and_hides_object(self, manager):
+        query = _query()
+        manager.insert([[50.0, 50.0]], oid="close")
+        result, _ = manager.query(query, "FSD")
+        assert "close" in result.oids()
+        ok, epoch = manager.delete("close")
+        assert ok and epoch == manager.epoch
+        assert manager.get("close") is None
+        result2, _ = manager.query(query, "FSD")
+        assert "close" not in result2.oids()
+
+    def test_unknown_oid_raises(self, manager):
+        before = manager.epoch
+        with pytest.raises(UnknownOidError):
+            manager.delete("no-such-oid")
+        assert manager.epoch == before
+
+    def test_compaction_threshold_triggers_rebuild(self):
+        m = DatasetManager(_dataset(10), shards=1, compact_threshold=0.3)
+        try:
+            oids = [o.oid for o in m.search.searches[0].objects]
+            # Delete 4 of 10: the masked fraction crosses 0.3 and the shard
+            # rebuilds, so no tombstones remain afterwards.
+            for oid in oids[:4]:
+                m.delete(oid)
+            assert m.search.searches[0].masked_count == 0
+            assert m.size == 6
+        finally:
+            m.close()
+
+    def test_answers_identical_across_compaction(self):
+        objects = _dataset(30, seed=9)
+        query = _query(2)
+        m = DatasetManager(objects, shards=2, compact_threshold=1.0)
+        try:
+            victims = [o.oid for o in objects[::7]]
+            for oid in victims:
+                m.delete(oid)
+            masked, _ = m.query(query, "FSD", k=2)
+            assert m.compact() == len(victims)
+            compacted, _ = m.query(query, "FSD", k=2)
+            assert sorted(masked.oids()) == sorted(compacted.oids())
+            live = [o for o in objects if o.oid not in set(victims)]
+            expected = NNCSearch(live).run(query, "FSD", k=2)
+            assert sorted(compacted.oids()) == sorted(expected.oids())
+        finally:
+            m.close()
+
+
+class TestConcurrency:
+    def test_mixed_readers_and_writers_stay_consistent(self):
+        m = DatasetManager(_dataset(30), shards=2, backend="serial")
+        query = _query()
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    result, epoch = m.query(query, "FSD")
+                    # Every answer must be self-consistent: all reported
+                    # oids live at the epoch the lock released.
+                    assert epoch <= m.epoch
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+
+        def writer(tag: str):
+            try:
+                for i in range(8):
+                    oid, _ = m.insert([[50.0, 50.0]], oid=f"{tag}-{i}")
+                    m.delete(oid)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        writers = [
+            threading.Thread(target=writer, args=(f"w{j}",)) for j in range(2)
+        ]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        m.close()
+        assert not errors, errors[0]
+        assert m.epoch == 2 * 8 * 2  # every insert+delete bumped once
+        assert m.size == 30
+
+    def test_gauges_track_epoch_and_size(self):
+        registry = MetricsRegistry()
+        m = DatasetManager(_dataset(10), metrics=registry)
+        try:
+            m.insert([[1.0, 2.0]], oid="g")
+            assert registry.value("repro_serve_epoch") == 1.0
+            assert registry.value("repro_serve_objects") == 11.0
+            m.delete("g")
+            assert registry.value("repro_serve_epoch") == 2.0
+            assert registry.value("repro_serve_objects") == 10.0
+        finally:
+            m.close()
