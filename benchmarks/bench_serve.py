@@ -1,6 +1,6 @@
 """Serving benchmark — shard scaling, latency percentiles, cache hits.
 
-Writes ``BENCH_serve.json`` with three sections:
+Writes ``BENCH_serve.json`` with four sections:
 
 * **meta** — machine facts that gate interpretation: ``cpu_count`` above
   all.  Shard scaling is a *parallelism* win; on a single-core box the
@@ -14,6 +14,11 @@ Writes ``BENCH_serve.json`` with three sections:
   query (the correctness pin riding along with the perf numbers).
 * **cache** — cold vs warm throughput on a repeated workload through
   :class:`repro.serve.cache.ResultCache` and the final hit ratio.
+* **observability** — full :class:`repro.serve.server.ServeApp` dispatch
+  with SLO metrics on, comparing sampling off vs 1%: relative overhead
+  (hard budget: <3%, exit 1 on breach), p50/p95/p99 latency read back from
+  the served histograms, and the degraded-answer rate (expected 0.0 on an
+  unbudgeted workload — ``compare_bench.py`` gates on it).
 
 ``compare_bench.py`` auto-detects this payload and gates on the 4-shard /
 1-shard throughput *ratio* (machine-independent), not absolute QPS.
@@ -130,6 +135,91 @@ def bench_cache(objects, queries, k: int, repeats: int = 3) -> dict:
     }
 
 
+def bench_observability(
+    objects, queries, k: int, repeats: int = 5, sample_rate: float = 0.01
+) -> dict:
+    """Serve-layer cost of SLO metrics + trace sampling, plus quantiles.
+
+    Dispatches the full workload through :class:`ServeApp` twice — once with
+    sampling off, once at ``sample_rate`` — interleaved, min-of-``repeats``
+    per configuration so scheduler noise cancels.  Latency quantiles come
+    from the *histogram* (``Histogram.quantile``), i.e. exactly what
+    ``/metrics`` and ``/status`` report, not from a side list of timings.
+    """
+    from repro.obs import MetricsRegistry
+    from repro.serve.server import ServeApp
+    from repro.serve.updates import DatasetManager
+
+    payloads = [
+        {
+            "points": [list(map(float, p)) for p in q.points],
+            "probs": [float(p) for p in q.probs],
+            "operator": OPERATOR,
+            "k": k,
+            "cache": False,
+        }
+        for q in queries
+    ]
+
+    def make_app(rate: float) -> ServeApp:
+        registry = MetricsRegistry()
+        manager = DatasetManager(
+            objects, shards=2, backend="serial", metrics=registry
+        )
+        return ServeApp(manager, registry=registry, sample_rate=rate)
+
+    def one_pass(app: ServeApp) -> float:
+        t0 = time.perf_counter()
+        for payload in payloads:
+            status, _ = app.dispatch("POST", "/query", payload)
+            assert status == 200
+        return time.perf_counter() - t0
+
+    plain = make_app(0.0)
+    sampled = make_app(sample_rate)
+    try:
+        one_pass(plain), one_pass(sampled)  # warm-up outside the clock
+        plain_times, sampled_times = [], []
+        for _ in range(repeats):
+            plain_times.append(one_pass(plain))
+            sampled_times.append(one_pass(sampled))
+        t_plain, t_sampled = min(plain_times), min(sampled_times)
+
+        hist = None
+        for labels, metric in sampled.registry.families().get(
+            "repro_query_seconds", ()
+        ):
+            if dict(labels).get("operator") == OPERATOR:
+                hist = metric
+        quantiles = {
+            q: (hist.quantile(frac) if hist is not None else 0.0)
+            for q, frac in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99))
+        }
+        served = sampled.registry.value(
+            "repro_serve_requests_total", {"route": "/query", "status": "200"}
+        )
+        degraded = sampled.registry.total("repro_serve_degraded_total")
+        return {
+            "queries": len(payloads),
+            "repeats": repeats,
+            "sample_rate": sample_rate,
+            "plain_s": t_plain,
+            "sampled_s": t_sampled,
+            "overhead": (t_sampled / t_plain - 1.0) if t_plain else 0.0,
+            "latency_ms": {
+                q: v * 1000.0 for q, v in quantiles.items()
+            },
+            "degraded_rate": (degraded / served) if served else 0.0,
+            "traces": sampled.sampler.sampled,
+        }
+    finally:
+        plain.manager.close()
+        sampled.manager.close()
+
+
+OVERHEAD_BUDGET = 0.03  # 1% sampling must cost <3% end to end
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -178,6 +268,23 @@ def main(argv: list[str] | None = None) -> int:
         f"hit ratio {cache['hit_ratio']:.2f})"
     )
 
+    obs = bench_observability(objects, queries, args.k)
+    lat = obs["latency_ms"]
+    print(
+        f"  obs: plain {obs['plain_s']*1000:7.1f} ms -> sampled "
+        f"{obs['sampled_s']*1000:7.1f} ms ({obs['overhead']:+.1%} at "
+        f"{obs['sample_rate']:.0%} sampling)  p50 {lat['p50']:.2f} / "
+        f"p95 {lat['p95']:.2f} / p99 {lat['p99']:.2f} ms  "
+        f"degraded_rate {obs['degraded_rate']:.2f}"
+    )
+    if obs["overhead"] > OVERHEAD_BUDGET:
+        print(
+            f"FAIL: observability overhead {obs['overhead']:+.1%} exceeds "
+            f"the {OVERHEAD_BUDGET:.0%} budget at "
+            f"{obs['sample_rate']:.0%} sampling"
+        )
+        return 1
+
     payload = {
         "bench": "serve",
         "scale": "smoke" if args.smoke else "default",
@@ -200,6 +307,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "shard_scaling": scaling,
         "cache": cache,
+        "observability": obs,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")

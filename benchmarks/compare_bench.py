@@ -17,7 +17,9 @@ Understands two payload shapes, auto-detected from the JSON:
   machine-independent numbers: per-K ``speedup_vs_1`` (both runs normalise
   against their own K=1, so core counts cancel out of the comparison) and
   the cache ``hit_ratio``; a false ``equal`` flag (sharded answer diverged
-  from the monolith) in the *current* file is always a hard failure.
+  from the monolith) in the *current* file is always a hard failure, as is
+  a non-zero ``observability.degraded_rate`` (the bench workload carries
+  no budgets, so a degraded answer is a serve-path correctness problem).
   ``--metric`` is ignored for serve payloads.
 
 All metrics are scale-sensitive, so a baseline/current ``scale`` mismatch
@@ -162,6 +164,26 @@ def compare_serve(
         baseline.get("cache", {}).get("hit_ratio"),
         current.get("cache", {}).get("hit_ratio"),
     )
+    cur_obs = current.get("observability")
+    if cur_obs is not None:
+        degraded = cur_obs.get("degraded_rate")
+        rows.append(
+            {
+                "metric": "observability.degraded_rate",
+                "baseline": (baseline.get("observability") or {}).get(
+                    "degraded_rate"
+                ),
+                "current": degraded,
+                "change": "-",
+            }
+        )
+        if degraded:
+            # The bench workload is unbudgeted: any degraded answer means
+            # the serve path degraded spontaneously — correctness, not perf.
+            regressions.append(
+                f"observability.degraded_rate: {degraded:.4g} != 0 on an "
+                "unbudgeted workload"
+            )
     return rows, regressions
 
 

@@ -11,6 +11,8 @@
 * ``serve``    — serve NNC queries over HTTP (sharded, cached, dynamic
   updates; see :mod:`repro.serve`).
 * ``client``   — query / mutate a running server from the shell.
+* ``replay``   — re-execute a serve audit log against a dataset and verify
+  every recorded answer digest (see :mod:`repro.serve.audit`).
 * ``info``     — library / configuration summary.
 """
 
@@ -97,12 +99,46 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                    choices=["strict", "repair", "skip"])
     p.add_argument("--compact-threshold", type=float, default=0.3,
                    help="masked fraction that triggers a shard rebuild")
+    p.add_argument("--sample", type=float, default=0.0, metavar="RATE",
+                   help="fraction of requests traced end to end "
+                   "(deterministic; 1.0 traces everything)")
+    p.add_argument("--trace-dir", metavar="DIR",
+                   help="write one merged Chrome trace JSON per sampled "
+                   "request into DIR")
+    p.add_argument("--audit-log", metavar="PATH",
+                   help="append one replayable JSONL audit record per "
+                   "served query/insert/delete (see `repro replay`)")
+    p.add_argument("--log-json", action="store_true",
+                   help="structured JSON logs on stderr, request-id "
+                   "correlated")
+    p.add_argument("--slo-latency-ms", type=float, metavar="MS",
+                   help="latency objective; slower requests burn "
+                   "repro_slo_burn_total{slo=latency}")
+
+
+def _add_replay(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "replay",
+        help="re-execute a serve audit log and verify answer digests",
+    )
+    p.add_argument("audit", help="JSONL audit file (from `serve --audit-log`)")
+    p.add_argument("--dataset", required=True,
+                   help=".npz dataset the server was started with")
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--partitioner", default="round-robin",
+                   choices=["round-robin", "centroid"])
+    p.add_argument("--backend", default="serial",
+                   choices=["auto", "serial", "thread", "process"])
+    p.add_argument("--format", choices=["text", "json"], default="text")
 
 
 def _add_client(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("client", help="talk to a running `repro serve`")
     p.add_argument("action",
-                   choices=["query", "insert", "delete", "health", "metrics"])
+                   choices=["query", "insert", "delete", "health", "status",
+                            "metrics"])
+    p.add_argument("--request-id", metavar="ID",
+                   help="propagate an X-Request-Id for log/trace correlation")
     p.add_argument("--url", default="http://127.0.0.1:8080")
     p.add_argument("--points", help="JSON 2-D array of instances")
     p.add_argument("--probs", help="JSON array of instance weights")
@@ -160,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate(sub)
     _add_serve(sub)
     _add_client(sub)
+    _add_replay(sub)
     sub.add_parser("info", help="print library information")
     return parser
 
@@ -364,12 +401,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.deadline_ms is not None
         else None
     )
+    if args.log_json:
+        from repro.obs import JsonLogger, set_logger
+
+        set_logger(JsonLogger(sys.stderr, service="repro-serve"))
+    audit = None
+    if args.audit_log:
+        from repro.serve.audit import AuditLog
+
+        audit = AuditLog(args.audit_log, metrics=registry)
     app = ServeApp(
         manager,
         cache=ResultCache(args.cache_size, metrics=registry),
         registry=registry,
         max_inflight=args.max_inflight,
         default_budget=default_budget,
+        sample_rate=args.sample,
+        audit=audit,
+        trace_dir=args.trace_dir,
+        slo_latency_ms=args.slo_latency_ms,
     )
     server = NNCServer(app, host=args.host, port=args.port)
 
@@ -395,8 +445,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await server.drain()
 
     asyncio.run(_run())
+    if audit is not None:
+        audit.close()
     print("drained cleanly")
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Re-execute an audit log; exit 0 verified, 1 mismatch, 2 load error."""
+    import json as _json
+
+    from repro.objects.io import load_objects
+    from repro.serve.audit import load_audit, replay_audit
+
+    try:
+        records = load_audit(args.audit)
+    except (OSError, _json.JSONDecodeError) as exc:
+        print(f"cannot read audit log: {exc}", file=sys.stderr)
+        return 2
+    try:
+        objects = load_objects(args.dataset)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load dataset: {exc}", file=sys.stderr)
+        return 2
+    report = replay_audit(
+        records,
+        objects,
+        shards=args.shards,
+        partitioner=args.partitioner,
+        backend=args.backend,
+    )
+    if args.format == "json":
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(
+            f"replayed {report.replayed} of {report.records} record(s): "
+            f"{report.verified} verified, {report.mismatch_count} "
+            f"mismatch(es), {report.mutations_applied} mutation(s), "
+            f"{report.skipped_degraded} degraded + "
+            f"{report.skipped_budgeted} budgeted skipped, "
+            f"{report.epoch_errors} epoch error(s)"
+        )
+        for row in report.mismatches:
+            print(
+                f"  seq {row['seq']} epoch {row['epoch']} {row['operator']}: "
+                f"expected {row['expected']}, got {row['actual']}"
+            )
+    return 0 if report.ok else 1
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
@@ -411,6 +506,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
     method, path, payload = "GET", None, None
     if args.action == "health":
         path = "/healthz"
+    elif args.action == "status":
+        path = "/status"
     elif args.action == "metrics":
         path = "/metrics"
     elif args.action == "query":
@@ -455,12 +552,15 @@ def _cmd_client(args: argparse.Namespace) -> int:
         method, path = "POST", "/delete"
         payload = {"oid": args.oid}
 
+    headers = {"Content-Type": "application/json"}
+    if args.request_id:
+        headers["X-Request-Id"] = args.request_id
     conn = http.client.HTTPConnection(host, port, timeout=60.0)
     try:
         conn.request(
             method, path,
             body=_json.dumps(payload) if payload is not None else None,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         resp = conn.getresponse()
         raw = resp.read()
@@ -565,6 +665,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "client":
         return _cmd_client(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "info":
         return _cmd_info()
     return 2  # pragma: no cover - argparse enforces the choices

@@ -12,7 +12,15 @@ inside a single query instead of only as end-of-run aggregates:
   histograms (per-operator latency, kernel batch sizes, prune-rule hits);
 * :mod:`repro.obs.export` — Chrome-trace JSON (``chrome://tracing`` /
   ``ui.perfetto.dev`` compatible), flat JSONL event logs, Prometheus text
-  and JSON metric dumps.
+  and JSON metric dumps, and the per-request merged trace that reassembles
+  shard span buffers onto one timeline;
+* :mod:`repro.obs.request` — the contextvar-based
+  :class:`~repro.obs.request.RequestContext` (request id, trace id,
+  parent/child span ids, sampling decision) the serving layer propagates
+  from the HTTP handler through scatter-gather into every shard, across
+  thread and fork boundaries;
+* :mod:`repro.obs.log` — structured JSON logging with automatic
+  request-id correlation on every event.
 
 Everything is zero-dependency and opt-in: :class:`~repro.obs.tracer.NullTracer`
 (the default on every :class:`repro.core.context.QueryContext`) turns every
@@ -22,25 +30,48 @@ nothing when observability is off.
 
 from repro.obs.export import (
     chrome_trace,
+    merged_chrome_trace,
     spans_to_jsonl,
     write_metrics,
     write_trace,
 )
+from repro.obs.log import (
+    NULL_LOGGER,
+    JsonLogger,
+    NullLogger,
+    get_logger,
+    log_event,
+    set_logger,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     query_metrics_from_counters,
+    update_slo_gauges,
 )
+from repro.obs.request import RequestContext, Sampler, bind, current
 from repro.obs.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
 
 __all__ = [
+    "JsonLogger",
     "MetricsRegistry",
+    "NULL_LOGGER",
     "NULL_TRACER",
+    "NullLogger",
     "NullTracer",
+    "RequestContext",
+    "Sampler",
     "SpanRecord",
     "Tracer",
+    "bind",
     "chrome_trace",
+    "current",
+    "get_logger",
+    "log_event",
+    "merged_chrome_trace",
     "query_metrics_from_counters",
+    "set_logger",
     "spans_to_jsonl",
+    "update_slo_gauges",
     "write_metrics",
     "write_trace",
 ]

@@ -17,7 +17,13 @@ from typing import Iterable
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import SpanRecord
 
-__all__ = ["chrome_trace", "spans_to_jsonl", "write_metrics", "write_trace"]
+__all__ = [
+    "chrome_trace",
+    "merged_chrome_trace",
+    "spans_to_jsonl",
+    "write_metrics",
+    "write_trace",
+]
 
 
 def chrome_trace(
@@ -44,24 +50,83 @@ def chrome_trace(
         }
     ]
     for span in spans:
-        args: dict = {}
-        if span.labels:
-            args.update({k: _jsonable(v) for k, v in span.labels.items()})
-        if span.counter_deltas:
-            args["counters"] = span.counter_deltas
+        events.append(_span_event(span, pid, tid, {}))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def merged_chrome_trace(
+    root_spans: Iterable[SpanRecord],
+    shard_spans: Iterable[tuple[int, Iterable[SpanRecord]]] = (),
+    *,
+    trace_id: str | None = None,
+    request_id: str | None = None,
+    process_name: str = "repro-serve",
+    pid: int = 1,
+) -> dict:
+    """One request's spans — handler plus every shard — as one Chrome trace.
+
+    The request's root spans render on thread 0 (named ``request``) and each
+    shard's buffer on its own thread row (``shard-<j>``); every event
+    carries the request's ``trace_id`` / ``request_id`` in ``args``, so the
+    merged document is self-describing even after it leaves the server.
+    All tracers of one request share a ``trace_epoch``, so the rows line up
+    on a single timeline across threads and forked workers.
+    """
+    correlate: dict = {}
+    if trace_id is not None:
+        correlate["trace_id"] = trace_id
+    if request_id is not None:
+        correlate["request_id"] = request_id
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "request"},
+        },
+    ]
+    for span in root_spans:
+        events.append(_span_event(span, pid, 0, correlate))
+    for shard, spans in shard_spans:
+        tid = int(shard) + 1
         events.append(
             {
-                "name": span.name,
-                "cat": span.parent or "root",
-                "ph": "X",
-                "ts": span.start * 1e6,
-                "dur": span.duration * 1e6,
+                "name": "thread_name",
+                "ph": "M",
                 "pid": pid,
                 "tid": tid,
-                "args": args,
+                "args": {"name": f"shard-{shard}"},
             }
         )
+        for span in spans:
+            events.append(_span_event(span, pid, tid, correlate))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _span_event(span: SpanRecord, pid: int, tid: int, correlate: dict) -> dict:
+    args: dict = dict(correlate)
+    if span.labels:
+        args.update({k: _jsonable(v) for k, v in span.labels.items()})
+    if span.counter_deltas:
+        args["counters"] = span.counter_deltas
+    return {
+        "name": span.name,
+        "cat": span.parent or "root",
+        "ph": "X",
+        "ts": span.start * 1e6,
+        "dur": span.duration * 1e6,
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
 
 
 def spans_to_jsonl(spans: Iterable[SpanRecord]) -> str:

@@ -1,0 +1,142 @@
+"""Structured JSON logging with automatic request-id correlation.
+
+One event per line, machine-parseable, with the current
+:class:`repro.obs.request.RequestContext` (when bound) stamped onto every
+record — so a grep for one ``request_id`` reconstructs a request's full
+story across the HTTP handler, the scatter-gather, shard workers, and
+degradation events.
+
+The module-level logger defaults to :data:`NULL_LOGGER` (a no-op), so
+library code can call :func:`log_event` unconditionally; the serving CLI
+installs a :class:`JsonLogger` with :func:`set_logger` when ``--log-json``
+is passed.  Event emission behind the null logger is one attribute check.
+
+Record shape::
+
+    {"ts": 1722.., "level": "info", "event": "serve.request",
+     "service": "repro-serve", "request_id": "9f..", "trace_id": "3a..",
+     ...free-form fields...}
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, IO
+
+from repro.obs import request as _request
+
+__all__ = [
+    "JsonLogger",
+    "NullLogger",
+    "NULL_LOGGER",
+    "get_logger",
+    "log_event",
+    "set_logger",
+]
+
+_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class NullLogger:
+    """No-op logger: every event is dropped at one attribute check."""
+
+    enabled = False
+
+    def log(self, event: str, *, level: str = "info", **fields: Any) -> None:
+        """Drop the event."""
+
+
+NULL_LOGGER = NullLogger()
+"""Shared no-op logger — the default sink."""
+
+
+class JsonLogger:
+    """Thread-safe line-per-event JSON logger.
+
+    Args:
+        stream: writable text stream (defaults to ``sys.stderr``).
+        service: ``service`` field stamped on every record.
+        min_level: drop events below this level (``debug`` < ``info`` <
+            ``warning`` < ``error``).
+        static: extra fields merged into every record (e.g. host, port).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        *,
+        service: str = "repro",
+        min_level: str = "info",
+        static: dict | None = None,
+    ) -> None:
+        if min_level not in _LEVELS:
+            raise ValueError(f"unknown level {min_level!r}; one of {_LEVELS}")
+        self.stream = stream if stream is not None else sys.stderr
+        self.service = service
+        self.min_level = min_level
+        self.static = dict(static or {})
+        self.emitted = 0
+        self._lock = threading.Lock()
+
+    def log(self, event: str, *, level: str = "info", **fields: Any) -> None:
+        """Emit one event (request/trace ids attached automatically)."""
+        if _LEVELS.index(level) < _LEVELS.index(self.min_level):
+            return
+        record: dict[str, Any] = {
+            "ts": time.time(),
+            "level": level,
+            "event": event,
+            "service": self.service,
+        }
+        ctx = _request.current()
+        if ctx is not None:
+            record["request_id"] = ctx.request_id
+            record["trace_id"] = ctx.trace_id
+            if ctx.shard is not None:
+                record["shard"] = ctx.shard
+        record.update(self.static)
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            self.stream.write(line + "\n")
+            flush = getattr(self.stream, "flush", None)
+            if flush is not None:
+                flush()
+            self.emitted += 1
+
+
+_LOGGER: NullLogger | JsonLogger = NULL_LOGGER
+
+
+def get_logger():
+    """The installed process-wide logger (the null logger by default)."""
+    return _LOGGER
+
+
+def set_logger(logger) -> None:
+    """Install ``logger`` process-wide (pass :data:`NULL_LOGGER` to reset)."""
+    global _LOGGER
+    _LOGGER = logger if logger is not None else NULL_LOGGER
+
+
+def log_event(event: str, *, level: str = "info", **fields: Any) -> None:
+    """Emit one event through the installed logger (no-op by default)."""
+    logger = _LOGGER
+    if logger.enabled:
+        logger.log(event, level=level, **fields)

@@ -36,10 +36,26 @@ name                               type        labels
 ``repro_serve_updates_total``      counter     ``op``
 ``repro_serve_epoch``              gauge       (none)
 ``repro_serve_objects``            gauge       (none)
+``repro_serve_shard_seconds``      histogram   ``shard``, ``operator``
+``repro_serve_degraded_total``     counter     ``operator``
+``repro_serve_sampled_total``      counter     (none)
+``repro_trace_spans_dropped_total`` counter    (none)
+``repro_audit_records_total``      counter     ``kind``
+``repro_slo_latency_seconds``      gauge       ``operator``, ``quantile``
+``repro_slo_shard_latency_seconds`` gauge      ``shard``, ``operator``, ``quantile``
+``repro_slo_degraded_ratio``       gauge       (none)
+``repro_slo_error_ratio``          gauge       (none)
+``repro_slo_burn_total``           counter     ``slo``
 ================================== =========== ==================================
 
 The ``repro_serve_*`` families are fed by :mod:`repro.serve` (server
-admission, result cache, sharded fan-out, dataset epoch/size).
+admission, result cache, sharded fan-out, dataset epoch/size).  The
+``repro_slo_*`` gauges are *derived* — :func:`update_slo_gauges` recomputes
+them from the latency histograms and the request/degraded tallies at every
+``/metrics`` and ``/status`` read, so scrapes always see current
+percentiles without per-request quantile maintenance; the burn counter is
+bumped per request whenever an SLO (latency target, error, degraded
+answer) is breached.
 
 ``repro_counter_total`` mirrors :meth:`repro.core.counters.Counters.snapshot`
 field for field (per query, per operator), so the Prometheus export always
@@ -60,6 +76,7 @@ __all__ = [
     "LATENCY_BUCKETS",
     "SIZE_BUCKETS",
     "query_metrics_from_counters",
+    "update_slo_gauges",
 ]
 
 LATENCY_BUCKETS: tuple[float, ...] = (
@@ -155,6 +172,31 @@ class Histogram:
             running += c
             out.append(running)
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) by linear bucket interpolation.
+
+        Standard Prometheus ``histogram_quantile`` semantics: the target
+        rank is located in its bucket and interpolated between the bucket's
+        bounds (the first bucket interpolates from 0).  Observations in the
+        ``+Inf`` bucket clamp to the largest finite bound — the estimate is
+        only as sharp as the bucket layout, which is the deal histograms
+        make for O(1) observation cost.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        lo = 0.0
+        for bound, c in zip(self.buckets, self.counts):
+            if c and cum + c >= target:
+                frac = (target - cum) / c
+                return lo + (bound - lo) * min(1.0, max(0.0, frac))
+            cum += c
+            lo = bound
+        return self.buckets[-1]
 
 
 class MetricsRegistry:
@@ -323,6 +365,67 @@ def _fmt_labels(labels: _LabelKey, extra: tuple[str, str] | None = None) -> str:
 
 def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+# --------------------------------------------------------------------- #
+# SLO accounting
+# --------------------------------------------------------------------- #
+
+SLO_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50), ("p95", 0.95), ("p99", 0.99),
+)
+"""Latency quantiles exported as ``repro_slo_*`` gauges."""
+
+
+def update_slo_gauges(registry: MetricsRegistry) -> None:
+    """Recompute the derived ``repro_slo_*`` gauges from raw families.
+
+    * ``repro_slo_latency_seconds{operator,quantile}`` — per-operator
+      p50/p95/p99 from the ``repro_query_seconds`` histograms;
+    * ``repro_slo_shard_latency_seconds{shard,operator,quantile}`` — the
+      same from the per-shard ``repro_serve_shard_seconds`` histograms;
+    * ``repro_slo_degraded_ratio`` — degraded served queries over all
+      served queries (``repro_serve_degraded_total`` /
+      ``repro_serve_requests_total{route=/query,status=200}``);
+    * ``repro_slo_error_ratio`` — 5xx serve responses over all serve
+      responses.
+
+    Idempotent and cheap (a pass over the touched label sets), meant to run
+    on every ``/metrics`` scrape and ``/status`` read.
+    """
+    families = registry.families()
+    for labels, metric in families.get("repro_query_seconds", []):
+        base = dict(labels)
+        for qname, q in SLO_QUANTILES:
+            registry.set_gauge(
+                "repro_slo_latency_seconds",
+                metric.quantile(q),
+                {**base, "quantile": qname},
+            )
+    for labels, metric in families.get("repro_serve_shard_seconds", []):
+        base = dict(labels)
+        for qname, q in SLO_QUANTILES:
+            registry.set_gauge(
+                "repro_slo_shard_latency_seconds",
+                metric.quantile(q),
+                {**base, "quantile": qname},
+            )
+    served = err = 0.0
+    ok_queries = 0.0
+    for labels, metric in families.get("repro_serve_requests_total", []):
+        label_map = dict(labels)
+        served += metric.value
+        if label_map.get("status", "").startswith("5"):
+            err += metric.value
+        if label_map.get("route") == "/query" and label_map.get("status") == "200":
+            ok_queries += metric.value
+    degraded = registry.total("repro_serve_degraded_total")
+    registry.set_gauge(
+        "repro_slo_degraded_ratio", (degraded / ok_queries) if ok_queries else 0.0
+    )
+    registry.set_gauge(
+        "repro_slo_error_ratio", (err / served) if served else 0.0
+    )
 
 
 # --------------------------------------------------------------------- #

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from contextvars import ContextVar
 from typing import Any, Iterator
 
 __all__ = ["NULL_TRACER", "NullTracer", "SpanRecord", "Tracer"]
@@ -85,6 +86,24 @@ class SpanRecord:
             out["counters"] = self.counter_deltas
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SpanRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Used by the fork-process serve backend: shard workers return their
+        span buffers as plain dicts, and the parent reassembles them into
+        the request's merged trace.
+        """
+        return cls(
+            data["name"],
+            float(data["start"]),
+            float(data["duration"]),
+            int(data.get("depth", 0)),
+            data.get("parent"),
+            dict(data.get("labels") or {}),
+            dict(data.get("counters") or {}),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SpanRecord({self.name!r}, start={self.start:.6f}, "
@@ -96,7 +115,7 @@ class _ActiveSpan:
     """Context manager for one in-flight span of a real :class:`Tracer`."""
 
     __slots__ = ("_tracer", "name", "labels", "_counters", "_t0", "_snap0",
-                 "_parent", "_depth")
+                 "_parent", "_depth", "_token")
 
     def __init__(self, tracer: "Tracer", name: str, counters, labels) -> None:
         self._tracer = tracer
@@ -105,12 +124,14 @@ class _ActiveSpan:
         self._counters = counters
         self._t0 = 0.0
         self._snap0: dict[str, int] | None = None
+        self._token = None
 
     def __enter__(self) -> "_ActiveSpan":
         tracer = self._tracer
-        self._depth = len(tracer._stack)
-        self._parent = tracer._stack[-1] if tracer._stack else None
-        tracer._stack.append(self.name)
+        stack = tracer._stack_var.get()
+        self._depth = len(stack)
+        self._parent = stack[-1] if stack else None
+        self._token = tracer._stack_var.set(stack + (self.name,))
         if self._counters is not None:
             self._snap0 = self._counters.snapshot()
         self._t0 = time.perf_counter()
@@ -137,6 +158,9 @@ class _ActiveSpan:
             self.labels,
             deltas,
         )
+        # Token reset (not a pop) restores exactly the stack this span saw
+        # at entry — abandoned generators and unbalanced exits included.
+        tracer._stack_var.reset(self._token)
         tracer._finish(record)
 
 
@@ -158,26 +182,41 @@ _NULL_SPAN = _NullSpan()
 class Tracer:
     """Span recorder with a bounded ring buffer.
 
+    The open-span stack lives in a :class:`contextvars.ContextVar`, so one
+    tracer shared by concurrent requests (threads or asyncio tasks) keeps
+    every request's parent/depth bookkeeping isolated — spans from request
+    A can never adopt a parent from request B.  The completed-span buffer
+    is still shared: interleaved *completion* order is fine, interleaved
+    *ancestry* is not.
+
     Args:
         capacity: maximum retained completed spans; older spans are dropped
             (and counted in :attr:`dropped`) once the buffer is full.
         metrics: optional :class:`repro.obs.metrics.MetricsRegistry`; when
             set, every closed span feeds a ``repro_span_seconds`` latency
             histogram labelled by span name (and operator, when the span
-            carries an ``op`` label).
+            carries an ``op`` label), and ring-buffer drops feed
+            ``repro_trace_spans_dropped_total``.
+        epoch: perf-counter base for span ``start`` values; defaults to
+            "now".  The serving layer passes one request-wide epoch to
+            every shard tracer so merged traces share a single timeline.
     """
 
     enabled = True
 
-    def __init__(self, capacity: int = 65536, metrics=None) -> None:
+    def __init__(
+        self, capacity: int = 65536, metrics=None, *, epoch: float | None = None
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self.capacity = capacity
         self.metrics = metrics
-        self.epoch = time.perf_counter()
+        self.epoch = time.perf_counter() if epoch is None else epoch
         self.completed = 0
         self._buffer: deque[SpanRecord] = deque(maxlen=capacity)
-        self._stack: list[str] = []
+        self._stack_var: ContextVar[tuple[str, ...]] = ContextVar(
+            "repro_tracer_stack", default=()
+        )
 
     def span(self, name: str, *, counters=None, **labels) -> _ActiveSpan:
         """Open a span; use as a context manager.
@@ -191,18 +230,13 @@ class Tracer:
         return _ActiveSpan(self, name, counters, labels)
 
     def _finish(self, record: SpanRecord) -> None:
-        stack = self._stack
-        if stack and stack[-1] == record.name:
-            stack.pop()
-        else:  # unbalanced exit (abandoned generator): resync best-effort
-            while stack and stack[-1] != record.name:
-                stack.pop()
-            if stack:
-                stack.pop()
         self.completed += 1
-        self._buffer.append(record)
         metrics = self.metrics
+        dropping = len(self._buffer) >= self.capacity
+        self._buffer.append(record)
         if metrics is not None:
+            if dropping:
+                metrics.inc("repro_trace_spans_dropped_total")
             labels = {"span": record.name}
             op = record.labels.get("op")
             if op is not None:
@@ -227,9 +261,12 @@ class Tracer:
         return len(self._buffer)
 
     def clear(self) -> None:
-        """Drop all retained spans (the drop/completed tallies reset too)."""
+        """Drop all retained spans (the drop/completed tallies reset too).
+
+        The open-span stack is context-local and owned by in-flight spans'
+        tokens, so it needs no clearing here.
+        """
         self._buffer.clear()
-        self._stack.clear()
         self.completed = 0
 
 

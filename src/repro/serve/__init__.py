@@ -8,10 +8,15 @@ Layers (bottom-up):
   epoch (stale hits are structurally impossible).
 * :mod:`repro.serve.updates` — dynamic inserts/deletes with validation,
   tombstone deletes, periodic compaction, and epoch bumps.
+* :mod:`repro.serve.audit` — per-query JSONL audit log with SHA-1 answer
+  digests, plus deterministic replay verification (``repro replay``).
 * :mod:`repro.serve.protocol` / :mod:`repro.serve.server` — JSON-over-HTTP
-  front end (stdlib asyncio) with budget admission and graceful drain.
+  front end (stdlib asyncio) with budget admission, graceful drain,
+  request-scoped tracing (one merged Chrome trace per sampled request),
+  structured logs, and SLO accounting on ``/metrics`` + ``/status``.
 """
 
+from repro.serve.audit import AuditLog, ReplayReport, answer_digest, load_audit, replay_audit
 from repro.serve.cache import ResultCache, query_digest
 from repro.serve.shard import (
     BACKENDS,
@@ -24,13 +29,18 @@ from repro.serve.shard import (
 from repro.serve.updates import DatasetManager
 
 __all__ = [
+    "AuditLog",
     "BACKENDS",
     "PARTITIONERS",
     "DatasetManager",
+    "ReplayReport",
     "ResultCache",
     "ShardedResult",
     "ShardedSearch",
+    "answer_digest",
+    "load_audit",
     "partition_centroid",
     "partition_round_robin",
     "query_digest",
+    "replay_audit",
 ]

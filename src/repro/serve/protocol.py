@@ -32,6 +32,7 @@ from repro.resilience.budget import Budget
 
 __all__ = [
     "OPERATOR_NAMES",
+    "REQUEST_SCOPED_KEYS",
     "ProtocolError",
     "parse_query_request",
     "parse_insert_request",
@@ -152,12 +153,19 @@ def parse_delete_request(payload: Any):
 
 # ------------------------------ responses ----------------------------- #
 
-def query_response(result, epoch: int, *, cached: bool = False) -> dict:
-    """JSON body for a sharded query result (see module docstring)."""
+def query_response(
+    result, epoch: int, *, cached: bool = False, request=None
+) -> dict:
+    """JSON body for a sharded query result (see module docstring).
+
+    With a ``request`` (:class:`repro.obs.request.RequestContext`), the
+    response carries ``request_id`` / ``trace_id`` / ``sampled`` so a
+    client can correlate its answer with server-side logs and traces.
+    """
     degradation = (
         result.degradation.to_dict() if result.degradation is not None else None
     )
-    return {
+    body = {
         "candidates": [
             {"oid": obj.oid, "dominators": count}
             for obj, count in zip(result.candidates, result.dominator_counts)
@@ -173,6 +181,16 @@ def query_response(result, epoch: int, *, cached: bool = False) -> dict:
         "fanout": result.fanout,
         "refine_checks": result.refine_checks,
     }
+    if request is not None:
+        body["request_id"] = request.request_id
+        body["trace_id"] = request.trace_id
+        body["sampled"] = request.sampled
+    return body
+
+
+#: Response keys scoped to one request, stripped before a body is cached
+#: and re-stamped from the serving request on a cache hit.
+REQUEST_SCOPED_KEYS: tuple[str, ...] = ("request_id", "trace_id", "sampled")
 
 
 def insert_response(oid, epoch: int) -> dict:

@@ -29,12 +29,18 @@ import signal
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Any
 
 from repro.objects.validate import InvalidInputError
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.export import merged_chrome_trace
+from repro.obs.log import log_event
+from repro.obs.metrics import MetricsRegistry, update_slo_gauges
+from repro.obs.request import RequestContext, Sampler, bind
+from repro.obs.tracer import Tracer
 from repro.resilience.budget import Budget
 from repro.serve import protocol
+from repro.serve.audit import AuditLog
 from repro.serve.cache import ResultCache
 from repro.serve.updates import (
     DatasetManager,
@@ -59,6 +65,16 @@ class ServeApp:
         max_inflight: concurrent engine-request cap (admission control).
         default_budget: limits dict applied when a query carries none
             (e.g. ``{"deadline_ms": 2000}``); None = unbudgeted default.
+        sample_rate: fraction of engine requests traced end to end
+            (deterministic :class:`repro.obs.request.Sampler`); 0 disables
+            tracing entirely.
+        audit: optional :class:`repro.serve.audit.AuditLog`; every served
+            query/insert/delete appends one replayable JSONL record.
+        trace_dir: directory receiving one merged Chrome trace JSON per
+            sampled request (``trace-<request_id>.json``); the most recent
+            document is also kept on :attr:`last_trace`.
+        slo_latency_ms: per-request latency objective; engine requests
+            slower than this burn ``repro_slo_burn_total{slo="latency"}``.
     """
 
     def __init__(
@@ -69,12 +85,22 @@ class ServeApp:
         registry: MetricsRegistry | None = None,
         max_inflight: int = 8,
         default_budget: dict | None = None,
+        sample_rate: float = 0.0,
+        audit: AuditLog | None = None,
+        trace_dir: str | Path | None = None,
+        slo_latency_ms: float | None = None,
     ) -> None:
         self.manager = manager
         self.registry = registry if registry is not None else MetricsRegistry()
         self.cache = cache
         self.max_inflight = max_inflight
         self.default_budget = dict(default_budget) if default_budget else None
+        self.sampler = Sampler(sample_rate)
+        self.audit = audit
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.slo_latency_ms = slo_latency_ms
+        #: Merged Chrome-trace document of the most recent sampled request.
+        self.last_trace: dict | None = None
         self.draining = False
         self._inflight = 0
         self._lock = threading.Lock()
@@ -113,21 +139,26 @@ class ServeApp:
 
     # --------------------------- handlers ------------------------------ #
 
-    def handle(self, method: str, path: str, payload: Any) -> tuple[int, dict]:
+    def handle(
+        self, method: str, path: str, payload: Any, request=None
+    ) -> tuple[int, dict]:
         """Route one parsed request; returns ``(status, json_body)``."""
         try:
             if method == "GET" and path == "/healthz":
                 return 200, self.healthz()
+            if method == "GET" and path == "/status":
+                return 200, self.status()
             if method == "GET" and path == "/metrics":
                 # Caller special-cases the content type; body is text.
+                update_slo_gauges(self.registry)
                 return 200, {"text": self.registry.to_prometheus()}
             if method != "POST" or path not in ("/query", "/insert", "/delete"):
                 return 404, protocol.error_body(f"no route {method} {path}")
             if path == "/query":
-                return self.handle_query(payload)
+                return self.handle_query(payload, request)
             if path == "/insert":
-                return self.handle_insert(payload)
-            return self.handle_delete(payload)
+                return self.handle_insert(payload, request)
+            return self.handle_delete(payload, request)
         except protocol.ProtocolError as exc:
             return 400, protocol.error_body(str(exc))
         except InvalidInputError as exc:
@@ -139,14 +170,93 @@ class ServeApp:
         except UnknownOidError as exc:
             return 404, protocol.error_body(f"unknown oid {exc.args[0]!r}")
 
-    def dispatch(self, method: str, path: str, payload: Any) -> tuple[int, dict]:
-        """handle() plus request metrics (single entry point for servers)."""
+    def dispatch(
+        self,
+        method: str,
+        path: str,
+        payload: Any,
+        headers: dict | None = None,
+    ) -> tuple[int, dict]:
+        """handle() under a bound request context, plus metrics and SLOs.
+
+        The single entry point for servers: engine requests get a
+        :class:`RequestContext` (honouring a caller's ``X-Request-Id``),
+        the per-request sampling decision, structured request logs, the
+        merged-trace export, and SLO burn accounting.
+        """
         start = time.perf_counter()
-        status, body = self.handle(method, path, payload)
-        self._observe(path, status, time.perf_counter() - start)
+        engine = method == "POST" and path in ("/query", "/insert", "/delete")
+        request = None
+        if engine:
+            request_id = (headers or {}).get("x-request-id") or None
+            request = RequestContext.new(
+                request_id=request_id, sampled=self.sampler.decide()
+            )
+            if request.sampled:
+                request.tracer = Tracer(
+                    metrics=self.registry, epoch=request.trace_epoch
+                )
+                self.registry.inc("repro_serve_sampled_total")
+        with bind(request):
+            try:
+                status, body = self.handle(method, path, payload, request)
+            except Exception as exc:  # noqa: BLE001 — boundary: 500, not a crash
+                log_event(
+                    "serve.error", level="error", route=path, error=repr(exc)
+                )
+                status, body = 500, protocol.error_body("internal error")
+            elapsed = time.perf_counter() - start
+            self._observe(path, status, elapsed)
+            if engine:
+                self._slo_account(status, body, elapsed)
+                if request.sampled:
+                    self.export_trace(request)
+                log_event(
+                    "serve.request",
+                    route=path,
+                    status=status,
+                    elapsed_ms=elapsed * 1000.0,
+                    sampled=request.sampled,
+                    cached=bool(body.get("cached")),
+                    degraded=bool(body.get("degraded")),
+                )
         return status, body
 
-    def handle_query(self, payload: Any) -> tuple[int, dict]:
+    def _slo_account(self, status: int, body: dict, elapsed: float) -> None:
+        """Burn counters: one increment per request that misses an SLO."""
+        if status >= 500:
+            self.registry.inc("repro_slo_burn_total", 1, {"slo": "error"})
+        if status == 200 and body.get("degraded"):
+            self.registry.inc("repro_slo_burn_total", 1, {"slo": "degraded"})
+        if (
+            self.slo_latency_ms is not None
+            and elapsed * 1000.0 > self.slo_latency_ms
+        ):
+            self.registry.inc("repro_slo_burn_total", 1, {"slo": "latency"})
+
+    def export_trace(self, request) -> dict:
+        """Merge a sampled request's span buffers into one Chrome trace.
+
+        Root (handler + serial-cascade) spans come from the request's own
+        tracer; thread/fork shard buffers were attached by the scatter via
+        :meth:`RequestContext.add_shard_spans`.  Written to ``trace_dir``
+        (when set) and kept on :attr:`last_trace`.
+        """
+        spans = request.tracer.spans() if request.tracer is not None else []
+        doc = merged_chrome_trace(
+            spans,
+            request.shard_spans,
+            trace_id=request.trace_id,
+            request_id=request.request_id,
+        )
+        self.last_trace = doc
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            path = self.trace_dir / f"trace-{request.request_id}.json"
+            path.write_text(json.dumps(doc, indent=1) + "\n")
+        return doc
+
+    def handle_query(self, payload: Any, request=None) -> tuple[int, dict]:
         """POST /query: cache lookup, sharded search, epoch-keyed store."""
         req = protocol.parse_query_request(payload)
         budget = req["budget"]
@@ -164,49 +274,155 @@ class ServeApp:
             if hit is not None:
                 body = dict(hit)
                 body["cached"] = True
+                if request is not None:
+                    body["request_id"] = request.request_id
+                    body["trace_id"] = request.trace_id
+                    body["sampled"] = request.sampled
+                self._audit_query(req, body, body["epoch"], request, True)
                 return 200, body
-        result, epoch = self.manager.query(
-            req["query"], req["operator"], k=req["k"],
-            metric=req["metric"], budget=budget,
-        )
-        body = protocol.query_response(result, epoch)
+        if request is not None and request.tracer is not None:
+            # The request's root span (tid 0 on the merged timeline);
+            # serial-backend shard spans nest under it, parallel backends
+            # attach their buffers to the context instead.
+            with request.tracer.span(
+                "query",
+                op=req["operator"],
+                k=req["k"],
+                request_id=request.request_id,
+                span_id=request.span_id,
+            ):
+                result, epoch = self.manager.query(
+                    req["query"], req["operator"], k=req["k"],
+                    metric=req["metric"], budget=budget, request=request,
+                )
+        else:
+            result, epoch = self.manager.query(
+                req["query"], req["operator"], k=req["k"],
+                metric=req["metric"], budget=budget, request=request,
+            )
+        body = protocol.query_response(result, epoch, request=request)
+        if result.degradation is not None:
+            self.registry.inc(
+                "repro_serve_degraded_total", 1, {"operator": req["operator"]}
+            )
         if use_cache and result.degradation is None:
             # Keyed by the epoch the answer was computed under (atomic with
             # the search), so a concurrent update can't version-skew it.
+            # Request-scoped ids are stripped; hits re-stamp their own.
+            cacheable = {
+                key: value
+                for key, value in body.items()
+                if key not in protocol.REQUEST_SCOPED_KEYS
+            }
             self.cache.put(
                 ResultCache.key(
                     epoch, req["operator"], req["metric"],
                     req["k"], req["query"],
                 ),
-                body,
+                cacheable,
             )
+        self._audit_query(req, body, epoch, request, False)
         return 200, body
 
-    def handle_insert(self, payload: Any) -> tuple[int, dict]:
+    def _audit_query(
+        self, req: dict, body: dict, epoch: int, request, cached: bool
+    ) -> None:
+        if self.audit is not None:
+            self.audit.record_query(
+                req,
+                body,
+                epoch,
+                request_id=request.request_id if request is not None else None,
+                cached=cached,
+            )
+
+    def handle_insert(self, payload: Any, request=None) -> tuple[int, dict]:
         """POST /insert: validate and index one object (422/409 on failure)."""
         obj = protocol.parse_insert_request(payload)
         oid, epoch = self.manager.insert(obj.points, obj.probs, oid=obj.oid)
         self.registry.inc("repro_serve_updates_total", 1, {"op": "insert"})
+        if self.audit is not None:
+            self.audit.record_insert(
+                obj, oid, epoch,
+                request_id=request.request_id if request is not None else None,
+            )
         return 200, protocol.insert_response(oid, epoch)
 
-    def handle_delete(self, payload: Any) -> tuple[int, dict]:
+    def handle_delete(self, payload: Any, request=None) -> tuple[int, dict]:
         """POST /delete: tombstone by oid (404 when not live)."""
         oid = protocol.parse_delete_request(payload)
         _, epoch = self.manager.delete(oid)
         self.registry.inc("repro_serve_updates_total", 1, {"op": "delete"})
+        if self.audit is not None:
+            self.audit.record_delete(
+                oid, epoch,
+                request_id=request.request_id if request is not None else None,
+            )
         return 200, protocol.delete_response(oid, epoch)
 
     def healthz(self) -> dict:
-        """GET /healthz body: liveness, epoch, sizes, cache stats."""
+        """GET /healthz body: liveness, epoch, sizes, drain/compaction truth.
+
+        ``status`` is ``ok`` only when the service is neither draining nor
+        mid-compaction; the epoch, shard count, and in-flight gauge let a
+        drain monitor verify quiescence instead of trusting the label.
+        """
+        compacting = self.manager.compacting
+        if self.draining:
+            status = "draining"
+        elif compacting:
+            status = "compacting"
+        else:
+            status = "ok"
         return {
-            "status": "draining" if self.draining else "ok",
+            "status": status,
             "epoch": self.manager.epoch,
             "objects": self.manager.size,
             "shards": self.manager.search.shards,
             "backend": self.manager.search.backend,
             "inflight": self._inflight,
+            "compacting": compacting,
             "uptime_s": time.time() - self.started_at,
             "cache": self.cache.stats() if self.cache is not None else None,
+        }
+
+    def status(self) -> dict:
+        """GET /status body: health plus SLO accounting, JSON-native.
+
+        Recomputes the derived SLO gauges from the live histograms at read
+        time, so the quantiles are current without a scrape loop.
+        """
+        update_slo_gauges(self.registry)
+        reg = self.registry
+        latency: dict[str, dict[str, float]] = {}
+        for labels, gauge in reg.families().get(
+            "repro_slo_latency_seconds", ()
+        ):
+            row = dict(labels)
+            latency.setdefault(row["operator"], {})[row["quantile"]] = (
+                gauge.value
+            )
+        burn = {
+            dict(labels)["slo"]: counter.value
+            for labels, counter in reg.families().get(
+                "repro_slo_burn_total", ()
+            )
+        }
+        return {
+            **self.healthz(),
+            "sampler": {
+                "rate": self.sampler.rate,
+                "decisions": self.sampler.decisions,
+                "sampled": self.sampler.sampled,
+            },
+            "audit": self.audit.stats() if self.audit is not None else None,
+            "slo": {
+                "latency_ms_target": self.slo_latency_ms,
+                "latency_seconds": latency,
+                "degraded_ratio": reg.value("repro_slo_degraded_ratio"),
+                "error_ratio": reg.value("repro_slo_error_ratio"),
+                "burn": burn,
+            },
         }
 
 
@@ -287,8 +503,8 @@ class NNCServer:
                     writer, 400, protocol.error_body("malformed request")
                 )
                 return
-            method, path, payload = request
-            await self._route(writer, method, path, payload)
+            method, path, payload, headers = request
+            await self._route(writer, method, path, payload, headers)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -329,9 +545,11 @@ class NNCServer:
                 payload = json.loads(body)
             except json.JSONDecodeError:
                 return None
-        return method.upper(), path, payload
+        return method.upper(), path, payload, headers
 
-    async def _route(self, writer, method: str, path: str, payload) -> None:
+    async def _route(
+        self, writer, method: str, path: str, payload, headers=None
+    ) -> None:
         app = self.app
         engine_route = method == "POST" and path in (
             "/query", "/insert", "/delete"
@@ -354,13 +572,13 @@ class NNCServer:
             loop = asyncio.get_running_loop()
             try:
                 status, body = await loop.run_in_executor(
-                    self._executor, app.dispatch, method, path, payload
+                    self._executor, app.dispatch, method, path, payload, headers
                 )
             finally:
                 app.release()
             await self._respond(writer, status, body)
             return
-        status, body = app.dispatch(method, path, payload)
+        status, body = app.dispatch(method, path, payload, headers)
         if path == "/metrics" and status == 200:
             await self._respond_text(writer, 200, body["text"])
         else:
@@ -385,7 +603,8 @@ class NNCServer:
         reason = {
             200: "OK", 400: "Bad Request", 404: "Not Found",
             409: "Conflict", 422: "Unprocessable Entity",
-            429: "Too Many Requests", 503: "Service Unavailable",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable",
         }.get(status, "Error")
         head = [
             f"HTTP/1.1 {status} {reason}",

@@ -50,7 +50,10 @@ from repro.core.counters import Counters
 from repro.core.nnc import NNCSearch
 from repro.core.operators import OperatorKind, _BaseOperator, make_operator
 from repro.objects.uncertain import UncertainObject
+from repro.obs.log import log_event
 from repro.obs.metrics import query_metrics_from_counters
+from repro.obs.request import RequestContext, bind
+from repro.obs.tracer import SpanRecord, Tracer
 from repro.resilience.budget import Budget, BudgetExhausted, DegradationReport
 
 __all__ = [
@@ -202,12 +205,36 @@ _FORK_SEARCHES: list[NNCSearch] | None = None
 
 
 def _fork_run_one(task: tuple) -> tuple:
-    """Run one shard search in a pool worker; results travel as indices."""
-    shard_idx, query, operator, k, metric, kernels, limits = task
+    """Run one shard search in a pool worker; results travel as indices.
+
+    ``wire`` (when present) is a sampled request's child context in
+    :meth:`repro.obs.request.RequestContext.to_wire` form; the worker
+    rebuilds it, records shard spans against the parent's ``trace_epoch``
+    (``perf_counter`` / ``CLOCK_MONOTONIC`` is system-wide across fork),
+    and ships the span buffer back as plain dicts for reassembly.
+    """
+    shard_idx, query, operator, k, metric, kernels, limits, wire = task
     search = _FORK_SEARCHES[shard_idx]
     budget = Budget(**limits) if limits is not None else None
-    ctx = QueryContext(query, metric=metric, kernels=kernels, budget=budget)
-    result = search.run(query, operator, k=k, ctx=ctx)
+    spans: list[dict] | None = None
+    if wire is not None:
+        child = RequestContext.from_wire(wire)
+        tracer = Tracer(epoch=child.trace_epoch)
+        ctx = QueryContext(
+            query, metric=metric, kernels=kernels, budget=budget, tracer=tracer
+        )
+        with bind(child):
+            with tracer.span(
+                "shard-search",
+                shard=shard_idx,
+                span_id=child.span_id,
+                parent_span_id=child.parent_span_id,
+            ):
+                result = search.run(query, operator, k=k, ctx=ctx)
+        spans = [s.to_dict() for s in tracer.spans()]
+    else:
+        ctx = QueryContext(query, metric=metric, kernels=kernels, budget=budget)
+        result = search.run(query, operator, k=k, ctx=ctx)
     index_of = {id(o): i for i, o in enumerate(search.objects)}
     idxs = [index_of[id(c)] for c in result.candidates]
     report = (
@@ -219,6 +246,7 @@ def _fork_run_one(task: tuple) -> tuple:
         result.elapsed,
         report,
         result.counters.snapshot(),
+        spans,
     )
 
 
@@ -421,6 +449,7 @@ class ShardedSearch:
         metric: str = "euclidean",
         kernels: bool = True,
         budget: Budget | None = None,
+        request: RequestContext | None = None,
     ) -> ShardedResult:
         """Scatter-gather k-NNC; pinned equal to the single-shard answer.
 
@@ -429,6 +458,13 @@ class ShardedSearch:
         fresh budget with the same limits.  Any shard degradation makes the
         combined answer a flagged superset, same contract as
         :class:`repro.core.nnc.NNCResult`.
+
+        With a ``request`` (the serving layer's
+        :class:`repro.obs.request.RequestContext`), a sampled request's
+        shard searches are traced: the serial cascade records into the
+        request's root tracer, thread workers bind a shard child context
+        and hand span buffers back via ``add_shard_spans``, and fork
+        workers ship the child over the wire and return span dicts.
         """
         if not isinstance(operator, _BaseOperator):
             operator = make_operator(operator)
@@ -436,15 +472,21 @@ class ShardedSearch:
         backend = self.backend
         if backend == "serial" or self.shards == 1:
             survivors, covered, per_shard, merged, degradation, refine_ctx = (
-                self._scatter_serial(query, operator, k, metric, kernels, budget)
+                self._scatter_serial(
+                    query, operator, k, metric, kernels, budget, request
+                )
             )
         elif backend == "thread":
             survivors, covered, per_shard, merged, degradation, refine_ctx = (
-                self._scatter_thread(query, operator, k, metric, kernels, budget)
+                self._scatter_thread(
+                    query, operator, k, metric, kernels, budget, request
+                )
             )
         else:
             survivors, covered, per_shard, merged, degradation, refine_ctx = (
-                self._scatter_process(query, operator, k, metric, kernels, budget)
+                self._scatter_process(
+                    query, operator, k, metric, kernels, budget, request
+                )
             )
 
         final, counts, refine_checks, unresolved = self._refine(
@@ -484,12 +526,28 @@ class ShardedSearch:
                 {"operator": operator.name},
                 buckets=FANOUT_BUCKETS,
             )
+            for row in per_shard:
+                self.metrics.observe(
+                    "repro_serve_shard_seconds",
+                    row["elapsed"],
+                    {"shard": str(row["shard"]), "operator": operator.name},
+                )
             query_metrics_from_counters(
                 self.metrics,
                 merged.snapshot(),
                 operator=operator.name,
                 elapsed=result.elapsed,
                 candidates=len(result.candidates),
+            )
+        if degradation is not None:
+            log_event(
+                "search.degraded",
+                level="warning",
+                operator=operator.name,
+                backend=backend,
+                reason=degradation.reason,
+                site=degradation.site,
+                unresolved_checks=degradation.unresolved_checks,
             )
         return result
 
@@ -510,9 +568,23 @@ class ShardedSearch:
         keyed.sort()
         return [j for _, j in keyed]
 
-    def _scatter_serial(self, query, operator, k, metric, kernels, budget):
-        """Cascade: near shards first, survivors seed the later shards."""
-        ctx = QueryContext(query, metric=metric, kernels=kernels, budget=budget)
+    def _scatter_serial(
+        self, query, operator, k, metric, kernels, budget, request=None
+    ):
+        """Cascade: near shards first, survivors seed the later shards.
+
+        Runs on the request thread, so a sampled request's shard spans land
+        directly in its root tracer (wrapped in per-shard ``shard-search``
+        spans) — no buffer hand-back needed.
+        """
+        tracer = (
+            request.tracer
+            if request is not None and request.sampled and request.tracer is not None
+            else None
+        )
+        ctx = QueryContext(
+            query, metric=metric, kernels=kernels, budget=budget, tracer=tracer
+        )
         order = self._shard_order(query)
         survivors: list[list[tuple[UncertainObject, int]]] = [
             [] for _ in order
@@ -523,7 +595,8 @@ class ShardedSearch:
         seeds: list[UncertainObject] = []
         for pos, j in enumerate(order):
             search = self.searches[j]
-            res = search.run(query, operator, k=k, ctx=ctx, seeds=seeds)
+            with ctx.tracer.span("shard-search", shard=j, cascade_pos=pos):
+                res = search.run(query, operator, k=k, ctx=ctx, seeds=seeds)
             survivors[pos] = list(
                 zip(res.candidates, res.dominator_counts)
             )
@@ -542,8 +615,17 @@ class ShardedSearch:
             seeds.extend(res.candidates)
         return survivors, covered, per_shard, ctx.counters, degradation, ctx
 
-    def _scatter_thread(self, query, operator, k, metric, kernels, budget):
-        """Independent shard searches on a thread pool, full refine."""
+    def _scatter_thread(
+        self, query, operator, k, metric, kernels, budget, request=None
+    ):
+        """Independent shard searches on a thread pool, full refine.
+
+        Each worker binds a shard child of the request context (fresh span
+        id, parent = the request span), so log events emitted on the worker
+        thread correlate, and — when sampled — records spans into a private
+        tracer sharing the request's ``trace_epoch``, handed back via
+        :meth:`RequestContext.add_shard_spans`.
+        """
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
                 max_workers=max(2, min(self.shards, (os.cpu_count() or 1))),
@@ -553,17 +635,48 @@ class ShardedSearch:
 
         def one(j: int):
             shard_budget = Budget(**limits) if limits is not None else None
+            if request is None:
+                ctx = QueryContext(
+                    query, metric=metric, kernels=kernels, budget=shard_budget
+                )
+                return j, self.searches[j].run(query, operator, k=k, ctx=ctx), None
+            child = request.child(j)
+            tracer = Tracer(epoch=child.trace_epoch) if child.sampled else None
             ctx = QueryContext(
-                query, metric=metric, kernels=kernels, budget=shard_budget
+                query,
+                metric=metric,
+                kernels=kernels,
+                budget=shard_budget,
+                tracer=tracer,
             )
-            res = self.searches[j].run(query, operator, k=k, ctx=ctx)
-            return j, res
+            with bind(child):
+                if tracer is None:
+                    return j, self.searches[j].run(query, operator, k=k, ctx=ctx), None
+                with tracer.span(
+                    "shard-search",
+                    shard=j,
+                    span_id=child.span_id,
+                    parent_span_id=child.parent_span_id,
+                ):
+                    res = self.searches[j].run(query, operator, k=k, ctx=ctx)
+            return j, res, tracer.spans()
 
-        results = list(self._executor.map(one, range(self.shards)))
+        results = []
+        for j, res, spans in self._executor.map(one, range(self.shards)):
+            if spans is not None and request is not None:
+                request.add_shard_spans(j, spans)
+            results.append((j, res))
         return self._gather_independent(query, metric, kernels, results)
 
-    def _scatter_process(self, query, operator, k, metric, kernels, budget):
-        """Fork-pool shard searches; falls back to threads when fork fails."""
+    def _scatter_process(
+        self, query, operator, k, metric, kernels, budget, request=None
+    ):
+        """Fork-pool shard searches; falls back to threads when fork fails.
+
+        A sampled request's shard child contexts cross the process boundary
+        in wire form inside the task tuple; workers return their span
+        buffers as dicts, reassembled here into the request context.
+        """
         global _FORK_SEARCHES
         limits = budget.limits() if budget is not None else None
         if self._pool is None:
@@ -575,15 +688,25 @@ class ShardedSearch:
                 )
             except (OSError, ValueError):
                 return self._scatter_thread(
-                    query, operator, k, metric, kernels, budget
+                    query, operator, k, metric, kernels, budget, request
                 )
+        traced = request is not None and request.sampled
         tasks = [
-            (j, query, operator, k, metric, kernels, limits)
+            (
+                j,
+                query,
+                operator,
+                k,
+                metric,
+                kernels,
+                limits,
+                request.child(j).to_wire() if traced else None,
+            )
             for j in range(self.shards)
         ]
         raw = self._pool.map(_fork_run_one, tasks)
         results = []
-        for j, (idxs, counts, elapsed, report, snap) in enumerate(raw):
+        for j, (idxs, counts, elapsed, report, snap, spans) in enumerate(raw):
             objs = self.searches[j].objects
             res = _RemoteShardResult(
                 candidates=[objs[i] for i in idxs],
@@ -592,6 +715,10 @@ class ShardedSearch:
                 degradation=_report_from_dict(report) if report else None,
                 counters=_counters_from_snapshot(snap),
             )
+            if spans and request is not None:
+                request.add_shard_spans(
+                    j, [SpanRecord.from_dict(d) for d in spans]
+                )
             results.append((j, res))
         return self._gather_independent(query, metric, kernels, results)
 

@@ -23,6 +23,7 @@ from typing import Any, Sequence
 
 from repro.objects.uncertain import UncertainObject
 from repro.objects.validate import InvalidInputError, validate_objects
+from repro.obs.log import log_event
 from repro.serve.shard import ShardedSearch, ShardedResult
 
 __all__ = ["DatasetManager", "DuplicateOidError", "UnknownOidError"]
@@ -122,6 +123,7 @@ class DatasetManager:
         )
         self._lock = _RWLock()
         self._epoch = 0
+        self._compacting = False
         #: oid -> (shard index, object); the only mutable name authority.
         self._registry: dict[Any, tuple[int, UncertainObject]] = {}
         for j, shard_search in enumerate(self.search.searches):
@@ -144,6 +146,16 @@ class DatasetManager:
     def size(self) -> int:
         """Number of live objects."""
         return len(self._registry)
+
+    @property
+    def compacting(self) -> bool:
+        """True while a shard compaction is rebuilding indexes.
+
+        Mid-compaction the write lock is held, so queries queue behind it;
+        health checks report this instead of a plain "ok" so drain and
+        latency monitoring stay truthful.
+        """
+        return self._compacting
 
     def get(self, oid) -> UncertainObject | None:
         """The live object with this oid, or None."""
@@ -178,8 +190,12 @@ class DatasetManager:
         metric: str = "euclidean",
         kernels: bool = True,
         budget=None,
+        request=None,
     ) -> tuple[ShardedResult, int]:
         """Run a sharded search under the read lock.
+
+        ``request`` (a :class:`repro.obs.request.RequestContext`) rides
+        through to :meth:`ShardedSearch.run` for trace propagation.
 
         Returns:
             ``(result, epoch)`` — the epoch the answer is valid for, read
@@ -188,7 +204,7 @@ class DatasetManager:
         with self._lock.read():
             result = self.search.run(
                 query, operator, k=k, metric=metric,
-                kernels=kernels, budget=budget,
+                kernels=kernels, budget=budget, request=request,
             )
             return result, self._epoch
 
@@ -262,15 +278,26 @@ class DatasetManager:
             shard, obj = entry
             self.search.mask(shard, obj)
             if self.compact_threshold < 1.0:
-                self.search.compact(self.compact_threshold)
+                self._compact_locked(self.compact_threshold)
             self._epoch += 1
             self._export_gauges()
             return True, self._epoch
 
+    def _compact_locked(self, threshold: float) -> int:
+        """Compact with the write lock held, flagged for health checks."""
+        self._compacting = True
+        try:
+            removed = self.search.compact(threshold)
+        finally:
+            self._compacting = False
+        if removed:
+            log_event("serve.compacted", removed=removed, epoch=self._epoch)
+        return removed
+
     def compact(self) -> int:
         """Force-compact all shards; returns tombstones removed."""
         with self._lock.write():
-            return self.search.compact(0.0)
+            return self._compact_locked(0.0)
 
     def close(self) -> None:
         """Release worker pools held by the sharded search."""

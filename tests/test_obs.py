@@ -137,6 +137,66 @@ class TestTracer:
         assert "parent" not in d  # root span omits the key
 
 
+class TestTraceBufferOverflow:
+    """A saturated span buffer degrades loudly and exports cleanly."""
+
+    def _overflowed(self, capacity=4, spans=11, registry=None):
+        tracer = Tracer(capacity=capacity, metrics=registry)
+        for i in range(spans):
+            with tracer.span(f"s{i}", idx=i):
+                pass
+        return tracer
+
+    def test_drop_counter_exported_to_prometheus(self):
+        registry = MetricsRegistry()
+        tracer = self._overflowed(registry=registry)
+        assert tracer.dropped == 7
+        assert registry.value("repro_trace_spans_dropped_total") == 7
+        text = registry.to_prometheus()
+        assert "# TYPE repro_trace_spans_dropped_total counter" in text
+        assert "repro_trace_spans_dropped_total 7" in text
+
+    def test_no_drops_means_no_counter_traffic(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(capacity=8, metrics=registry)
+        with tracer.span("only"):
+            pass
+        assert registry.get("repro_trace_spans_dropped_total") is None
+
+    def test_truncated_chrome_export_stays_well_formed(self):
+        tracer = self._overflowed()
+        doc = chrome_trace(tracer.spans())
+        json.loads(json.dumps(doc))  # round-trips as strict JSON
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        # Newest-capacity survivors, every event structurally complete.
+        assert [e["name"] for e in spans] == ["s7", "s8", "s9", "s10"]
+        for event in spans:
+            assert {"name", "ph", "ts", "dur", "pid", "tid", "args"} <= set(event)
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_truncated_merged_trace_stays_well_formed(self):
+        from repro.obs import merged_chrome_trace
+
+        root = self._overflowed(capacity=2, spans=5)
+        shard = self._overflowed(capacity=3, spans=9)
+        doc = merged_chrome_trace(
+            root.spans(), [(0, shard.spans())], trace_id="t" * 32
+        )
+        json.loads(json.dumps(doc))
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 5  # 2 surviving root + 3 surviving shard spans
+        assert {e["tid"] for e in spans} == {0, 1}
+
+    def test_jsonl_export_of_truncated_buffer(self, tmp_path):
+        tracer = self._overflowed()
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, tracer.spans())
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            json.loads(line)
+
+
 class TestMetricsRegistry:
     def test_counter_gauge_histogram(self):
         reg = MetricsRegistry()

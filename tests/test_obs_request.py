@@ -1,0 +1,273 @@
+"""RequestContext propagation, sampling, structured logs, merged traces."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    JsonLogger,
+    MetricsRegistry,
+    NULL_LOGGER,
+    RequestContext,
+    Sampler,
+    Tracer,
+    bind,
+    current,
+    merged_chrome_trace,
+    set_logger,
+)
+from repro.obs.log import log_event
+from repro.obs.tracer import SpanRecord
+
+
+class TestRequestContext:
+    def test_new_generates_ids(self):
+        ctx = RequestContext.new()
+        assert len(ctx.request_id) == 16 and len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16 and ctx.parent_span_id is None
+        assert ctx.sampled is False and ctx.shard is None
+
+    def test_new_honours_caller_request_id(self):
+        ctx = RequestContext.new(request_id="abc123")
+        assert ctx.request_id == "abc123"
+
+    def test_child_shares_trace_links_parent(self):
+        root = RequestContext.new(sampled=True)
+        child = root.child(3)
+        assert child.request_id == root.request_id
+        assert child.trace_id == root.trace_id
+        assert child.span_id != root.span_id
+        assert child.parent_span_id == root.span_id
+        assert child.shard == 3 and child.sampled is True
+        assert child.trace_epoch == root.trace_epoch
+
+    def test_wire_round_trip(self):
+        child = RequestContext.new(sampled=True, deadline_ms=250.0).child(1)
+        back = RequestContext.from_wire(child.to_wire())
+        for attr in (
+            "request_id", "trace_id", "span_id", "parent_span_id",
+            "sampled", "deadline_ms", "shard", "trace_epoch", "started",
+        ):
+            assert getattr(back, attr) == getattr(child, attr), attr
+        # Local-only state never crosses the wire.
+        assert "tracer" not in child.to_wire()
+        assert "shard_spans" not in child.to_wire()
+
+    def test_bind_current_and_nesting(self):
+        assert current() is None
+        root = RequestContext.new()
+        child = root.child(0)
+        with bind(root):
+            assert current() is root
+            with bind(child):
+                assert current() is child
+            assert current() is root
+        assert current() is None
+
+    def test_bind_is_thread_local(self):
+        root = RequestContext.new()
+        seen = []
+
+        def other():
+            seen.append(current())
+
+        with bind(root):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert seen == [None]
+
+    def test_deadline_accounting(self):
+        ctx = RequestContext.new(deadline_ms=10_000.0)
+        assert 0.0 <= ctx.elapsed_ms() < 5_000.0
+        assert 5_000.0 < ctx.remaining_ms() <= 10_000.0
+        assert RequestContext.new().remaining_ms() is None
+
+    def test_add_shard_spans(self):
+        root = RequestContext.new(sampled=True)
+        root.add_shard_spans(2, [SpanRecord("s", 0.0, 1.0, 0, None, {}, {})])
+        root.add_shard_spans(0, [])
+        assert [shard for shard, _ in root.shard_spans] == [2, 0]
+
+
+class TestSampler:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Sampler(1.5)
+        with pytest.raises(ValueError):
+            Sampler(-0.1)
+
+    def test_zero_rate_never_samples(self):
+        s = Sampler(0.0)
+        assert not any(s.decide() for _ in range(100))
+        assert s.decisions == 100 and s.sampled == 0
+
+    def test_full_rate_always_samples(self):
+        s = Sampler(1.0)
+        assert all(s.decide() for _ in range(50))
+        assert s.sampled == 50
+
+    def test_deterministic_floor_of_n_times_rate(self):
+        # The leaky accumulator guarantees exactly floor(n * r) samples of
+        # the first n — a 1% rate really is every 100th request.
+        s = Sampler(0.01)
+        decisions = [s.decide() for _ in range(1000)]
+        assert sum(decisions) == 10
+        assert decisions.index(True) == 99  # the 100th request
+
+    def test_quarter_rate_pattern(self):
+        s = Sampler(0.25)
+        assert [s.decide() for _ in range(8)] == [
+            False, False, False, True, False, False, False, True,
+        ]
+
+
+class TestJsonLogger:
+    def _logger(self, **kwargs):
+        buf = io.StringIO()
+        return JsonLogger(buf, service="t", **kwargs), buf
+
+    def test_one_json_line_per_event(self):
+        logger, buf = self._logger()
+        logger.log("a", x=1)
+        logger.log("b", y="z")
+        lines = [json.loads(l) for l in buf.getvalue().splitlines()]
+        assert [l["event"] for l in lines] == ["a", "b"]
+        assert lines[0]["x"] == 1 and lines[0]["service"] == "t"
+        assert logger.emitted == 2
+
+    def test_request_correlation_stamped_from_context(self):
+        logger, buf = self._logger()
+        ctx = RequestContext.new().child(4)
+        with bind(ctx):
+            logger.log("inside")
+        logger.log("outside")
+        inside, outside = [json.loads(l) for l in buf.getvalue().splitlines()]
+        assert inside["request_id"] == ctx.request_id
+        assert inside["trace_id"] == ctx.trace_id
+        assert inside["shard"] == 4
+        assert "request_id" not in outside
+
+    def test_min_level_filters(self):
+        logger, buf = self._logger(min_level="warning")
+        logger.log("dropped", level="info")
+        logger.log("kept", level="error")
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 1 and json.loads(lines[0])["event"] == "kept"
+        with pytest.raises(ValueError):
+            JsonLogger(io.StringIO(), min_level="loud")
+
+    def test_non_jsonable_fields_stringified(self):
+        logger, buf = self._logger()
+        logger.log("e", obj=object(), seq=(1, 2), nested={"k": {1, 2} })
+        record = json.loads(buf.getvalue())
+        assert isinstance(record["obj"], str)
+        assert record["seq"] == [1, 2]
+        assert isinstance(record["nested"]["k"], str)
+
+    def test_module_logger_install_and_reset(self):
+        buf = io.StringIO()
+        set_logger(JsonLogger(buf, service="t"))
+        try:
+            log_event("hello", n=1)
+        finally:
+            set_logger(None)
+        assert json.loads(buf.getvalue())["event"] == "hello"
+        # Null logger swallows events without error.
+        log_event("dropped")
+        assert NULL_LOGGER.enabled is False
+
+
+class TestTracerConcurrency:
+    def test_two_requests_sharing_one_tracer_keep_ancestry_isolated(self):
+        # Satellite fix: the open-span stack is a ContextVar, so concurrent
+        # requests on one tracer can never adopt each other's parents.
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def request(tag: str) -> None:
+            with tracer.span(f"root-{tag}"):
+                barrier.wait(timeout=5.0)  # both roots open simultaneously
+                time.sleep(0.01)
+                with tracer.span(f"leaf-{tag}"):
+                    barrier.wait(timeout=5.0)
+
+        threads = [
+            threading.Thread(target=request, args=(t,)) for t in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        by_name = {s.name: s for s in tracer.spans()}
+        assert len(by_name) == 4
+        for tag in ("a", "b"):
+            assert by_name[f"root-{tag}"].depth == 0
+            assert by_name[f"root-{tag}"].parent is None
+            assert by_name[f"leaf-{tag}"].depth == 1
+            # The leaf's parent is its own request's root, never the other's.
+            assert by_name[f"leaf-{tag}"].parent == f"root-{tag}"
+
+    def test_shared_epoch_aligns_timelines(self):
+        root = Tracer()
+        shard = Tracer(epoch=root.epoch)
+        with root.span("a"):
+            with shard.span("b"):
+                pass
+        a, = root.spans()
+        b, = shard.spans()
+        # Same clock base: the nested span starts after the outer one.
+        assert b.start >= a.start
+
+
+class TestSpanRecordWire:
+    def test_from_dict_round_trip(self):
+        rec = SpanRecord("s", 1.5, 0.25, 2, "p", {"shard": 3}, {"c": 7})
+        back = SpanRecord.from_dict(rec.to_dict())
+        for attr in ("name", "start", "duration", "depth", "parent",
+                     "labels", "counter_deltas"):
+            assert getattr(back, attr) == getattr(rec, attr), attr
+
+    def test_from_dict_defaults(self):
+        back = SpanRecord.from_dict({"name": "x", "start": 0, "duration": 1})
+        assert back.depth == 0 and back.parent is None
+        assert back.labels == {} and back.counter_deltas == {}
+
+
+class TestMergedChromeTrace:
+    def _spans(self, *names):
+        tracer = Tracer()
+        for name in names:
+            with tracer.span(name):
+                pass
+        return tracer.spans()
+
+    def test_rows_and_correlation(self):
+        doc = merged_chrome_trace(
+            self._spans("query"),
+            [(0, self._spans("shard-search")), (2, self._spans("shard-search"))],
+            trace_id="t" * 32,
+            request_id="r" * 16,
+        )
+        events = doc["traceEvents"]
+        json.dumps(doc)  # well-formed
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert thread_names == {0: "request", 1: "shard-0", 3: "shard-2"}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["tid"] for e in spans} == {0, 1, 3}
+        assert all(e["args"]["trace_id"] == "t" * 32 for e in spans)
+        assert all(e["args"]["request_id"] == "r" * 16 for e in spans)
+
+    def test_without_correlation_args(self):
+        doc = merged_chrome_trace(self._spans("query"))
+        span = [e for e in doc["traceEvents"] if e["ph"] == "X"][0]
+        assert "trace_id" not in span["args"]

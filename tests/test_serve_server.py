@@ -140,6 +140,56 @@ class TestServeApp:
             "repro_serve_requests_total", {"route": "/query", "status": "400"}
         ) == 1.0
 
+    def test_healthz_reports_compaction_truthfully(self, app):
+        _, health = app.handle("GET", "/healthz", None)
+        assert health["compacting"] is False and health["status"] == "ok"
+        # Surface the mid-compaction window without racing a real compaction.
+        app.manager._compacting = True
+        try:
+            _, health = app.handle("GET", "/healthz", None)
+            assert health["status"] == "compacting"
+            assert health["compacting"] is True
+            assert health["epoch"] == app.manager.epoch
+            assert health["inflight"] == 0
+        finally:
+            app.manager._compacting = False
+
+    def test_status_endpoint_reports_slo_and_sampler(self, app):
+        app.dispatch("POST", "/query", {"points": QUERY_POINTS})
+        app.dispatch(
+            "POST",
+            "/query",
+            {"points": QUERY_POINTS, "budget": {"max_dominance_checks": 2}},
+        )
+        status, body = app.dispatch("GET", "/status", None)
+        assert status == 200
+        assert body["status"] == "ok" and body["compacting"] is False
+        assert body["sampler"]["rate"] == 0.0
+        assert body["sampler"]["decisions"] == 2
+        assert body["sampler"]["sampled"] == 0
+        assert body["audit"] is None
+        slo = body["slo"]
+        assert {"p50", "p95", "p99"} <= set(slo["latency_seconds"]["FSD"])
+        assert slo["degraded_ratio"] == 0.5  # one of two engine answers
+        assert slo["error_ratio"] == 0.0
+        assert slo["burn"].get("degraded") == 1
+
+    def test_internal_error_returns_500_and_burns_error_slo(self, app):
+        def boom(*args, **kwargs):
+            raise RuntimeError("wired to fail")
+
+        app.manager.query = boom
+        status, body = app.dispatch("POST", "/query", {"points": QUERY_POINTS})
+        assert status == 500 and body["error"] == "internal error"
+        assert app.registry.value(
+            "repro_serve_requests_total", {"route": "/query", "status": "500"}
+        ) == 1.0
+        assert app.registry.value(
+            "repro_slo_burn_total", {"slo": "error"}
+        ) == 1.0
+        _, body = app.dispatch("GET", "/status", None)
+        assert body["slo"]["error_ratio"] == 1.0
+
     def test_default_budget_applies_when_request_has_none(self):
         registry = MetricsRegistry()
         app = ServeApp(
@@ -156,16 +206,143 @@ class TestServeApp:
             app.manager.close()
 
 
+class TestRequestObservability:
+    """Acceptance: sampled requests yield one merged trace + audit record."""
+
+    def _traced_app(self, tmp_path, *, backend="thread", shards=4):
+        registry = MetricsRegistry()
+        rng = np.random.default_rng(13)
+        centers = synthetic.anticorrelated_centers(40, 2, rng)
+        objects = synthetic.make_objects(centers, 4, 2000.0, rng)
+        manager = DatasetManager(
+            objects, shards=shards, backend=backend, metrics=registry
+        )
+        from repro.serve.audit import AuditLog
+
+        audit = AuditLog(tmp_path / "audit.jsonl", metrics=registry)
+        return ServeApp(
+            manager,
+            cache=ResultCache(32, metrics=registry),
+            registry=registry,
+            sample_rate=1.0,
+            audit=audit,
+            trace_dir=tmp_path / "traces",
+            slo_latency_ms=30_000.0,
+        )
+
+    def test_sampled_query_produces_merged_trace_and_audit(self, tmp_path):
+        app = self._traced_app(tmp_path)
+        try:
+            status, body = app.dispatch(
+                "POST",
+                "/query",
+                {"points": QUERY_POINTS, "operator": "FSD"},
+                {"x-request-id": "acceptance-1"},
+            )
+        finally:
+            app.manager.close()
+            app.audit.close()
+        assert status == 200
+        assert body["request_id"] == "acceptance-1"
+        assert body["sampled"] is True and len(body["trace_id"]) == 32
+
+        # One merged Chrome trace: root span on the request row, one
+        # shard-search span per shard, all carrying the request's trace id.
+        trace_path = tmp_path / "traces" / "trace-acceptance-1.json"
+        doc = json.loads(trace_path.read_text())
+        assert doc == app.last_trace
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in spans} == {0, 1, 2, 3, 4}
+        roots = [e for e in spans if e["tid"] == 0 and e["name"] == "query"]
+        assert len(roots) == 1
+        shard_spans = [e for e in spans if e["name"] == "shard-search"]
+        assert len(shard_spans) == 4
+        assert {e["args"]["trace_id"] for e in spans} == {body["trace_id"]}
+        assert {e["args"]["request_id"] for e in spans} == {"acceptance-1"}
+        # Child spans carry their own span ids, parented on the root.
+        root_span_id = roots[0]["args"]["span_id"]
+        parents = {e["args"]["parent_span_id"] for e in shard_spans}
+        assert parents == {root_span_id}
+
+        # One audit record, digest over the served candidates.
+        from repro.serve.audit import answer_digest, load_audit
+
+        records = load_audit(tmp_path / "audit.jsonl")
+        assert len(records) == 1
+        assert records[0]["request_id"] == "acceptance-1"
+        assert records[0]["digest"] == answer_digest(body["candidates"])
+
+        # SLO families on /metrics (derived gauges computed at scrape time).
+        _, metrics_body = app.handle("GET", "/metrics", None)
+        text = metrics_body["text"]
+        assert 'repro_slo_latency_seconds{operator="FSD",quantile="p95"}' in text
+        assert "repro_slo_degraded_ratio 0" in text
+        assert "repro_serve_sampled_total 1" in text
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_trace_rows_across_backends(self, tmp_path, backend):
+        app = self._traced_app(tmp_path, backend=backend)
+        try:
+            status, body = app.dispatch(
+                "POST", "/query", {"points": QUERY_POINTS, "operator": "PSD"}
+            )
+        finally:
+            app.manager.close()
+            app.audit.close()
+        assert status == 200
+        spans = [e for e in app.last_trace["traceEvents"] if e["ph"] == "X"]
+        shard_rows = {e["tid"] for e in spans if e["name"] == "shard-search"}
+        if backend == "serial":
+            # The serial cascade traces on the request tracer itself.
+            assert shard_rows == {0}
+        else:
+            assert shard_rows == {1, 2, 3, 4}
+        assert len([e for e in spans if e["name"] == "shard-search"]) == 4
+        assert {e["args"]["trace_id"] for e in spans} == {body["trace_id"]}
+
+    def test_cache_hit_restamps_request_identity(self, tmp_path):
+        app = self._traced_app(tmp_path)
+        try:
+            payload = {"points": QUERY_POINTS, "operator": "SSD", "k": 2}
+            _, first = app.dispatch("POST", "/query", payload)
+            _, second = app.dispatch("POST", "/query", payload)
+        finally:
+            app.manager.close()
+            app.audit.close()
+        assert second["cached"] is True
+        assert second["candidates"] == first["candidates"]
+        assert second["request_id"] != first["request_id"]
+        assert second["trace_id"] != first["trace_id"]
+        # The stamped identity never leaks into the shared cache entry.
+        cached = app.cache.stats()
+        assert cached["hits"] == 1
+
+    def test_unsampled_requests_skip_tracing(self, tmp_path):
+        registry = MetricsRegistry()
+        app = ServeApp(_manager(registry), registry=registry, sample_rate=0.0)
+        try:
+            status, body = app.dispatch(
+                "POST", "/query", {"points": QUERY_POINTS}
+            )
+        finally:
+            app.manager.close()
+        assert status == 200
+        assert body["sampled"] is False and app.last_trace is None
+        assert registry.get("repro_serve_sampled_total") is None
+
+
 # ----------------------------------------------------------------------- #
 # Full HTTP server on a background event loop
 # ----------------------------------------------------------------------- #
 
-def _http(port: int, method: str, path: str, payload=None, timeout=30.0):
+def _http(port: int, method: str, path: str, payload=None, timeout=30.0,
+          headers=None):
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
     try:
         body = json.dumps(payload) if payload is not None else None
         conn.request(method, path, body=body,
-                     headers={"Content-Type": "application/json"})
+                     headers={"Content-Type": "application/json",
+                              **(headers or {})})
         resp = conn.getresponse()
         data = resp.read()
         if resp.getheader("Content-Type", "").startswith("application/json"):
@@ -227,6 +404,21 @@ class TestHTTPServer:
         status, text, resp = _http(port, "GET", "/metrics")
         assert status == 200
         assert "repro_serve_requests_total" in text
+
+    def test_request_id_header_honoured_over_http(self, live_server):
+        _, port, _ = live_server
+        status, body, _ = _http(
+            port, "POST", "/query", {"points": QUERY_POINTS},
+            headers={"X-Request-Id": "wire-42"},
+        )
+        assert status == 200 and body["request_id"] == "wire-42"
+
+    def test_status_over_http(self, live_server):
+        _, port, _ = live_server
+        status, body, _ = _http(port, "GET", "/status")
+        assert status == 200
+        assert body["sampler"]["rate"] == 0.0
+        assert "slo" in body and "burn" in body["slo"]
 
     def test_saturated_engine_returns_429(self, live_server):
         app, port, _ = live_server
