@@ -1,6 +1,6 @@
 """Serving benchmark — shard scaling, latency percentiles, cache hits.
 
-Writes ``BENCH_serve.json`` with four sections:
+Writes ``BENCH_serve.json`` with five sections:
 
 * **meta** — machine facts that gate interpretation: ``cpu_count`` above
   all.  Shard scaling is a *parallelism* win; on a single-core box the
@@ -14,6 +14,11 @@ Writes ``BENCH_serve.json`` with four sections:
   query (the correctness pin riding along with the perf numbers).
 * **cache** — cold vs warm throughput on a repeated workload through
   :class:`repro.serve.cache.ResultCache` and the final hit ratio.
+* **open_loop** — latency *under load*: Poisson arrivals at a fixed
+  offered QPS, each request's latency measured from its **scheduled**
+  arrival time (not from when a client thread got around to sending it),
+  so queueing delay is charged to the answer — the coordinated-omission-
+  free p99 a closed serial loop cannot see.
 * **observability** — full :class:`repro.serve.server.ServeApp` dispatch
   with SLO metrics on, comparing sampling off vs 1%: relative overhead
   (hard budget: <3%, exit 1 on breach), p50/p95/p99 latency read back from
@@ -35,7 +40,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
@@ -68,7 +75,9 @@ def build_workload(n: int, m: int, d: int, n_queries: int, seed: int):
     return objects, queries
 
 
-def bench_shard_scaling(objects, queries, k: int, backend: str) -> list[dict]:
+def bench_shard_scaling(
+    objects, queries, k: int, backend: str, workers: int | None = None
+) -> list[dict]:
     # Reference answers from the monolith pin correctness per query.
     mono = NNCSearch(objects)
     expected = [sorted(mono.run(q, OPERATOR, k=k).oids()) for q in queries]
@@ -76,7 +85,9 @@ def bench_shard_scaling(objects, queries, k: int, backend: str) -> list[dict]:
     rows: list[dict] = []
     base_qps = None
     for shards in SHARD_COUNTS:
-        search = ShardedSearch(objects, shards=shards, backend=backend)
+        search = ShardedSearch(
+            objects, shards=shards, backend=backend, workers=workers
+        )
         # Warm-up: fork the pool / build per-query caches outside the clock.
         search.run(queries[0], OPERATOR, k=k)
         latencies: list[float] = []
@@ -217,6 +228,78 @@ def bench_observability(
         sampled.manager.close()
 
 
+def bench_open_loop(
+    objects,
+    queries,
+    k: int,
+    backend: str,
+    *,
+    shards: int = 4,
+    workers: int | None = None,
+    qps: float = 20.0,
+    duration: float = 2.0,
+    seed: int = 0,
+) -> dict:
+    """Latency under a fixed offered load (open-loop, Poisson arrivals).
+
+    A closed loop (send, wait, send) lets a slow answer *delay the next
+    request*, hiding queueing — coordinated omission.  Here arrivals are
+    scheduled up front from an exponential inter-arrival draw at ``qps``;
+    each request's latency runs from its scheduled arrival to completion,
+    so time spent queueing behind a slow predecessor counts against p99.
+    """
+    search = ShardedSearch(
+        objects, shards=shards, backend=backend, workers=workers
+    )
+    search.run(queries[0], OPERATOR, k=k)  # warm-up outside the clock
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / qps, size=int(qps * duration * 2) + 8)
+    arrivals = np.cumsum(gaps)
+    arrivals = arrivals[arrivals < duration]
+    latencies: list[float] = []
+    errors = 0
+    lock = threading.Lock()
+
+    def fire(q, scheduled_abs: float) -> None:
+        nonlocal errors
+        try:
+            search.run(q, OPERATOR, k=k)
+        except Exception:  # noqa: BLE001 — tally, don't kill the load loop
+            with lock:
+                errors += 1
+            return
+        done = time.perf_counter()
+        with lock:
+            latencies.append((done - scheduled_abs) * 1000.0)
+
+    client = ThreadPoolExecutor(
+        max_workers=min(16, 4 * (os.cpu_count() or 2)),
+        thread_name_prefix="open-loop",
+    )
+    t0 = time.perf_counter()
+    for i, arrival in enumerate(arrivals):
+        now = time.perf_counter() - t0
+        if arrival > now:
+            time.sleep(arrival - now)
+        client.submit(fire, queries[i % len(queries)], t0 + arrival)
+    client.shutdown(wait=True)
+    total = time.perf_counter() - t0
+    resolved = search.backend
+    search.close()
+    return {
+        "offered_qps": qps,
+        "duration_s": duration,
+        "requests": int(len(arrivals)),
+        "errors": errors,
+        "achieved_qps": len(latencies) / total if total else 0.0,
+        "backend": resolved,
+        "shards": shards,
+        "p50_ms": _percentile(latencies, 50),
+        "p99_ms": _percentile(latencies, 99),
+        "max_ms": max(latencies) if latencies else 0.0,
+    }
+
+
 OVERHEAD_BUDGET = 0.03  # 1% sampling must cost <3% end to end
 
 
@@ -230,7 +313,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--k", type=int, default=1)
     parser.add_argument("--queries", type=int, default=None)
     parser.add_argument("--backend", default="auto",
-                        choices=["auto", "serial", "thread", "process"])
+                        choices=["auto", "serial", "thread", "process",
+                                 "pool"])
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --backend pool")
+    parser.add_argument("--open-loop-qps", type=float, default=None,
+                        help="offered rate for the open-loop section "
+                        "(default: 20, or 10 with --smoke)")
+    parser.add_argument("--open-loop-seconds", type=float, default=None,
+                        help="open-loop duration (default: 2, or 1 with "
+                        "--smoke); 0 skips the section")
     parser.add_argument("--seed", type=int, default=20150531)
     parser.add_argument("--out", default="BENCH_serve.json")
     args = parser.parse_args(argv)
@@ -248,7 +340,9 @@ def main(argv: list[str] | None = None) -> int:
         f"k={args.k} cpus={cpu_count} backend={args.backend}"
     )
 
-    scaling = bench_shard_scaling(objects, queries, args.k, args.backend)
+    scaling = bench_shard_scaling(
+        objects, queries, args.k, args.backend, args.workers
+    )
     for row in scaling:
         flag = "" if row["equal"] else "  !! MISMATCH"
         print(
@@ -267,6 +361,35 @@ def main(argv: list[str] | None = None) -> int:
         f"{cache['qps_warm']:8.2f} qps (x{cache['warm_speedup']:.1f}, "
         f"hit ratio {cache['hit_ratio']:.2f})"
     )
+
+    ol_qps = (
+        args.open_loop_qps
+        if args.open_loop_qps is not None
+        else (10.0 if args.smoke else 20.0)
+    )
+    ol_secs = (
+        args.open_loop_seconds
+        if args.open_loop_seconds is not None
+        else (1.0 if args.smoke else 2.0)
+    )
+    open_loop = None
+    if ol_secs > 0 and ol_qps > 0:
+        open_loop = bench_open_loop(
+            objects, queries, args.k, args.backend,
+            shards=min(4, max(SHARD_COUNTS)),
+            workers=args.workers, qps=ol_qps, duration=ol_secs,
+            seed=args.seed,
+        )
+        print(
+            f"  open-loop ({open_loop['backend']}, K={open_loop['shards']}): "
+            f"offered {open_loop['offered_qps']:.0f} qps -> achieved "
+            f"{open_loop['achieved_qps']:.1f} qps  p50 "
+            f"{open_loop['p50_ms']:.2f} ms  p99 {open_loop['p99_ms']:.2f} ms "
+            f"({open_loop['requests']} reqs, {open_loop['errors']} errors)"
+        )
+        if open_loop["errors"]:
+            print("FAIL: open-loop requests errored")
+            return 1
 
     obs = bench_observability(objects, queries, args.k)
     lat = obs["latency_ms"]
@@ -297,6 +420,7 @@ def main(argv: list[str] | None = None) -> int:
             "queries": n_queries,
             "operator": OPERATOR,
             "backend": args.backend,
+            "workers": args.workers,
             "note": (
                 "shard speedup needs cores: on cpu_count=1 the parallel "
                 "backends serialize and ~1x is the honest ceiling; the "
@@ -307,6 +431,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "shard_scaling": scaling,
         "cache": cache,
+        "open_loop": open_loop,
         "observability": obs,
     }
     out = Path(args.out)

@@ -124,9 +124,16 @@ def compare_serve(
     are higher-is-better, so a regression is a *drop* beyond ``threshold``.
     A false ``equal`` flag in the current file — the sharded answer diverged
     from the single-process one — is flagged unconditionally.
+
+    On a single-core runner (current ``meta.cpu_count == 1``) the speedup
+    gate is skipped — with one core every parallel backend time-slices
+    serial work plus scatter overhead, so ``speedup_vs_1`` measures the
+    machine, not the code.  The skip is loud (a ``SKIPPED`` row per gate),
+    and the correctness gates (``equal``, ``degraded_rate``) still apply.
     """
     rows: list[dict] = []
     regressions: list[str] = []
+    one_core = (current.get("meta") or {}).get("cpu_count") == 1
 
     def _gauge(name: str, base_val, cur_val) -> None:
         row = {"metric": name, "baseline": base_val, "current": cur_val}
@@ -154,6 +161,19 @@ def compare_serve(
         if shards == 1:
             continue  # speedup_vs_1 is 1.0 by construction
         base = base_rows.get(shards)
+        if one_core:
+            print(
+                f"SKIPPED speedup gate [K={shards}]: current run recorded "
+                "cpu_count=1 — parallel speedup is unmeasurable on one "
+                "core; correctness gates still apply"
+            )
+            rows.append({
+                "metric": f"speedup_vs_1[K={shards}]",
+                "baseline": base.get("speedup_vs_1") if base else None,
+                "current": cur.get("speedup_vs_1") if cur else None,
+                "change": "SKIPPED (cpu_count=1)",
+            })
+            continue
         _gauge(
             f"speedup_vs_1[K={shards}]",
             base.get("speedup_vs_1") if base else None,

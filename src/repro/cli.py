@@ -85,7 +85,14 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--partitioner", default="round-robin",
                    choices=["round-robin", "centroid"])
     p.add_argument("--backend", default="auto",
-                   choices=["auto", "serial", "thread", "process"])
+                   choices=["auto", "serial", "thread", "process", "pool"])
+    p.add_argument("--workers", type=int, metavar="N",
+                   help="worker processes for --backend pool "
+                   "(default: min(shards, cpu count), at least 2)")
+    p.add_argument("--start-method", metavar="METHOD",
+                   choices=["spawn", "fork", "forkserver"],
+                   help="multiprocessing start method for --backend pool "
+                   "(default spawn)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080,
                    help="0 picks an ephemeral port")
@@ -392,6 +399,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             on_invalid=args.on_invalid,
             compact_threshold=args.compact_threshold,
             metrics=registry,
+            workers=args.workers,
+            start_method=args.start_method,
         )
     except InvalidInputError as exc:
         print(f"input rejected: {exc}", file=sys.stderr)

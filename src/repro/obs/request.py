@@ -23,6 +23,11 @@ Propagation model (DESIGN.md §14):
   (``trace_epoch`` is ``time.perf_counter`` based, and ``CLOCK_MONOTONIC``
   is system-wide on the fork platforms we support), and returns span dicts
   for reassembly.
+* **pool** (shared-memory) backend — same wire contract as fork: the child
+  context rides in the task tuple, the persistent worker binds it around
+  the shard search, and span dicts come back in the result tuple.
+  :meth:`add_shard_spans` accepts the dict form directly, so both
+  process-crossing backends reassemble through one path.
 
 Sampling is decided once per request at admission (:class:`Sampler`), so a
 request is either traced end to end — handler, scatter, every shard — or
@@ -170,7 +175,17 @@ class RequestContext:
     # ------------------------------ helpers ----------------------------- #
 
     def add_shard_spans(self, shard: int, spans: list) -> None:
-        """Attach one shard's completed span buffer (root context only)."""
+        """Attach one shard's completed span buffer (root context only).
+
+        Accepts :class:`~repro.obs.tracer.SpanRecord` objects (thread
+        workers) or their ``to_dict`` form (fork/pool workers, whose spans
+        cross a process boundary); dicts are normalised here so every
+        backend reassembles identically.
+        """
+        if spans and isinstance(spans[0], dict):
+            from repro.obs.tracer import SpanRecord
+
+            spans = [SpanRecord.from_dict(s) for s in spans]
         self.shard_spans.append((shard, list(spans)))
 
     def remaining_ms(self) -> float | None:

@@ -40,6 +40,7 @@ __all__ = [
     "query_response",
     "insert_response",
     "delete_response",
+    "backend_error_body",
     "error_body",
 ]
 
@@ -208,3 +209,13 @@ def error_body(message: str, **extra) -> dict:
     body = {"error": message}
     body.update(extra)
     return body
+
+
+def backend_error_body(message: str) -> dict:
+    """503 body for a transient backend failure (e.g. a dead pool worker).
+
+    ``retryable`` tells clients the request itself was fine — the same
+    query succeeds once the backend has rebuilt its workers, which happens
+    lazily on the next attempt.
+    """
+    return error_body(message, retryable=True)

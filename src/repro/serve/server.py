@@ -42,6 +42,7 @@ from repro.resilience.budget import Budget
 from repro.serve import protocol
 from repro.serve.audit import AuditLog
 from repro.serve.cache import ResultCache
+from repro.serve.shard import ShardBackendError
 from repro.serve.updates import (
     DatasetManager,
     DuplicateOidError,
@@ -169,6 +170,13 @@ class ServeApp:
             return 409, protocol.error_body(str(exc))
         except UnknownOidError as exc:
             return 404, protocol.error_body(f"unknown oid {exc.args[0]!r}")
+        except ShardBackendError as exc:
+            # Transient: the pool backend lost a worker; it rebuilds on the
+            # next query, so tell clients to retry rather than fail them.
+            log_event(
+                "serve.backend_error", level="error", route=path, error=str(exc)
+            )
+            return 503, protocol.backend_error_body(str(exc))
 
     def dispatch(
         self,

@@ -25,6 +25,14 @@ Backends:
 * ``process`` — fork-based ``multiprocessing`` pool; workers inherit the
   shard indexes by fork, results travel back as indices.  The pool is
   invalidated on any mutation and lazily re-forked.
+* ``pool`` — persistent spawn-safe worker-process pool over shared-memory
+  shard snapshots (:mod:`repro.serve.shm`).  Workers attach zero-copy
+  NumPy views of instance matrices, probability vectors and flattened
+  R-tree arrays; mutations publish a new epoch (append-then-swap) instead
+  of tearing the pool down, and per-query messages carry only
+  ``(query, operator params, epoch, request wire form)``.  A dead worker
+  surfaces as :class:`ShardBackendError` (503 at the HTTP layer), never a
+  hang.
 * ``auto`` — ``serial`` on one core or one shard, else ``process`` where
   ``fork`` exists, else ``thread``.
 
@@ -38,8 +46,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -55,22 +65,34 @@ from repro.obs.metrics import query_metrics_from_counters
 from repro.obs.request import RequestContext, bind
 from repro.obs.tracer import SpanRecord, Tracer
 from repro.resilience.budget import Budget, BudgetExhausted, DegradationReport
+from repro.serve.shm import SegmentStore, pool_run_one, pool_worker_init
 
 __all__ = [
     "BACKENDS",
     "PARTITIONERS",
     "FANOUT_BUCKETS",
+    "ShardBackendError",
     "ShardedResult",
     "ShardedSearch",
     "partition_centroid",
     "partition_round_robin",
 ]
 
+
+class ShardBackendError(RuntimeError):
+    """A parallel backend failed mid-query (e.g. a pool worker died).
+
+    The request cannot be answered by this backend right now, but the
+    service itself is healthy — the serving layer maps this to HTTP 503 so
+    clients retry, and the pool backend rebuilds its workers on the next
+    query (published shared-memory segments survive a worker loss).
+    """
+
 #: Safety margin for the refine filter (exact distances; the margin only
 #: admits a few extra candidate pairs, never drops one).
 _REFINE_TOL = 1e-7
 
-BACKENDS: tuple[str, ...] = ("auto", "serial", "thread", "process")
+BACKENDS: tuple[str, ...] = ("auto", "serial", "thread", "process", "pool")
 
 FANOUT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
 """Histogram buckets for the per-query shard fan-out metric."""
@@ -292,6 +314,12 @@ class ShardedSearch:
         global_fanout: R-tree fan-out per shard.
         metrics: optional :class:`repro.obs.metrics.MetricsRegistry`; feeds
             the ``repro_serve_shard_fanout`` histogram per query.
+        workers: worker-process count for the ``pool`` backend (default:
+            ``min(shards, cpu_count)``, at least 2).
+        start_method: multiprocessing start method for the ``pool`` backend
+            (default ``spawn`` — workers share *nothing* by inheritance;
+            ``fork``/``forkserver`` are accepted where the platform has
+            them, e.g. to cut pool boot time in tests).
     """
 
     def __init__(
@@ -303,6 +331,8 @@ class ShardedSearch:
         backend: str = "auto",
         global_fanout: int = 16,
         metrics: Any = None,
+        workers: int | None = None,
+        start_method: str | None = None,
     ) -> None:
         if partitioner not in PARTITIONERS:
             raise ValueError(
@@ -313,10 +343,14 @@ class ShardedSearch:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
         self.partitioner = partitioner
         self.requested_backend = backend
         self.metrics = metrics
         self._fanout = global_fanout
+        self.workers = workers
+        self.start_method = start_method
         parts = PARTITIONERS[partitioner](list(objects), shards)
         self.searches = [NNCSearch(p, global_fanout) for p in parts]
         #: Shard centroids (MBR centers) for partitioner-aware inserts;
@@ -324,6 +358,20 @@ class ShardedSearch:
         self._centroids = self._compute_centroids()
         self._pool = None
         self._executor: ThreadPoolExecutor | None = None
+        # Pool-backend state: the segment store owns the shared-memory
+        # snapshots; the executor holds the persistent spawn-safe workers.
+        self._store = None
+        self._pool_exec: ProcessPoolExecutor | None = None
+        self._pool_epoch = 0
+        #: Serialises pool bring-up/teardown: concurrent reader threads may
+        #: race into the first pool query (mutations are externally
+        #: serialised by the DatasetManager write lock).
+        self._pool_lock = threading.Lock()
+        #: Per shard: retained segment names, oldest..newest (last = live).
+        self._shard_segments: list[list[str]] = []
+        #: Segment name -> parent-side snapshot object list, in the order
+        #: workers index into (kept as long as the segment is retained).
+        self._snapshot_objects: dict[str, list[UncertainObject]] = {}
 
     # ------------------------------ topology --------------------------- #
 
@@ -401,6 +449,7 @@ class ShardedSearch:
         ).all():
             self._centroids[shard] = (obj.mbr.lo + obj.mbr.hi) / 2.0
         self.invalidate_pool()
+        self._publish_epoch([shard])
         return shard
 
     def mask(self, shard: int, obj: UncertainObject) -> bool:
@@ -408,6 +457,7 @@ class ShardedSearch:
         ok = self.searches[shard].mask_object(obj)
         if ok:
             self.invalidate_pool()
+            self._publish_epoch([shard])
         return ok
 
     def compact(self, threshold: float = 0.0) -> int:
@@ -416,27 +466,45 @@ class ShardedSearch:
         Returns the total number of tombstones removed.
         """
         removed = 0
-        for s in self.searches:
+        rebuilt: list[int] = []
+        for j, s in enumerate(self.searches):
             total = len(s.objects)
             if total and s.masked_count / total > threshold:
-                removed += s.compact()
+                dropped = s.compact()
+                if dropped:
+                    rebuilt.append(j)
+                removed += dropped
         if removed:
             self.invalidate_pool()
+            self._publish_epoch(rebuilt)
         return removed
 
     def invalidate_pool(self) -> None:
-        """Drop the fork pool; the next process-backend query re-forks."""
+        """Drop the fork pool; the next process-backend query re-forks.
+
+        The ``pool`` backend is *not* invalidated here — mutations publish
+        a new shared-memory epoch instead (:meth:`_publish_epoch`), and the
+        persistent workers re-attach without restarting.
+        """
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
 
     def close(self) -> None:
-        """Release pool/executor resources."""
+        """Release pool/executor resources and unlink shared memory."""
         self.invalidate_pool()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._pool_exec is not None:
+            self._pool_exec.shutdown(wait=True, cancel_futures=True)
+            self._pool_exec = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+            self._shard_segments = []
+            self._snapshot_objects.clear()
 
     # ------------------------------ querying --------------------------- #
 
@@ -479,6 +547,12 @@ class ShardedSearch:
         elif backend == "thread":
             survivors, covered, per_shard, merged, degradation, refine_ctx = (
                 self._scatter_thread(
+                    query, operator, k, metric, kernels, budget, request
+                )
+            )
+        elif backend == "pool":
+            survivors, covered, per_shard, merged, degradation, refine_ctx = (
+                self._scatter_pool(
                     query, operator, k, metric, kernels, budget, request
                 )
             )
@@ -722,6 +796,148 @@ class ShardedSearch:
             results.append((j, res))
         return self._gather_independent(query, metric, kernels, results)
 
+    # --------------------------- pool backend -------------------------- #
+
+    def _ensure_pool(self) -> None:
+        """Bring up the segment store and persistent workers (idempotent).
+
+        Segments and the executor have independent lifetimes: a worker
+        crash tears down only the executor, and the next query rebuilds it
+        here against the already-published segments.
+        """
+        with self._pool_lock:
+            if self._store is None:
+                store = SegmentStore()
+                self._shard_segments = [[] for _ in range(self.shards)]
+                self._store = store
+                for j in range(self.shards):
+                    self._publish_shard(j)
+            if self._pool_exec is None:
+                self._pool_exec = ProcessPoolExecutor(
+                    max_workers=self.workers
+                    or max(2, min(self.shards, os.cpu_count() or 2)),
+                    mp_context=multiprocessing.get_context(
+                        self.start_method or "spawn"
+                    ),
+                    initializer=pool_worker_init,
+                )
+
+    def _publish_shard(self, j: int) -> None:
+        """Publish shard ``j``'s current state; retire all but the last two.
+
+        Keeping the previous segment alongside the new one is the retention
+        half of append-then-swap: a task stamped just before the swap still
+        attaches its pre-swap segment and answers against that snapshot.
+        """
+        search = self.searches[j]
+        name = self._store.publish(self._pool_epoch, j, search)
+        self._snapshot_objects[name] = list(search.objects)
+        kept = self._shard_segments[j]
+        kept.append(name)
+        while len(kept) > 2:
+            old = kept.pop(0)
+            self._store.retire(old)
+            self._snapshot_objects.pop(old, None)
+
+    def _publish_epoch(self, shards: Sequence[int]) -> None:
+        """Swap in a new pool epoch covering the mutated ``shards`` only.
+
+        No-op until the pool backend has run once.  Untouched shards keep
+        serving their existing segments — the per-task segment *name* is
+        what workers attach by; the epoch is a monotonic stamp for
+        diagnostics and lifecycle tests.  Workers are never restarted.
+        """
+        if self._store is None or not shards:
+            return
+        self._pool_epoch += 1
+        for j in shards:
+            self._publish_shard(j)
+
+    def _teardown_pool_executor(self) -> None:
+        """Drop the worker pool (e.g. after a worker death); keep segments."""
+        with self._pool_lock:
+            if self._pool_exec is not None:
+                self._pool_exec.shutdown(wait=False, cancel_futures=True)
+                self._pool_exec = None
+
+    def pool_pids(self) -> list[int]:
+        """Pids of live pool workers (empty before the first pool query)."""
+        if self._pool_exec is None:
+            return []
+        return sorted(
+            p.pid for p in self._pool_exec._processes.values()
+        )
+
+    def _scatter_pool(
+        self, query, operator, k, metric, kernels, budget, request=None
+    ):
+        """Persistent shared-memory pool scatter (spawn-safe workers).
+
+        Tasks carry only ``(shard, epoch, segment name, query, operator
+        params, request wire form)`` — shard state crosses the process
+        boundary through shared memory, never the task pipe.  Worker death
+        (:class:`BrokenProcessPool`) surfaces as
+        :class:`ShardBackendError`; the executor is torn down and lazily
+        rebuilt on the next query, while published segments survive.
+        """
+        self._ensure_pool()
+        executor = self._pool_exec
+        limits = budget.limits() if budget is not None else None
+        traced = request is not None and request.sampled
+        names = [segs[-1] for segs in self._shard_segments]
+        tasks = [
+            (
+                j,
+                self._pool_epoch,
+                names[j],
+                query,
+                operator,
+                k,
+                metric,
+                kernels,
+                limits,
+                request.child(j).to_wire() if traced else None,
+            )
+            for j in range(self.shards)
+        ]
+        raw = []
+        try:
+            futures = [executor.submit(pool_run_one, t) for t in tasks]
+            for f in futures:
+                raw.append(f.result())
+        except (BrokenProcessPool, RuntimeError) as exc:
+            # RuntimeError: a concurrent request's worker death shut this
+            # executor down between our _ensure_pool and submit.
+            self._teardown_pool_executor()
+            raise ShardBackendError(
+                "pool worker died mid-query; the backend rebuilds its "
+                "workers on the next query"
+            ) from exc
+        results = []
+        for j, payload in enumerate(raw):
+            if payload[0] == "error":
+                _, pid, epoch, message = payload
+                raise ShardBackendError(
+                    f"pool worker {pid} failed on shard {j} "
+                    f"(epoch {epoch}): {message}"
+                )
+            _, pid, _epoch, idxs, counts, elapsed, report, snap, spans = (
+                payload
+            )
+            objs = self._snapshot_objects[names[j]]
+            res = _RemoteShardResult(
+                candidates=[objs[i] for i in idxs],
+                dominator_counts=counts,
+                elapsed=elapsed,
+                degradation=_report_from_dict(report) if report else None,
+                counters=_counters_from_snapshot(snap),
+                pid=pid,
+            )
+            if spans and request is not None:
+                request.add_shard_spans(j, spans)
+            results.append((j, res))
+        return self._gather_independent(query, metric, kernels, results)
+
     def _gather_independent(self, query, metric, kernels, results):
         """Shape independent per-shard results for the full refiner."""
         results.sort(key=lambda item: item[0])
@@ -734,13 +950,17 @@ class ShardedSearch:
             survivors.append(list(zip(res.candidates, res.dominator_counts)))
             covered.append({j})
             search = self.searches[j]
-            per_shard.append({
+            row = {
                 "shard": j,
                 "objects": len(search.objects) - search.masked_count,
                 "survivors": len(res.candidates),
                 "elapsed": res.elapsed,
                 "degraded": res.degradation is not None,
-            })
+            }
+            pid = getattr(res, "pid", None)
+            if pid is not None:
+                row["pid"] = pid
+            per_shard.append(row)
             merged.merge(res.counters)
             if degradation is None and res.degradation is not None:
                 degradation = res.degradation
@@ -805,3 +1025,6 @@ class _RemoteShardResult:
     elapsed: float
     degradation: DegradationReport | None
     counters: Counters
+    #: Worker pid (pool backend only) — surfaces in ``per_shard`` rows so
+    #: tests can pin "mutations do not restart workers".
+    pid: int | None = None

@@ -1,6 +1,9 @@
 """Serve smoke test: boot, concurrent mixed traffic, scrape, clean drain.
 
-Run as ``python -m repro.serve.smoke`` (CI job).  In one process it:
+Run as ``python -m repro.serve.smoke`` (CI job); ``--backend pool
+--workers 2`` exercises the persistent shared-memory worker pool end to
+end, including epoch publishing under the mixed insert/delete traffic and
+segment cleanup on drain.  In one process it:
 
 1. builds a small synthetic dataset and starts :class:`NNCServer` on an
    ephemeral port (event loop on a background thread),
@@ -20,6 +23,7 @@ Exit code 0 = all good; 1 = assertion failure (message on stderr).
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import http.client
 import json
@@ -82,14 +86,28 @@ class _ServerThread:
         self._thread.join(timeout=10.0)
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
     """Run the smoke scenario; 0 = all assertions held (see module doc)."""
+    from repro.serve.shard import BACKENDS
+
+    parser = argparse.ArgumentParser(prog="python -m repro.serve.smoke")
+    parser.add_argument("--backend", default="auto", choices=BACKENDS)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --backend pool")
+    parser.add_argument("--shards", type=int, default=2)
+    args = parser.parse_args(argv)
+
     rng = np.random.default_rng(42)
     centers = synthetic.independent_centers(150, 2, rng)
     objects = synthetic.make_objects(centers, 5, 50.0, rng)
     registry = MetricsRegistry()
     manager = DatasetManager(
-        objects, shards=2, partitioner="round-robin", metrics=registry
+        objects,
+        shards=args.shards,
+        partitioner="round-robin",
+        backend=args.backend,
+        workers=args.workers,
+        metrics=registry,
     )
     app = ServeApp(
         manager,
@@ -180,8 +198,16 @@ def main() -> int:
     ):
         assert family in text, f"{family} missing from /metrics"
 
+    published = [
+        name for kept in manager.search._shard_segments for name in kept
+    ]
     runner.drain()
     assert app.inflight == 0, "drain left requests in flight"
+    if published:
+        from repro.serve.shm import segment_exists
+
+        leaked = [name for name in published if segment_exists(name)]
+        assert not leaked, f"drain leaked shared-memory segments: {leaked}"
     try:
         status, _ = _request(port, "POST", "/query",
                              {"points": q_pts, "operator": "FSD"}, timeout=2.0)
@@ -192,7 +218,8 @@ def main() -> int:
 
     stats = app.cache.stats()
     print(
-        f"serve smoke OK: epoch={manager.epoch} objects={manager.size} "
+        f"serve smoke OK: backend={manager.search.backend} "
+        f"epoch={manager.epoch} objects={manager.size} "
         f"cache={stats['hits']}h/{stats['misses']}m "
         f"requests={int(registry.total('repro_serve_requests_total'))}"
     )

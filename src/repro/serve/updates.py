@@ -11,7 +11,9 @@ plus the bookkeeping a living dataset needs:
 * **O(1) deletes** via the engine's deletion mask, with automatic shard
   compaction once the tombstone fraction passes ``compact_threshold``,
 * a **readers-writer lock**: queries share the dataset; mutations take it
-  exclusively (and invalidate the fork pool via the sharded search).
+  exclusively (and invalidate the fork pool via the sharded search; the
+  ``pool`` backend instead gets a fresh shared-memory epoch published for
+  the mutated shards — its workers persist across updates).
 """
 
 from __future__ import annotations
@@ -92,6 +94,9 @@ class DatasetManager:
             after a delete (1.0 disables automatic compaction).
         metrics: optional MetricsRegistry, forwarded to the sharded search
             and fed ``repro_serve_epoch`` / ``repro_serve_objects`` gauges.
+        workers / start_method: forwarded to :class:`ShardedSearch` for the
+            ``pool`` backend (worker count; multiprocessing start method,
+            default ``spawn``).
     """
 
     def __init__(
@@ -105,6 +110,8 @@ class DatasetManager:
         on_invalid: str = "strict",
         compact_threshold: float = 0.3,
         metrics: Any = None,
+        workers: int | None = None,
+        start_method: str | None = None,
     ) -> None:
         self.on_invalid = on_invalid
         self.compact_threshold = compact_threshold
@@ -120,6 +127,8 @@ class DatasetManager:
             backend=backend,
             global_fanout=global_fanout,
             metrics=metrics,
+            workers=workers,
+            start_method=start_method,
         )
         self._lock = _RWLock()
         self._epoch = 0

@@ -120,6 +120,27 @@ class TestCompareServe:
         assert len(regressions) == 1
         assert regressions[0].startswith("cache.hit_ratio")
 
+    def test_one_core_run_skips_speedup_gate(self, capsys):
+        # A single-core runner cannot demonstrate parallel speedup; the
+        # gate is skipped loudly instead of failing the build.
+        current = copy.deepcopy(SERVE_BASE)
+        current["meta"] = {"cpu_count": 1}
+        current["shard_scaling"][2]["speedup_vs_1"] = 0.4  # would regress
+        rows, regressions = compare_serve(SERVE_BASE, current)
+        assert regressions == []
+        skipped = [r for r in rows if "SKIPPED" in str(r.get("change"))]
+        assert len(skipped) == 2  # K=2 and K=4
+        assert "cpu_count=1" in capsys.readouterr().out
+
+    def test_one_core_run_still_fails_on_equal_false(self):
+        # The skip covers perf only — a correctness divergence must fail
+        # regardless of the machine the bench ran on.
+        current = copy.deepcopy(SERVE_BASE)
+        current["meta"] = {"cpu_count": 1}
+        current["shard_scaling"][1]["equal"] = False
+        _, regressions = compare_serve(SERVE_BASE, current)
+        assert any("diverged" in msg for msg in regressions)
+
     def test_main_autodetects_serve(self, tmp_path, capsys):
         a = _write(tmp_path, "a.json", SERVE_BASE)
         b = _write(tmp_path, "b.json", SERVE_BASE)
