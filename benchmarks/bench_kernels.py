@@ -38,6 +38,7 @@ import numpy as np
 from repro.core import kernels as K
 from repro.core.context import QueryContext
 from repro.core.nnc import NNCSearch
+from repro.experiments import provenance, trajectory
 from repro.experiments.figures import build_dataset
 from repro.experiments.params import SCALES, ExperimentParams
 from repro.experiments.report import format_table, kernel_summary
@@ -321,6 +322,17 @@ def main(argv: list[str] | None = None) -> int:
         default=str(Path(__file__).resolve().parent.parent / "BENCH_kernels.json"),
         help="output JSON path (default: repo-root BENCH_kernels.json)",
     )
+    parser.add_argument(
+        "--trajectory",
+        default=str(trajectory.DEFAULT_PATH),
+        help="perf-trajectory JSONL to append a summary record to "
+        "(default: benchmarks/results/trajectory.jsonl)",
+    )
+    parser.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="skip the trajectory append (ad-hoc runs)",
+    )
     args = parser.parse_args(argv)
     scale = "tiny" if args.smoke else (args.scale or "tiny")
     repeats = 10 if args.smoke else 50
@@ -329,14 +341,14 @@ def main(argv: list[str] | None = None) -> int:
     e2e = end_to_end(scale)
     obs = obs_overhead(scale)
     resilience = resilience_overhead(scale)
-    payload = {
+    payload = provenance.stamp({
         "scale": scale,
         "smoke": args.smoke,
         "micro": micro,
         "end_to_end": e2e,
         "obs": obs,
         "resilience": resilience,
-    }
+    })
     print(format_table(micro, "Micro kernels (ops/sec)"))
     print()
     print(format_table(e2e, f"End-to-end NNC, Fig 12 default A-N ({scale})"))
@@ -351,6 +363,9 @@ def main(argv: list[str] | None = None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {out}")
+    if not args.no_trajectory:
+        action = trajectory.append(args.trajectory, trajectory.record_for(payload))
+        print(f"trajectory: {action} record in {args.trajectory}")
     return 0
 
 

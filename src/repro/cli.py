@@ -159,8 +159,11 @@ def _add_client(sub: argparse._SubParsersAction) -> None:
                    help="bypass the server result cache")
     p.add_argument("--deadline-ms", type=float, metavar="MS",
                    help="per-request budget")
-    p.add_argument("--format", choices=["text", "json"], default="json",
-                   help="json prints the raw server response")
+    p.add_argument("--format", choices=["text", "json", "slo-json"],
+                   default="json",
+                   help="json prints the raw server response; slo-json "
+                        "(status only) prints the figure-ready SLO snapshot "
+                        "(per-operator latency_ms quantiles + burn counters)")
 
 
 def _add_figure(sub: argparse._SubParsersAction) -> None:
@@ -169,6 +172,45 @@ def _add_figure(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("figure", help="regenerate one paper figure")
     p.add_argument("name", choices=sorted(FIGURES))
     p.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
+
+
+def _add_figures(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "figures",
+        help="build registered figures: CSV + Vega-Lite specs + dashboard",
+        description="Build figures from the declarative registry "
+        "(repro.experiments.registry): paper reproductions, bench views "
+        "over BENCH_kernels.json / BENCH_serve.json, and the cross-commit "
+        "perf trajectory.  Each figure emits data/<id>.csv and "
+        "specs/<id>.vl.json plus a section in a self-contained "
+        "<out-dir>/index.html (inline SVG, no network).",
+    )
+    p.add_argument("ids", nargs="*", metavar="ID",
+                   help="figure ids to build (default: none; see --list)")
+    p.add_argument("--all", action="store_true", dest="all_figures",
+                   help="build every registered figure")
+    p.add_argument("--list", action="store_true", dest="list_figures",
+                   help="list registered figure ids and exit")
+    p.add_argument("--scale", default="smoke",
+                   choices=["smoke", "tiny", "small", "medium"],
+                   help="scale preset for the paper figures")
+    p.add_argument("--out-dir", default="dashboard",
+                   help="artifact directory (default: dashboard/)")
+    p.add_argument("--kernels", metavar="PATH",
+                   help="bench_kernels payload (default: BENCH_kernels.json)")
+    p.add_argument("--serve", metavar="PATH",
+                   help="bench_serve payload (default: BENCH_serve.json)")
+    p.add_argument("--trajectory", metavar="PATH",
+                   help="trajectory store (default: "
+                        "benchmarks/results/trajectory.jsonl)")
+    p.add_argument("--slo", metavar="PATH",
+                   help="SLO snapshot JSON for slo-quantiles (a /status "
+                        "body or `client status --format slo-json` output)")
+    p.add_argument("--verdict", action="append", default=[], metavar="PATH",
+                   help="compare_bench.py --verdict-out JSON; repeatable, "
+                        "rendered as gate badges on the dashboard")
+    p.add_argument("--check", action="store_true",
+                   help="build + self-check only, write no files")
 
 
 def _add_report(sub: argparse._SubParsersAction) -> None:
@@ -199,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_search(sub)
     _add_figure(sub)
+    _add_figures(sub)
     _add_report(sub)
     _add_generate(sub)
     _add_serve(sub)
@@ -586,6 +629,27 @@ def _cmd_client(args: argparse.Namespace) -> int:
         print(raw.decode())
         return 0 if status == 200 else 1
     body = _json.loads(raw)
+    if args.format == "slo-json":
+        if args.action != "status":
+            print("--format slo-json only applies to `client status`",
+                  file=sys.stderr)
+            return 2
+        if status != 200:
+            print(_json.dumps(body, indent=2))
+            return 1
+        slo = body.get("slo") or {}
+        snapshot = {
+            "latency_ms_target": slo.get("latency_ms_target"),
+            "latency_ms": {
+                op: {q: v * 1000.0 for q, v in quantiles.items()}
+                for op, quantiles in (slo.get("latency_seconds") or {}).items()
+            },
+            "degraded_ratio": slo.get("degraded_ratio"),
+            "error_ratio": slo.get("error_ratio"),
+            "burn": slo.get("burn") or {},
+        }
+        print(_json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
     if args.format == "json":
         print(_json.dumps(body, indent=2))
     elif args.action == "query" and status == 200:
@@ -612,6 +676,79 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
     result = FIGURES[args.name](args.scale)
     print(format_table(result.rows, f"{result.figure} — {result.description}"))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.experiments import provenance, registry
+    from repro.experiments.dashboard import render_dashboard
+
+    if args.list_figures:
+        for fid in registry.registered_ids():
+            fig = registry.get(fid)
+            print(f"{fid:16s} [{fig.category:10s}] {fig.title}")
+        return 0
+    if args.all_figures:
+        fids = registry.registered_ids()
+    elif args.ids:
+        fids = list(args.ids)
+    else:
+        print("figures: name ids or pass --all (try --list)", file=sys.stderr)
+        return 2
+
+    overrides = {"scale": args.scale}
+    for name in ("kernels", "serve", "trajectory", "slo"):
+        value = getattr(args, name)
+        if value:
+            overrides[name] = Path(value)
+    inputs = registry.BuildInputs(**overrides)
+
+    verdicts = []
+    for path in args.verdict:
+        try:
+            verdicts.append(_json.loads(Path(path).read_text()))
+        except (OSError, _json.JSONDecodeError) as exc:
+            print(f"figures: cannot read verdict {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        arts = registry.build_many(
+            fids, inputs,
+            on_progress=lambda fid: print(f"building {fid} ...", flush=True),
+        )
+    except registry.UnknownFigureError as exc:
+        print(f"figures: {exc}", file=sys.stderr)
+        return 2
+    except (registry.FigureInputError, registry.SelfCheckError) as exc:
+        print(f"figures: {exc}", file=sys.stderr)
+        return 1
+
+    for art in arts:
+        summary = registry.self_check(art)
+        print(
+            f"  {art.fid}: {summary['rows']} row(s), "
+            f"{summary['series']} series — self-check ok"
+        )
+    if args.check:
+        print(f"checked {len(arts)} figure(s); nothing written (--check)")
+        return 0
+
+    out_dir = Path(args.out_dir)
+    for art in arts:
+        registry.write_artifacts(art, out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    html = render_dashboard(
+        arts,
+        verdicts=verdicts,
+        provenance_record=provenance.collect(),
+        scale=args.scale,
+    )
+    (out_dir / "index.html").write_text(html)
+    print(f"wrote {len(arts)} figure(s) to {out_dir}/ (index.html, data/, specs/)")
     return 0
 
 
@@ -666,6 +803,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_search(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "generate":

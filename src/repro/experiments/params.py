@@ -42,6 +42,9 @@ class Scale:
 
 
 SCALES: dict[str, Scale] = {
+    # CI floor for the figure registry: every registered figure must build
+    # in seconds, so the dashboard self-check can run on every push.
+    "smoke": Scale("smoke", n_factor=0.0008, m_factor=0.1, q_factor=0.15, n_queries=1),
     "tiny": Scale("tiny", n_factor=0.0015, m_factor=0.15, q_factor=0.2, n_queries=2),
     "small": Scale("small", n_factor=0.004, m_factor=0.25, q_factor=0.27, n_queries=3),
     "medium": Scale("medium", n_factor=0.01, m_factor=0.375, q_factor=0.33, n_queries=5),

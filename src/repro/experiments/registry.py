@@ -1,0 +1,751 @@
+"""Declarative figure registry: every figure and bench gate as artifacts.
+
+One registry maps each figure id to a generator; one build emits, per id:
+
+* ``data/<fid>.csv`` — the rows, diffable and spreadsheet-ready;
+* ``specs/<fid>.vl.json`` — a self-contained Vega-Lite v5 spec with the
+  data inlined (``data.values``), renderable by any Vega-Lite host;
+* a section of ``dashboard/index.html`` with an inline-SVG rendering
+  (:mod:`repro.experiments.dashboard`) — no network, no JS required.
+
+Registered ids:
+
+* ``fig10`` … ``fig16`` — the paper-figure reproductions from
+  :mod:`repro.experiments.figures`, built at a :class:`Scale` preset;
+* ``kernels-micro`` / ``kernels-e2e`` — ``BENCH_kernels.json`` micro-kernel
+  and end-to-end speedups;
+* ``serve-scaling`` / ``serve-openloop`` — ``BENCH_serve.json`` shard
+  scaling and open-loop (coordinated-omission-free) latency;
+* ``slo-quantiles`` — per-operator p50/p95/p99 + SLO burn counters, fed
+  from a saved ``/status`` snapshot (``repro client status``) or, as a
+  fallback, the serve bench's observability section;
+* ``perf-trajectory`` — the cross-commit perf record store
+  (:mod:`repro.experiments.trajectory`), each tracked metric indexed to
+  its first record so speedups and latencies share one axis.
+
+Every build runs :func:`self_check` (valid spec, non-empty CSV that
+round-trips through ``csv.DictReader``) — a figure that cannot produce a
+checkable artifact fails loudly, which is what CI gates on.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import figures as paper_figures
+from repro.experiments import provenance, trajectory
+
+__all__ = [
+    "REGISTRY",
+    "BuildInputs",
+    "ChartSpec",
+    "Figure",
+    "FigureArtifact",
+    "FigureInputError",
+    "SelfCheckError",
+    "UnknownFigureError",
+    "build_figure",
+    "build_many",
+    "get",
+    "long_rows",
+    "registered_ids",
+    "rows_to_csv",
+    "self_check",
+    "slo_rows",
+    "vega_lite_spec",
+    "write_artifacts",
+]
+
+VEGA_LITE_SCHEMA = "https://vega.github.io/schema/vega-lite/v5.json"
+
+
+class UnknownFigureError(LookupError):
+    """Raised for a figure id the registry does not know, naming the known."""
+
+    def __init__(self, fid: str) -> None:
+        self.fid = fid
+        super().__init__(
+            f"unknown figure id {fid!r}; registered ids: "
+            + ", ".join(registered_ids())
+        )
+
+
+class FigureInputError(RuntimeError):
+    """A figure's input artifact is missing or malformed."""
+
+
+class SelfCheckError(AssertionError):
+    """A built figure failed the registry self-check."""
+
+
+@dataclass(frozen=True)
+class ChartSpec:
+    """How to encode a figure's rows as a chart.
+
+    ``series`` names the value columns (one line/bar group per entry);
+    empty means "every numeric non-``x`` column, in first-row order".
+    ``indexed`` divides each series by its first finite value so metrics
+    with different units share one axis (the trajectory view).
+    """
+
+    kind: str  # "line" | "bar"
+    x: str
+    series: tuple[str, ...] = ()
+    x_type: str = "ordinal"  # "ordinal" | "quantitative"
+    y_title: str = ""
+    log_y: bool = False
+    indexed: bool = False
+
+
+@dataclass
+class FigureArtifact:
+    """One built figure: rows plus everything needed to render them."""
+
+    fid: str
+    title: str
+    description: str
+    category: str  # "paper" | "bench" | "trajectory"
+    rows: list[dict]
+    chart: ChartSpec
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class BuildInputs:
+    """Where a build reads its inputs from (all overridable by the CLI)."""
+
+    scale: str = "smoke"
+    kernels: Path = field(
+        default_factory=lambda: provenance.repo_root() / "BENCH_kernels.json"
+    )
+    serve: Path = field(
+        default_factory=lambda: provenance.repo_root() / "BENCH_serve.json"
+    )
+    trajectory: Path = field(default_factory=lambda: trajectory.DEFAULT_PATH)
+    slo: Path | None = None
+
+
+@dataclass(frozen=True)
+class Figure:
+    """One registry entry: identity, category, and its builder."""
+
+    fid: str
+    title: str
+    category: str
+    build: Callable[[BuildInputs], FigureArtifact]
+
+
+def _load_json(path: Path, fid: str, hint: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise FigureInputError(
+            f"{fid}: input file {path} not found ({hint})"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FigureInputError(f"{fid}: cannot read {path}: {exc}") from exc
+
+
+# --------------------------------------------------------------------- #
+# Paper figures (fig10 … fig16) — wrap repro.experiments.figures
+# --------------------------------------------------------------------- #
+
+# Chart encodings per paper figure; sweeps are lines over the swept value,
+# per-dataset comparisons are grouped bars.  Candidate sizes and times span
+# orders of magnitude across operators, hence the log axes (matching the
+# paper's plots).
+_SIZE, _TIME = "avg NN candidate size", "avg response time (s)"
+_PAPER_CHARTS: dict[str, ChartSpec] = {
+    "fig10": ChartSpec("bar", "dataset", y_title=_SIZE, log_y=True),
+    "fig11a": ChartSpec("line", "m_d", x_type="quantitative", y_title=_SIZE, log_y=True),
+    "fig11b": ChartSpec("line", "h_d", x_type="quantitative", y_title=_SIZE, log_y=True),
+    "fig11c": ChartSpec("line", "m_q", x_type="quantitative", y_title=_SIZE, log_y=True),
+    "fig11d": ChartSpec("line", "h_q", x_type="quantitative", y_title=_SIZE, log_y=True),
+    "fig11e": ChartSpec("line", "n", x_type="quantitative", y_title=_SIZE, log_y=True),
+    "fig11f": ChartSpec("line", "d", x_type="quantitative", y_title=_SIZE, log_y=True),
+    "fig12": ChartSpec("bar", "dataset", y_title=_TIME, log_y=True),
+    "fig13a": ChartSpec("line", "m_d", x_type="quantitative", y_title=_TIME, log_y=True),
+    "fig13b": ChartSpec("line", "h_d", x_type="quantitative", y_title=_TIME, log_y=True),
+    "fig13c": ChartSpec("line", "m_q", x_type="quantitative", y_title=_TIME, log_y=True),
+    "fig13d": ChartSpec("line", "h_q", x_type="quantitative", y_title=_TIME, log_y=True),
+    "fig13e": ChartSpec("line", "n", x_type="quantitative", y_title=_TIME, log_y=True),
+    "fig13f": ChartSpec("line", "d", x_type="quantitative", y_title=_TIME, log_y=True),
+    "fig14": ChartSpec(
+        "line", "progress_%", ("time_s",), x_type="quantitative",
+        y_title="elapsed time (s)",
+    ),
+    "fig16": ChartSpec(
+        "line", "m_d", x_type="quantitative",
+        y_title="avg instance comparisons", log_y=True,
+    ),
+}
+
+# At smoke scale the slowest configurations shrink further: fewer datasets
+# for the 7-dataset suites, one operator and two m_d points for the filter
+# ablation (whose BF stack is deliberately unfiltered, i.e. slow).
+_SMOKE_DATASETS = ("A-N", "HOUSE", "NBA")
+
+
+def _pivot_fig16(rows: list[dict]) -> list[dict]:
+    """(m_d, operator, stacks…) rows -> one row per m_d, ``op/stack`` cols."""
+    merged: dict[float, dict] = {}
+    for row in rows:
+        out = merged.setdefault(row["m_d(paper)"], {"m_d": row["m_d(paper)"]})
+        for stack, value in row.items():
+            if stack in ("m_d(paper)", "m_d(actual)", "operator"):
+                continue
+            out[f"{row['operator']}/{stack}"] = value
+    return list(merged.values())
+
+
+def _paper_builder(fid: str) -> Callable[[BuildInputs], FigureArtifact]:
+    def build(inputs: BuildInputs) -> FigureArtifact:
+        scale = inputs.scale
+        if fid == "fig16":
+            result = (
+                paper_figures.fig16_filters(
+                    scale, kinds=("SSD",), m_d_values=(20, 40)
+                )
+                if scale == "smoke"
+                else paper_figures.fig16_filters(scale)
+            )
+            rows = _pivot_fig16(result.rows)
+        elif fid in ("fig10", "fig12") and scale == "smoke":
+            fn = (
+                paper_figures.fig10_candidate_size
+                if fid == "fig10"
+                else paper_figures.fig12_response_time
+            )
+            result = fn(scale, datasets=_SMOKE_DATASETS)
+            rows = result.rows
+        else:
+            result = paper_figures.FIGURES[fid](scale)
+            rows = result.rows
+        return FigureArtifact(
+            fid=fid,
+            title=result.figure,
+            description=result.description,
+            category="paper",
+            rows=rows,
+            chart=_PAPER_CHARTS[fid],
+            notes=f"regenerated at scale={scale}" + (
+                f"; {result.notes}" if result.notes else ""
+            ),
+        )
+
+    return build
+
+
+# --------------------------------------------------------------------- #
+# Bench figures — over BENCH_kernels.json / BENCH_serve.json
+# --------------------------------------------------------------------- #
+
+_KERNELS_HINT = "run: PYTHONPATH=src python benchmarks/bench_kernels.py"
+_SERVE_HINT = "run: PYTHONPATH=src python benchmarks/bench_serve.py"
+
+
+def _bench_note(payload: dict) -> str:
+    prov = (payload.get("meta") or {}).get("provenance") or {}
+    parts = [f"bench scale={payload.get('scale', 'unknown')}"]
+    if prov.get("sha"):
+        parts.append(f"commit {str(prov['sha'])[:10]}")
+    if prov.get("date"):
+        parts.append(str(prov["date"]))
+    if prov.get("cpu_count"):
+        parts.append(f"{prov['cpu_count']} cpu(s)")
+    return ", ".join(parts)
+
+
+def _build_kernels_micro(inputs: BuildInputs) -> FigureArtifact:
+    payload = _load_json(inputs.kernels, "kernels-micro", _KERNELS_HINT)
+    rows = [
+        {
+            "kernel": row["kernel"],
+            "speedup": row["speedup"],
+            "kernel_ops_per_sec": row["kernel_ops_per_sec"],
+            "scalar_ops_per_sec": row["scalar_ops_per_sec"],
+        }
+        for row in payload.get("micro", [])
+    ]
+    return FigureArtifact(
+        "kernels-micro",
+        "Micro-kernel speedups",
+        "ops/sec of each batch kernel vs its scalar twin on paper-shaped "
+        "inputs (bench_kernels.py `micro` section)",
+        "bench",
+        rows,
+        ChartSpec("bar", "kernel", ("speedup",),
+                  y_title="speedup vs scalar (x)", log_y=True),
+        notes=_bench_note(payload),
+    )
+
+
+def _build_kernels_e2e(inputs: BuildInputs) -> FigureArtifact:
+    payload = _load_json(inputs.kernels, "kernels-e2e", _KERNELS_HINT)
+    rows = [
+        {
+            "operator": row["operator"],
+            "speedup": row["speedup"],
+            "kernel_time_s": row["kernel_time"],
+            "scalar_time_s": row["scalar_time"],
+            "n_objects": row.get("n_objects"),
+            "n_queries": row.get("n_queries"),
+        }
+        for row in payload.get("end_to_end", [])
+    ]
+    return FigureArtifact(
+        "kernels-e2e",
+        "End-to-end kernel speedups",
+        "full NNC search wall time per operator, kernels on vs off, on the "
+        "Figure-12 default A-N workload (identical candidate sets asserted)",
+        "bench",
+        rows,
+        ChartSpec("bar", "operator", ("speedup",),
+                  y_title="speedup vs scalar path (x)"),
+        notes=_bench_note(payload),
+    )
+
+
+def _build_serve_scaling(inputs: BuildInputs) -> FigureArtifact:
+    payload = _load_json(inputs.serve, "serve-scaling", _SERVE_HINT)
+    rows = [
+        {
+            "shards": row["shards"],
+            "speedup_vs_1": row["speedup_vs_1"],
+            "qps": row["qps"],
+            "p50_ms": row["p50_ms"],
+            "p99_ms": row["p99_ms"],
+            "backend": row["backend"],
+            "equal": row["equal"],
+        }
+        for row in payload.get("shard_scaling", [])
+    ]
+    meta = payload.get("meta") or {}
+    return FigureArtifact(
+        "serve-scaling",
+        "Shard scaling",
+        "sharded scatter-gather throughput vs shard count K, normalised "
+        "against K=1 on the same backend (answers pinned to the monolith)",
+        "bench",
+        rows,
+        ChartSpec("line", "shards", ("speedup_vs_1",),
+                  x_type="quantitative", y_title="speedup vs K=1 (x)"),
+        notes=_bench_note(payload)
+        + (f"; cpu_count={meta['cpu_count']}" if "cpu_count" in meta else ""),
+    )
+
+
+def _build_serve_openloop(inputs: BuildInputs) -> FigureArtifact:
+    payload = _load_json(inputs.serve, "serve-openloop", _SERVE_HINT)
+    open_loop = payload.get("open_loop")
+    if not open_loop:
+        raise FigureInputError(
+            f"serve-openloop: {inputs.serve} has no open_loop section "
+            "(bench_serve.py ran with --open-loop-seconds 0?)"
+        )
+    rows = [
+        {"quantile": q, "latency_ms": open_loop[key]}
+        for q, key in (("p50", "p50_ms"), ("p99", "p99_ms"), ("max", "max_ms"))
+    ]
+    return FigureArtifact(
+        "serve-openloop",
+        "Open-loop latency under load",
+        "latency from *scheduled* Poisson arrival to completion at a fixed "
+        "offered rate — queueing delay charged to the answer "
+        "(coordinated-omission-free)",
+        "bench",
+        rows,
+        ChartSpec("bar", "quantile", ("latency_ms",), y_title="latency (ms)"),
+        notes=_bench_note(payload) + (
+            f"; offered {open_loop['offered_qps']:g} qps, achieved "
+            f"{open_loop['achieved_qps']:.2f} qps over "
+            f"{open_loop['requests']} request(s) on backend "
+            f"{open_loop['backend']} (K={open_loop['shards']})"
+        ),
+    )
+
+
+def slo_rows(snapshot: dict) -> tuple[list[dict], dict]:
+    """Normalise an SLO snapshot into per-operator quantile rows + burn.
+
+    Accepts any of the three shapes in the wild:
+
+    * a full ``/status`` body (``repro client status --format json``) —
+      quantiles under ``slo.latency_seconds`` in seconds;
+    * the figure-ready snapshot (``repro client status --format slo-json``)
+      — quantiles under ``latency_ms`` in milliseconds;
+    * a ``bench_serve.py`` payload — single-operator quantiles under
+      ``observability.latency_ms``.
+    """
+    burn: dict = {}
+    per_op: dict[str, dict[str, float]] = {}
+    if "slo" in snapshot and isinstance(snapshot["slo"], dict):
+        slo = snapshot["slo"]
+        burn = slo.get("burn") or {}
+        for op, quantiles in (slo.get("latency_seconds") or {}).items():
+            per_op[op] = {q: v * 1000.0 for q, v in quantiles.items()}
+    elif "latency_ms" in snapshot and isinstance(
+        next(iter(snapshot["latency_ms"].values()), None), dict
+    ):
+        burn = snapshot.get("burn") or {}
+        per_op = {
+            op: dict(quantiles)
+            for op, quantiles in snapshot["latency_ms"].items()
+        }
+    elif "observability" in snapshot:
+        obs = snapshot["observability"] or {}
+        op = (snapshot.get("meta") or {}).get("operator", "all")
+        if obs.get("latency_ms"):
+            per_op[op] = dict(obs["latency_ms"])
+    else:
+        raise FigureInputError(
+            "slo-quantiles: snapshot is neither a /status body, a slo-json "
+            "snapshot, nor a bench_serve payload"
+        )
+    rows = [
+        {
+            "operator": op,
+            "p50_ms": quantiles.get("p50"),
+            "p95_ms": quantiles.get("p95"),
+            "p99_ms": quantiles.get("p99"),
+        }
+        for op, quantiles in sorted(per_op.items())
+    ]
+    return rows, burn
+
+
+def _build_slo_quantiles(inputs: BuildInputs) -> FigureArtifact:
+    if inputs.slo is not None:
+        snapshot = _load_json(
+            inputs.slo, "slo-quantiles",
+            "save one with: repro client status --format json > slo.json",
+        )
+        source = str(inputs.slo)
+    else:
+        snapshot = _load_json(inputs.serve, "slo-quantiles", _SERVE_HINT)
+        source = f"{inputs.serve} (observability section)"
+    rows, burn = slo_rows(snapshot)
+    notes = f"source: {source}"
+    if burn:
+        notes += "; burn counters: " + json.dumps(burn, sort_keys=True)
+    return FigureArtifact(
+        "slo-quantiles",
+        "SLO latency quantiles",
+        "per-operator p50/p95/p99 served latency as exported by /status "
+        "(histogram-derived, the numbers the SLO burn counters judge)",
+        "bench",
+        rows,
+        ChartSpec("bar", "operator", ("p50_ms", "p95_ms", "p99_ms"),
+                  y_title="latency (ms)"),
+        notes=notes,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Trajectory figure — across commits
+# --------------------------------------------------------------------- #
+
+# Metrics the trajectory view tracks, in display order, when present.
+TRACKED_METRICS = (
+    "e2e_speedup_geomean",
+    "serve_p99_ms",
+    "cache_hit_ratio",
+    "openloop_p99_ms",
+    "micro_speedup_geomean",
+)
+
+
+def _build_perf_trajectory(inputs: BuildInputs) -> FigureArtifact:
+    try:
+        records = trajectory.load(inputs.trajectory)
+    except ValueError as exc:
+        raise FigureInputError(f"perf-trajectory: {exc}") from exc
+    if not records:
+        raise FigureInputError(
+            f"perf-trajectory: {inputs.trajectory} is empty — run "
+            "bench_kernels.py / bench_serve.py to record a first point"
+        )
+    rows = []
+    for i, rec in enumerate(records):
+        row = {
+            "record": f"#{i} {str(rec.get('sha', '?'))[:10]}",
+            "bench": rec.get("bench"),
+            "scale": rec.get("scale"),
+            "date": rec.get("date"),
+            "branch": rec.get("branch"),
+            "cpu_count": rec.get("cpu_count"),
+        }
+        row.update(rec.get("metrics") or {})
+        rows.append(row)
+    present = [
+        m for m in TRACKED_METRICS
+        if any(row.get(m) is not None for row in rows)
+    ]
+    if not present:
+        raise FigureInputError(
+            "perf-trajectory: no tracked metrics "
+            f"({', '.join(TRACKED_METRICS)}) present in {inputs.trajectory}"
+        )
+    return FigureArtifact(
+        "perf-trajectory",
+        "Perf trajectory across commits",
+        "headline bench metrics per recorded (commit, suite) run, each "
+        "series indexed to its first record so speedups and latencies "
+        "share one axis (1.0 = first recorded value)",
+        "trajectory",
+        rows,
+        ChartSpec("line", "record", tuple(present),
+                  y_title="relative to first record (x)", indexed=True),
+        notes=f"{len(records)} record(s) from {inputs.trajectory}",
+    )
+
+
+# --------------------------------------------------------------------- #
+# The registry
+# --------------------------------------------------------------------- #
+
+def _registry() -> dict[str, Figure]:
+    entries: list[Figure] = [
+        Figure(fid, f"Paper {fid}", "paper", _paper_builder(fid))
+        for fid in paper_figures.FIGURES
+    ]
+    entries += [
+        Figure("kernels-micro", "Micro-kernel speedups", "bench",
+               _build_kernels_micro),
+        Figure("kernels-e2e", "End-to-end kernel speedups", "bench",
+               _build_kernels_e2e),
+        Figure("serve-scaling", "Shard scaling", "bench",
+               _build_serve_scaling),
+        Figure("serve-openloop", "Open-loop latency", "bench",
+               _build_serve_openloop),
+        Figure("slo-quantiles", "SLO latency quantiles", "bench",
+               _build_slo_quantiles),
+        Figure("perf-trajectory", "Perf trajectory", "trajectory",
+               _build_perf_trajectory),
+    ]
+    return {entry.fid: entry for entry in entries}
+
+
+REGISTRY: dict[str, Figure] = _registry()
+
+
+def registered_ids() -> list[str]:
+    """Every figure id, registry order (paper first, then bench views)."""
+    return list(REGISTRY)
+
+
+def get(fid: str) -> Figure:
+    """The registry entry for ``fid``; :class:`UnknownFigureError` if none."""
+    try:
+        return REGISTRY[fid]
+    except KeyError:
+        raise UnknownFigureError(fid) from None
+
+
+def build_figure(fid: str, inputs: BuildInputs | None = None) -> FigureArtifact:
+    """Build one figure and run its self-check."""
+    art = get(fid).build(inputs if inputs is not None else BuildInputs())
+    self_check(art)
+    return art
+
+
+def build_many(
+    fids: list[str] | None = None,
+    inputs: BuildInputs | None = None,
+    *,
+    on_progress: Callable[[str], None] | None = None,
+) -> list[FigureArtifact]:
+    """Build (and self-check) many figures; ``None`` means all of them."""
+    arts = []
+    for fid in fids if fids is not None else registered_ids():
+        if on_progress is not None:
+            on_progress(fid)
+        arts.append(build_figure(fid, inputs))
+    return arts
+
+
+# --------------------------------------------------------------------- #
+# Emission: CSV, Vega-Lite, self-check
+# --------------------------------------------------------------------- #
+
+def _columns(rows: list[dict]) -> list[str]:
+    cols: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in cols:
+                cols.append(key)
+    return cols
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return format(value, ".6g")
+    if value is None:
+        return ""
+    return str(value)
+
+
+def rows_to_csv(rows: list[dict]) -> str:
+    """Rows as CSV text: union of columns, floats at 6 significant digits."""
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=_columns(rows), lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: _fmt_cell(v) for k, v in row.items()})
+    return out.getvalue()
+
+
+def _series_of(art: FigureArtifact) -> list[str]:
+    chart = art.chart
+    if chart.series:
+        return list(chart.series)
+    series = []
+    for col in _columns(art.rows):
+        if col == chart.x:
+            continue
+        if any(
+            isinstance(row.get(col), (int, float))
+            and not isinstance(row.get(col), bool)
+            for row in art.rows
+        ):
+            series.append(col)
+    return series
+
+
+def long_rows(art: FigureArtifact) -> list[dict]:
+    """Wide rows -> ``{x, series, value}`` triples (Nones dropped).
+
+    With ``chart.indexed`` each series is divided by its first finite
+    value; the raw value rides along as ``raw`` for tooltips.
+    """
+    chart, series = art.chart, _series_of(art)
+    out = []
+    base: dict[str, float] = {}
+    for row in art.rows:
+        for name in series:
+            value = row.get(name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            entry = {chart.x: row.get(chart.x), "series": name,
+                     "value": float(value)}
+            if chart.indexed:
+                if name not in base and value:
+                    base[name] = float(value)
+                if not base.get(name):
+                    continue
+                entry["raw"] = float(value)
+                entry["value"] = float(value) / base[name]
+            out.append(entry)
+    return out
+
+
+def vega_lite_spec(art: FigureArtifact) -> dict:
+    """A self-contained Vega-Lite v5 spec with the data inlined."""
+    chart, series = art.chart, _series_of(art)
+    values = long_rows(art)
+    y_scale: dict = {}
+    if chart.log_y and all(v["value"] > 0 for v in values):
+        y_scale["type"] = "log"
+    encoding: dict = {
+        "x": {"field": chart.x, "type": chart.x_type, "sort": None},
+        "y": {
+            "field": "value",
+            "type": "quantitative",
+            "title": chart.y_title or "value",
+            **({"scale": y_scale} if y_scale else {}),
+        },
+        "tooltip": [
+            {"field": chart.x, "type": chart.x_type},
+            {"field": "series", "type": "nominal"},
+            {"field": "value", "type": "quantitative"},
+        ],
+    }
+    if len(series) > 1:
+        encoding["color"] = {
+            "field": "series",
+            "type": "nominal",
+            "sort": series,
+            "title": None,
+        }
+        if chart.kind == "bar":
+            encoding["xOffset"] = {"field": "series", "sort": series}
+    mark = (
+        {"type": "line", "point": True}
+        if chart.kind == "line"
+        else {"type": "bar"}
+    )
+    return {
+        "$schema": VEGA_LITE_SCHEMA,
+        "title": f"{art.fid} — {art.title}",
+        "description": art.description,
+        "width": 480,
+        "height": 260,
+        "data": {"values": values},
+        "mark": mark,
+        "encoding": encoding,
+    }
+
+
+def self_check(art: FigureArtifact) -> dict:
+    """Assert the artifact is emittable; return a small summary.
+
+    Checks: non-empty rows; CSV round-trips through ``csv.DictReader``
+    with the same shape; the Vega-Lite spec carries the v5 ``$schema``,
+    non-empty inline data, a mark and x/y encodings whose fields exist in
+    the data.  Raises :class:`SelfCheckError` with the figure id on any
+    violation.
+    """
+    def fail(msg: str) -> None:
+        raise SelfCheckError(f"{art.fid}: {msg}")
+
+    if not art.rows:
+        fail("no rows")
+    csv_text = rows_to_csv(art.rows)
+    parsed = list(csv.DictReader(io.StringIO(csv_text)))
+    if len(parsed) != len(art.rows):
+        fail(f"CSV round-trip lost rows ({len(art.rows)} -> {len(parsed)})")
+    if parsed and list(parsed[0]) != _columns(art.rows):
+        fail("CSV round-trip changed the column set")
+    spec = vega_lite_spec(art)
+    if spec.get("$schema") != VEGA_LITE_SCHEMA:
+        fail("spec is missing the Vega-Lite v5 $schema")
+    values = spec.get("data", {}).get("values")
+    if not isinstance(values, list) or not values:
+        fail("spec has no inline data values")
+    if "mark" not in spec or "encoding" not in spec:
+        fail("spec is missing mark/encoding")
+    for channel in ("x", "y"):
+        fld = spec["encoding"].get(channel, {}).get("field")
+        if not fld:
+            fail(f"spec encoding.{channel} has no field")
+        if not any(fld in value for value in values):
+            fail(f"spec encoding.{channel} field {fld!r} absent from data")
+    json.dumps(spec)  # must be JSON-serializable end to end
+    return {
+        "fid": art.fid,
+        "rows": len(art.rows),
+        "series": len(_series_of(art)),
+        "csv_bytes": len(csv_text),
+    }
+
+
+def write_artifacts(art: FigureArtifact, out_dir: str | Path) -> dict:
+    """Write ``data/<fid>.csv`` + ``specs/<fid>.vl.json``; return paths."""
+    out_dir = Path(out_dir)
+    data_dir, spec_dir = out_dir / "data", out_dir / "specs"
+    data_dir.mkdir(parents=True, exist_ok=True)
+    spec_dir.mkdir(parents=True, exist_ok=True)
+    csv_path = data_dir / f"{art.fid}.csv"
+    csv_path.write_text(rows_to_csv(art.rows))
+    spec_path = spec_dir / f"{art.fid}.vl.json"
+    spec_path.write_text(
+        json.dumps(vega_lite_spec(art), indent=2, sort_keys=True) + "\n"
+    )
+    return {"csv": csv_path, "spec": spec_path}

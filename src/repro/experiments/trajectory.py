@@ -1,0 +1,167 @@
+"""Perf-trajectory store: one compact JSONL record per benchmark run.
+
+``benchmarks/results/trajectory.jsonl`` accumulates, across commits, the
+machine-independent headline numbers of every ``bench_kernels.py`` /
+``bench_serve.py`` run: kernel end-to-end speedups, serve latency
+percentiles, cache-hit and degraded rates.  The ``perf-trajectory`` figure
+(:mod:`repro.experiments.registry`) renders these records so a perf
+regression is visible as a bend in a line, not a diff between two JSON
+blobs nobody reads.
+
+Records are keyed by ``(bench, scale, sha)``: re-running the same bench at
+the same commit *replaces* its record (latest numbers win) instead of
+appending a duplicate, so the file stays one-line-per-(commit, suite).
+
+Record shape::
+
+    {"bench": "kernels", "scale": "large", "sha": "…", "branch": "main",
+     "date": "2026-08-07T12:00:00Z", "cpu_count": 4, "hostname": "…",
+     "metrics": {"e2e_speedup_geomean": 10.6, "e2e_speedup[SSD]": 14.2, …}}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.experiments import provenance
+
+__all__ = [
+    "DEFAULT_PATH",
+    "append",
+    "load",
+    "record_for",
+    "summarize_kernels",
+    "summarize_serve",
+]
+
+DEFAULT_PATH = (
+    provenance.repo_root() / "benchmarks" / "results" / "trajectory.jsonl"
+)
+
+_KEY_FIELDS = ("bench", "scale", "sha")
+
+
+def _geomean(values: list[float]) -> float | None:
+    positive = [v for v in values if v and v > 0]
+    if not positive:
+        return None
+    return float(math.exp(sum(math.log(v) for v in positive) / len(positive)))
+
+
+def summarize_kernels(payload: dict) -> dict:
+    """Headline metrics of one ``bench_kernels.py`` payload."""
+    metrics: dict[str, float | None] = {}
+    e2e = payload.get("end_to_end") or []
+    for row in e2e:
+        metrics[f"e2e_speedup[{row['operator']}]"] = float(row["speedup"])
+    metrics["e2e_speedup_geomean"] = _geomean(
+        [float(row["speedup"]) for row in e2e]
+    )
+    micro = payload.get("micro") or []
+    if micro:
+        metrics["micro_speedup_geomean"] = _geomean(
+            [float(row["speedup"]) for row in micro]
+        )
+    obs = payload.get("obs") or {}
+    if "overhead_disabled" in obs:
+        metrics["obs_overhead_disabled"] = float(obs["overhead_disabled"])
+    return metrics
+
+
+def summarize_serve(payload: dict) -> dict:
+    """Headline metrics of one ``bench_serve.py`` payload."""
+    metrics: dict[str, float | None] = {}
+    scaling = payload.get("shard_scaling") or []
+    if scaling:
+        top = max(scaling, key=lambda row: row["shards"])
+        k = top["shards"]
+        metrics[f"serve_p50_ms[K={k}]"] = float(top["p50_ms"])
+        metrics[f"serve_p99_ms[K={k}]"] = float(top["p99_ms"])
+        metrics[f"serve_speedup_vs_1[K={k}]"] = float(top["speedup_vs_1"])
+    cache = payload.get("cache") or {}
+    if "hit_ratio" in cache:
+        metrics["cache_hit_ratio"] = float(cache["hit_ratio"])
+    obs = payload.get("observability") or {}
+    if "degraded_rate" in obs:
+        metrics["degraded_rate"] = float(obs["degraded_rate"])
+    if obs.get("latency_ms"):
+        metrics["serve_p99_ms"] = float(obs["latency_ms"].get("p99", 0.0))
+    open_loop = payload.get("open_loop") or {}
+    if open_loop:
+        metrics["openloop_p99_ms"] = float(open_loop["p99_ms"])
+    return metrics
+
+
+def record_for(payload: dict) -> dict:
+    """Build one trajectory record from a bench payload.
+
+    The payload's own ``meta.provenance`` (written by
+    :func:`repro.experiments.provenance.stamp` at bench time) is preferred;
+    a freshly collected record is the fallback so ad-hoc payloads still get
+    keyed correctly.
+    """
+    if isinstance(payload.get("end_to_end"), list):
+        bench, metrics = "kernels", summarize_kernels(payload)
+    elif isinstance(payload.get("shard_scaling"), list):
+        bench, metrics = "serve", summarize_serve(payload)
+    else:
+        raise ValueError(
+            "payload is neither a bench_kernels result (no end_to_end) nor "
+            "a bench_serve result (no shard_scaling)"
+        )
+    prov = (payload.get("meta") or {}).get("provenance") or provenance.collect()
+    return {
+        "bench": bench,
+        "scale": payload.get("scale", "unknown"),
+        "sha": prov.get("sha", "unknown"),
+        "branch": prov.get("branch", "unknown"),
+        "date": prov.get("date"),
+        "cpu_count": prov.get("cpu_count"),
+        "hostname": prov.get("hostname"),
+        "metrics": {k: v for k, v in metrics.items() if v is not None},
+    }
+
+
+def load(path: str | Path = DEFAULT_PATH) -> list[dict]:
+    """All records in file order; a missing file is an empty trajectory."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: invalid record: {exc}") from exc
+    return records
+
+
+def append(path: str | Path, record: dict) -> str:
+    """Idempotent append: one record per ``(bench, scale, sha)``.
+
+    Returns the action taken: ``"appended"`` (new key), ``"replaced"``
+    (same key, fresher numbers overwrite in place, file order preserved)
+    or ``"unchanged"`` (byte-identical record already present).
+    """
+    path = Path(path)
+    key = tuple(record.get(f) for f in _KEY_FIELDS)
+    records = load(path)
+    action = "appended"
+    for i, existing in enumerate(records):
+        if tuple(existing.get(f) for f in _KEY_FIELDS) == key:
+            if existing == record:
+                return "unchanged"
+            records[i] = record
+            action = "replaced"
+            break
+    else:
+        records.append(record)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+    )
+    return action

@@ -76,6 +76,7 @@ __all__ = [
     "LATENCY_BUCKETS",
     "SIZE_BUCKETS",
     "query_metrics_from_counters",
+    "slo_snapshot",
     "update_slo_gauges",
 ]
 
@@ -426,6 +427,43 @@ def update_slo_gauges(registry: MetricsRegistry) -> None:
     registry.set_gauge(
         "repro_slo_error_ratio", (err / served) if served else 0.0
     )
+
+
+def slo_snapshot(
+    registry: MetricsRegistry, slo_latency_ms: float | None = None
+) -> dict:
+    """Point-in-time SLO snapshot, shaped like the ``/status`` body's ``slo``.
+
+    Refreshes the derived gauges (:func:`update_slo_gauges`) and returns::
+
+        {"latency_ms_target": …, "latency_seconds": {op: {p50: …, …}},
+         "degraded_ratio": …, "error_ratio": …, "burn": {slo: count}}
+
+    The serving layer embeds this verbatim in ``/status``; the figure
+    registry's ``slo-quantiles`` builder and ``repro client status
+    --format slo-json`` consume the same shape, so dashboards and the
+    server can never drift apart.
+    """
+    update_slo_gauges(registry)
+    latency: dict[str, dict[str, float]] = {}
+    for labels, gauge in registry.families().get(
+        "repro_slo_latency_seconds", ()
+    ):
+        row = dict(labels)
+        latency.setdefault(row["operator"], {})[row["quantile"]] = gauge.value
+    burn = {
+        dict(labels)["slo"]: counter.value
+        for labels, counter in registry.families().get(
+            "repro_slo_burn_total", ()
+        )
+    }
+    return {
+        "latency_ms_target": slo_latency_ms,
+        "latency_seconds": latency,
+        "degraded_ratio": registry.value("repro_slo_degraded_ratio"),
+        "error_ratio": registry.value("repro_slo_error_ratio"),
+        "burn": burn,
+    }
 
 
 # --------------------------------------------------------------------- #

@@ -35,7 +35,7 @@ from typing import Any
 from repro.objects.validate import InvalidInputError
 from repro.obs.export import merged_chrome_trace
 from repro.obs.log import log_event
-from repro.obs.metrics import MetricsRegistry, update_slo_gauges
+from repro.obs.metrics import MetricsRegistry, slo_snapshot, update_slo_gauges
 from repro.obs.request import RequestContext, Sampler, bind
 from repro.obs.tracer import Tracer
 from repro.resilience.budget import Budget
@@ -400,22 +400,6 @@ class ServeApp:
         Recomputes the derived SLO gauges from the live histograms at read
         time, so the quantiles are current without a scrape loop.
         """
-        update_slo_gauges(self.registry)
-        reg = self.registry
-        latency: dict[str, dict[str, float]] = {}
-        for labels, gauge in reg.families().get(
-            "repro_slo_latency_seconds", ()
-        ):
-            row = dict(labels)
-            latency.setdefault(row["operator"], {})[row["quantile"]] = (
-                gauge.value
-            )
-        burn = {
-            dict(labels)["slo"]: counter.value
-            for labels, counter in reg.families().get(
-                "repro_slo_burn_total", ()
-            )
-        }
         return {
             **self.healthz(),
             "sampler": {
@@ -424,13 +408,7 @@ class ServeApp:
                 "sampled": self.sampler.sampled,
             },
             "audit": self.audit.stats() if self.audit is not None else None,
-            "slo": {
-                "latency_ms_target": self.slo_latency_ms,
-                "latency_seconds": latency,
-                "degraded_ratio": reg.value("repro_slo_degraded_ratio"),
-                "error_ratio": reg.value("repro_slo_error_ratio"),
-                "burn": burn,
-            },
+            "slo": slo_snapshot(self.registry, self.slo_latency_ms),
         }
 
 
