@@ -115,6 +115,22 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--audit-log", metavar="PATH",
                    help="append one replayable JSONL audit record per "
                    "served query/insert/delete (see `repro replay`)")
+    p.add_argument("--data-dir", metavar="DIR",
+                   help="durable tier: own DIR/wal.log + DIR/snap-*.snap; "
+                   "restart recovers the exact pre-crash epoch (warm, "
+                   "memory-mapped) instead of rebuilding from --dataset")
+    p.add_argument("--fsync", default="always",
+                   choices=["always", "interval", "never"],
+                   help="WAL (and audit) fsync policy; only `always` makes "
+                   "every acknowledged epoch crash-exact")
+    p.add_argument("--fsync-interval-s", type=float, default=0.5,
+                   metavar="S", help="max seconds between fsyncs under "
+                   "--fsync interval")
+    p.add_argument("--snapshot-every", type=int, default=256, metavar="N",
+                   help="mutations between checkpoints (0: only on drain)")
+    p.add_argument("--warm-pages", action="store_true",
+                   help="touch every snapshot page during recovery so "
+                   "first queries never fault cold")
     p.add_argument("--log-json", action="store_true",
                    help="structured JSON logs on stderr, request-id "
                    "correlated")
@@ -434,17 +450,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             scale = (args.n / 100_000) ** (-1.0 / args.d)
             objects = make_objects(centers, args.m, 400.0 * scale, rng)
         registry = MetricsRegistry()
-        manager = DatasetManager(
-            objects,
-            shards=args.shards,
-            partitioner=args.partitioner,
-            backend=args.backend,
-            on_invalid=args.on_invalid,
-            compact_threshold=args.compact_threshold,
-            metrics=registry,
-            workers=args.workers,
-            start_method=args.start_method,
-        )
+        if args.data_dir:
+            from repro.serve.durable import DurableDatasetManager
+
+            manager = DurableDatasetManager(
+                objects,
+                data_dir=args.data_dir,
+                fsync=args.fsync,
+                fsync_interval_s=args.fsync_interval_s,
+                snapshot_every=args.snapshot_every,
+                warm_pages=args.warm_pages,
+                audit_path=args.audit_log,
+                shards=args.shards,
+                partitioner=args.partitioner,
+                backend=args.backend,
+                on_invalid=args.on_invalid,
+                compact_threshold=args.compact_threshold,
+                metrics=registry,
+                workers=args.workers,
+                start_method=args.start_method,
+            )
+            rec = manager.recovery
+            print(
+                f"recovered epoch {rec.recovered_epoch} from {rec.source} "
+                f"in {rec.elapsed_s * 1000.0:.1f} ms "
+                f"({rec.wal_frames_replayed} WAL frame(s) replayed"
+                + (", torn WAL tail flagged" if rec.wal_torn else "")
+                + (f", {rec.audit_reconciled} audit record(s) reconciled"
+                   if rec.audit_reconciled else "")
+                + ")",
+                flush=True,
+            )
+        else:
+            manager = DatasetManager(
+                objects,
+                shards=args.shards,
+                partitioner=args.partitioner,
+                backend=args.backend,
+                on_invalid=args.on_invalid,
+                compact_threshold=args.compact_threshold,
+                metrics=registry,
+                workers=args.workers,
+                start_method=args.start_method,
+            )
     except InvalidInputError as exc:
         print(f"input rejected: {exc}", file=sys.stderr)
         return 2
@@ -461,7 +509,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.audit_log:
         from repro.serve.audit import AuditLog
 
-        audit = AuditLog(args.audit_log, metrics=registry)
+        # Under the durable tier the audit trail shares the WAL's fsync
+        # policy, so both logs lose at most the same crash window.
+        audit = AuditLog(
+            args.audit_log,
+            metrics=registry,
+            fsync=args.fsync if args.data_dir else "never",
+            fsync_interval_s=args.fsync_interval_s,
+        )
     app = ServeApp(
         manager,
         cache=ResultCache(args.cache_size, metrics=registry),
@@ -512,7 +567,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
     try:
         records = load_audit(args.audit)
-    except (OSError, _json.JSONDecodeError) as exc:
+    except (OSError, ValueError) as exc:
         print(f"cannot read audit log: {exc}", file=sys.stderr)
         return 2
     try:
@@ -538,6 +593,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             f"{report.skipped_budgeted} budgeted skipped, "
             f"{report.epoch_errors} epoch error(s)"
         )
+        if report.torn_tail:
+            print(
+                f"  torn audit tail at byte {report.torn_tail['offset']} "
+                f"({report.torn_tail['detail']}) — skipped, not verified"
+            )
         for row in report.mismatches:
             print(
                 f"  seq {row['seq']} epoch {row['epoch']} {row['operator']}: "
@@ -648,6 +708,10 @@ def _cmd_client(args: argparse.Namespace) -> int:
             "error_ratio": slo.get("error_ratio"),
             "burn": slo.get("burn") or {},
         }
+        if "durability" in body:
+            snapshot["wal_seq"] = body.get("wal_seq")
+            snapshot["last_snapshot_epoch"] = body.get("last_snapshot_epoch")
+            snapshot["recovery"] = body.get("recovery")
         print(_json.dumps(snapshot, indent=2, sort_keys=True))
         return 0
     if args.format == "json":
@@ -660,6 +724,22 @@ def _cmd_client(args: argparse.Namespace) -> int:
             f"{args.operator}: {body['count']} candidate(s) in "
             f"{body['elapsed_ms']:.1f} ms{tag}{flag}: {oids}"
         )
+    elif args.action == "status" and status == 200:
+        print(
+            f"status {body.get('status')}: epoch {body.get('epoch')}, "
+            f"{body.get('objects')} object(s), {body.get('shards')} "
+            f"shard(s), backend {body.get('backend')}"
+        )
+        dur = body.get("durability")
+        if dur:
+            rec = dur.get("recovery") or {}
+            print(
+                f"durable: wal_seq {dur.get('wal_seq')}, last snapshot "
+                f"epoch {dur.get('last_snapshot_epoch')}, fsync "
+                f"{dur.get('fsync')}; recovered epoch "
+                f"{rec.get('recovered_epoch')} from {rec.get('source')} "
+                f"in {(rec.get('elapsed_s') or 0) * 1000.0:.1f} ms"
+            )
     else:
         print(_json.dumps(body, indent=2))
     if status != 200:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
 
 from repro.experiments import provenance
@@ -91,6 +92,10 @@ def summarize_serve(payload: dict) -> dict:
     open_loop = payload.get("open_loop") or {}
     if open_loop:
         metrics["openloop_p99_ms"] = float(open_loop["p99_ms"])
+    restart = payload.get("restart") or {}
+    if restart:
+        metrics["warm_restart_speedup"] = float(restart["speedup"])
+        metrics["recovery_ms"] = float(restart["warm_s"]) * 1000.0
     return metrics
 
 
@@ -161,7 +166,11 @@ def append(path: str | Path, record: dict) -> str:
     else:
         records.append(record)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
+    # Rewrite-in-place would tear the whole history on a crash; publish
+    # the new file atomically instead.
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
         "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
     )
+    os.replace(tmp, path)
     return action

@@ -9,6 +9,7 @@ across runs.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Sequence
 
@@ -40,14 +41,21 @@ def save_objects(path: str | Path, objects: Sequence[UncertainObject]) -> None:
     oids = np.array(
         ["" if obj.oid is None else str(obj.oid) for obj in objects]
     )
+    final = Path(path)
+    if final.suffix != ".npz":
+        final = final.with_name(final.name + ".npz")
+    # Atomic publish: savez into a temp name (kept .npz so numpy doesn't
+    # append a suffix), then rename — a crash never leaves a torn archive.
+    tmp = final.with_name(final.name + ".tmp.npz")
     np.savez_compressed(
-        Path(path),
+        tmp,
         version=np.int64(_FORMAT_VERSION),
         offsets=offsets,
         points=points,
         probs=probs,
         oids=oids,
     )
+    os.replace(tmp, final)
 
 
 def load_objects(

@@ -41,6 +41,11 @@ name                               type        labels
 ``repro_serve_sampled_total``      counter     (none)
 ``repro_trace_spans_dropped_total`` counter    (none)
 ``repro_audit_records_total``      counter     ``kind``
+``repro_wal_appends_total``        counter     (none)
+``repro_wal_fsync_seconds``        histogram   (none)
+``repro_recovery_seconds``         histogram   (none)
+``repro_snapshot_bytes``           gauge       (none)
+``repro_snapshots_total``          counter     (none)
 ``repro_slo_latency_seconds``      gauge       ``operator``, ``quantile``
 ``repro_slo_shard_latency_seconds`` gauge      ``shard``, ``operator``, ``quantile``
 ``repro_slo_degraded_ratio``       gauge       (none)
@@ -49,7 +54,9 @@ name                               type        labels
 ================================== =========== ==================================
 
 The ``repro_serve_*`` families are fed by :mod:`repro.serve` (server
-admission, result cache, sharded fan-out, dataset epoch/size).  The
+admission, result cache, sharded fan-out, dataset epoch/size); the
+``repro_wal_*`` / ``repro_recovery_*`` / ``repro_snapshot*`` families by
+the durable tier (:mod:`repro.serve.wal`, :mod:`repro.serve.durable`).  The
 ``repro_slo_*`` gauges are *derived* — :func:`update_slo_gauges` recomputes
 them from the latency histograms and the request/degraded tallies at every
 ``/metrics`` and ``/status`` read, so scrapes always see current

@@ -25,14 +25,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from repro.serve.wal import FsyncPolicy, TornTail
+
 __all__ = [
     "AuditLog",
+    "AuditRecords",
     "ReplayReport",
     "answer_digest",
     "load_audit",
@@ -66,11 +70,24 @@ class AuditLog:
             extending its log).
         metrics: optional :class:`repro.obs.metrics.MetricsRegistry`; feeds
             ``repro_audit_records_total{kind}``.
+        fsync / fsync_interval_s: durability policy, shared with the WAL
+            (:class:`repro.serve.wal.FsyncPolicy`).  The default ``never``
+            keeps the historical flush-only behaviour; the durable serve
+            path passes its own policy so the audit trail and the WAL lose
+            (at most) the same crash window.
     """
 
-    def __init__(self, path: str | Path, *, metrics: Any = None) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        metrics: Any = None,
+        fsync: str = "never",
+        fsync_interval_s: float = 0.5,
+    ) -> None:
         self.path = Path(path)
         self.metrics = metrics
+        self.policy = FsyncPolicy(fsync, fsync_interval_s)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a", encoding="utf-8")
         self._lock = threading.Lock()
@@ -86,6 +103,8 @@ class AuditLog:
             row.update(record)
             self._fh.write(json.dumps(row, separators=(",", ":")) + "\n")
             self._fh.flush()
+            if self.policy.due():
+                os.fsync(self._fh.fileno())
             self.counts[kind] = self.counts.get(kind, 0) + 1
         if self.metrics is not None:
             self.metrics.inc("repro_audit_records_total", 1, {"kind": kind})
@@ -156,14 +175,62 @@ class AuditLog:
             self._fh.close()
 
 
-def load_audit(path: str | Path) -> list[dict]:
-    """Parse a JSONL audit file into records (blank lines ignored)."""
-    records = []
-    with Path(path).open(encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+class AuditRecords(list):
+    """Parsed audit records, plus the torn-tail flag of a crashed append.
+
+    A plain list of dicts; :attr:`torn_tail` is a
+    :class:`repro.serve.wal.TornTail` locating a truncated final line, or
+    None for a clean log.
+    """
+
+    torn_tail: TornTail | None = None
+
+
+def load_audit(path: str | Path) -> AuditRecords:
+    """Parse a JSONL audit file, tolerating one torn line at the tail.
+
+    Every complete append is ``json + "\\n"`` written in one call with the
+    newline as the final byte, so the only crash artifact is an
+    *unterminated* final line.  That line is skipped and flagged on the
+    returned :class:`AuditRecords`' ``torn_tail`` — never silently
+    dropped, never replayed.  A malformed line that *is* newline-terminated
+    cannot be a partial write and raises wherever it appears.
+
+    Raises:
+        ValueError: a terminated line fails to parse (external corruption).
+    """
+    raw = Path(path).read_bytes()
+    records = AuditRecords()
+    pos = 0
+    size = len(raw)
+    while pos < size:
+        nl = raw.find(b"\n", pos)
+        end = size if nl < 0 else nl
+        line = raw[pos:end].strip()
+        if line:
+            torn = None
+            if nl < 0:
+                # No terminator: the append died mid-write.  Even if the
+                # JSON happens to parse, keep it out — a restarted server
+                # appending to this file would merge the next record onto
+                # the unterminated line.
+                torn = "final line missing its newline terminator"
+            else:
+                try:
+                    records.append(json.loads(line))
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    # Terminated lines were written whole; a parse failure
+                    # here is corruption, not a crash signature.
+                    raise ValueError(
+                        f"{path}: malformed audit line at byte {pos} — "
+                        f"mid-file corruption ({exc})"
+                    ) from exc
+            if torn is not None:
+                records.torn_tail = TornTail(
+                    kind="audit", offset=pos, length=size - pos, detail=torn
+                )
+                break
+        pos = end + 1
     return records
 
 
@@ -181,6 +248,10 @@ class ReplayReport:
     #: Up to 16 ``{seq, epoch, operator, expected, actual}`` rows.
     mismatches: list[dict] = field(default_factory=list)
     mismatch_count: int = 0
+    #: :meth:`TornTail.to_dict` of a truncated final audit line, if any.
+    #: A torn tail does not fail the replay — the crash window is flagged,
+    #: and everything durable before it still verifies.
+    torn_tail: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -199,6 +270,7 @@ class ReplayReport:
             "epoch_errors": self.epoch_errors,
             "mismatch_count": self.mismatch_count,
             "mismatches": self.mismatches,
+            "torn_tail": self.torn_tail,
             "ok": self.ok,
         }
 
@@ -234,6 +306,9 @@ def replay_audit(
         compact_threshold=1.0,
     )
     report = ReplayReport(records=len(records))
+    tail = getattr(records, "torn_tail", None)
+    if tail is not None:
+        report.torn_tail = tail.to_dict() if hasattr(tail, "to_dict") else tail
 
     def order(rec: dict) -> tuple:
         mutation = rec.get("kind") in ("insert", "delete")

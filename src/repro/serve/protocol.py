@@ -42,6 +42,7 @@ __all__ = [
     "delete_response",
     "backend_error_body",
     "error_body",
+    "recovering_body",
 ]
 
 OPERATOR_NAMES: tuple[str, ...] = tuple(kind.value for kind in OperatorKind)
@@ -219,3 +220,16 @@ def backend_error_body(message: str) -> dict:
     lazily on the next attempt.
     """
     return error_body(message, retryable=True)
+
+
+def recovering_body() -> dict:
+    """503 body while a warm restart is still replaying the WAL.
+
+    ``retryable`` for the same reason as :func:`backend_error_body`; the
+    ``recovering`` flag lets clients distinguish "wait for recovery" from
+    a backend hiccup.
+    """
+    return error_body(
+        "recovering: warm restart in progress", retryable=True,
+        recovering=True,
+    )

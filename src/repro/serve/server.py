@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import threading
 import time
@@ -103,6 +104,9 @@ class ServeApp:
         #: Merged Chrome-trace document of the most recent sampled request.
         self.last_trace: dict | None = None
         self.draining = False
+        #: True while a deferred warm restart is still replaying the WAL;
+        #: engine routes answer 503 ``retryable`` until it clears.
+        self.recovering = False
         self._inflight = 0
         self._lock = threading.Lock()
         self.started_at = time.time()
@@ -155,6 +159,8 @@ class ServeApp:
                 return 200, {"text": self.registry.to_prometheus()}
             if method != "POST" or path not in ("/query", "/insert", "/delete"):
                 return 404, protocol.error_body(f"no route {method} {path}")
+            if self.recovering:
+                return 503, protocol.recovering_body()
             if path == "/query":
                 return self.handle_query(payload, request)
             if path == "/insert":
@@ -261,7 +267,11 @@ class ServeApp:
         if self.trace_dir is not None:
             self.trace_dir.mkdir(parents=True, exist_ok=True)
             path = self.trace_dir / f"trace-{request.request_id}.json"
-            path.write_text(json.dumps(doc, indent=1) + "\n")
+            # Atomic publish: a crash mid-write must not leave a torn trace
+            # for tooling that tails the directory.
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(doc, indent=1) + "\n")
+            os.replace(tmp, path)
         return doc
 
     def handle_query(self, payload: Any, request=None) -> tuple[int, dict]:
@@ -378,6 +388,8 @@ class ServeApp:
         compacting = self.manager.compacting
         if self.draining:
             status = "draining"
+        elif self.recovering:
+            status = "recovering"
         elif compacting:
             status = "compacting"
         else:
@@ -398,9 +410,13 @@ class ServeApp:
         """GET /status body: health plus SLO accounting, JSON-native.
 
         Recomputes the derived SLO gauges from the live histograms at read
-        time, so the quantiles are current without a scrape loop.
+        time, so the quantiles are current without a scrape loop.  When the
+        manager is durable (:class:`repro.serve.durable
+        .DurableDatasetManager`) a ``durability`` section rides along, with
+        ``wal_seq`` / ``last_snapshot_epoch`` / ``recovery`` also hoisted
+        to the top level for one-glance clients.
         """
-        return {
+        body = {
             **self.healthz(),
             "sampler": {
                 "rate": self.sampler.rate,
@@ -410,6 +426,14 @@ class ServeApp:
             "audit": self.audit.stats() if self.audit is not None else None,
             "slo": slo_snapshot(self.registry, self.slo_latency_ms),
         }
+        durability = getattr(self.manager, "durability_status", None)
+        if durability is not None:
+            section = durability()
+            body["durability"] = section
+            body["wal_seq"] = section["wal_seq"]
+            body["last_snapshot_epoch"] = section["last_snapshot_epoch"]
+            body["recovery"] = section["recovery"]
+        return body
 
 
 class NNCServer:

@@ -373,6 +373,41 @@ class ShardedSearch:
         #: workers index into (kept as long as the segment is retained).
         self._snapshot_objects: dict[str, list[UncertainObject]] = {}
 
+    @classmethod
+    def from_searches(
+        cls,
+        searches: Sequence[NNCSearch],
+        *,
+        partitioner: str = "round-robin",
+        backend: str = "auto",
+        global_fanout: int = 16,
+        metrics: Any = None,
+        workers: int | None = None,
+        start_method: str | None = None,
+    ) -> "ShardedSearch":
+        """Adopt pre-built per-shard searches without re-partitioning.
+
+        The durable tier's warm restart rebuilds each shard straight from
+        a snapshot (:func:`repro.serve.shm.unpack_shard`) — skipping
+        validation, partitioning, and the STR bulk loads is exactly the
+        warm-over-cold speedup.  Shard order is preserved, so the oid
+        registry and partitioner-aware insert routing keep working.
+        """
+        inst = cls(
+            [],
+            shards=max(1, len(searches)),
+            partitioner=partitioner,
+            backend=backend,
+            global_fanout=global_fanout,
+            metrics=metrics,
+            workers=workers,
+            start_method=start_method,
+        )
+        if searches:
+            inst.searches = list(searches)
+            inst._centroids = inst._compute_centroids()
+        return inst
+
     # ------------------------------ topology --------------------------- #
 
     @property

@@ -69,6 +69,7 @@ __all__ = [
     "attach_shard",
     "pack_shard",
     "segment_exists",
+    "unpack_shard",
 ]
 
 _ALIGN = 64
@@ -309,16 +310,28 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
 def attach_shard(name: str) -> tuple[shared_memory.SharedMemory, NNCSearch]:
     """Attach a published segment and rebuild its shard search, zero-copy.
 
-    Every instance matrix, probability vector, MBR corner, and R-tree node
-    box is a read-only NumPy view into the mapped segment; only the Python
-    object shells (``UncertainObject``, ``RTreeNode``) are materialised.
-
     Raises:
         FileNotFoundError: the segment was retired (the caller should treat
             this as a stale-epoch task and surface a backend error).
     """
     shm = _attach_untracked(name)
-    buf = shm.buf
+    return shm, unpack_shard(shm.buf)
+
+
+def unpack_shard(buf) -> NNCSearch:
+    """Rebuild a shard search over any :func:`pack_shard` blob, zero-copy.
+
+    ``buf`` is any buffer holding a pack_shard blob — a shared-memory
+    segment's ``.buf`` (the pool backend) or a memoryview into a
+    memory-mapped snapshot file (:mod:`repro.serve.durable`).  Every
+    instance matrix, probability vector, MBR corner, and R-tree node box
+    is a read-only NumPy view into that buffer; only the Python object
+    shells (``UncertainObject``, ``RTreeNode``) are materialised.  The
+    rebuilt search is structurally identical to the packed one (same
+    object order, tree topology, tombstones), so its answers are
+    bit-identical — the exactness pin extends to every consumer of this
+    layout.
+    """
     header_len = int.from_bytes(bytes(buf[:8]), "little")
     header = json.loads(bytes(buf[8:8 + header_len]))
     data_start = _aligned(8 + header_len)
@@ -375,7 +388,7 @@ def attach_shard(name: str) -> tuple[shared_memory.SharedMemory, NNCSearch]:
     search._masked = {
         id(objects[i]): objects[i] for i in arrays["masked"]
     }
-    return shm, search
+    return search
 
 
 # --------------------------------------------------------------------- #

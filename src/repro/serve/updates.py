@@ -113,36 +113,69 @@ class DatasetManager:
         workers: int | None = None,
         start_method: str | None = None,
     ) -> None:
-        self.on_invalid = on_invalid
-        self.compact_threshold = compact_threshold
-        self.metrics = metrics
-        kept, self.load_report = validate_objects(
+        kept, load_report = validate_objects(
             list(objects), on_invalid=on_invalid, metrics=metrics
         )
         self._assign_missing_oids(kept)
-        self.search = ShardedSearch(
-            kept,
-            shards=shards,
-            partitioner=partitioner,
-            backend=backend,
-            global_fanout=global_fanout,
+        self._init_from_search(
+            ShardedSearch(
+                kept,
+                shards=shards,
+                partitioner=partitioner,
+                backend=backend,
+                global_fanout=global_fanout,
+                metrics=metrics,
+                workers=workers,
+                start_method=start_method,
+            ),
+            on_invalid=on_invalid,
+            compact_threshold=compact_threshold,
             metrics=metrics,
-            workers=workers,
-            start_method=start_method,
+            load_report=load_report,
         )
+
+    def _init_from_search(
+        self,
+        search: ShardedSearch,
+        *,
+        on_invalid: str,
+        compact_threshold: float,
+        metrics: Any,
+        load_report: Any = None,
+    ) -> None:
+        """Shared construction tail for a pre-built sharded search.
+
+        The normal constructor arrives here after validating and
+        partitioning; the durable tier's warm restart arrives with shards
+        rebuilt straight from a snapshot (no re-validation, no re-build —
+        that skip *is* the warm-restart speedup)."""
+        self.on_invalid = on_invalid
+        self.compact_threshold = compact_threshold
+        self.metrics = metrics
+        self.load_report = load_report
+        self.search = search
         self._lock = _RWLock()
         self._epoch = 0
         self._compacting = False
+        self._closed = False
         #: oid -> (shard index, object); the only mutable name authority.
-        self._registry: dict[Any, tuple[int, UncertainObject]] = {}
-        for j, shard_search in enumerate(self.search.searches):
-            for obj in shard_search.objects:
-                if obj.oid in self._registry:
+        self._registry = self._build_registry(search)
+        self._export_gauges()
+
+    @staticmethod
+    def _build_registry(
+        search: ShardedSearch,
+    ) -> dict[Any, tuple[int, UncertainObject]]:
+        """Oid registry over the *live* (unmasked) objects of a search."""
+        registry: dict[Any, tuple[int, UncertainObject]] = {}
+        for j, shard_search in enumerate(search.searches):
+            for obj in shard_search.live_objects():
+                if obj.oid in registry:
                     raise DuplicateOidError(
                         f"duplicate oid {obj.oid!r} in initial dataset"
                     )
-                self._registry[obj.oid] = (j, obj)
-        self._export_gauges()
+                registry[obj.oid] = (j, obj)
+        return registry
 
     # ------------------------------ state ------------------------------ #
 
@@ -268,6 +301,7 @@ class DatasetManager:
             shard = self.search.insert(obj)
             self._registry[obj.oid] = (shard, obj)
             self._epoch += 1
+            self._mutated("insert", oid=obj.oid, obj=obj, epoch=self._epoch)
             self._export_gauges()
             return obj.oid, self._epoch
 
@@ -289,6 +323,7 @@ class DatasetManager:
             if self.compact_threshold < 1.0:
                 self._compact_locked(self.compact_threshold)
             self._epoch += 1
+            self._mutated("delete", oid=oid, epoch=self._epoch)
             self._export_gauges()
             return True, self._epoch
 
@@ -306,10 +341,28 @@ class DatasetManager:
     def compact(self) -> int:
         """Force-compact all shards; returns tombstones removed."""
         with self._lock.write():
-            return self._compact_locked(0.0)
+            removed = self._compact_locked(0.0)
+            if removed:
+                self._mutated("compact", epoch=self._epoch, removed=removed)
+            return removed
+
+    def _mutated(
+        self, kind: str, *, oid=None, obj=None, epoch: int = 0,
+        removed: int = 0,
+    ) -> None:
+        """Mutation hook, called inside the write lock *before* the ack.
+
+        A no-op here; :class:`repro.serve.durable.DurableDatasetManager`
+        overrides it to append a write-ahead-log frame (and, every
+        ``snapshot_every`` mutations, checkpoint) so the epoch being
+        acknowledged is on disk before any client can observe it.
+        """
 
     def close(self) -> None:
-        """Release worker pools held by the sharded search."""
+        """Release worker pools held by the sharded search (idempotent)."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
         self.search.close()
 
 

@@ -90,6 +90,39 @@ class TestAuditLog:
         second.close()
         assert len(load_audit(path)) == 2
 
+    def test_fsync_always_survives_immediate_reread(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        log = AuditLog(path, fsync="always")
+        try:
+            log.append("query", {"x": 1})
+            # Durable before close: the record is on disk already.
+            assert len(load_audit(path)) == 1
+        finally:
+            log.close()
+
+    def test_fsync_mode_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            AuditLog(tmp_path / "a.jsonl", fsync="eventually")
+
+    def test_torn_tail_skipped_and_flagged(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        log = AuditLog(path)
+        log.append("query", {"degraded": True, "epoch": 0})
+        log.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"kind": "query", "se')  # crashed mid-append
+        records = load_audit(path)
+        assert len(records) == 1
+        assert records.torn_tail is not None
+        assert records.torn_tail.kind == "audit"
+        assert records.torn_tail.offset > 0
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text('{"bad\n{"kind": "query", "seq": 1, "epoch": 0}\n')
+        with pytest.raises(ValueError):
+            load_audit(path)
+
 
 class TestServeAuditIntegration:
     def _query(self, app, payload=None):
