@@ -19,6 +19,11 @@ Writes ``BENCH_serve.json`` with six sections:
   arrival time (not from when a client thread got around to sending it),
   so queueing delay is charged to the answer — the coordinated-omission-
   free p99 a closed serial loop cannot see.
+* **router** — the multi-node tier (:mod:`repro.serve.router`) under the
+  same open-loop harness: a 1-node vs 3-node (R=2) QPS sweep with every
+  answer pinned against the monolith, plus hedged vs unhedged p99 with
+  one deterministically slow replica and the hedge-win ratio
+  (``compare_bench.py`` gates on the ratio and on zero mismatches).
 * **restart** — cold :class:`DatasetManager` build vs a durable warm
   restart from a snapshot (:mod:`repro.serve.durable`): cold_s / warm_s /
   speedup / snapshot_bytes — the recovery-time number the durable tier is
@@ -233,30 +238,18 @@ def bench_observability(
         sampled.manager.close()
 
 
-def bench_open_loop(
-    objects,
-    queries,
-    k: int,
-    backend: str,
-    *,
-    shards: int = 4,
-    workers: int | None = None,
-    qps: float = 20.0,
-    duration: float = 2.0,
-    seed: int = 0,
+def poisson_open_loop(
+    fire, queries, *, qps: float, duration: float, seed: int = 0
 ) -> dict:
-    """Latency under a fixed offered load (open-loop, Poisson arrivals).
+    """Drive ``fire(query)`` at a fixed offered load (Poisson arrivals).
 
     A closed loop (send, wait, send) lets a slow answer *delay the next
     request*, hiding queueing — coordinated omission.  Here arrivals are
     scheduled up front from an exponential inter-arrival draw at ``qps``;
     each request's latency runs from its scheduled arrival to completion,
     so time spent queueing behind a slow predecessor counts against p99.
+    Shared by the shard-scaling and router sections.
     """
-    search = ShardedSearch(
-        objects, shards=shards, backend=backend, workers=workers
-    )
-    search.run(queries[0], OPERATOR, k=k)  # warm-up outside the clock
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(1.0 / qps, size=int(qps * duration * 2) + 8)
     arrivals = np.cumsum(gaps)
@@ -265,10 +258,10 @@ def bench_open_loop(
     errors = 0
     lock = threading.Lock()
 
-    def fire(q, scheduled_abs: float) -> None:
+    def task(q, scheduled_abs: float) -> None:
         nonlocal errors
         try:
-            search.run(q, OPERATOR, k=k)
+            fire(q)
         except Exception:  # noqa: BLE001 — tally, don't kill the load loop
             with lock:
                 errors += 1
@@ -286,22 +279,183 @@ def bench_open_loop(
         now = time.perf_counter() - t0
         if arrival > now:
             time.sleep(arrival - now)
-        client.submit(fire, queries[i % len(queries)], t0 + arrival)
+        client.submit(task, queries[i % len(queries)], t0 + arrival)
     client.shutdown(wait=True)
     total = time.perf_counter() - t0
-    resolved = search.backend
-    search.close()
     return {
         "offered_qps": qps,
         "duration_s": duration,
         "requests": int(len(arrivals)),
         "errors": errors,
         "achieved_qps": len(latencies) / total if total else 0.0,
-        "backend": resolved,
-        "shards": shards,
         "p50_ms": _percentile(latencies, 50),
         "p99_ms": _percentile(latencies, 99),
         "max_ms": max(latencies) if latencies else 0.0,
+    }
+
+
+def bench_open_loop(
+    objects,
+    queries,
+    k: int,
+    backend: str,
+    *,
+    shards: int = 4,
+    workers: int | None = None,
+    qps: float = 20.0,
+    duration: float = 2.0,
+    seed: int = 0,
+) -> dict:
+    """Single-process scatter-gather latency under a fixed offered load."""
+    search = ShardedSearch(
+        objects, shards=shards, backend=backend, workers=workers
+    )
+    search.run(queries[0], OPERATOR, k=k)  # warm-up outside the clock
+    stats = poisson_open_loop(
+        lambda q: search.run(q, OPERATOR, k=k), queries,
+        qps=qps, duration=duration, seed=seed,
+    )
+    stats["backend"] = search.backend
+    stats["shards"] = shards
+    search.close()
+    return stats
+
+
+def bench_router(
+    objects,
+    queries,
+    k: int,
+    *,
+    shards: int = 4,
+    qps: float = 20.0,
+    duration: float = 2.0,
+    slow_delay_ms: float = 25.0,
+    hedge_ms: float = 5.0,
+    seed: int = 0,
+) -> dict:
+    """Router tier under the open-loop harness: scaling + hedging.
+
+    Two experiments, both with per-request answer pinning against the
+    single-process monolith (a mismatch is a correctness failure that
+    ``compare_bench.py`` gates on unconditionally):
+
+    * **scaling** — one router over 1 node (R=1) vs 3 nodes (R=2), same
+      offered Poisson load; the delta is the scatter-gather + HTTP-shaped
+      dispatch overhead and whatever parallelism the box can show.
+    * **hedging** — 3 nodes where one replica is deterministically slow
+      (``slow_delay_ms`` injected).  The same load runs unhedged
+      (``hedge_ms=0``) and hedged; the hedge-win ratio is wins / hedges
+      launched.  On a multi-core box only slow-replica fetches cross the
+      threshold and the ratio is a clean hedging-efficacy number; on one
+      core queueing delay also trips it, so ``compare_bench.py`` skips
+      the ratio gate there (loudly) just like the speedup gates.
+    """
+    from repro.serve.remote import LocalNode
+    from repro.serve.router import RouterApp
+    from repro.serve.server import ServeApp
+    from repro.serve.updates import DatasetManager
+
+    mono = NNCSearch(objects)
+    expected = {}
+    for q in queries:
+        res = mono.run(q, OPERATOR, k=k)
+        expected[q.oid] = sorted(zip(res.oids(), res.dominator_counts))
+    payloads = {
+        q.oid: {
+            "points": [list(map(float, p)) for p in q.points],
+            "probs": [float(p) for p in q.probs],
+            "operator": OPERATOR,
+            "k": k,
+            "cache": False,
+        }
+        for q in queries
+    }
+
+    def make_fleet(node_ids, replication, hedge):
+        nodes = {}
+        for nid in node_ids:
+            manager = DatasetManager(
+                list(objects), shards=shards, partitioner="hash",
+                backend="serial",
+            )
+            nodes[nid] = LocalNode(nid, ServeApp(manager, node_id=nid))
+        router = RouterApp(
+            nodes, shards=shards, replication=replication, hedge_ms=hedge,
+        )
+        return router, nodes
+
+    def run_load(router, extra=None):
+        mismatches = 0
+        lock = threading.Lock()
+
+        def fire(q):
+            nonlocal mismatches
+            status, body = router.dispatch(
+                "POST", "/query", payloads[q.oid], {}
+            )
+            if status != 200:
+                raise RuntimeError(f"router -> {status}")
+            got = sorted(
+                (c["oid"], c["dominators"]) for c in body["candidates"]
+            )
+            if got != expected[q.oid]:
+                with lock:
+                    mismatches += 1
+
+        router.dispatch("POST", "/query", payloads[queries[0].oid], {})
+        stats = poisson_open_loop(
+            fire, queries, qps=qps, duration=duration, seed=seed
+        )
+        stats["answer_mismatches"] = mismatches
+        if extra:
+            stats.update(extra)
+        return stats
+
+    def close_fleet(router, nodes):
+        router.close()
+        for node in nodes.values():
+            node.app.close()
+
+    scaling = []
+    for node_ids, replication in ((("n1",), 1), (("n1", "n2", "n3"), 2)):
+        router, nodes = make_fleet(node_ids, replication, 0)
+        try:
+            scaling.append(run_load(router, {
+                "nodes": len(node_ids), "replication": replication,
+            }))
+        finally:
+            close_fleet(router, nodes)
+
+    hedging = {"slow_delay_ms": slow_delay_ms, "hedge_ms": hedge_ms}
+    for label, hedge in (("unhedged", 0.0), ("hedged", hedge_ms)):
+        router, nodes = make_fleet(("n1", "n2", "n3"), 2, hedge)
+        try:
+            # Slow down one replica of shard 0 after the warm-up query
+            # has forked the pools (the warm-up runs inside run_load).
+            slow = router.placement.owners(0)[0]
+            nodes[slow].delay_s = slow_delay_ms / 1000.0
+            stats = run_load(router)
+            hedging[f"p99_{label}_ms"] = stats["p99_ms"]
+            hedging[f"mismatches_{label}"] = stats["answer_mismatches"]
+            if label == "hedged":
+                hedges = router.registry.total("repro_router_hedges_total")
+                wins = router.registry.total("repro_router_hedge_wins_total")
+                hedging["hedges"] = int(hedges)
+                hedging["hedge_wins"] = int(wins)
+                hedging["hedge_win_ratio"] = (
+                    wins / hedges if hedges else None
+                )
+        finally:
+            close_fleet(router, nodes)
+
+    return {
+        "shards": shards,
+        "scaling": scaling,
+        "hedging": hedging,
+        "answer_mismatches": (
+            sum(row["answer_mismatches"] for row in scaling)
+            + hedging["mismatches_unhedged"] + hedging["mismatches_hedged"]
+        ),
     }
 
 
@@ -467,6 +621,39 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: open-loop requests errored")
             return 1
 
+    router = None
+    if ol_secs > 0 and ol_qps > 0:
+        router = bench_router(
+            objects, queries, args.k, qps=ol_qps, duration=ol_secs,
+            seed=args.seed,
+        )
+        for row in router["scaling"]:
+            print(
+                f"  router ({row['nodes']} node(s), R={row['replication']}): "
+                f"offered {row['offered_qps']:.0f} qps -> achieved "
+                f"{row['achieved_qps']:.1f} qps  p50 {row['p50_ms']:.2f} ms  "
+                f"p99 {row['p99_ms']:.2f} ms ({row['requests']} reqs, "
+                f"{row['errors']} errors, "
+                f"{row['answer_mismatches']} mismatches)"
+            )
+        hedging = router["hedging"]
+        ratio = hedging.get("hedge_win_ratio")
+        print(
+            f"  router hedging (slow replica +{hedging['slow_delay_ms']:.0f} "
+            f"ms, hedge at {hedging['hedge_ms']:.0f} ms): p99 "
+            f"{hedging['p99_unhedged_ms']:.2f} -> "
+            f"{hedging['p99_hedged_ms']:.2f} ms  "
+            f"{hedging.get('hedge_wins', 0)}/{hedging.get('hedges', 0)} "
+            f"hedge wins"
+            + (f" (ratio {ratio:.2f})" if ratio is not None else "")
+        )
+        if router["answer_mismatches"]:
+            print("FAIL: router answers diverged from the monolith")
+            return 1
+        if any(row["errors"] for row in router["scaling"]):
+            print("FAIL: router open-loop requests errored")
+            return 1
+
     restart = bench_restart(objects, seed=args.seed)
     print(
         f"  restart: cold build {restart['cold_s']*1000:7.1f} ms -> warm "
@@ -516,6 +703,7 @@ def main(argv: list[str] | None = None) -> int:
         "shard_scaling": scaling,
         "cache": cache,
         "open_loop": open_loop,
+        "router": router,
         "restart": restart,
         "observability": obs,
     }

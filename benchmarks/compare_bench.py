@@ -20,6 +20,11 @@ Understands two payload shapes, auto-detected from the JSON:
   from the monolith) in the *current* file is always a hard failure, as is
   a non-zero ``observability.degraded_rate`` (the bench workload carries
   no budgets, so a degraded answer is a serve-path correctness problem).
+  When the payload has a ``router`` section, two more gates apply: a
+  non-zero ``router.answer_mismatches`` (router answers diverged from the
+  single-process oracle) is a hard failure, and the hedge-win ratio is
+  gated like the other gauges — with the same loud one-core skip, since
+  queueing on one core trips the hedge threshold for scheduling reasons.
   ``--metric`` is ignored for serve payloads.
 
 All metrics are scale-sensitive, so a baseline/current ``scale`` mismatch
@@ -184,6 +189,48 @@ def compare_serve(
         baseline.get("cache", {}).get("hit_ratio"),
         current.get("cache", {}).get("hit_ratio"),
     )
+    cur_router = current.get("router")
+    if cur_router is not None:
+        base_router = baseline.get("router") or {}
+        mismatches = cur_router.get("answer_mismatches")
+        rows.append(
+            {
+                "metric": "router.answer_mismatches",
+                "baseline": base_router.get("answer_mismatches"),
+                "current": mismatches,
+                "change": "-",
+            }
+        )
+        if mismatches:
+            # The router must be bit-identical to the monolith — a single
+            # divergent answer is a correctness failure, not a perf one.
+            regressions.append(
+                f"router.answer_mismatches: {mismatches} != 0 — router "
+                "answers diverged from the single-process oracle"
+            )
+        cur_ratio = (cur_router.get("hedging") or {}).get("hedge_win_ratio")
+        base_ratio = (base_router.get("hedging") or {}).get(
+            "hedge_win_ratio"
+        )
+        if one_core:
+            # With one core every request queues past the hedge threshold,
+            # so hedges fire for scheduling reasons, not slow replicas —
+            # the ratio measures the machine.  Same loud skip as the
+            # speedup gates; the mismatch gate above still applies.
+            print(
+                "SKIPPED hedge-win gate: current run recorded cpu_count=1 "
+                "— queueing delay trips the hedge threshold on one core; "
+                "the answer-mismatch gate still applies"
+            )
+            rows.append({
+                "metric": "router.hedge_win_ratio",
+                "baseline": base_ratio,
+                "current": cur_ratio,
+                "change": "SKIPPED (cpu_count=1)",
+            })
+        else:
+            _gauge("router.hedge_win_ratio", base_ratio, cur_ratio)
+
     cur_obs = current.get("observability")
     if cur_obs is not None:
         degraded = cur_obs.get("degraded_rate")

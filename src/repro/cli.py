@@ -83,7 +83,12 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--shards", type=int, default=1)
     p.add_argument("--partitioner", default="round-robin",
-                   choices=["round-robin", "centroid"])
+                   choices=["round-robin", "centroid", "hash"],
+                   help="hash = content-hash placement (shard_of); required "
+                   "for node servers behind `repro router`")
+    p.add_argument("--node-id", metavar="ID",
+                   help="fleet identity surfaced in /healthz and /status "
+                   "(node servers behind a router)")
     p.add_argument("--backend", default="auto",
                    choices=["auto", "serial", "thread", "process", "pool"])
     p.add_argument("--workers", type=int, metavar="N",
@@ -139,6 +144,62 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                    "repro_slo_burn_total{slo=latency}")
 
 
+def _add_router(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "router",
+        help="front N shard servers: consistent-hash placement, replica "
+        "groups, hedged reads, failover",
+        description="Serves the same /query /insert /delete protocol as "
+        "`repro serve`, scatter-gathering over remote node servers "
+        "(started with `repro serve --partitioner hash --shards S "
+        "--node-id ID`).  Answers are bit-identical to a single process "
+        "over the same dataset; see DESIGN.md §18.",
+    )
+    p.add_argument("--node", action="append", default=[], metavar="ID=URL",
+                   required=True,
+                   help="one fleet member, e.g. n1=http://127.0.0.1:8081; "
+                   "repeatable (bare URLs get node ids host:port)")
+    p.add_argument("--shards", type=int, required=True,
+                   help="logical shard count; must equal every node's "
+                   "--shards")
+    p.add_argument("--replication", type=int, default=1, metavar="R",
+                   help="replica group size (reads fail over inside the "
+                   "group; writes fan out to all of it)")
+    p.add_argument("--vnodes", type=int, default=64,
+                   help="virtual nodes per ring member")
+    p.add_argument("--hedge-ms", type=float, default=None, metavar="MS",
+                   help="hedging threshold; default adapts to each node's "
+                   "observed p95, 0 disables hedging")
+    p.add_argument("--health-interval-s", type=float, default=2.0,
+                   metavar="S", help="background /healthz sweep period "
+                   "(0 disables)")
+    p.add_argument("--node-timeout-s", type=float, default=10.0, metavar="S",
+                   help="per-call socket timeout talking to nodes")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="0 picks an ephemeral port")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="router-side LRU result cache (0 disables)")
+    p.add_argument("--max-inflight", type=int, default=32,
+                   help="concurrent engine requests before 429")
+    p.add_argument("--deadline-ms", type=float, metavar="MS",
+                   help="default per-query budget forwarded to nodes")
+    p.add_argument("--sample", type=float, default=0.0, metavar="RATE",
+                   help="fraction of requests traced end to end (forces "
+                   "sampling on every node the request touches)")
+    p.add_argument("--trace-dir", metavar="DIR",
+                   help="write one merged Chrome trace JSON per sampled "
+                   "request into DIR")
+    p.add_argument("--audit-log", metavar="PATH",
+                   help="router-side replayable audit log; verify with "
+                   "`repro replay --partitioner hash --shards S`")
+    p.add_argument("--slo-latency-ms", type=float, metavar="MS",
+                   help="latency objective; slower requests burn "
+                   "repro_slo_burn_total{slo=latency}")
+    p.add_argument("--log-json", action="store_true",
+                   help="structured JSON logs on stderr")
+
+
 def _add_replay(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "replay",
@@ -149,7 +210,7 @@ def _add_replay(sub: argparse._SubParsersAction) -> None:
                    help=".npz dataset the server was started with")
     p.add_argument("--shards", type=int, default=1)
     p.add_argument("--partitioner", default="round-robin",
-                   choices=["round-robin", "centroid"])
+                   choices=["round-robin", "centroid", "hash"])
     p.add_argument("--backend", default="serial",
                    choices=["auto", "serial", "thread", "process"])
     p.add_argument("--format", choices=["text", "json"], default="text")
@@ -175,6 +236,13 @@ def _add_client(sub: argparse._SubParsersAction) -> None:
                    help="bypass the server result cache")
     p.add_argument("--deadline-ms", type=float, metavar="MS",
                    help="per-request budget")
+    p.add_argument("--retries", type=int, default=5, metavar="N",
+                   help="attempts after a connection failure or a 503 "
+                   "retryable answer (bounded exponential backoff + "
+                   "jitter); 0 fails fast")
+    p.add_argument("--retry-base-ms", type=float, default=100.0, metavar="MS",
+                   help="first backoff delay; doubles per retry, capped at "
+                   "5s")
     p.add_argument("--format", choices=["text", "json", "slo-json"],
                    default="json",
                    help="json prints the raw server response; slo-json "
@@ -261,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_report(sub)
     _add_generate(sub)
     _add_serve(sub)
+    _add_router(sub)
     _add_client(sub)
     _add_replay(sub)
     sub.add_parser("info", help="print library information")
@@ -527,6 +596,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         audit=audit,
         trace_dir=args.trace_dir,
         slo_latency_ms=args.slo_latency_ms,
+        node_id=args.node_id,
     )
     server = NNCServer(app, host=args.host, port=args.port)
 
@@ -536,6 +606,113 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"serving {manager.size} objects on http://{args.host}:"
             f"{server.port} ({manager.search.shards} shard(s), "
             f"backend={manager.search.backend}); Ctrl-C / SIGTERM drains",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        import signal as _signal
+
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await stop.wait()
+        print("draining...", flush=True)
+        await server.drain()
+
+    asyncio.run(_run())
+    if audit is not None:
+        audit.close()
+    print("drained cleanly")
+    return 0
+
+
+def _cmd_router(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs import MetricsRegistry
+    from repro.serve.cache import ResultCache
+    from repro.serve.remote import RemoteNode, RemoteNodeError
+    from repro.serve.router import RouterApp
+    from repro.serve.server import NNCServer
+
+    nodes = {}
+    for spec in args.node:
+        if "=" in spec:
+            nid, url = spec.split("=", 1)
+        else:
+            nid, url = spec.split("//")[-1], spec
+        nid = nid.strip()
+        if not nid or nid in nodes:
+            print(f"bad or duplicate --node {spec!r}", file=sys.stderr)
+            return 2
+        try:
+            nodes[nid] = RemoteNode(
+                nid, url.strip(), timeout_s=args.node_timeout_s
+            )
+        except ValueError as exc:
+            print(f"bad --node {spec!r}: {exc}", file=sys.stderr)
+            return 2
+    if args.log_json:
+        from repro.obs import JsonLogger, set_logger
+
+        set_logger(JsonLogger(sys.stderr, service="repro-router"))
+    registry = MetricsRegistry()
+    audit = None
+    if args.audit_log:
+        from repro.serve.audit import AuditLog
+
+        audit = AuditLog(args.audit_log, metrics=registry)
+    default_budget = (
+        {"deadline_ms": args.deadline_ms}
+        if args.deadline_ms is not None
+        else None
+    )
+    try:
+        app = RouterApp(
+            nodes,
+            shards=args.shards,
+            replication=args.replication,
+            vnodes=args.vnodes,
+            hedge_ms=args.hedge_ms,
+            health_interval_s=args.health_interval_s,
+            cache=ResultCache(args.cache_size, metrics=registry),
+            registry=registry,
+            max_inflight=args.max_inflight,
+            default_budget=default_budget,
+            sample_rate=args.sample,
+            audit=audit,
+            trace_dir=args.trace_dir,
+            slo_latency_ms=args.slo_latency_ms,
+        )
+    except ValueError as exc:
+        print(f"router: {exc}", file=sys.stderr)
+        return 2
+    # One synchronous sweep before binding: a router that can't see any
+    # node should say so immediately, not on the first query.
+    up = app._sweep_health()
+    reachable = sum(1 for ok in up.values() if ok)
+    for nid, node in nodes.items():
+        try:
+            status, body = node.call("GET", "/healthz", timeout_s=2.0)
+        except RemoteNodeError:
+            continue
+        if status == 200 and body.get("shards") not in (None, args.shards):
+            print(
+                f"warning: node {nid} serves {body.get('shards')} shard(s), "
+                f"router expects {args.shards}",
+                file=sys.stderr,
+            )
+    server = NNCServer(app, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"routing {args.shards} shard(s) x {args.replication} "
+            f"replica(s) over {len(nodes)} node(s) "
+            f"({reachable} reachable) on http://{args.host}:{server.port}; "
+            f"Ctrl-C / SIGTERM drains",
             flush=True,
         )
         loop = asyncio.get_running_loop()
@@ -667,28 +844,72 @@ def _cmd_client(args: argparse.Namespace) -> int:
     headers = {"Content-Type": "application/json"}
     if args.request_id:
         headers["X-Request-Id"] = args.request_id
-    conn = http.client.HTTPConnection(host, port, timeout=60.0)
-    try:
-        conn.request(
-            method, path,
-            body=_json.dumps(payload) if payload is not None else None,
-            headers=headers,
+
+    # Transient failures — connection refused/reset, or a 503 whose body
+    # says `retryable` (pool worker death, recovering warm restart, a
+    # router with every replica briefly out) — are retried with bounded
+    # exponential backoff + jitter instead of failing the first attempt.
+    import random as _random
+    import time as _time
+
+    max_attempts = max(0, args.retries) + 1
+    retries = 0
+    for attempt in range(max_attempts):
+        conn = http.client.HTTPConnection(host, port, timeout=60.0)
+        failure = None
+        try:
+            conn.request(
+                method, path,
+                body=_json.dumps(payload) if payload is not None else None,
+                headers=headers,
+            )
+            resp = conn.getresponse()
+            raw = resp.read()
+            status = resp.status
+            is_json = resp.getheader("Content-Type", "").startswith(
+                "application/json"
+            )
+        except (ConnectionError, OSError) as exc:
+            failure = exc
+        finally:
+            conn.close()
+        if failure is None:
+            body = _json.loads(raw) if is_json else None
+            retryable = (
+                status == 503
+                and isinstance(body, dict)
+                and body.get("retryable")
+            )
+            if not retryable:
+                break
+        if attempt + 1 >= max_attempts:
+            if failure is not None:
+                print(f"connection failed: {failure}", file=sys.stderr)
+                return 2
+            break
+        delay = min(5.0, (args.retry_base_ms / 1000.0) * (2 ** attempt))
+        delay *= 0.5 + _random.random() / 2.0
+        reason = (
+            f"connection failed ({failure})" if failure is not None
+            else f"503 retryable ({(body or {}).get('error', '?')})"
         )
-        resp = conn.getresponse()
-        raw = resp.read()
-        status = resp.status
-        is_json = resp.getheader("Content-Type", "").startswith(
-            "application/json"
+        print(
+            f"retrying in {delay * 1000.0:.0f} ms after {reason} "
+            f"[attempt {attempt + 1}/{max_attempts}]",
+            file=sys.stderr,
         )
-    except (ConnectionError, OSError) as exc:
-        print(f"connection failed: {exc}", file=sys.stderr)
-        return 2
-    finally:
-        conn.close()
+        _time.sleep(delay)
+        retries += 1
+    if retries:
+        print(f"succeeded after {retries} retr"
+              + ("y" if retries == 1 else "ies")
+              if status == 200 else
+              f"gave up after {retries} retr"
+              + ("y" if retries == 1 else "ies"),
+              file=sys.stderr)
     if not is_json:
         print(raw.decode())
         return 0 if status == 200 else 1
-    body = _json.loads(raw)
     if args.format == "slo-json":
         if args.action != "status":
             print("--format slo-json only applies to `client status`",
@@ -720,9 +941,10 @@ def _cmd_client(args: argparse.Namespace) -> int:
         oids = [c["oid"] for c in body["candidates"]]
         tag = " (cached)" if body.get("cached") else ""
         flag = " DEGRADED" if body.get("degraded") else ""
+        retried = f" [{retries} retries]" if retries else ""
         print(
             f"{args.operator}: {body['count']} candidate(s) in "
-            f"{body['elapsed_ms']:.1f} ms{tag}{flag}: {oids}"
+            f"{body['elapsed_ms']:.1f} ms{tag}{flag}{retried}: {oids}"
         )
     elif args.action == "status" and status == 200:
         print(
@@ -891,6 +1113,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "router":
+        return _cmd_router(args)
     if args.command == "client":
         return _cmd_client(args)
     if args.command == "replay":

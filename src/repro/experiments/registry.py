@@ -16,6 +16,8 @@ Registered ids:
   and end-to-end speedups;
 * ``serve-scaling`` / ``serve-openloop`` — ``BENCH_serve.json`` shard
   scaling and open-loop (coordinated-omission-free) latency;
+* ``router-scaling`` — the multi-node router tier: per-fleet-size
+  latency under the same open-loop harness plus hedging efficacy;
 * ``slo-quantiles`` — per-operator p50/p95/p99 + SLO burn counters, fed
   from a saved ``/status`` snapshot (``repro client status``) or, as a
   fallback, the serve bench's observability section;
@@ -370,6 +372,51 @@ def _build_serve_openloop(inputs: BuildInputs) -> FigureArtifact:
     )
 
 
+def _build_router_scaling(inputs: BuildInputs) -> FigureArtifact:
+    payload = _load_json(inputs.serve, "router-scaling", _SERVE_HINT)
+    router = payload.get("router")
+    if not router:
+        raise FigureInputError(
+            f"router-scaling: {inputs.serve} has no router section "
+            "(bench_serve.py ran with --open-loop-seconds 0?)"
+        )
+    rows = [
+        {
+            "nodes": row["nodes"],
+            "replication": row["replication"],
+            "qps": row["achieved_qps"],
+            "p50_ms": row["p50_ms"],
+            "p99_ms": row["p99_ms"],
+            "answer_mismatches": row["answer_mismatches"],
+        }
+        for row in router.get("scaling", [])
+    ]
+    hedging = router.get("hedging") or {}
+    notes = _bench_note(payload)
+    if hedging:
+        ratio = hedging.get("hedge_win_ratio")
+        notes += (
+            f"; hedging: p99 {hedging['p99_unhedged_ms']:.2f} -> "
+            f"{hedging['p99_hedged_ms']:.2f} ms with one replica "
+            f"+{hedging['slow_delay_ms']:g} ms slow, "
+            f"{hedging.get('hedge_wins', 0)}/{hedging.get('hedges', 0)} "
+            "hedge wins"
+            + (f" (ratio {ratio:.2f})" if ratio is not None else "")
+        )
+    return FigureArtifact(
+        "router-scaling",
+        "Router scaling and hedging",
+        "the multi-node router tier under the open-loop harness: latency "
+        "per fleet size with every answer pinned to the monolith; the "
+        "hedged-vs-unhedged p99 and hedge-win rate ride in the notes",
+        "bench",
+        rows,
+        ChartSpec("line", "nodes", ("p50_ms", "p99_ms"),
+                  x_type="quantitative", y_title="latency (ms)"),
+        notes=notes,
+    )
+
+
 def slo_rows(snapshot: dict) -> tuple[list[dict], dict]:
     """Normalise an SLO snapshot into per-operator quantile rows + burn.
 
@@ -523,6 +570,8 @@ def _registry() -> dict[str, Figure]:
                _build_serve_scaling),
         Figure("serve-openloop", "Open-loop latency", "bench",
                _build_serve_openloop),
+        Figure("router-scaling", "Router scaling and hedging", "bench",
+               _build_router_scaling),
         Figure("slo-quantiles", "SLO latency quantiles", "bench",
                _build_slo_quantiles),
         Figure("perf-trajectory", "Perf trajectory", "trajectory",

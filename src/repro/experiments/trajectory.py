@@ -96,6 +96,17 @@ def summarize_serve(payload: dict) -> dict:
     if restart:
         metrics["warm_restart_speedup"] = float(restart["speedup"])
         metrics["recovery_ms"] = float(restart["warm_s"]) * 1000.0
+    router = payload.get("router") or {}
+    if router:
+        rows = router.get("scaling") or []
+        if rows:
+            top = max(rows, key=lambda row: row["nodes"])
+            metrics[f"router_p99_ms[nodes={top['nodes']}]"] = float(
+                top["p99_ms"]
+            )
+        hedging = router.get("hedging") or {}
+        if hedging.get("hedge_win_ratio") is not None:
+            metrics["hedge_win_ratio"] = float(hedging["hedge_win_ratio"])
     return metrics
 
 

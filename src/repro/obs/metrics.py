@@ -51,10 +51,21 @@ name                               type        labels
 ``repro_slo_degraded_ratio``       gauge       (none)
 ``repro_slo_error_ratio``          gauge       (none)
 ``repro_slo_burn_total``           counter     ``slo``
+``repro_router_hedges_total``      counter     ``shard``
+``repro_router_hedge_wins_total``  counter     (none)
+``repro_router_failovers_total``   counter     (none)
+``repro_router_stale_reads_total`` counter     (none)
+``repro_router_partial_writes_total`` counter  ``op``
+``repro_router_reconciled_writes_total`` counter ``op``
+``repro_router_node_up``           gauge       ``node``
 ================================== =========== ==================================
 
 The ``repro_serve_*`` families are fed by :mod:`repro.serve` (server
 admission, result cache, sharded fan-out, dataset epoch/size); the
+``repro_router_*`` families by the multi-node tier
+(:mod:`repro.serve.router`: hedged requests and their wins, replica
+failovers, stale reads detected via acked-epoch watermarks, partial and
+reconciled write fan-outs, and per-node health as seen by the sweep); the
 ``repro_wal_*`` / ``repro_recovery_*`` / ``repro_snapshot*`` families by
 the durable tier (:mod:`repro.serve.wal`, :mod:`repro.serve.durable`).  The
 ``repro_slo_*`` gauges are *derived* — :func:`update_slo_gauges` recomputes

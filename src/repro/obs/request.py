@@ -115,12 +115,24 @@ class RequestContext:
         request_id: str | None = None,
         sampled: bool = False,
         deadline_ms: float | None = None,
+        trace_id: str | None = None,
+        parent_span_id: str | None = None,
     ) -> "RequestContext":
-        """Root context for a fresh request (ids generated when omitted)."""
+        """Root context for a fresh request (ids generated when omitted).
+
+        A server joining a trace started elsewhere (the router tier
+        forwarding over HTTP) passes the inbound ``trace_id`` and
+        ``parent_span_id`` so the fleet's spans merge into one tree.
+        """
+        kwargs = {}
+        if trace_id:
+            kwargs["trace_id"] = trace_id
         return cls(
             request_id=request_id if request_id else new_request_id(),
             sampled=sampled,
             deadline_ms=deadline_ms,
+            parent_span_id=parent_span_id,
+            **kwargs,
         )
 
     def child(self, shard: int) -> "RequestContext":

@@ -121,25 +121,28 @@ class AuditLog:
     ) -> int:
         """Audit one /query: full request, epoch, digest, flags."""
         query = req["query"]
-        return self.append(
-            "query",
-            {
-                "request_id": request_id,
-                "epoch": epoch,
-                "operator": req["operator"],
-                "k": req["k"],
-                "metric": req["metric"],
-                "points": [list(map(float, p)) for p in query.points],
-                "probs": [float(p) for p in query.probs],
-                "budgeted": req["budget"] is not None,
-                "cached": cached,
-                "degraded": bool(body.get("degraded")),
-                "degradation": body.get("degradation"),
-                "count": body.get("count"),
-                "digest": answer_digest(body.get("candidates") or ()),
-                "counters": body.get("counters"),
-            },
-        )
+        record = {
+            "request_id": request_id,
+            "epoch": epoch,
+            "operator": req["operator"],
+            "k": req["k"],
+            "metric": req["metric"],
+            "points": [list(map(float, p)) for p in query.points],
+            "probs": [float(p) for p in query.probs],
+            "budgeted": req["budget"] is not None,
+            "cached": cached,
+            "degraded": bool(body.get("degraded")),
+            "degradation": body.get("degradation"),
+            "count": body.get("count"),
+            "digest": answer_digest(body.get("candidates") or ()),
+            "counters": body.get("counters"),
+        }
+        if req.get("shards") is not None:
+            # Shard-scoped node reads answer over a subset of the dataset;
+            # the replayer cannot verify them against the full rebuild and
+            # skips them (the router's own log carries the merged answer).
+            record["shards"] = list(req["shards"])
+        return self.append("query", record)
 
     def record_insert(
         self, obj, oid, epoch: int, *, request_id: str | None = None
@@ -244,6 +247,9 @@ class ReplayReport:
     verified: int = 0
     skipped_degraded: int = 0
     skipped_budgeted: int = 0
+    #: Shard-scoped node reads (router protocol) — partial answers by
+    #: construction, not verifiable against the full dataset rebuild.
+    skipped_scoped: int = 0
     epoch_errors: int = 0
     #: Up to 16 ``{seq, epoch, operator, expected, actual}`` rows.
     mismatches: list[dict] = field(default_factory=list)
@@ -267,6 +273,7 @@ class ReplayReport:
             "verified": self.verified,
             "skipped_degraded": self.skipped_degraded,
             "skipped_budgeted": self.skipped_budgeted,
+            "skipped_scoped": self.skipped_scoped,
             "epoch_errors": self.epoch_errors,
             "mismatch_count": self.mismatch_count,
             "mismatches": self.mismatches,
@@ -345,6 +352,9 @@ def replay_audit(
                     # Exact under budget this time is not guaranteed next
                     # time; only unbudgeted answers are replay-stable.
                     report.skipped_budgeted += 1
+                    continue
+                if rec.get("shards") is not None:
+                    report.skipped_scoped += 1
                     continue
                 if manager.epoch != rec["epoch"]:
                     report.epoch_errors += 1

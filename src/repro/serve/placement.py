@@ -1,0 +1,233 @@
+"""Consistent-hash placement of shards onto nodes, with replica groups.
+
+The router tier (:mod:`repro.serve.router`) partitions the object space
+into a fixed number of **logical shards** and places each shard on a
+**replica group** of R distinct nodes chosen by a consistent-hash ring:
+
+* :func:`shard_of` maps an object id to its logical shard — a pure
+  content hash, so every party (router, node servers, the audit replayer)
+  derives the same placement without coordination.  Node servers started
+  with ``--partitioner hash`` use the same function, which is what makes a
+  router-side ``{"shards": [...]}``-scoped query land on exactly the
+  objects the router thinks live there.
+* :class:`HashRing` hashes ``vnodes`` virtual points per node onto a
+  64-bit ring; a shard's replica set is the first R *distinct* nodes
+  clockwise from the shard's own hash.  Adding or removing one node moves
+  only the keys whose successor window touches that node — about
+  ``shards / N`` of them — and never reshuffles ownership between two
+  uninvolved nodes (the minimal-remapping property the placement tests
+  pin).
+* :class:`PlacementMap` is the router's view: shard → ordered replica
+  group (first entry = preferred primary), with join/leave that keeps the
+  ring stable.
+
+Everything here is pure and deterministic (SHA-1 based, no process seed),
+so two routers configured with the same node list agree on every owner.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["HashRing", "PlacementMap", "shard_of", "stable_hash"]
+
+
+def stable_hash(key: str) -> int:
+    """64-bit SHA-1-based hash, stable across processes and machines.
+
+    ``hash()`` is seeded per process (PYTHONHASHSEED), so it cannot place
+    anything that two parties must agree on.
+    """
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest()[:8], "big")
+
+
+def shard_of(oid, n_shards: int) -> int:
+    """The logical shard owning object ``oid`` (content hash, mod shards).
+
+    Oids may be ints or strings (the protocol admits both); the type is
+    folded into the key so ``5`` and ``"5"`` — distinct live objects —
+    need not collide by construction.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    tag = "i" if isinstance(oid, int) and not isinstance(oid, bool) else "s"
+    return stable_hash(f"oid|{tag}|{oid}") % n_shards
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Args:
+        nodes: initial node ids (strings; must be unique).
+        vnodes: virtual points per node — more vnodes, smoother balance
+            and smaller remap variance on membership changes.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), *, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        #: Sorted ring positions and the node owning each (parallel lists).
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Current members, sorted (membership, not ring order)."""
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def _vnode_points(self, node: str) -> list[int]:
+        return [
+            stable_hash(f"ring|{node}|{i}") for i in range(self.vnodes)
+        ]
+
+    def add_node(self, node: str) -> None:
+        """Join ``node``; only keys now owned by it change hands."""
+        if not node:
+            raise ValueError("node id must be a non-empty string")
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for point in self._vnode_points(node):
+            idx = bisect.bisect_left(self._points, point)
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node)
+
+    def remove_node(self, node: str) -> None:
+        """Leave ``node``; its keys fall to their next distinct successor."""
+        if node not in self._nodes:
+            raise KeyError(node)
+        self._nodes.remove(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def replicas(self, key: str, r: int = 1) -> tuple[str, ...]:
+        """The first ``r`` *distinct* nodes clockwise from ``key``'s hash.
+
+        Fewer than ``r`` members on the ring yields all of them; an empty
+        ring yields ``()``.
+        """
+        if r < 1:
+            raise ValueError("r must be at least 1")
+        if not self._points:
+            return ()
+        want = min(r, len(self._nodes))
+        start = bisect.bisect_right(self._points, stable_hash(f"key|{key}"))
+        chosen: list[str] = []
+        seen: set[str] = set()
+        n = len(self._owners)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in seen:
+                seen.add(owner)
+                chosen.append(owner)
+                if len(chosen) == want:
+                    break
+        return tuple(chosen)
+
+    def owner(self, key: str) -> str:
+        """The single primary owner of ``key`` (ring successor)."""
+        replicas = self.replicas(key, 1)
+        if not replicas:
+            raise LookupError("ring has no nodes")
+        return replicas[0]
+
+
+class PlacementMap:
+    """Shard → replica-group placement over a :class:`HashRing`.
+
+    Args:
+        nodes: node ids (order-insensitive; the ring decides placement).
+        shards: number of logical shards.
+        replication: replica group size R (capped at the node count at
+            read time — a 2-node fleet with R=3 simply yields 2 owners).
+        vnodes: virtual nodes per member.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[str],
+        *,
+        shards: int,
+        replication: int = 1,
+        vnodes: int = 64,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if replication < 1:
+            raise ValueError("replication must be at least 1")
+        if not nodes:
+            raise ValueError("placement needs at least one node")
+        self.shards = shards
+        self.replication = replication
+        self.ring = HashRing(nodes, vnodes=vnodes)
+        self._table: dict[int, tuple[str, ...]] | None = None
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return self.ring.nodes
+
+    def owners(self, shard: int) -> tuple[str, ...]:
+        """Ordered replica group of ``shard`` (first = preferred primary)."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(
+                f"shard {shard} out of range [0, {self.shards})"
+            )
+        return self.table()[shard]
+
+    def owners_of(self, oid) -> tuple[str, ...]:
+        """Replica group owning object ``oid`` (via :func:`shard_of`)."""
+        return self.owners(shard_of(oid, self.shards))
+
+    def table(self) -> dict[int, tuple[str, ...]]:
+        """The full shard → replica-group map (cached until membership
+        changes)."""
+        if self._table is None:
+            self._table = {
+                sid: self.ring.replicas(f"shard|{sid}", self.replication)
+                for sid in range(self.shards)
+            }
+        return self._table
+
+    def shards_for(self, node: str) -> tuple[int, ...]:
+        """Shards whose replica group includes ``node``."""
+        return tuple(
+            sid for sid, owners in sorted(self.table().items())
+            if node in owners
+        )
+
+    def add_node(self, node: str) -> None:
+        """Join a node (minimal remap — see :meth:`HashRing.add_node`)."""
+        self.ring.add_node(node)
+        self._table = None
+
+    def remove_node(self, node: str) -> None:
+        """Remove a node; orphaned slots fall to ring successors."""
+        if len(self.ring) <= 1:
+            raise ValueError("cannot remove the last node")
+        self.ring.remove_node(node)
+        self._table = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready view for ``/status`` bodies and smoke assertions."""
+        return {
+            "shards": self.shards,
+            "replication": self.replication,
+            "nodes": list(self.nodes),
+            "table": {
+                str(sid): list(owners)
+                for sid, owners in sorted(self.table().items())
+            },
+        }

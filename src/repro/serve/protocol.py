@@ -9,10 +9,18 @@ Request shapes (all POST bodies)::
 
     /query  {"points": [[..],..], "probs": [..]?, "operator": "FSD",
              "k": 1?, "metric": "euclidean"?, "cache": true?,
+             "shards": [0, 2]?, "include_objects": false?,
              "budget": {"deadline_ms": ..?, "max_dominance_checks": ..?,
                         "max_flow_augmentations": ..?}?}
     /insert {"points": [[..],..], "probs": [..]?, "oid": ..?}
     /delete {"oid": ..}
+
+``shards`` restricts the scatter to a subset of the server's logical
+shards and ``include_objects`` asks for each candidate's instance
+geometry in the response — together they form the **node role** of the
+router protocol (:mod:`repro.serve.router`): the router scatters
+shard-scoped reads to replica owners and runs the cross-node survivor
+refine itself, which needs the survivors' points/probs on the wire.
 
 The query response mirrors the CLI ``--format json`` output: candidates
 with final dominator counts, the serving epoch the answer is valid for,
@@ -106,7 +114,8 @@ def parse_query_request(payload: Any) -> dict:
 
     Returns:
         dict with ``query`` (UncertainObject), ``operator`` (name),
-        ``k``, ``metric``, ``budget`` (Budget or None), ``cache`` (bool).
+        ``k``, ``metric``, ``budget`` (Budget or None), ``cache`` (bool),
+        ``shards`` (sorted int list or None), ``include_objects`` (bool).
     """
     payload = _require_dict(payload)
     operator = payload.get("operator", "FSD")
@@ -123,6 +132,19 @@ def parse_query_request(payload: Any) -> dict:
     cache = payload.get("cache", True)
     if not isinstance(cache, bool):
         raise ProtocolError("'cache' must be a boolean")
+    shards = payload.get("shards")
+    if shards is not None:
+        if not isinstance(shards, list) or not shards:
+            raise ProtocolError("'shards' must be a non-empty array of ints")
+        for sid in shards:
+            if not isinstance(sid, int) or isinstance(sid, bool) or sid < 0:
+                raise ProtocolError(
+                    "'shards' entries must be non-negative integers"
+                )
+        shards = sorted(set(shards))
+    include_objects = payload.get("include_objects", False)
+    if not isinstance(include_objects, bool):
+        raise ProtocolError("'include_objects' must be a boolean")
     return {
         "query": _parse_object(payload, oid=payload.get("oid", "Q")),
         "operator": operator,
@@ -130,6 +152,8 @@ def parse_query_request(payload: Any) -> dict:
         "metric": metric,
         "budget": _parse_budget(payload.get("budget")),
         "cache": cache,
+        "shards": shards,
+        "include_objects": include_objects,
     }
 
 
@@ -156,22 +180,30 @@ def parse_delete_request(payload: Any):
 # ------------------------------ responses ----------------------------- #
 
 def query_response(
-    result, epoch: int, *, cached: bool = False, request=None
+    result, epoch: int, *, cached: bool = False, request=None,
+    include_objects: bool = False,
 ) -> dict:
     """JSON body for a sharded query result (see module docstring).
 
     With a ``request`` (:class:`repro.obs.request.RequestContext`), the
     response carries ``request_id`` / ``trace_id`` / ``sampled`` so a
     client can correlate its answer with server-side logs and traces.
+    ``include_objects`` adds each candidate's instance geometry
+    (``points``/``probs`` as plain float lists — JSON ``repr`` round-trips
+    float64 exactly) so the router can refine survivors bit-identically.
     """
     degradation = (
         result.degradation.to_dict() if result.degradation is not None else None
     )
+    candidates = []
+    for obj, count in zip(result.candidates, result.dominator_counts):
+        entry = {"oid": obj.oid, "dominators": count}
+        if include_objects:
+            entry["points"] = obj.points.tolist()
+            entry["probs"] = obj.probs.tolist()
+        candidates.append(entry)
     body = {
-        "candidates": [
-            {"oid": obj.oid, "dominators": count}
-            for obj, count in zip(result.candidates, result.dominator_counts)
-        ],
+        "candidates": candidates,
         "count": len(result.candidates),
         "degraded": result.degradation is not None,
         "degradation": degradation,

@@ -1,0 +1,299 @@
+"""Node clients for the router tier: HTTP transport, breakers, latency.
+
+The router (:mod:`repro.serve.router`) talks to its fleet through the
+small interface defined here:
+
+* :class:`RemoteNode` — a real shard server reached over the JSON/HTTP
+  protocol (stdlib ``http.client``, one connection per call to match the
+  server's ``Connection: close`` discipline).  Transport-level failures
+  (refused, reset, timeout) raise :class:`RemoteNodeError`; HTTP-level
+  outcomes are returned as ``(status, body)`` and judged by the caller.
+* :class:`LocalNode` — the same interface over an in-process
+  :class:`repro.serve.server.ServeApp`.  Property tests and the bench
+  harness use it to run a whole "fleet" in one process, with ``fail``
+  and ``delay_s`` knobs for deterministic failover and hedging tests.
+* :class:`CircuitBreaker` — consecutive-failure breaker with a cooldown
+  half-open probe, so a dead node costs one timeout per cooldown window
+  instead of one per request.
+
+Every node keeps a sliding window of observed call latencies; the
+router's adaptive hedging threshold is the p95 of that window.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from collections import deque
+from typing import Any
+from urllib.parse import urlparse
+
+__all__ = [
+    "CircuitBreaker",
+    "LocalNode",
+    "RemoteNode",
+    "RemoteNodeError",
+]
+
+#: Latency samples retained per node for the adaptive hedge threshold.
+_LATENCY_WINDOW = 512
+
+
+class RemoteNodeError(ConnectionError):
+    """Transport-level failure talking to a node (refused/reset/timeout)."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probes.
+
+    Closed (normal) until ``threshold`` *consecutive* failures open it;
+    while open, :meth:`allow` refuses traffic until ``cooldown_s`` has
+    passed, then admits a single probe (half-open).  A probe success
+    closes the breaker; a failure re-opens it for another cooldown.
+    """
+
+    def __init__(self, *, threshold: int = 3, cooldown_s: float = 5.0) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if time.monotonic() - self._opened_at >= self.cooldown_s:
+                return "half-open"
+            return "open"
+
+    def admits(self) -> bool:
+        """Non-consuming peek: would :meth:`allow` grant a request now?"""
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            return (
+                time.monotonic() - self._opened_at >= self.cooldown_s
+                and not self._probing
+            )
+
+    def allow(self) -> bool:
+        """True when a request may proceed (closed, or the one probe).
+
+        Consumes the half-open probe slot — call only immediately before
+        actually issuing the request (use :meth:`admits` to peek).
+        """
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if time.monotonic() - self._opened_at < self.cooldown_s:
+                return False
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        """Close the breaker: reset the failure streak and any open state."""
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """Count one failure; opens the breaker at ``threshold`` in a row."""
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if self._failures >= self.threshold:
+                self._opened_at = time.monotonic()
+
+
+class _NodeBase:
+    """Latency window + breaker shared by remote and in-process nodes."""
+
+    def __init__(
+        self,
+        node_id: str,
+        *,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 5.0,
+    ) -> None:
+        self.node_id = node_id
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
+        )
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._lat_lock = threading.Lock()
+        self.calls = 0
+        self.failures = 0
+
+    def available(self) -> bool:
+        """True when the breaker would admit traffic (non-consuming)."""
+        return self.breaker.admits()
+
+    def observe_latency(self, seconds: float) -> None:
+        with self._lat_lock:
+            self._latencies.append(seconds)
+
+    def latency_quantile(self, q: float) -> float | None:
+        """Observed latency quantile in seconds; None before any sample."""
+        with self._lat_lock:
+            if not self._latencies:
+                return None
+            ordered = sorted(self._latencies)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def call(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        headers: dict | None = None,
+        *,
+        timeout_s: float | None = None,
+    ) -> tuple[int, dict]:
+        """One request; returns ``(status, body)``, raises
+        :class:`RemoteNodeError` on transport failure.  Updates the
+        latency window and breaker bookkeeping either way."""
+        start = time.perf_counter()
+        self.calls += 1
+        try:
+            status, body = self._call(
+                method, path, payload, headers, timeout_s=timeout_s
+            )
+        except RemoteNodeError:
+            self.failures += 1
+            self.breaker.record_failure()
+            raise
+        self.observe_latency(time.perf_counter() - start)
+        # HTTP-level verdicts are the caller's business (a 404 from a
+        # delete is data, not node sickness), but a 5xx counts against the
+        # breaker: a node answering only errors is as dead as one not
+        # answering at all.
+        if status >= 500:
+            self.failures += 1
+            self.breaker.record_failure()
+        else:
+            self.breaker.record_success()
+        return status, body
+
+    def _call(self, method, path, payload, headers, *, timeout_s):
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "calls": self.calls,
+            "failures": self.failures,
+            "breaker": self.breaker.state,
+            "p95_ms": (
+                None
+                if (p95 := self.latency_quantile(0.95)) is None
+                else p95 * 1000.0
+            ),
+        }
+
+
+class RemoteNode(_NodeBase):
+    """A shard server reached over HTTP.
+
+    Args:
+        node_id: fleet identity (should match the server's ``--node-id``).
+        url: base URL, e.g. ``http://127.0.0.1:8081``.
+        timeout_s: per-call socket timeout.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        url: str,
+        *,
+        timeout_s: float = 10.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 5.0,
+    ) -> None:
+        super().__init__(
+            node_id,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_s=breaker_cooldown_s,
+        )
+        parsed = urlparse(url if "//" in url else f"http://{url}")
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in node url {url!r}")
+        if not parsed.hostname:
+            raise ValueError(f"node url {url!r} has no host")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.url = f"http://{self.host}:{self.port}"
+        self.timeout_s = timeout_s
+
+    def _call(self, method, path, payload, headers, *, timeout_s):
+        body = b"" if payload is None else json.dumps(payload).encode()
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout_s if timeout_s is None else timeout_s,
+        )
+        try:
+            hdrs = {"Content-Type": "application/json"}
+            if headers:
+                hdrs.update(headers)
+            conn.request(method, path, body=body or None, headers=hdrs)
+            resp = conn.getresponse()
+            raw = resp.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise RemoteNodeError(
+                f"node {self.node_id} at {self.url}: {exc!r}"
+            ) from exc
+        finally:
+            conn.close()
+        try:
+            parsed = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise RemoteNodeError(
+                f"node {self.node_id}: unparseable body ({exc})"
+            ) from exc
+        return resp.status, parsed
+
+
+class LocalNode(_NodeBase):
+    """The node interface over an in-process :class:`ServeApp`.
+
+    Fault knobs (tests and the bench harness):
+
+    * ``fail = True`` — every call raises :class:`RemoteNodeError`, as if
+      the process were SIGKILLed.
+    * ``delay_s > 0`` — every call sleeps first: a deterministically slow
+      replica for hedging experiments.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        app,
+        *,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 5.0,
+    ) -> None:
+        super().__init__(
+            node_id,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_s=breaker_cooldown_s,
+        )
+        self.app = app
+        self.fail = False
+        self.delay_s = 0.0
+
+    def _call(self, method, path, payload, headers, *, timeout_s):
+        if self.fail:
+            raise RemoteNodeError(f"node {self.node_id}: injected failure")
+        if self.delay_s > 0:
+            time.sleep(self.delay_s)
+        return self.app.dispatch(method, path, payload, headers)

@@ -77,6 +77,9 @@ class ServeApp:
             document is also kept on :attr:`last_trace`.
         slo_latency_ms: per-request latency objective; engine requests
             slower than this burn ``repro_slo_burn_total{slo="latency"}``.
+        node_id: identity of this server in a multi-node fleet (surfaced
+            in ``/healthz``/``/status`` so the router can verify it is
+            talking to the member it placed shards on); None = standalone.
     """
 
     def __init__(
@@ -91,8 +94,10 @@ class ServeApp:
         audit: AuditLog | None = None,
         trace_dir: str | Path | None = None,
         slo_latency_ms: float | None = None,
+        node_id: str | None = None,
     ) -> None:
         self.manager = manager
+        self.node_id = node_id
         self.registry = registry if registry is not None else MetricsRegistry()
         self.cache = cache
         self.max_inflight = max_inflight
@@ -194,17 +199,29 @@ class ServeApp:
         """handle() under a bound request context, plus metrics and SLOs.
 
         The single entry point for servers: engine requests get a
-        :class:`RequestContext` (honouring a caller's ``X-Request-Id``),
-        the per-request sampling decision, structured request logs, the
-        merged-trace export, and SLO burn accounting.
+        :class:`RequestContext` (honouring a caller's ``X-Request-Id``,
+        and joining a caller's trace via ``X-Trace-Id`` /
+        ``X-Parent-Span-Id`` / ``X-Sampled: 1`` — how the router stitches
+        fleet-wide traces), the per-request sampling decision, structured
+        request logs, the merged-trace export, and SLO burn accounting.
         """
         start = time.perf_counter()
         engine = method == "POST" and path in ("/query", "/insert", "/delete")
         request = None
         if engine:
-            request_id = (headers or {}).get("x-request-id") or None
+            # The HTTP front-end lowercases header names; in-process
+            # callers (LocalNode) may not, so normalise here too.
+            hdrs = {k.lower(): v for k, v in (headers or {}).items()}
+            request_id = hdrs.get("x-request-id") or None
+            # An upstream sampling decision forces ours: the router only
+            # marks requests it is itself tracing, and a fleet trace with
+            # holes in it is worse than none.
+            sampled = hdrs.get("x-sampled") == "1" or self.sampler.decide()
             request = RequestContext.new(
-                request_id=request_id, sampled=self.sampler.decide()
+                request_id=request_id,
+                sampled=sampled,
+                trace_id=hdrs.get("x-trace-id") or None,
+                parent_span_id=hdrs.get("x-parent-span-id") or None,
             )
             if request.sampled:
                 request.tracer = Tracer(
@@ -277,12 +294,24 @@ class ServeApp:
     def handle_query(self, payload: Any, request=None) -> tuple[int, dict]:
         """POST /query: cache lookup, sharded search, epoch-keyed store."""
         req = protocol.parse_query_request(payload)
+        shard_subset = req["shards"]
+        if shard_subset is not None:
+            total = self.manager.search.shards
+            if shard_subset[-1] >= total:
+                raise protocol.ProtocolError(
+                    f"'shards' {shard_subset} out of range [0, {total})"
+                )
         budget = req["budget"]
         if budget is None and self.default_budget:
             budget = Budget(**self.default_budget)
         # Budgeted answers depend on the request's budget, not just the
-        # dataset — never cached, never served from cache.
-        use_cache = self.cache is not None and req["cache"] and budget is None
+        # dataset — never cached, never served from cache.  Shard-scoped
+        # and geometry-bearing answers (the router's node reads) are also
+        # uncacheable: the cache key doesn't encode either.
+        use_cache = (
+            self.cache is not None and req["cache"] and budget is None
+            and shard_subset is None and not req["include_objects"]
+        )
         if use_cache:
             key = ResultCache.key(
                 self.manager.epoch, req["operator"], req["metric"],
@@ -312,13 +341,18 @@ class ServeApp:
                 result, epoch = self.manager.query(
                     req["query"], req["operator"], k=req["k"],
                     metric=req["metric"], budget=budget, request=request,
+                    shard_subset=shard_subset,
                 )
         else:
             result, epoch = self.manager.query(
                 req["query"], req["operator"], k=req["k"],
                 metric=req["metric"], budget=budget, request=request,
+                shard_subset=shard_subset,
             )
-        body = protocol.query_response(result, epoch, request=request)
+        body = protocol.query_response(
+            result, epoch, request=request,
+            include_objects=req["include_objects"],
+        )
         if result.degradation is not None:
             self.registry.inc(
                 "repro_serve_degraded_total", 1, {"operator": req["operator"]}
@@ -396,6 +430,7 @@ class ServeApp:
             status = "ok"
         return {
             "status": status,
+            "node_id": self.node_id,
             "epoch": self.manager.epoch,
             "objects": self.manager.size,
             "shards": self.manager.search.shards,
@@ -434,6 +469,12 @@ class ServeApp:
             body["last_snapshot_epoch"] = section["last_snapshot_epoch"]
             body["recovery"] = section["recovery"]
         return body
+
+    def close(self) -> None:
+        """Release backend resources (subclasses may own more than a
+        manager — the router closes node connections and its health
+        thread instead)."""
+        self.manager.close()
 
 
 class NNCServer:
@@ -499,7 +540,7 @@ class NNCServer:
         while self.app.inflight > 0 and time.monotonic() < deadline:
             await asyncio.sleep(0.02)
         self._executor.shutdown(wait=True)
-        self.app.manager.close()
+        self.app.close()
 
     # ----------------------------- plumbing ---------------------------- #
 

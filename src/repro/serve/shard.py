@@ -65,6 +65,7 @@ from repro.obs.metrics import query_metrics_from_counters
 from repro.obs.request import RequestContext, bind
 from repro.obs.tracer import SpanRecord, Tracer
 from repro.resilience.budget import Budget, BudgetExhausted, DegradationReport
+from repro.serve.placement import shard_of
 from repro.serve.shm import SegmentStore, pool_run_one, pool_worker_init
 
 __all__ = [
@@ -75,7 +76,9 @@ __all__ = [
     "ShardedResult",
     "ShardedSearch",
     "partition_centroid",
+    "partition_hash",
     "partition_round_robin",
+    "refine_survivors",
 ]
 
 
@@ -165,9 +168,33 @@ def partition_centroid(
     ]
 
 
+def partition_hash(
+    objects: Sequence[UncertainObject], shards: int
+) -> list[list[UncertainObject]]:
+    """Partition by the *global* content hash of each oid.
+
+    Shard index ``j`` holds exactly the objects with
+    :func:`repro.serve.placement.shard_of` ``== j`` — the same function
+    the router tier uses to place logical shards on nodes, so any server
+    loaded with any subset of the data agrees with every other party
+    about which shard each object belongs to.  Requires every object to
+    carry an oid (the serving layer assigns them before partitioning).
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    parts: list[list[UncertainObject]] = [[] for _ in range(shards)]
+    for obj in objects:
+        if obj.oid is None:
+            raise ValueError("hash partitioner requires every object "
+                             "to carry an oid")
+        parts[shard_of(obj.oid, shards)].append(obj)
+    return parts
+
+
 PARTITIONERS: dict[str, Callable[..., list[list[UncertainObject]]]] = {
     "round-robin": partition_round_robin,
     "centroid": partition_centroid,
+    "hash": partition_hash,
 }
 
 
@@ -463,9 +490,12 @@ class ShardedSearch:
     def choose_shard(self, obj: UncertainObject) -> int:
         """Partitioner-consistent shard for a new object.
 
-        Centroid partitioning sends the object to the nearest shard
+        Hash partitioning is positional by oid (any party recomputes it);
+        centroid partitioning sends the object to the nearest shard
         centroid; round-robin keeps shards balanced (smallest live shard).
         """
+        if self.partitioner == "hash":
+            return shard_of(obj.oid, self.shards)
         if self._centroids is not None:
             center = (obj.mbr.lo + obj.mbr.hi) / 2.0
             return int(
@@ -553,6 +583,7 @@ class ShardedSearch:
         kernels: bool = True,
         budget: Budget | None = None,
         request: RequestContext | None = None,
+        shard_subset: Sequence[int] | None = None,
     ) -> ShardedResult:
         """Scatter-gather k-NNC; pinned equal to the single-shard answer.
 
@@ -568,38 +599,50 @@ class ShardedSearch:
         request's root tracer, thread workers bind a shard child context
         and hand span buffers back via ``add_shard_spans``, and fork
         workers ship the child over the wire and return span dicts.
+
+        With a ``shard_subset``, only those shards are searched and the
+        answer is the exact k-NNC over the *union of the subset's
+        objects* — the node-role contract the router tier builds on: a
+        node answers for the logical shards it owns, and the router's
+        cross-node refine is sound because the subsets it gathers are
+        disjoint and cover the dataset.
         """
         if not isinstance(operator, _BaseOperator):
             operator = make_operator(operator)
+        targets = self._normalise_subset(shard_subset)
         start = time.perf_counter()
         backend = self.backend
         if backend == "serial" or self.shards == 1:
             survivors, covered, per_shard, merged, degradation, refine_ctx = (
                 self._scatter_serial(
-                    query, operator, k, metric, kernels, budget, request
+                    query, operator, k, metric, kernels, budget, request,
+                    targets,
                 )
             )
         elif backend == "thread":
             survivors, covered, per_shard, merged, degradation, refine_ctx = (
                 self._scatter_thread(
-                    query, operator, k, metric, kernels, budget, request
+                    query, operator, k, metric, kernels, budget, request,
+                    targets,
                 )
             )
         elif backend == "pool":
             survivors, covered, per_shard, merged, degradation, refine_ctx = (
                 self._scatter_pool(
-                    query, operator, k, metric, kernels, budget, request
+                    query, operator, k, metric, kernels, budget, request,
+                    targets,
                 )
             )
         else:
             survivors, covered, per_shard, merged, degradation, refine_ctx = (
                 self._scatter_process(
-                    query, operator, k, metric, kernels, budget, request
+                    query, operator, k, metric, kernels, budget, request,
+                    targets,
                 )
             )
 
-        final, counts, refine_checks, unresolved = self._refine(
-            query, operator, k, survivors, covered, refine_ctx
+        final, counts, refine_checks, unresolved = refine_survivors(
+            operator, k, survivors, covered, refine_ctx
         )
         if unresolved and degradation is None:
             # The budget tripped during refinement with every shard exact:
@@ -662,6 +705,21 @@ class ShardedSearch:
 
     # --------------------------- scatter phases ------------------------ #
 
+    def _normalise_subset(
+        self, shard_subset: Sequence[int] | None
+    ) -> list[int]:
+        """Validated, sorted shard indexes to scatter over."""
+        if shard_subset is None:
+            return list(range(self.shards))
+        targets = sorted(set(int(s) for s in shard_subset))
+        if not targets:
+            raise ValueError("shard_subset must not be empty")
+        if targets[0] < 0 or targets[-1] >= self.shards:
+            raise ValueError(
+                f"shard_subset {targets} out of range [0, {self.shards})"
+            )
+        return targets
+
     def _shard_order(self, query: UncertainObject) -> list[int]:
         """Shards by min-distance of the query MBR to the shard root MBR."""
         q = query.mbr
@@ -678,7 +736,8 @@ class ShardedSearch:
         return [j for _, j in keyed]
 
     def _scatter_serial(
-        self, query, operator, k, metric, kernels, budget, request=None
+        self, query, operator, k, metric, kernels, budget, request=None,
+        targets: Sequence[int] | None = None,
     ):
         """Cascade: near shards first, survivors seed the later shards.
 
@@ -694,12 +753,13 @@ class ShardedSearch:
         ctx = QueryContext(
             query, metric=metric, kernels=kernels, budget=budget, tracer=tracer
         )
-        order = self._shard_order(query)
+        wanted = set(targets if targets is not None else range(self.shards))
+        order = [j for j in self._shard_order(query) if j in wanted]
         survivors: list[list[tuple[UncertainObject, int]]] = [
             [] for _ in order
         ]
         covered: list[set[int]] = []
-        per_shard: list[dict] = [None] * self.shards  # type: ignore[list-item]
+        rows: dict[int, dict] = {}
         degradation: DegradationReport | None = None
         seeds: list[UncertainObject] = []
         for pos, j in enumerate(order):
@@ -712,7 +772,7 @@ class ShardedSearch:
             # Seeds joined the accepted set, so counts cover this group AND
             # every earlier one in the cascade (group = cascade position).
             covered.append(set(range(pos + 1)))
-            per_shard[j] = {
+            rows[j] = {
                 "shard": j,
                 "objects": len(search.objects) - search.masked_count,
                 "survivors": len(res.candidates),
@@ -722,10 +782,12 @@ class ShardedSearch:
             if degradation is None and res.degradation is not None:
                 degradation = res.degradation
             seeds.extend(res.candidates)
+        per_shard = [rows[j] for j in sorted(rows)]
         return survivors, covered, per_shard, ctx.counters, degradation, ctx
 
     def _scatter_thread(
-        self, query, operator, k, metric, kernels, budget, request=None
+        self, query, operator, k, metric, kernels, budget, request=None,
+        targets: Sequence[int] | None = None,
     ):
         """Independent shard searches on a thread pool, full refine.
 
@@ -771,14 +833,16 @@ class ShardedSearch:
             return j, res, tracer.spans()
 
         results = []
-        for j, res, spans in self._executor.map(one, range(self.shards)):
+        todo = list(targets) if targets is not None else list(range(self.shards))
+        for j, res, spans in self._executor.map(one, todo):
             if spans is not None and request is not None:
                 request.add_shard_spans(j, spans)
             results.append((j, res))
         return self._gather_independent(query, metric, kernels, results)
 
     def _scatter_process(
-        self, query, operator, k, metric, kernels, budget, request=None
+        self, query, operator, k, metric, kernels, budget, request=None,
+        targets: Sequence[int] | None = None,
     ):
         """Fork-pool shard searches; falls back to threads when fork fails.
 
@@ -797,9 +861,11 @@ class ShardedSearch:
                 )
             except (OSError, ValueError):
                 return self._scatter_thread(
-                    query, operator, k, metric, kernels, budget, request
+                    query, operator, k, metric, kernels, budget, request,
+                    targets,
                 )
         traced = request is not None and request.sampled
+        todo = list(targets) if targets is not None else list(range(self.shards))
         tasks = [
             (
                 j,
@@ -811,11 +877,11 @@ class ShardedSearch:
                 limits,
                 request.child(j).to_wire() if traced else None,
             )
-            for j in range(self.shards)
+            for j in todo
         ]
         raw = self._pool.map(_fork_run_one, tasks)
         results = []
-        for j, (idxs, counts, elapsed, report, snap, spans) in enumerate(raw):
+        for j, (idxs, counts, elapsed, report, snap, spans) in zip(todo, raw):
             objs = self.searches[j].objects
             res = _RemoteShardResult(
                 candidates=[objs[i] for i in idxs],
@@ -904,7 +970,8 @@ class ShardedSearch:
         )
 
     def _scatter_pool(
-        self, query, operator, k, metric, kernels, budget, request=None
+        self, query, operator, k, metric, kernels, budget, request=None,
+        targets: Sequence[int] | None = None,
     ):
         """Persistent shared-memory pool scatter (spawn-safe workers).
 
@@ -920,6 +987,7 @@ class ShardedSearch:
         limits = budget.limits() if budget is not None else None
         traced = request is not None and request.sampled
         names = [segs[-1] for segs in self._shard_segments]
+        todo = list(targets) if targets is not None else list(range(self.shards))
         tasks = [
             (
                 j,
@@ -933,7 +1001,7 @@ class ShardedSearch:
                 limits,
                 request.child(j).to_wire() if traced else None,
             )
-            for j in range(self.shards)
+            for j in todo
         ]
         raw = []
         try:
@@ -949,7 +1017,7 @@ class ShardedSearch:
                 "workers on the next query"
             ) from exc
         results = []
-        for j, payload in enumerate(raw):
+        for j, payload in zip(todo, raw):
             if payload[0] == "error":
                 _, pid, epoch, message = payload
                 raise ShardBackendError(
@@ -981,9 +1049,12 @@ class ShardedSearch:
         per_shard = []
         merged = Counters()
         degradation: DegradationReport | None = None
-        for j, res in results:
+        for pos, (j, res) in enumerate(results):
             survivors.append(list(zip(res.candidates, res.dominator_counts)))
-            covered.append({j})
+            # Group ids in the refiner are positional, which only equals
+            # the shard id when every shard was scattered — subset queries
+            # must cover by position.
+            covered.append({pos})
             search = self.searches[j]
             row = {
                 "shard": j,
@@ -1004,51 +1075,64 @@ class ShardedSearch:
 
     # ------------------------------ gather ----------------------------- #
 
-    def _refine(self, query, operator, k, survivors, covered, ctx):
-        """Count cross-shard dominators among survivors; keep counts < k.
 
-        Sound because dominators of a survivor that were eliminated in
-        their own shard are themselves dominated by >= k survivors there,
-        which dominate the target by transitivity (counting equivalence).
-        """
-        flat: list[tuple[float, int, int, UncertainObject, int]] = []
-        for gi, group in enumerate(survivors):
-            for obj, base in group:
-                flat.append((ctx.min_distance(obj), gi, len(flat), obj, base))
-        flat.sort(key=lambda rec: (rec[0], rec[1], rec[2]))
-        checks = 0
-        unresolved = 0
-        kept: list[tuple[UncertainObject, float]] = []
-        counts: list[int] = []
-        for dmin, gi, _, obj, base in flat:
-            total = base
-            if total < k:
-                for gj, group in enumerate(survivors):
-                    if gj in covered[gi]:
+def refine_survivors(operator, k, survivors, covered, ctx):
+    """Count cross-group dominators among survivors; keep counts < k.
+
+    ``survivors`` is a list of groups of ``(object, base_count)`` pairs;
+    ``covered[gi]`` names the *positional* group indexes whose dominators
+    are already included in group ``gi``'s base counts.  Sound because
+    dominators of a survivor that were eliminated in their own group are
+    themselves dominated by >= k survivors there, which dominate the
+    target by transitivity (counting equivalence, DESIGN.md §13).
+
+    Shared by :class:`ShardedSearch` (groups = local shards) and the
+    router tier (groups = per-node answers gathered over HTTP) — one code
+    path is what keeps distributed answers bit-identical to the
+    single-process oracle.
+
+    Returns:
+        ``(kept, counts, checks, unresolved)`` where ``kept`` is a list of
+        ``(object, min_distance)`` pairs sorted by distance.
+    """
+    flat: list[tuple[float, int, int, UncertainObject, int]] = []
+    for gi, group in enumerate(survivors):
+        for obj, base in group:
+            flat.append((ctx.min_distance(obj), gi, len(flat), obj, base))
+    flat.sort(key=lambda rec: (rec[0], rec[1], rec[2]))
+    checks = 0
+    unresolved = 0
+    kept: list[tuple[UncertainObject, float]] = []
+    counts: list[int] = []
+    for dmin, gi, _, obj, base in flat:
+        total = base
+        if total < k:
+            for gj, group in enumerate(survivors):
+                if gj in covered[gi]:
+                    continue
+                for other, _ in group:
+                    if other is obj:
                         continue
-                    for other, _ in group:
-                        if other is obj:
-                            continue
-                        if ctx.min_distance(other) > dmin + _REFINE_TOL:
-                            continue
-                        checks += 1
-                        try:
-                            dominated = operator.dominates(other, obj, ctx)
-                        except BudgetExhausted:
-                            # Conservative non-dominance: the candidate is
-                            # kept; run() flags the answer as degraded.
-                            unresolved += 1
-                            dominated = False
-                        if dominated:
-                            total += 1
-                            if total >= k:
-                                break
-                    if total >= k:
-                        break
-            if total < k:
-                kept.append((obj, dmin))
-                counts.append(total)
-        return kept, counts, checks, unresolved
+                    if ctx.min_distance(other) > dmin + _REFINE_TOL:
+                        continue
+                    checks += 1
+                    try:
+                        dominated = operator.dominates(other, obj, ctx)
+                    except BudgetExhausted:
+                        # Conservative non-dominance: the candidate is
+                        # kept; run() flags the answer as degraded.
+                        unresolved += 1
+                        dominated = False
+                    if dominated:
+                        total += 1
+                        if total >= k:
+                            break
+                if total >= k:
+                    break
+        if total < k:
+            kept.append((obj, dmin))
+            counts.append(total)
+    return kept, counts, checks, unresolved
 
 
 @dataclass

@@ -233,11 +233,14 @@ class DatasetManager:
         kernels: bool = True,
         budget=None,
         request=None,
+        shard_subset: Sequence[int] | None = None,
     ) -> tuple[ShardedResult, int]:
         """Run a sharded search under the read lock.
 
         ``request`` (a :class:`repro.obs.request.RequestContext`) rides
         through to :meth:`ShardedSearch.run` for trace propagation.
+        ``shard_subset`` restricts the scatter to the named shards — the
+        node-role contract behind router-scoped reads.
 
         Returns:
             ``(result, epoch)`` — the epoch the answer is valid for, read
@@ -247,6 +250,7 @@ class DatasetManager:
             result = self.search.run(
                 query, operator, k=k, metric=metric,
                 kernels=kernels, budget=budget, request=request,
+                shard_subset=shard_subset,
             )
             return result, self._epoch
 
