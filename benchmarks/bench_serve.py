@@ -29,10 +29,12 @@ Writes ``BENCH_serve.json`` with six sections:
   speedup / snapshot_bytes — the recovery-time number the durable tier is
   bought for.
 * **observability** — full :class:`repro.serve.server.ServeApp` dispatch
-  with SLO metrics on, comparing sampling off vs 1%: relative overhead
-  (hard budget: <3%, exit 1 on breach), p50/p95/p99 latency read back from
-  the served histograms, and the degraded-answer rate (expected 0.0 on an
-  unbudgeted workload — ``compare_bench.py`` gates on it).
+  with SLO metrics on, comparing sampling off vs 1% vs the full plane
+  (1% sampling + 100 Hz continuous profiler + ~2 Hz fleet scrapes):
+  relative overhead of each (hard budget: <3% apiece, exit 1 on breach),
+  p50/p95/p99 latency read back from the served histograms, and the
+  degraded-answer rate (expected 0.0 on an unbudgeted workload —
+  ``compare_bench.py`` gates on it).
 
 ``compare_bench.py`` auto-detects this payload and gates on the 4-shard /
 1-shard throughput *ratio* (machine-independent), not absolute QPS.
@@ -161,15 +163,22 @@ def bench_observability(
 ) -> dict:
     """Serve-layer cost of SLO metrics + trace sampling, plus quantiles.
 
-    Dispatches the full workload through :class:`ServeApp` twice — once with
-    sampling off, once at ``sample_rate`` — interleaved, min-of-``repeats``
-    per configuration so scheduler noise cancels.  Latency quantiles come
-    from the *histogram* (``Histogram.quantile``), i.e. exactly what
-    ``/metrics`` and ``/status`` report, not from a side list of timings.
+    Dispatches the full workload through :class:`ServeApp` three times —
+    sampling off, sampling at ``sample_rate``, and sampling plus the full
+    observability plane (continuous profiler at ``profile_hz`` and a ~2 Hz
+    fleet scraper pulling ``/status`` + ``/metrics.json``) — interleaved,
+    min-of-``repeats`` per configuration so scheduler noise cancels.
+    Latency quantiles come from the *histogram* (``Histogram.quantile``),
+    i.e. exactly what ``/metrics`` and ``/status`` report, not from a side
+    list of timings.
     """
     from repro.obs import MetricsRegistry
+    from repro.obs.fleet import FleetScraper
+    from repro.serve.remote import LocalNode
     from repro.serve.server import ServeApp
     from repro.serve.updates import DatasetManager
+
+    profile_hz = 100.0
 
     payloads = [
         {
@@ -182,12 +191,15 @@ def bench_observability(
         for q in queries
     ]
 
-    def make_app(rate: float) -> ServeApp:
+    def make_app(rate: float, hz: float = 0.0) -> ServeApp:
         registry = MetricsRegistry()
         manager = DatasetManager(
-            objects, shards=2, backend="serial", metrics=registry
+            objects, shards=2, backend="serial", metrics=registry,
+            profile_hz=hz,
         )
-        return ServeApp(manager, registry=registry, sample_rate=rate)
+        return ServeApp(
+            manager, registry=registry, sample_rate=rate, profile_hz=hz
+        )
 
     def one_pass(app: ServeApp) -> float:
         t0 = time.perf_counter()
@@ -196,15 +208,43 @@ def bench_observability(
             assert status == 200
         return time.perf_counter() - t0
 
+    def one_pass_scraped(
+        app: ServeApp, scraper: FleetScraper, period_s: float = 0.5
+    ) -> float:
+        # Same dispatch loop, but with the federation tier pulling the
+        # node's /status + /metrics.json at ~2 Hz in the foreground — the
+        # scrape cost lands inside the measured window, as it would on a
+        # router sharing the box.
+        last_scrape = time.perf_counter()
+        t0 = time.perf_counter()
+        for payload in payloads:
+            status, _ = app.dispatch("POST", "/query", payload)
+            assert status == 200
+            now = time.perf_counter()
+            if now - last_scrape >= period_s:
+                scraper.scrape()
+                last_scrape = now
+        scraper.scrape()
+        return time.perf_counter() - t0
+
     plain = make_app(0.0)
     sampled = make_app(sample_rate)
+    profiled = make_app(sample_rate, hz=profile_hz)
+    # The scraper absorbs into its own registry so federation does not
+    # write back into the registry whose cost we are measuring.
+    scraper = FleetScraper(
+        {"bench": LocalNode("bench", profiled)}, MetricsRegistry()
+    )
     try:
-        one_pass(plain), one_pass(sampled)  # warm-up outside the clock
-        plain_times, sampled_times = [], []
+        # warm-up outside the clock
+        one_pass(plain), one_pass(sampled), one_pass(profiled)
+        plain_times, sampled_times, profiled_times = [], [], []
         for _ in range(repeats):
             plain_times.append(one_pass(plain))
             sampled_times.append(one_pass(sampled))
+            profiled_times.append(one_pass_scraped(profiled, scraper))
         t_plain, t_sampled = min(plain_times), min(sampled_times)
+        t_profiled = min(profiled_times)
 
         hist = None
         for labels, metric in sampled.registry.families().get(
@@ -220,6 +260,7 @@ def bench_observability(
             "repro_serve_requests_total", {"route": "/query", "status": "200"}
         )
         degraded = sampled.registry.total("repro_serve_degraded_total")
+        prof = profiled.profiler.snapshot(top=1)
         return {
             "queries": len(payloads),
             "repeats": repeats,
@@ -227,6 +268,19 @@ def bench_observability(
             "plain_s": t_plain,
             "sampled_s": t_sampled,
             "overhead": (t_sampled / t_plain - 1.0) if t_plain else 0.0,
+            "profile_hz": profile_hz,
+            "profiled_s": t_profiled,
+            "profiled_overhead": (
+                (t_profiled / t_plain - 1.0) if t_plain else 0.0
+            ),
+            "profile_samples": prof["samples"],
+            "profile_attributed": prof["attributed"],
+            "fleet_scrapes": scraper.registry.value(
+                "repro_fleet_scrapes_total", {"node": "bench"}
+            ),
+            "fleet_scrape_errors": scraper.registry.value(
+                "repro_fleet_scrape_errors_total", {"node": "bench"}
+            ),
             "latency_ms": {
                 q: v * 1000.0 for q, v in quantiles.items()
             },
@@ -236,6 +290,7 @@ def bench_observability(
     finally:
         plain.manager.close()
         sampled.manager.close()
+        profiled.close()
 
 
 def poisson_open_loop(
@@ -671,12 +726,30 @@ def main(argv: list[str] | None = None) -> int:
         f"p95 {lat['p95']:.2f} / p99 {lat['p99']:.2f} ms  "
         f"degraded_rate {obs['degraded_rate']:.2f}"
     )
+    print(
+        f"  obs: profiled {obs['profiled_s']*1000:7.1f} ms "
+        f"({obs['profiled_overhead']:+.1%} at {obs['profile_hz']:.0f} Hz "
+        f"profiling + federation)  {obs['profile_samples']} samples "
+        f"({obs['profile_attributed']} attributed), "
+        f"{obs['fleet_scrapes']:.0f} scrapes "
+        f"({obs['fleet_scrape_errors']:.0f} errors)"
+    )
     if obs["overhead"] > OVERHEAD_BUDGET:
         print(
             f"FAIL: observability overhead {obs['overhead']:+.1%} exceeds "
             f"the {OVERHEAD_BUDGET:.0%} budget at "
             f"{obs['sample_rate']:.0%} sampling"
         )
+        return 1
+    if obs["profiled_overhead"] > OVERHEAD_BUDGET:
+        print(
+            f"FAIL: profiler+federation overhead "
+            f"{obs['profiled_overhead']:+.1%} exceeds the "
+            f"{OVERHEAD_BUDGET:.0%} budget at {obs['profile_hz']:.0f} Hz"
+        )
+        return 1
+    if obs["fleet_scrape_errors"]:
+        print("FAIL: fleet scrapes errored during the profiled pass")
         return 1
 
     payload = {

@@ -69,6 +69,11 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
                    help="json prints one machine-readable document "
                    "(candidates + dominator counts + counters + "
                    "degradation) instead of the progressive text output")
+    p.add_argument("--explain", action="store_true",
+                   help="run through the serving-layer instrumentation and "
+                   "print the per-stage cost breakdown (Figure 16 for this "
+                   "one query; stage counters + refine + untracked "
+                   "reconcile exactly with the counter bag)")
 
 
 def _add_serve(sub: argparse._SubParsersAction) -> None:
@@ -142,6 +147,10 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--slo-latency-ms", type=float, metavar="MS",
                    help="latency objective; slower requests burn "
                    "repro_slo_burn_total{slo=latency}")
+    p.add_argument("--profile-hz", type=float, default=0.0, metavar="HZ",
+                   help="continuous sampling profiler rate (0 disables); "
+                   "folded stacks + flamegraph at GET /profile, pool "
+                   "workers profiled and merged")
 
 
 def _add_router(sub: argparse._SubParsersAction) -> None:
@@ -196,6 +205,9 @@ def _add_router(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--slo-latency-ms", type=float, metavar="MS",
                    help="latency objective; slower requests burn "
                    "repro_slo_burn_total{slo=latency}")
+    p.add_argument("--profile-hz", type=float, default=0.0, metavar="HZ",
+                   help="continuous sampling profiler rate (0 disables); "
+                   "folded stacks + flamegraph at GET /profile")
     p.add_argument("--log-json", action="store_true",
                    help="structured JSON logs on stderr")
 
@@ -220,7 +232,7 @@ def _add_client(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("client", help="talk to a running `repro serve`")
     p.add_argument("action",
                    choices=["query", "insert", "delete", "health", "status",
-                            "metrics"])
+                            "metrics", "fleet", "profile"])
     p.add_argument("--request-id", metavar="ID",
                    help="propagate an X-Request-Id for log/trace correlation")
     p.add_argument("--url", default="http://127.0.0.1:8080")
@@ -234,6 +246,10 @@ def _add_client(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--oid", help="object id (insert/delete)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the server result cache")
+    p.add_argument("--explain", action="store_true",
+                   help="query only: ask the server for the per-stage cost "
+                   "breakdown (forces end-to-end tracing; through a router "
+                   "the view is fleet-merged with per-node timings)")
     p.add_argument("--deadline-ms", type=float, metavar="MS",
                    help="per-request budget")
     p.add_argument("--retries", type=int, default=5, metavar="N",
@@ -290,6 +306,12 @@ def _add_figures(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--slo", metavar="PATH",
                    help="SLO snapshot JSON for slo-quantiles (a /status "
                         "body or `client status --format slo-json` output)")
+    p.add_argument("--profile", metavar="PATH",
+                   help="profiler snapshot JSON for the flamegraph figure "
+                        "(a GET /profile body)")
+    p.add_argument("--fleet", metavar="PATH",
+                   help="fleet snapshot JSON for fleet-overview (a router "
+                        "GET /fleet body)")
     p.add_argument("--verdict", action="append", default=[], metavar="PATH",
                    help="compare_bench.py --verdict-out JSON; repeatable, "
                         "rendered as gate badges on the dashboard")
@@ -400,6 +422,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             max_dominance_checks=args.max_dominance_checks,
             max_flow_augmentations=args.max_flow_augmentations,
         )
+    if args.explain:
+        return _search_explain(args, objects, query, budget, registry)
     search = NNCSearch(objects)
     tracer = None
     if args.trace or args.breakdown:
@@ -495,6 +519,87 @@ def search_json_document(result, args, n_objects: int) -> dict:
     }
 
 
+def _search_explain(args, objects, query, budget, registry) -> int:
+    """``search --explain``: one query through the instrumented path.
+
+    Runs the same sharded pipeline a server runs (single shard, serial)
+    under a sampled request context, so the breakdown comes from the
+    identical span/counter machinery as a server-side ``"explain": true``.
+    """
+    import json as _json
+
+    from repro.obs.request import RequestContext
+    from repro.obs.tracer import Tracer
+    from repro.serve.explain import build_explain
+    from repro.serve.shard import ShardedSearch
+
+    request = RequestContext.new(sampled=True)
+    request.tracer = Tracer(epoch=request.trace_epoch)
+    sharded = ShardedSearch(
+        objects, shards=1, backend="serial", metrics=registry
+    )
+    result = sharded.run(
+        query, args.operator, k=args.k, metric=args.metric,
+        budget=budget, request=request,
+    )
+    explain = build_explain(
+        result, operator=args.operator, k=args.k, request=request
+    )
+    if args.format == "json":
+        print(_json.dumps(explain, indent=2))
+    else:
+        _print_explain(explain)
+    return 3 if result.degradation is not None else 0
+
+
+def _print_explain(explain: dict) -> None:
+    """Render an explain body (node- or router-shaped) as text."""
+    print(
+        f"explain {explain.get('operator')} k={explain.get('k')} "
+        f"backend={explain.get('backend')}: "
+        f"{explain.get('candidates')} candidate(s) in "
+        f"{explain.get('elapsed_ms', 0.0):.2f} ms"
+        + (" (hedged)" if explain.get("hedged") else "")
+    )
+    stages = explain.get("stages") or []
+    if stages:
+        width = max(len(row["stage"]) for row in stages)
+        print(f"  {'stage':<{width}}  count  excl ms  incl ms  counters")
+        for row in stages:
+            counters = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(row.get("counters", {}).items())
+            ) or "-"
+            print(
+                f"  {row['stage']:<{width}}  {row['count']:5d}  "
+                f"{row.get('exclusive_ms', 0.0):7.2f}  "
+                f"{row.get('total_ms', 0.0):7.2f}  {counters}"
+            )
+    refine = explain.get("refine") or {}
+    if refine:
+        counters = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted((refine.get("counters") or {}).items())
+        ) or "-"
+        print(f"  refine: {refine.get('checks', 0)} check(s); {counters}")
+    untracked = explain.get("untracked") or {}
+    if untracked:
+        print("  untracked: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(untracked.items())
+        ))
+    nodes = explain.get("nodes") or {}
+    for nid in sorted(nodes):
+        entry = nodes[nid]
+        fetches = entry.get("fetches") or []
+        shards = ",".join(str(f.get("shard")) for f in fetches)
+        hedged = sum(1 for f in fetches if f.get("hedged"))
+        print(
+            f"  node {nid}: shard(s) [{shards}] "
+            f"{entry.get('elapsed_ms', 0.0):.2f} ms"
+            + (f" ({hedged} hedged)" if hedged else "")
+        )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -538,6 +643,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 metrics=registry,
                 workers=args.workers,
                 start_method=args.start_method,
+                profile_hz=args.profile_hz,
             )
             rec = manager.recovery
             print(
@@ -561,6 +667,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 metrics=registry,
                 workers=args.workers,
                 start_method=args.start_method,
+                profile_hz=args.profile_hz,
             )
     except InvalidInputError as exc:
         print(f"input rejected: {exc}", file=sys.stderr)
@@ -597,6 +704,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_dir=args.trace_dir,
         slo_latency_ms=args.slo_latency_ms,
         node_id=args.node_id,
+        profile_hz=args.profile_hz,
     )
     server = NNCServer(app, host=args.host, port=args.port)
 
@@ -685,6 +793,7 @@ def _cmd_router(args: argparse.Namespace) -> int:
             audit=audit,
             trace_dir=args.trace_dir,
             slo_latency_ms=args.slo_latency_ms,
+            profile_hz=args.profile_hz,
         )
     except ValueError as exc:
         print(f"router: {exc}", file=sys.stderr)
@@ -799,6 +908,10 @@ def _cmd_client(args: argparse.Namespace) -> int:
         path = "/status"
     elif args.action == "metrics":
         path = "/metrics"
+    elif args.action == "fleet":
+        path = "/fleet"
+    elif args.action == "profile":
+        path = "/profile"
     elif args.action == "query":
         if not args.points:
             print("query needs --points", file=sys.stderr)
@@ -818,6 +931,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
             return 2
         if args.no_cache:
             payload["cache"] = False
+        if args.explain:
+            payload["explain"] = True
         if args.deadline_ms is not None:
             payload["budget"] = {"deadline_ms": args.deadline_ms}
     elif args.action == "insert":
@@ -946,12 +1061,56 @@ def _cmd_client(args: argparse.Namespace) -> int:
             f"{args.operator}: {body['count']} candidate(s) in "
             f"{body['elapsed_ms']:.1f} ms{tag}{flag}{retried}: {oids}"
         )
+        if body.get("explain"):
+            _print_explain(body["explain"])
+    elif args.action == "fleet" and status == 200:
+        quantiles = body.get("quantiles") or {}
+        for op in sorted(quantiles):
+            q = quantiles[op]
+            clamp = " [clamped]" if q.get("clamped") else ""
+            print(
+                f"{op}: {q.get('count')} query(ies), "
+                f"p50 {q.get('p50', 0.0) * 1000:.2f} ms, "
+                f"p95 {q.get('p95', 0.0) * 1000:.2f} ms, "
+                f"p99 {q.get('p99', 0.0) * 1000:.2f} ms{clamp}"
+            )
+        for nid in sorted(body.get("nodes") or {}):
+            view = body["nodes"][nid]
+            if not view.get("ok"):
+                print(f"node {nid}: DOWN ({view.get('error', '?')}), "
+                      f"breaker {view.get('breaker')}")
+                continue
+            alerts = view.get("alerts") or []
+            print(
+                f"node {nid}: {view.get('status')}, "
+                f"epoch {view.get('epoch')}, "
+                f"{view.get('objects')} object(s), "
+                f"up {view.get('uptime_seconds') or 0.0:.0f}s, "
+                f"breaker {view.get('breaker')}"
+                + (f", alerts: {', '.join(alerts)}" if alerts else "")
+            )
+    elif args.action == "profile" and status == 200:
+        state = "on" if body.get("enabled") else "off"
+        print(
+            f"profiler {state} @ {body.get('hz')} Hz: "
+            f"{body.get('samples')} sample(s), "
+            f"{body.get('attributed')} attributed to requests, "
+            f"{body.get('distinct_stacks')} distinct stack(s)"
+        )
+        top = sorted(
+            (body.get("stacks") or {}).items(), key=lambda kv: -kv[1]
+        )
+        for stack, count in top[:10]:
+            print(f"  {count:6d}  {stack.split(';')[-1]}")
     elif args.action == "status" and status == 200:
         print(
             f"status {body.get('status')}: epoch {body.get('epoch')}, "
             f"{body.get('objects')} object(s), {body.get('shards')} "
             f"shard(s), backend {body.get('backend')}"
         )
+        active = (body.get("alerts") or {}).get("active") or []
+        if active:
+            print(f"ALERTS FIRING: {', '.join(active)}")
         dur = body.get("durability")
         if dur:
             rec = dur.get("recovery") or {}
@@ -1002,7 +1161,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         return 2
 
     overrides = {"scale": args.scale}
-    for name in ("kernels", "serve", "trajectory", "slo"):
+    for name in ("kernels", "serve", "trajectory", "slo", "profile", "fleet"):
         value = getattr(args, name)
         if value:
             overrides[name] = Path(value)

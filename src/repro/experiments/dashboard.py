@@ -374,6 +374,7 @@ section.fig {{ margin-bottom: 1.5rem; }}
 _CATEGORY_TITLES = {
     "paper": "Paper figures (Section 6 / Appendix C reproductions)",
     "bench": "Benchmarks (BENCH_kernels.json / BENCH_serve.json)",
+    "observability": "Observability (continuous profiler, fleet federation)",
     "trajectory": "Perf trajectory (benchmarks/results/trajectory.jsonl)",
 }
 
@@ -427,6 +428,9 @@ def render_dashboard(
                 + (f'<p class="notes">{_esc(art.notes)}</p>' if art.notes else "")
                 + f"<figure>{svg_chart(art)}</figure>"
                 + _legend(art)
+                # Figure-supplied HTML (flamegraph SVG, fleet quantile
+                # table) — already rendered, injected verbatim.
+                + (art.extra_html or "")
                 + f"<details><summary>data ({len(art.rows)} row(s))</summary>"
                 + _table(art.rows)
                 + "</details>"

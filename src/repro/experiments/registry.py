@@ -21,6 +21,12 @@ Registered ids:
 * ``slo-quantiles`` — per-operator p50/p95/p99 + SLO burn counters, fed
   from a saved ``/status`` snapshot (``repro client status``) or, as a
   fallback, the serve bench's observability section;
+* ``flamegraph`` — top frames + an inline flamegraph SVG from a saved
+  ``GET /profile`` body (``repro client profile``) or, as a fallback, a
+  brief in-process self-profile over a tiny NNC workload;
+* ``fleet-overview`` — per-node status/epoch/objects plus fleet-merged
+  latency quantiles from a saved router ``GET /fleet`` body
+  (``repro client fleet``) or an in-process three-node fleet;
 * ``perf-trajectory`` — the cross-commit perf record store
   (:mod:`repro.experiments.trajectory`), each tracked metric indexed to
   its first record so speedups and latencies share one axis.
@@ -111,10 +117,14 @@ class FigureArtifact:
     fid: str
     title: str
     description: str
-    category: str  # "paper" | "bench" | "trajectory"
+    category: str  # "paper" | "bench" | "observability" | "trajectory"
     rows: list[dict]
     chart: ChartSpec
     notes: str = ""
+    #: Pre-rendered HTML the dashboard injects verbatim below the chart —
+    #: the flamegraph SVG and the fleet quantile table live here (the CSV
+    #: and Vega-Lite artifacts stay row-shaped regardless).
+    extra_html: str = ""
 
 
 @dataclass(frozen=True)
@@ -130,6 +140,8 @@ class BuildInputs:
     )
     trajectory: Path = field(default_factory=lambda: trajectory.DEFAULT_PATH)
     slo: Path | None = None
+    profile: Path | None = None
+    fleet: Path | None = None
 
 
 @dataclass(frozen=True)
@@ -494,6 +506,248 @@ def _build_slo_quantiles(inputs: BuildInputs) -> FigureArtifact:
 
 
 # --------------------------------------------------------------------- #
+# Observability figures — profiler flamegraph + fleet overview
+# --------------------------------------------------------------------- #
+
+def _self_profile() -> tuple[dict[str, int], str]:
+    """Fallback profile: sample a tiny NNC workload in-process.
+
+    A worker thread runs queries while this thread drives
+    :meth:`SamplingProfiler.sample_once` deterministically — no daemon,
+    no timing dependence on scheduler fairness beyond the worker making
+    progress.
+    """
+    import threading as _threading
+    import time as _time
+
+    import numpy as _np
+
+    from repro.core.nnc import NNCSearch
+    from repro.datasets.synthetic import (
+        anticorrelated_centers,
+        make_objects,
+        make_query,
+    )
+    from repro.obs.profile import SamplingProfiler
+
+    rng = _np.random.default_rng(0)
+    centers = anticorrelated_centers(150, 2, rng)
+    objects = make_objects(centers, 5, 40.0, rng)
+    search = NNCSearch(objects)
+    queries = [
+        make_query(centers[rng.integers(len(centers))], 3, 20.0, rng)
+        for _ in range(8)
+    ]
+    prof = SamplingProfiler(200.0)
+    stop = _threading.Event()
+
+    def work() -> None:
+        i = 0
+        while not stop.is_set():
+            search.run(queries[i % len(queries)], "SSD", k=2)
+            i += 1
+
+    worker = _threading.Thread(target=work, daemon=True)
+    worker.start()
+    own = _threading.get_ident()
+    try:
+        for _ in range(120):
+            prof.sample_once(skip_thread=own)
+            _time.sleep(1.0 / prof.hz)
+    finally:
+        stop.set()
+        worker.join(timeout=2.0)
+    stacks = prof.stacks()
+    if not stacks:
+        raise FigureInputError(
+            "flamegraph: in-process self-profile captured no stacks; "
+            "pass --profile with a saved GET /profile body instead"
+        )
+    return stacks, (
+        f"in-process self-profile: {prof.samples} sample(s) of a tiny NNC "
+        "workload (no --profile input given)"
+    )
+
+
+def _build_flamegraph(inputs: BuildInputs) -> FigureArtifact:
+    from repro.obs.profile import flamegraph_svg
+
+    if inputs.profile is not None:
+        body = _load_json(
+            inputs.profile, "flamegraph",
+            "save one with: repro client profile > profile.json",
+        )
+        stacks = {
+            str(stack): int(count)
+            for stack, count in (body.get("stacks") or {}).items()
+        }
+        if not stacks:
+            raise FigureInputError(
+                f"flamegraph: {inputs.profile} has no stacks (profiler "
+                "disabled? start the server with --profile-hz > 0)"
+            )
+        notes = (
+            f"source: {inputs.profile} ({body.get('samples')} sample(s) "
+            f"@ {body.get('hz')} Hz, node {body.get('node_id', '?')})"
+        )
+    else:
+        stacks, notes = _self_profile()
+    total = sum(stacks.values()) or 1
+    leaves: dict[str, int] = {}
+    for stack, count in stacks.items():
+        leaf = stack.rsplit(";", 1)[-1]
+        leaves[leaf] = leaves.get(leaf, 0) + count
+    rows = [
+        {
+            "frame": leaf,
+            "samples": count,
+            "percent": 100.0 * count / total,
+        }
+        for leaf, count in sorted(leaves.items(), key=lambda kv: -kv[1])[:15]
+    ]
+    return FigureArtifact(
+        "flamegraph",
+        "Continuous-profiler flamegraph",
+        "hottest leaf frames from the sampling profiler's folded stacks "
+        "(GET /profile); the full flamegraph renders inline below",
+        "observability",
+        rows,
+        ChartSpec("bar", "frame", ("samples",), y_title="samples"),
+        notes=notes,
+        extra_html=(
+            "<figure>"
+            + flamegraph_svg(stacks, title="where the samples landed")
+            + "</figure>"
+        ),
+    )
+
+
+def _self_fleet() -> dict:
+    """Fallback fleet snapshot: a three-node LocalNode fleet in-process."""
+    import numpy as _np
+
+    from repro.datasets.synthetic import (
+        anticorrelated_centers,
+        make_objects,
+        make_query,
+    )
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve.remote import LocalNode
+    from repro.serve.router import RouterApp
+    from repro.serve.server import ServeApp
+    from repro.serve.updates import DatasetManager
+
+    rng = _np.random.default_rng(0)
+    centers = anticorrelated_centers(60, 2, rng)
+    objects = make_objects(centers, 4, 60.0, rng)
+    nodes: dict = {}
+    apps = []
+    for nid in ("n1", "n2", "n3"):
+        registry = MetricsRegistry()
+        app = ServeApp(
+            DatasetManager(
+                objects, shards=3, partitioner="hash", metrics=registry
+            ),
+            registry=registry,
+            node_id=nid,
+        )
+        apps.append(app)
+        nodes[nid] = LocalNode(nid, app)
+    router = RouterApp(nodes, shards=3, replication=2)
+    try:
+        for _ in range(6):
+            query = make_query(centers[rng.integers(len(centers))], 3, 30.0, rng)
+            router.dispatch(
+                "POST", "/query",
+                {
+                    "points": query.points.tolist(),
+                    "operator": "SSD",
+                    "k": 2,
+                    "cache": False,
+                },
+                {},
+            )
+        return router.fleet.scrape()
+    finally:
+        router.close()
+        for app in apps:
+            app.close()
+
+
+def _fleet_quantiles_html(quantiles: dict) -> str:
+    if not quantiles:
+        return ""
+    rows = []
+    for op in sorted(quantiles):
+        q = quantiles[op]
+        clamp = " (clamped)" if q.get("clamped") else ""
+        rows.append(
+            f"<tr><td>{op}</td><td>{q.get('count')}</td>"
+            f"<td>{q.get('p50', 0.0) * 1000:.2f}</td>"
+            f"<td>{q.get('p95', 0.0) * 1000:.2f}</td>"
+            f"<td>{q.get('p99', 0.0) * 1000:.2f}{clamp}</td></tr>"
+        )
+    return (
+        "<table><thead><tr><th>operator</th><th>queries</th>"
+        "<th>p50 ms</th><th>p95 ms</th><th>p99 ms</th></tr></thead>"
+        "<tbody>" + "".join(rows) + "</tbody></table>"
+    )
+
+
+def _build_fleet_overview(inputs: BuildInputs) -> FigureArtifact:
+    if inputs.fleet is not None:
+        body = _load_json(
+            inputs.fleet, "fleet-overview",
+            "save one with: repro client fleet > fleet.json (router URL)",
+        )
+        source = str(inputs.fleet)
+    else:
+        body = _self_fleet()
+        source = "in-process 3-node LocalNode fleet (no --fleet input given)"
+    nodes = body.get("nodes") or {}
+    if not nodes:
+        raise FigureInputError(
+            "fleet-overview: snapshot has no nodes section (not a router "
+            "GET /fleet body?)"
+        )
+    rows = []
+    for nid in sorted(nodes):
+        view = nodes[nid]
+        alerts = view.get("alerts") or []
+        rows.append(
+            {
+                "node": nid,
+                "ok": bool(view.get("ok")),
+                "status": view.get("status"),
+                "epoch": view.get("epoch"),
+                "objects": view.get("objects"),
+                "uptime_s": view.get("uptime_seconds"),
+                "breaker": view.get("breaker"),
+                "alerts": ", ".join(alerts),
+            }
+        )
+    quantiles = body.get("quantiles") or {}
+    firing = sorted(
+        {alert for view in nodes.values() for alert in view.get("alerts") or []}
+    )
+    notes = f"source: {source}"
+    if firing:
+        notes += "; ALERTS FIRING: " + ", ".join(firing)
+    return FigureArtifact(
+        "fleet-overview",
+        "Fleet overview",
+        "per-node status/epoch/objects from the router's federated scrape "
+        "(GET /fleet), with fleet-merged latency quantiles — real merged "
+        "histograms, not averaged per-node percentiles — tabled below",
+        "observability",
+        rows,
+        ChartSpec("bar", "node", ("objects",), y_title="live objects"),
+        notes=notes,
+        extra_html=_fleet_quantiles_html(quantiles),
+    )
+
+
+# --------------------------------------------------------------------- #
 # Trajectory figure — across commits
 # --------------------------------------------------------------------- #
 
@@ -574,6 +828,10 @@ def _registry() -> dict[str, Figure]:
                _build_router_scaling),
         Figure("slo-quantiles", "SLO latency quantiles", "bench",
                _build_slo_quantiles),
+        Figure("flamegraph", "Continuous-profiler flamegraph",
+               "observability", _build_flamegraph),
+        Figure("fleet-overview", "Fleet overview", "observability",
+               _build_fleet_overview),
         Figure("perf-trajectory", "Perf trajectory", "trajectory",
                _build_perf_trajectory),
     ]

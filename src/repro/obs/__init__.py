@@ -20,7 +20,16 @@ inside a single query instead of only as end-of-run aggregates:
   from the HTTP handler through scatter-gather into every shard, across
   thread and fork boundaries;
 * :mod:`repro.obs.log` — structured JSON logging with automatic
-  request-id correlation on every event.
+  request-id correlation on every event;
+* :mod:`repro.obs.profile` — a zero-dependency continuous sampling
+  profiler (daemon thread over ``sys._current_frames()``) with
+  request-attributed collapsed stacks and a self-contained flamegraph
+  renderer;
+* :mod:`repro.obs.alerts` — multi-window SLO burn-rate alerting
+  (fast/slow windows over latency, error, and degraded ratios);
+* :mod:`repro.obs.fleet` — router-side metrics federation: every node's
+  registry scraped and absorbed under a ``node`` label, with merged
+  cross-node histogram quantiles.
 
 Everything is zero-dependency and opt-in: :class:`~repro.obs.tracer.NullTracer`
 (the default on every :class:`repro.core.context.QueryContext`) turns every
@@ -43,15 +52,26 @@ from repro.obs.log import (
     log_event,
     set_logger,
 )
+from repro.obs.alerts import BurnRateMonitor
+from repro.obs.fleet import FleetScraper, absorb_node_metrics
 from repro.obs.metrics import (
     MetricsRegistry,
     query_metrics_from_counters,
     update_slo_gauges,
 )
-from repro.obs.request import RequestContext, Sampler, bind, current
+from repro.obs.profile import SamplingProfiler, flamegraph_svg
+from repro.obs.request import (
+    RequestContext,
+    Sampler,
+    bind,
+    context_for_thread,
+    current,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
 
 __all__ = [
+    "BurnRateMonitor",
+    "FleetScraper",
     "JsonLogger",
     "MetricsRegistry",
     "NULL_LOGGER",
@@ -60,11 +80,15 @@ __all__ = [
     "NullTracer",
     "RequestContext",
     "Sampler",
+    "SamplingProfiler",
     "SpanRecord",
     "Tracer",
+    "absorb_node_metrics",
     "bind",
     "chrome_trace",
+    "context_for_thread",
     "current",
+    "flamegraph_svg",
     "get_logger",
     "log_event",
     "merged_chrome_trace",

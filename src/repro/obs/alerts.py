@@ -1,0 +1,198 @@
+"""Multi-window SLO burn-rate alerting, evaluated in-process.
+
+The classic SRE-workbook construction: an alert fires when the *burn
+rate* — the observed bad-event ratio divided by the error budget
+``1 - objective`` — exceeds a threshold over **both** a fast and a slow
+window.  A fast window alone is noisy (one bad probe in a quiet minute
+is a 100% ratio); a slow window alone pages an hour late.  The shipped
+defaults follow the 2%-budget-in-5-minutes / 10%-budget-in-6-hours
+pairing collapsed to two windows:
+
+* ``fast`` — 5 minutes, threshold 14.4× budget burn
+* ``slow`` — 1 hour, threshold 6× budget burn
+
+Three SLOs are tracked per request from :meth:`ServeApp._slo_account`:
+
+* ``latency`` — request exceeded ``--slo-latency-ms``
+* ``error`` — request answered 5xx
+* ``degraded`` — request answered under budget degradation
+
+Implementation: monotonic Prometheus-style counters cannot answer "ratio
+over the last 5 minutes", so the monitor keeps a ring of coarse time
+buckets (``bucket_s`` seconds each, pruned beyond the slowest window)
+with per-bucket good/bad tallies — O(windows × buckets) per evaluation,
+zero allocation per request beyond one dict hit.  The clock is
+injectable (``now_fn``) so tests drive the windows deterministically.
+
+Active alerts surface three ways: the ``repro_alerts_active{alert=...}``
+gauge family, the ``alerts`` section of ``/status``, and the SLO
+dashboard figure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["BurnRateMonitor", "DEFAULT_WINDOWS"]
+
+#: ``(name, window_seconds, burn-rate threshold)`` — fast/slow pairing.
+DEFAULT_WINDOWS: tuple[tuple[str, float, float], ...] = (
+    ("fast", 300.0, 14.4),
+    ("slow", 3600.0, 6.0),
+)
+
+#: SLO dimensions tracked per request, in bucket-slot order.
+_SLOS = ("latency", "error", "degraded")
+
+
+class BurnRateMonitor:
+    """Tracks request outcomes and evaluates multi-window burn alerts.
+
+    Args:
+        objective: SLO target fraction; the error budget is
+            ``1 - objective`` (0.99 → 1% budget).
+        windows: ``(name, seconds, threshold)`` triples; an alert
+            ``{slo}-{name}-burn`` fires when that window's burn rate
+            meets its threshold.
+        bucket_s: tally granularity in seconds.  Windows shorter than a
+            few buckets lose resolution; the default 10s gives the 5m
+            fast window 30 buckets.
+        min_samples: a window with fewer requests than this never fires
+            (a single bad request in an idle fleet is not an outage).
+        registry: gauge sink for ``repro_alerts_active``; optional.
+        now_fn: injectable monotonic clock for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        objective: float = 0.99,
+        windows: Sequence[tuple[str, float, float]] = DEFAULT_WINDOWS,
+        bucket_s: float = 10.0,
+        min_samples: int = 10,
+        registry: MetricsRegistry | None = None,
+        now_fn: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        if not windows:
+            raise ValueError("at least one window is required")
+        self.objective = float(objective)
+        self.budget = 1.0 - self.objective
+        self.windows = tuple(
+            (str(name), float(seconds), float(threshold))
+            for name, seconds, threshold in windows
+        )
+        self.bucket_s = float(bucket_s)
+        self.min_samples = int(min_samples)
+        self.registry = registry
+        self._now = now_fn
+        self._lock = threading.Lock()
+        #: bucket index -> [total, bad_latency, bad_error, bad_degraded]
+        self._buckets: dict[int, list[int]] = {}
+        self._horizon = max(seconds for _, seconds, _ in self.windows)
+
+    # ------------------------------ recording --------------------------- #
+
+    def record(
+        self,
+        *,
+        latency_bad: bool = False,
+        error: bool = False,
+        degraded: bool = False,
+    ) -> None:
+        """Tally one finished request's outcome into the current bucket."""
+        idx = int(self._now() // self.bucket_s)
+        with self._lock:
+            slot = self._buckets.get(idx)
+            if slot is None:
+                slot = self._buckets[idx] = [0, 0, 0, 0]
+                self._prune(idx)
+            slot[0] += 1
+            if latency_bad:
+                slot[1] += 1
+            if error:
+                slot[2] += 1
+            if degraded:
+                slot[3] += 1
+
+    def _prune(self, current_idx: int) -> None:
+        """Drop buckets older than the slowest window (lock held)."""
+        floor = current_idx - int(self._horizon // self.bucket_s) - 1
+        for idx in [i for i in self._buckets if i < floor]:
+            del self._buckets[idx]
+
+    # ------------------------------ evaluation -------------------------- #
+
+    def evaluate(self) -> list[dict]:
+        """Compute every window's burn rate; update gauges; return rows.
+
+        Each row: ``{alert, slo, window, window_s, threshold, requests,
+        bad, ratio, burn_rate, active}``.  The gauge
+        ``repro_alerts_active{alert=...}`` is set to 1.0/0.0 per alert so
+        a scrape shows firing *and* resolved alerts (a vanishing series
+        is indistinguishable from a never-created one).
+        """
+        now = self._now()
+        current_idx = int(now // self.bucket_s)
+        with self._lock:
+            buckets = [(idx, list(slot)) for idx, slot in self._buckets.items()]
+        rows: list[dict] = []
+        for name, seconds, threshold in self.windows:
+            floor = current_idx - int(seconds // self.bucket_s)
+            total = 0
+            bad = [0, 0, 0]
+            for idx, slot in buckets:
+                if idx < floor:
+                    continue
+                total += slot[0]
+                for pos in range(3):
+                    bad[pos] += slot[pos + 1]
+            for pos, slo in enumerate(_SLOS):
+                ratio = (bad[pos] / total) if total else 0.0
+                burn = ratio / self.budget
+                active = total >= self.min_samples and burn >= threshold
+                alert = f"{slo}-{name}-burn"
+                if self.registry is not None:
+                    self.registry.set_gauge(
+                        "repro_alerts_active",
+                        1.0 if active else 0.0,
+                        {"alert": alert},
+                    )
+                rows.append(
+                    {
+                        "alert": alert,
+                        "slo": slo,
+                        "window": name,
+                        "window_s": seconds,
+                        "threshold": threshold,
+                        "requests": total,
+                        "bad": bad[pos],
+                        "ratio": ratio,
+                        "burn_rate": burn,
+                        "active": active,
+                    }
+                )
+        return rows
+
+    def snapshot(self) -> dict:
+        """The ``alerts`` section of ``/status``: config + evaluated rows."""
+        rows = self.evaluate()
+        return {
+            "objective": self.objective,
+            "budget": self.budget,
+            "bucket_s": self.bucket_s,
+            "min_samples": self.min_samples,
+            "windows": [
+                {"name": name, "seconds": seconds, "threshold": threshold}
+                for name, seconds, threshold in self.windows
+            ],
+            "active": sorted(r["alert"] for r in rows if r["active"]),
+            "rows": rows,
+        }

@@ -1,0 +1,252 @@
+"""Router-side metrics federation: scrape the fleet, merge into one view.
+
+Each node in a router fleet is its own observability island — its
+``/metrics`` registry, SLO histograms, and epoch live inside its process.
+The :class:`FleetScraper` periodically pulls every node's ``/status`` and
+``/metrics.json`` (the JSON twin of ``/metrics``, added so federation
+never parses Prometheus text) and *absorbs* the metrics into the router's
+own registry with a ``node`` label:
+
+* counters and gauges are overwritten with the scraped value — a scrape
+  is a snapshot of the node's monotonic state, so overwrite (not add) is
+  what keeps re-scrapes idempotent;
+* histograms are rebuilt from the exported cumulative buckets
+  (:meth:`Histogram.from_cumulative`) and replaced in-place, which is
+  what makes **cross-node quantiles** possible: bucket counts from
+  identical bounds are additive (:meth:`Histogram.merge`), so the fleet
+  p99 is computed from real merged distributions, not an average of
+  per-node percentiles (which would be statistically meaningless).
+
+Absorbed series are excluded from the router's own aggregate SLO ratios
+(:func:`repro.obs.metrics.update_slo_gauges` skips ``node``-labelled
+rows); they power the ``/fleet`` endpoint and the fleet-overview
+dashboard figure instead.  Scrape health is itself metered
+(``repro_fleet_scrapes_total`` / ``repro_fleet_scrape_errors_total``
+per node), and each node's epoch lands in ``repro_fleet_node_epoch`` so
+replication lag is one PromQL expression away.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Mapping
+
+from repro.obs.metrics import Histogram, MetricsRegistry, SLO_QUANTILES
+
+__all__ = ["FleetScraper", "absorb_node_metrics"]
+
+#: Families never absorbed from a node: the scraper's own bookkeeping
+#: (a router-of-routers must not double-federate) and derived gauges the
+#: router recomputes locally.
+_SKIP_FAMILIES = (
+    "repro_fleet_",
+    "repro_slo_latency_seconds",
+    "repro_slo_shard_latency_seconds",
+    "repro_slo_degraded_ratio",
+    "repro_slo_error_ratio",
+)
+
+
+def absorb_node_metrics(
+    registry: MetricsRegistry, dump: Mapping[str, Any], node_id: str
+) -> int:
+    """Merge one node's ``/metrics.json`` dump into ``registry``.
+
+    Every absorbed series gains a ``node`` label; series that already
+    carry one (a node that is itself federating) are skipped to keep the
+    label single-valued.  Returns the number of series absorbed.
+    Malformed or locally-conflicting series (kind mismatch, different
+    histogram bounds) are skipped rather than poisoning the scrape.
+    """
+    families = (dump or {}).get("metrics", {})
+    absorbed = 0
+    for name, family in families.items():
+        if any(name.startswith(prefix) for prefix in _SKIP_FAMILIES):
+            continue
+        kind = family.get("type")
+        for row in family.get("series", ()):
+            labels = dict(row.get("labels", {}))
+            if "node" in labels:
+                continue
+            labels["node"] = node_id
+            try:
+                if kind == "histogram":
+                    _absorb_histogram(registry, name, labels, row)
+                elif kind == "counter":
+                    registry.counter(name, labels).value = float(row["value"])
+                elif kind == "gauge":
+                    registry.gauge(name, labels).set(float(row["value"]))
+                else:
+                    continue
+            except (KeyError, TypeError, ValueError):
+                continue
+            absorbed += 1
+    return absorbed
+
+
+def _absorb_histogram(
+    registry: MetricsRegistry, name: str, labels: dict, row: Mapping[str, Any]
+) -> None:
+    buckets = row["buckets"]
+    bounds = sorted(float(b) for b in buckets)
+    cumulative = [int(buckets[key]) for key in
+                  sorted(buckets, key=lambda k: float(k))]
+    rebuilt = Histogram.from_cumulative(
+        bounds, cumulative, sum=float(row.get("sum", 0.0)),
+        count=int(row["count"]),
+    )
+    hist = registry.histogram(name, labels, buckets=bounds)
+    if tuple(hist.buckets) != tuple(rebuilt.buckets):
+        raise ValueError(f"bucket bounds changed for {name}{labels}")
+    hist.counts[:] = rebuilt.counts
+    hist.sum = rebuilt.sum
+    hist.count = rebuilt.count
+
+
+class FleetScraper:
+    """Pulls every node's metrics + status into one federated view.
+
+    Args:
+        nodes: ``node_id -> node`` mapping speaking the
+            :class:`repro.serve.remote._NodeBase` interface (the router
+            shares its node clients, so scrapes ride the same breakers
+            and latency windows as queries).
+        registry: the (router's) registry absorbing node series.
+        timeout_s: per-call scrape timeout.
+
+    The scraper is driven externally — the router piggybacks it on the
+    health-sweep thread, ``/fleet`` forces a fresh pass — so it owns no
+    thread of its own and needs no lifecycle beyond the router's.
+    """
+
+    def __init__(
+        self,
+        nodes: Mapping[str, Any],
+        registry: MetricsRegistry,
+        *,
+        timeout_s: float = 5.0,
+    ) -> None:
+        self.nodes = dict(nodes)
+        self.registry = registry
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._views: dict[str, dict] = {}
+        self._last_scrape: float | None = None
+
+    # ------------------------------ scraping ---------------------------- #
+
+    def scrape(self) -> dict:
+        """One pass over the fleet; absorbs metrics, returns the snapshot."""
+        from repro.serve.remote import RemoteNodeError
+
+        for node_id, node in sorted(self.nodes.items()):
+            view: dict[str, Any] = {"node_id": node_id, "ok": False}
+            self.registry.inc(
+                "repro_fleet_scrapes_total", 1, {"node": node_id}
+            )
+            try:
+                status_code, status_body = node.call(
+                    "GET", "/status", timeout_s=self.timeout_s
+                )
+                metrics_code, metrics_body = node.call(
+                    "GET", "/metrics.json", timeout_s=self.timeout_s
+                )
+                if status_code != 200 or metrics_code != 200:
+                    raise RemoteNodeError(
+                        f"node {node_id}: scrape HTTP "
+                        f"{status_code}/{metrics_code}"
+                    )
+            except RemoteNodeError as exc:
+                self.registry.inc(
+                    "repro_fleet_scrape_errors_total", 1, {"node": node_id}
+                )
+                view["error"] = str(exc)
+            else:
+                view["ok"] = True
+                view["absorbed_series"] = absorb_node_metrics(
+                    self.registry, metrics_body, node_id
+                )
+                view.update(_node_view(status_body))
+                self.registry.set_gauge(
+                    "repro_fleet_node_epoch",
+                    float(view.get("epoch") or 0),
+                    {"node": node_id},
+                )
+            view["breaker"] = node.breaker.state
+            with self._lock:
+                self._views[node_id] = view
+        with self._lock:
+            self._last_scrape = time.time()
+        return self.snapshot()
+
+    # ------------------------------ reading ----------------------------- #
+
+    def snapshot(self) -> dict:
+        """The ``/fleet`` body: per-node views + fleet-merged quantiles."""
+        with self._lock:
+            views = {nid: dict(view) for nid, view in self._views.items()}
+            last = self._last_scrape
+        return {
+            "scraped_at": last,
+            "nodes": views,
+            "quantiles": self.merged_quantiles(),
+        }
+
+    def merged_quantiles(self) -> dict:
+        """Fleet-wide latency quantiles per operator.
+
+        Merges every absorbed ``repro_query_seconds{operator,node}``
+        histogram per operator — additive bucket counts, so the result is
+        exactly the quantile a single fleet-wide histogram would report.
+        Clamped quantiles (rank in the ``+Inf`` bucket) are flagged, same
+        contract as :func:`repro.obs.metrics.slo_snapshot`.
+        """
+        merged: dict[str, Histogram] = {}
+        families = self.registry.families().get("repro_query_seconds", [])
+        for labels, metric in families:
+            row = dict(labels)
+            if "node" not in row:
+                continue
+            op = row.get("operator", "")
+            agg = merged.get(op)
+            if agg is None:
+                agg = merged[op] = Histogram(metric.buckets)
+            try:
+                agg.merge(metric)
+            except ValueError:
+                continue
+        out: dict[str, dict] = {}
+        for op, hist in sorted(merged.items()):
+            per_op: dict[str, Any] = {"count": hist.count}
+            clamped: list[str] = []
+            for qname, q in SLO_QUANTILES:
+                value, was_clamped = hist.quantile_clamped(q)
+                per_op[qname] = value
+                if was_clamped:
+                    clamped.append(qname)
+            if clamped:
+                per_op["clamped"] = clamped
+            if hist.overflow:
+                per_op["overflow"] = hist.overflow
+            out[op] = per_op
+        return out
+
+
+def _node_view(status_body: Mapping[str, Any]) -> dict:
+    """The per-node slice of ``/fleet``, shaped from a ``/status`` body."""
+    slo = status_body.get("slo") or {}
+    alerts = status_body.get("alerts") or {}
+    return {
+        "status": status_body.get("status"),
+        "epoch": status_body.get("epoch"),
+        "objects": status_body.get("objects"),
+        "inflight": status_body.get("inflight"),
+        "start_time": status_body.get("start_time"),
+        "uptime_seconds": status_body.get("uptime_seconds"),
+        "latency_seconds": slo.get("latency_seconds") or {},
+        "overflow": slo.get("overflow") or {},
+        "clamped": slo.get("clamped") or {},
+        "burn": slo.get("burn") or {},
+        "alerts": alerts.get("active") or [],
+    }

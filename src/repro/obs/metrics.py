@@ -51,6 +51,13 @@ name                               type        labels
 ``repro_slo_degraded_ratio``       gauge       (none)
 ``repro_slo_error_ratio``          gauge       (none)
 ``repro_slo_burn_total``           counter     ``slo``
+``repro_slo_latency_overflow_total`` counter   ``operator``
+``repro_alerts_active``            gauge       ``alert``
+``repro_profile_ticks_total``      counter     (none)
+``repro_profile_samples_total``    counter     (none)
+``repro_fleet_scrapes_total``      counter     ``node``
+``repro_fleet_scrape_errors_total`` counter    ``node``
+``repro_fleet_node_epoch``         gauge       ``node``
 ``repro_router_hedges_total``      counter     ``shard``
 ``repro_router_hedge_wins_total``  counter     (none)
 ``repro_router_failovers_total``   counter     (none)
@@ -78,6 +85,15 @@ answer) is breached.
 ``repro_counter_total`` mirrors :meth:`repro.core.counters.Counters.snapshot`
 field for field (per query, per operator), so the Prometheus export always
 reconciles with the in-process counter bag.
+
+The ``repro_profile_*`` families are fed by the sampling profiler
+(:mod:`repro.obs.profile`); the ``repro_fleet_*`` families and the
+``node``-labelled copies of the serve families by the router's federation
+scraper (:mod:`repro.obs.fleet`), which absorbs every node's JSON metrics
+dump into the router registry; ``repro_alerts_active`` by the burn-rate
+monitor (:mod:`repro.obs.alerts`).  ``repro_slo_latency_overflow_total``
+is derived per scrape from each latency histogram's ``+Inf`` bucket, so a
+clamped (dishonest) p99 is always accompanied by a visible overflow count.
 """
 
 from __future__ import annotations
@@ -183,6 +199,71 @@ class Histogram:
         self.sum += value
         self.count += 1
 
+    @property
+    def overflow(self) -> int:
+        """Observations above the largest finite bound (the ``+Inf`` bucket).
+
+        These observations cannot be located by :meth:`quantile` — any
+        quantile whose rank falls here clamps to the top finite bound.
+        Exported as ``repro_slo_latency_overflow_total`` so clamped tails
+        are visible instead of silently optimistic.
+        """
+        return self.counts[-1]
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (identical bounds required).
+
+        The federation layer uses this to combine per-node histograms into
+        fleet-wide quantiles: bucket counts are additive, so the merged
+        estimate is exactly what a single histogram observing all nodes'
+        samples would report.
+        """
+        if tuple(other.buckets) != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{other.buckets} != {self.buckets}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.sum += other.sum
+        self.count += other.count
+
+    @classmethod
+    def from_cumulative(
+        cls,
+        bounds: Iterable[float],
+        cumulative: Iterable[int],
+        *,
+        sum: float = 0.0,
+        count: int | None = None,
+    ) -> "Histogram":
+        """Rebuild a histogram from exported *cumulative* bucket counts.
+
+        Inverts the :meth:`MetricsRegistry.to_json` wire form (cumulative
+        counts over the finite bounds) by successive differences; the
+        ``+Inf`` bucket is recovered from ``count`` minus the last finite
+        cumulative value.
+        """
+        hist = cls(bounds)
+        cum = [int(c) for c in cumulative]
+        if len(cum) != len(hist.buckets):
+            raise ValueError(
+                f"expected {len(hist.buckets)} cumulative counts, got {len(cum)}"
+            )
+        prev = 0
+        for i, c in enumerate(cum):
+            if c < prev:
+                raise ValueError("cumulative counts must be non-decreasing")
+            hist.counts[i] = c - prev
+            prev = c
+        total = prev if count is None else int(count)
+        if total < prev:
+            raise ValueError("count is below the last cumulative bucket")
+        hist.counts[-1] = total - prev
+        hist.sum = float(sum)
+        hist.count = total
+        return hist
+
     def cumulative(self) -> list[int]:
         """Cumulative counts per bucket, ``+Inf`` last (== total count)."""
         out: list[int] = []
@@ -198,24 +279,30 @@ class Histogram:
         Standard Prometheus ``histogram_quantile`` semantics: the target
         rank is located in its bucket and interpolated between the bucket's
         bounds (the first bucket interpolates from 0).  Observations in the
-        ``+Inf`` bucket clamp to the largest finite bound — the estimate is
-        only as sharp as the bucket layout, which is the deal histograms
-        make for O(1) observation cost.
+        ``+Inf`` bucket clamp to the largest finite bound — use
+        :meth:`quantile_clamped` when the caller needs to know a clamp
+        happened (the SLO snapshot flags these so fleet p99s are honest).
         """
+        return self.quantile_clamped(q)[0]
+
+    def quantile_clamped(self, q: float) -> tuple[float, bool]:
+        """``(quantile estimate, clamped)`` — clamped when the target rank
+        falls in the ``+Inf`` bucket and the estimate silently reports the
+        largest finite bound instead of the (unknowable) true value."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be within [0, 1]")
         if self.count == 0:
-            return 0.0
+            return 0.0, False
         target = q * self.count
         cum = 0
         lo = 0.0
         for bound, c in zip(self.buckets, self.counts):
             if c and cum + c >= target:
                 frac = (target - cum) / c
-                return lo + (bound - lo) * min(1.0, max(0.0, frac))
+                return lo + (bound - lo) * min(1.0, max(0.0, frac)), False
             cum += c
             lo = bound
-        return self.buckets[-1]
+        return self.buckets[-1], True
 
 
 class MetricsRegistry:
@@ -407,7 +494,15 @@ def update_slo_gauges(registry: MetricsRegistry) -> None:
       served queries (``repro_serve_degraded_total`` /
       ``repro_serve_requests_total{route=/query,status=200}``);
     * ``repro_slo_error_ratio`` — 5xx serve responses over all serve
-      responses.
+      responses;
+    * ``repro_slo_latency_overflow_total{operator}`` — observations in a
+      latency histogram's ``+Inf`` bucket (these clamp quantile estimates
+      to the top finite bound, so they must be visible).
+
+    Series carrying a ``node`` label (absorbed from fleet members by
+    :mod:`repro.obs.fleet`) get per-node quantile gauges but are excluded
+    from this process's aggregate ratios — a router's error ratio is about
+    *its* responses; per-node ratios live in the ``/fleet`` view.
 
     Idempotent and cheap (a pass over the touched label sets), meant to run
     on every ``/metrics`` scrape and ``/status`` read.
@@ -421,6 +516,11 @@ def update_slo_gauges(registry: MetricsRegistry) -> None:
                 metric.quantile(q),
                 {**base, "quantile": qname},
             )
+        # Derived, not incremented: the histogram's +Inf bucket is already
+        # monotonic, so the counter tracks it exactly across scrapes.
+        registry.counter(
+            "repro_slo_latency_overflow_total", base
+        ).value = float(metric.overflow)
     for labels, metric in families.get("repro_serve_shard_seconds", []):
         base = dict(labels)
         for qname, q in SLO_QUANTILES:
@@ -433,12 +533,18 @@ def update_slo_gauges(registry: MetricsRegistry) -> None:
     ok_queries = 0.0
     for labels, metric in families.get("repro_serve_requests_total", []):
         label_map = dict(labels)
+        if "node" in label_map:
+            continue
         served += metric.value
         if label_map.get("status", "").startswith("5"):
             err += metric.value
         if label_map.get("route") == "/query" and label_map.get("status") == "200":
             ok_queries += metric.value
-    degraded = registry.total("repro_serve_degraded_total")
+    degraded = sum(
+        metric.value
+        for labels, metric in families.get("repro_serve_degraded_total", [])
+        if "node" not in dict(labels)
+    )
     registry.set_gauge(
         "repro_slo_degraded_ratio", (degraded / ok_queries) if ok_queries else 0.0
     )
@@ -455,7 +561,15 @@ def slo_snapshot(
     Refreshes the derived gauges (:func:`update_slo_gauges`) and returns::
 
         {"latency_ms_target": …, "latency_seconds": {op: {p50: …, …}},
-         "degraded_ratio": …, "error_ratio": …, "burn": {slo: count}}
+         "degraded_ratio": …, "error_ratio": …, "burn": {slo: count},
+         "overflow": {op: count}, "clamped": {op: [quantile, …]}}
+
+    ``overflow`` counts latency observations above the top histogram bound
+    per operator, and ``clamped`` names the quantiles whose rank fell into
+    that ``+Inf`` bucket — those estimates are floors, not measurements,
+    and fleet dashboards must say so instead of reporting a rosy p99.
+    ``node``-labelled series (scraped from fleet members) are excluded;
+    the per-node view is ``/fleet``'s job.
 
     The serving layer embeds this verbatim in ``/status``; the figure
     registry's ``slo-quantiles`` builder and ``repro client status
@@ -464,11 +578,21 @@ def slo_snapshot(
     """
     update_slo_gauges(registry)
     latency: dict[str, dict[str, float]] = {}
-    for labels, gauge in registry.families().get(
-        "repro_slo_latency_seconds", ()
-    ):
+    overflow: dict[str, int] = {}
+    clamped: dict[str, list[str]] = {}
+    for labels, metric in registry.families().get("repro_query_seconds", ()):
         row = dict(labels)
-        latency.setdefault(row["operator"], {})[row["quantile"]] = gauge.value
+        if "node" in row:
+            continue
+        op = row.get("operator", "")
+        per_op = latency.setdefault(op, {})
+        for qname, q in SLO_QUANTILES:
+            value, was_clamped = metric.quantile_clamped(q)
+            per_op[qname] = value
+            if was_clamped:
+                clamped.setdefault(op, []).append(qname)
+        if metric.overflow:
+            overflow[op] = metric.overflow
     burn = {
         dict(labels)["slo"]: counter.value
         for labels, counter in registry.families().get(
@@ -481,6 +605,8 @@ def slo_snapshot(
         "degraded_ratio": registry.value("repro_slo_degraded_ratio"),
         "error_ratio": registry.value("repro_slo_error_ratio"),
         "burn": burn,
+        "overflow": overflow,
+        "clamped": clamped,
     }
 
 

@@ -48,6 +48,7 @@ __all__ = [
     "RequestContext",
     "Sampler",
     "bind",
+    "context_for_thread",
     "current",
     "new_request_id",
     "new_span_id",
@@ -216,10 +217,28 @@ _CURRENT: ContextVar[RequestContext | None] = ContextVar(
     "repro_request_context", default=None
 )
 
+#: Thread-id -> currently bound context.  A ContextVar is unreadable from
+#: other threads, but the sampling profiler walks ``sys._current_frames()``
+#: from its own daemon thread and needs to attribute each sampled stack to
+#: the request running on that thread — this mirror, maintained by
+#: :func:`bind`, is that cross-thread view.  Plain dict ops are atomic
+#: under the GIL; a momentarily stale entry only mislabels one sample.
+_THREAD_BINDINGS: dict[int, RequestContext] = {}
+
 
 def current() -> RequestContext | None:
     """The bound :class:`RequestContext`, or None outside a request."""
     return _CURRENT.get()
+
+
+def context_for_thread(thread_id: int) -> RequestContext | None:
+    """The context bound on another thread (profiler attribution only).
+
+    Best-effort by design: the answer can be a bind or an unbind behind
+    the thread's true state, which for statistical profiling shifts at
+    most one sample per transition.
+    """
+    return _THREAD_BINDINGS.get(thread_id)
 
 
 @contextlib.contextmanager
@@ -227,13 +246,25 @@ def bind(ctx: RequestContext | None) -> Iterator[RequestContext | None]:
     """Bind ``ctx`` as the current request for the with-block.
 
     Token-based, so nested binds (a shard child inside the request) restore
-    the outer context on exit.
+    the outer context on exit.  The thread-id mirror used by the sampling
+    profiler is maintained alongside (restored to the outer binding on
+    exit, removed when there is none).
     """
     token = _CURRENT.set(ctx)
+    tid = threading.get_ident()
+    prev = _THREAD_BINDINGS.get(tid)
+    if ctx is not None:
+        _THREAD_BINDINGS[tid] = ctx
+    else:
+        _THREAD_BINDINGS.pop(tid, None)
     try:
         yield ctx
     finally:
         _CURRENT.reset(token)
+        if prev is not None:
+            _THREAD_BINDINGS[tid] = prev
+        else:
+            _THREAD_BINDINGS.pop(tid, None)
 
 
 class Sampler:

@@ -352,7 +352,7 @@ class DurableDatasetManager(DatasetManager):
             HTTP layer answers 503 ``retryable`` meanwhile).
         **kwargs: the :class:`DatasetManager` knobs (shards, partitioner,
             backend, global_fanout, on_invalid, compact_threshold,
-            metrics, workers, start_method).
+            metrics, workers, start_method, profile_hz).
     """
 
     def __init__(
@@ -375,6 +375,7 @@ class DurableDatasetManager(DatasetManager):
         metrics: Any = None,
         workers: int | None = None,
         start_method: str | None = None,
+        profile_hz: float = 0.0,
     ) -> None:
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
@@ -390,6 +391,7 @@ class DurableDatasetManager(DatasetManager):
             "global_fanout": global_fanout,
             "workers": workers,
             "start_method": start_method,
+            "profile_hz": profile_hz,
         }
         self._pending_objects = list(objects)
         self._durable_ready = False
@@ -405,7 +407,7 @@ class DurableDatasetManager(DatasetManager):
             ShardedSearch([], shards=shards, partitioner=partitioner,
                           backend=backend, global_fanout=global_fanout,
                           metrics=metrics, workers=workers,
-                          start_method=start_method),
+                          start_method=start_method, profile_hz=profile_hz),
             on_invalid=on_invalid,
             compact_threshold=compact_threshold,
             metrics=metrics,
@@ -457,6 +459,7 @@ class DurableDatasetManager(DatasetManager):
                     metrics=self.metrics,
                     workers=cfg["workers"],
                     start_method=cfg["start_method"],
+                    profile_hz=cfg["profile_hz"],
                 )
             else:
                 # Layout changed across the restart (different --shards /
@@ -543,6 +546,7 @@ class DurableDatasetManager(DatasetManager):
             metrics=self.metrics,
             workers=cfg["workers"],
             start_method=cfg["start_method"],
+            profile_hz=cfg["profile_hz"],
         )
 
     def _replay(self, records: list[dict], base_epoch: int) -> int:

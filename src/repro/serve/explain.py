@@ -1,0 +1,249 @@
+"""Per-query explain: the Figure-16 cost breakdown for one live request.
+
+Figure 16 of the paper attributes search cost to filter stages (MBR
+tests, dominance checks, CDF sweeps, flow augmentations) — but averaged
+over a workload.  ``"explain": true`` on a ``/query`` request produces
+the same attribution for *that one query*, assembled entirely from the
+span/counter machinery the serving layer already runs:
+
+* every traced span records the **inclusive** counter deltas of its
+  subtree (:class:`repro.obs.tracer._ActiveSpan` snapshots the context's
+  counter bag around the span);
+* spans complete in postorder per tracer buffer, so a single pass with a
+  per-depth pending stack converts inclusive deltas to **exclusive**
+  ones — each stage is charged only for work done in its own frames;
+* summing exclusive stage counters, the refine-phase delta, and an
+  ``untracked`` residual reconciles *exactly* with the query's
+  :class:`repro.core.counters.Counters` bag.  The residual is reported,
+  never hidden: a large ``untracked`` row means an uninstrumented code
+  path, which is itself a finding.
+
+An explain request is forcibly sampled (tracing end to end, router hop
+included via ``X-Sampled``), so the breakdown covers every shard on
+every backend.  The router merges per-node explains into one fleet view
+with per-node timings and the hedge outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["build_explain", "merge_explains", "stage_rows"]
+
+
+def _add(into: dict[str, int], deltas: Mapping[str, int]) -> None:
+    for key, value in deltas.items():
+        if value:
+            into[key] = into.get(key, 0) + value
+
+
+def _nonzero(deltas: Mapping[str, int]) -> dict[str, int]:
+    return {k: v for k, v in deltas.items() if v}
+
+
+def stage_rows(span_buffers: Iterable[Sequence[Any]]) -> list[dict]:
+    """Aggregate span buffers into per-stage rows with exclusive costs.
+
+    Each buffer must be in completion (postorder) order — the native
+    order of :meth:`repro.obs.tracer.Tracer.spans` and of the shard
+    buffers reassembled by ``RequestContext.add_shard_spans``.  A span's
+    recorded counter deltas are inclusive of its children; the per-depth
+    pending stack subtracts the children's share so every count lands in
+    exactly one stage.  Spans recorded without counters (``shard-search``
+    and the server's ``query`` envelope) charge nothing themselves and
+    pass their children's inclusive totals upward.
+
+    Returns one row per span name, sorted by exclusive time descending:
+    ``{stage, count, total_ms, exclusive_ms, counters}``.
+    """
+    rows: dict[str, dict] = {}
+    for buffer in span_buffers:
+        # depth -> [accumulated child inclusive deltas, child seconds]
+        pending: dict[int, tuple[dict[str, int], float]] = {}
+        for span in buffer:
+            depth = span.depth
+            child_deltas, child_s = pending.pop(depth + 1, ({}, 0.0))
+            own = dict(span.counter_deltas or {})
+            if own:
+                exclusive = {
+                    k: v - child_deltas.get(k, 0) for k, v in own.items()
+                }
+                inclusive = own
+            else:
+                exclusive = {}
+                inclusive = child_deltas
+            acc_deltas, acc_s = pending.get(depth, ({}, 0.0))
+            _add(acc_deltas, inclusive)
+            pending[depth] = (acc_deltas, acc_s + span.duration)
+            row = rows.setdefault(
+                span.name,
+                {
+                    "stage": span.name,
+                    "count": 0,
+                    "total_ms": 0.0,
+                    "exclusive_ms": 0.0,
+                    "counters": {},
+                },
+            )
+            row["count"] += 1
+            row["total_ms"] += span.duration * 1000.0
+            row["exclusive_ms"] += max(0.0, span.duration - child_s) * 1000.0
+            _add(row["counters"], exclusive)
+    out = sorted(rows.values(), key=lambda r: -r["exclusive_ms"])
+    for row in out:
+        row["counters"] = _nonzero(row["counters"])
+    return out
+
+
+def build_explain(
+    result: Any,
+    *,
+    operator: str,
+    k: int,
+    request: Any = None,
+    counters: Mapping[str, int] | None = None,
+) -> dict:
+    """Node-side explain body for one :class:`ShardedResult`.
+
+    ``counters`` overrides the reconciliation target (the router passes
+    its fleet-merged bag); by default it is ``result.counters.snapshot()``
+    — the exact bag the Prometheus bridge exports, so the identity
+
+        sum(stage counters) + refine + untracked == bag
+
+    holds field for field by construction, with ``untracked`` as the
+    explicit (reported) residual of uninstrumented code paths.
+    """
+    buffers: list[Sequence[Any]] = []
+    if request is not None:
+        tracer = getattr(request, "tracer", None)
+        spans = tracer.spans() if tracer is not None else []
+        if spans:
+            buffers.append(spans)
+        for _shard, shard_buffer in getattr(request, "shard_spans", ()):
+            buffers.append(shard_buffer)
+    stages = stage_rows(buffers)
+    bag = _nonzero(
+        dict(counters)
+        if counters is not None
+        else result.counters.snapshot()
+    )
+    refine_counters = _nonzero(getattr(result, "refine_counters", {}) or {})
+    tracked: dict[str, int] = {}
+    for row in stages:
+        _add(tracked, row["counters"])
+    _add(tracked, refine_counters)
+    untracked = _nonzero(
+        {key: bag.get(key, 0) - tracked.get(key, 0) for key in bag}
+    )
+    degradation = getattr(result, "degradation", None)
+    return {
+        "operator": operator,
+        "k": k,
+        "backend": result.backend,
+        "elapsed_ms": result.elapsed * 1000.0,
+        "candidates": len(result.candidates),
+        "sampled": bool(getattr(request, "sampled", False)),
+        "stages": stages,
+        "counters": bag,
+        "refine": {
+            "checks": result.refine_checks,
+            "counters": refine_counters,
+        },
+        "untracked": untracked,
+        "per_shard": list(getattr(result, "per_shard", ()) or ()),
+        "fanout": result.fanout,
+        "degraded": degradation is not None,
+    }
+
+
+def merge_explains(
+    fetches: Sequence[Mapping[str, Any]],
+    *,
+    refine_checks: int,
+    refine_counters: Mapping[str, int],
+    hedged: bool,
+) -> dict:
+    """Router-side merge of per-node explain sections into one fleet view.
+
+    Args:
+        fetches: one entry per gathered shard read:
+            ``{shard, node, hedged, explain}`` (``explain`` may be None
+            when a node predates the feature — the merge degrades to
+            timings only).
+        refine_checks: the router's own cross-node refine checks.
+        refine_counters: counter deltas of the router's refine phase.
+        hedged: whether any shard read was hedged.
+
+    Stage rows are summed across nodes; the merged ``counters`` bag is
+    the sum of every node's bag plus the router's refine deltas, so the
+    fleet-level reconciliation identity is inherited from the per-node
+    ones.  Per-node timings (and which fetches were hedged) land in the
+    ``nodes`` section.
+    """
+    stages: dict[str, dict] = {}
+    counters: dict[str, int] = {}
+    untracked: dict[str, int] = {}
+    node_refine_checks = 0
+    nodes: dict[str, dict] = {}
+    for fetch in fetches:
+        node_id = fetch.get("node")
+        entry = nodes.setdefault(
+            node_id, {"node": node_id, "fetches": [], "elapsed_ms": 0.0}
+        )
+        explain = fetch.get("explain")
+        shard_row: dict[str, Any] = {
+            "shard": fetch.get("shard"),
+            "hedged": bool(fetch.get("hedged")),
+        }
+        if explain:
+            shard_row["elapsed_ms"] = explain.get("elapsed_ms")
+            entry["elapsed_ms"] += explain.get("elapsed_ms") or 0.0
+            _add(counters, explain.get("counters") or {})
+            _add(untracked, explain.get("untracked") or {})
+            refine = explain.get("refine") or {}
+            node_refine_checks += refine.get("checks") or 0
+            for row in explain.get("stages") or ():
+                merged = stages.setdefault(
+                    row["stage"],
+                    {
+                        "stage": row["stage"],
+                        "count": 0,
+                        "total_ms": 0.0,
+                        "exclusive_ms": 0.0,
+                        "counters": {},
+                    },
+                )
+                merged["count"] += row.get("count", 0)
+                merged["total_ms"] += row.get("total_ms", 0.0)
+                merged["exclusive_ms"] += row.get("exclusive_ms", 0.0)
+                _add(merged["counters"], row.get("counters") or {})
+            node_refine = refine.get("counters") or {}
+            if node_refine:
+                merged = stages.setdefault(
+                    "node-refine",
+                    {
+                        "stage": "node-refine",
+                        "count": 0,
+                        "total_ms": 0.0,
+                        "exclusive_ms": 0.0,
+                        "counters": {},
+                    },
+                )
+                merged["count"] += 1
+                _add(merged["counters"], node_refine)
+        entry["fetches"].append(shard_row)
+    router_refine = _nonzero(dict(refine_counters))
+    _add(counters, router_refine)
+    return {
+        "stages": sorted(stages.values(), key=lambda r: -r["exclusive_ms"]),
+        "counters": _nonzero(counters),
+        "refine": {
+            "checks": refine_checks,
+            "counters": router_refine,
+            "node_checks": node_refine_checks,
+        },
+        "untracked": _nonzero(untracked),
+        "nodes": {nid: nodes[nid] for nid in sorted(nodes)},
+        "hedged": hedged,
+    }

@@ -10,6 +10,7 @@ Request shapes (all POST bodies)::
     /query  {"points": [[..],..], "probs": [..]?, "operator": "FSD",
              "k": 1?, "metric": "euclidean"?, "cache": true?,
              "shards": [0, 2]?, "include_objects": false?,
+             "explain": false?,
              "budget": {"deadline_ms": ..?, "max_dominance_checks": ..?,
                         "max_flow_augmentations": ..?}?}
     /insert {"points": [[..],..], "probs": [..]?, "oid": ..?}
@@ -115,7 +116,8 @@ def parse_query_request(payload: Any) -> dict:
     Returns:
         dict with ``query`` (UncertainObject), ``operator`` (name),
         ``k``, ``metric``, ``budget`` (Budget or None), ``cache`` (bool),
-        ``shards`` (sorted int list or None), ``include_objects`` (bool).
+        ``shards`` (sorted int list or None), ``include_objects`` (bool),
+        ``explain`` (bool — per-stage cost breakdown in the response).
     """
     payload = _require_dict(payload)
     operator = payload.get("operator", "FSD")
@@ -145,6 +147,9 @@ def parse_query_request(payload: Any) -> dict:
     include_objects = payload.get("include_objects", False)
     if not isinstance(include_objects, bool):
         raise ProtocolError("'include_objects' must be a boolean")
+    explain = payload.get("explain", False)
+    if not isinstance(explain, bool):
+        raise ProtocolError("'explain' must be a boolean")
     return {
         "query": _parse_object(payload, oid=payload.get("oid", "Q")),
         "operator": operator,
@@ -154,6 +159,7 @@ def parse_query_request(payload: Any) -> dict:
         "cache": cache,
         "shards": shards,
         "include_objects": include_objects,
+        "explain": explain,
     }
 
 

@@ -56,11 +56,13 @@ from typing import Any, Mapping
 
 from repro.core.context import QueryContext
 from repro.objects.uncertain import UncertainObject
+from repro.obs.fleet import FleetScraper
 from repro.obs.log import log_event
 from repro.obs.metrics import MetricsRegistry, slo_snapshot
 from repro.serve import protocol
 from repro.serve.audit import AuditLog
 from repro.serve.cache import ResultCache
+from repro.serve.explain import merge_explains
 from repro.serve.placement import PlacementMap, shard_of
 from repro.serve.remote import RemoteNodeError
 from repro.serve.server import ServeApp
@@ -118,6 +120,7 @@ class RouterApp(ServeApp):
         trace_dir: str | Path | None = None,
         slo_latency_ms: float | None = None,
         node_id: str | None = None,
+        profile_hz: float = 0.0,
     ) -> None:
         if not nodes:
             raise ValueError("router needs at least one node")
@@ -132,8 +135,13 @@ class RouterApp(ServeApp):
             trace_dir=trace_dir,
             slo_latency_ms=slo_latency_ms,
             node_id=node_id or "router",
+            profile_hz=profile_hz,
         )
         self.nodes = dict(nodes)
+        #: Federation: pulls every node's /metrics.json + /status into the
+        #: router registry under a ``node`` label (GET /fleet; piggybacked
+        #: on the health sweep so the view stays warm between requests).
+        self.fleet = FleetScraper(self.nodes, self.registry)
         self.placement = PlacementMap(
             list(self.nodes),
             shards=shards,
@@ -185,7 +193,7 @@ class RouterApp(ServeApp):
         budget_spec = payload.get("budget") or self.default_budget
         use_cache = (
             self.cache is not None and req["cache"] and budget_spec is None
-            and not scoped
+            and not scoped and not req["explain"]
         )
         start = time.perf_counter()
         with self._rw.read():
@@ -220,6 +228,10 @@ class RouterApp(ServeApp):
                 base["probs"] = payload["probs"]
             if budget_spec is not None:
                 base["budget"] = dict(budget_spec)
+            if req["explain"]:
+                # Every node builds its own breakdown; the router merges
+                # them into one fleet view after the refine phase.
+                base["explain"] = True
             headers = self._node_headers(request)
             futures = [
                 self._scatter_exec.submit(
@@ -274,6 +286,36 @@ class RouterApp(ServeApp):
         )
         body["nodes"] = sorted(used_nodes)
         body["hedged"] = hedged
+        if req["explain"]:
+            # The refine context is fresh, so its bag *is* the router's
+            # refine-phase delta — no pre-snapshot needed.
+            refine_deltas = {
+                key: value
+                for key, value in refine_ctx.counters.snapshot().items()
+                if value
+            }
+            body["explain"] = {
+                "operator": req["operator"],
+                "k": req["k"],
+                "backend": "router",
+                "elapsed_ms": result.elapsed * 1000.0,
+                "candidates": len(result.candidates),
+                "sampled": bool(getattr(request, "sampled", False)),
+                **merge_explains(
+                    [
+                        {
+                            "shard": targets[pos],
+                            "node": node_id,
+                            "hedged": fetched_body.get("_hedged", False),
+                            "explain": fetched_body.get("explain"),
+                        }
+                        for pos, (node_id, fetched_body) in enumerate(fetched)
+                    ],
+                    refine_checks=refine_checks,
+                    refine_counters=refine_deltas,
+                    hedged=hedged,
+                ),
+            }
         if degradation is not None:
             self.registry.inc(
                 "repro_serve_degraded_total", 1, {"operator": req["operator"]}
@@ -577,6 +619,12 @@ class RouterApp(ServeApp):
     def _health_loop(self) -> None:
         while not self._stop.wait(self.health_interval_s):
             self._sweep_health()
+            try:
+                # Keep the federated view warm between /fleet requests
+                # (merged quantiles, per-node epochs, breaker states).
+                self.fleet.scrape()
+            except Exception:  # pragma: no cover - sweep must never die
+                pass
 
     def _sweep_health(self) -> dict[str, bool]:
         """One ``/healthz`` pass over the fleet; updates up-gauges and
@@ -597,6 +645,17 @@ class RouterApp(ServeApp):
 
     # ---------------------------- introspection ------------------------ #
 
+    def handle(
+        self, method: str, path: str, payload: Any, request=None
+    ) -> tuple[int, dict]:
+        """ServeApp routing plus the router-only ``GET /fleet`` view."""
+        if method == "GET" and path == "/fleet":
+            # A fresh scrape per request: /fleet is the operator's "what
+            # is the fleet doing *now*" view, and one round of GETs over
+            # the node set is cheap next to a stale answer.
+            return 200, self.fleet.scrape()
+        return super().handle(method, path, payload, request)
+
     def healthz(self) -> dict:
         """GET /healthz: router liveness plus the fleet's vital signs."""
         status = "draining" if self.draining else "ok"
@@ -608,7 +667,9 @@ class RouterApp(ServeApp):
             "shards": self.placement.shards,
             "replication": self.placement.replication,
             "inflight": self._inflight,
+            "start_time": self.started_at,
             "uptime_s": time.time() - self.started_at,
+            "uptime_seconds": time.time() - self.started_at,
             "cache": self.cache.stats() if self.cache is not None else None,
             "nodes": {
                 nid: {
@@ -630,6 +691,8 @@ class RouterApp(ServeApp):
             },
             "audit": self.audit.stats() if self.audit is not None else None,
             "slo": slo_snapshot(self.registry, self.slo_latency_ms),
+            "alerts": self.alerts.snapshot(),
+            "fleet": self.fleet.snapshot(),
             "placement": self.placement.to_dict(),
         }
 
@@ -638,7 +701,8 @@ class RouterApp(ServeApp):
         return self._epoch
 
     def close(self) -> None:
-        """Stop the health sweep and release the scatter/IO pools."""
+        """Stop the profiler, health sweep, and scatter/IO pools."""
+        self.profiler.stop()
         self._stop.set()
         if self._health_thread is not None:
             self._health_thread.join(timeout=5.0)

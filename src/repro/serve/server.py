@@ -34,13 +34,16 @@ from pathlib import Path
 from typing import Any
 
 from repro.objects.validate import InvalidInputError
+from repro.obs.alerts import BurnRateMonitor
 from repro.obs.export import merged_chrome_trace
 from repro.obs.log import log_event
 from repro.obs.metrics import MetricsRegistry, slo_snapshot, update_slo_gauges
+from repro.obs.profile import SamplingProfiler, merge_folded
 from repro.obs.request import RequestContext, Sampler, bind
 from repro.obs.tracer import Tracer
 from repro.resilience.budget import Budget
 from repro.serve import protocol
+from repro.serve.explain import build_explain
 from repro.serve.audit import AuditLog
 from repro.serve.cache import ResultCache
 from repro.serve.shard import ShardBackendError
@@ -80,6 +83,10 @@ class ServeApp:
         node_id: identity of this server in a multi-node fleet (surfaced
             in ``/healthz``/``/status`` so the router can verify it is
             talking to the member it placed shards on); None = standalone.
+        profile_hz: sampling rate of the continuous profiler
+            (:class:`repro.obs.profile.SamplingProfiler`); 0 disables it.
+            The profile is served at ``/profile`` (JSON, folded text at
+            ``/profile.txt``) and rendered by the flamegraph figure.
     """
 
     def __init__(
@@ -95,6 +102,7 @@ class ServeApp:
         trace_dir: str | Path | None = None,
         slo_latency_ms: float | None = None,
         node_id: str | None = None,
+        profile_hz: float = 0.0,
     ) -> None:
         self.manager = manager
         self.node_id = node_id
@@ -115,6 +123,13 @@ class ServeApp:
         self._inflight = 0
         self._lock = threading.Lock()
         self.started_at = time.time()
+        self.profile_hz = float(profile_hz)
+        self.profiler = SamplingProfiler(
+            self.profile_hz, registry=self.registry
+        ).start()
+        #: Multi-window burn-rate alerting over the same SLOs the burn
+        #: counters track; evaluated lazily on ``/status`` reads.
+        self.alerts = BurnRateMonitor(registry=self.registry)
 
     # --------------------------- admission ----------------------------- #
 
@@ -162,6 +177,16 @@ class ServeApp:
                 # Caller special-cases the content type; body is text.
                 update_slo_gauges(self.registry)
                 return 200, {"text": self.registry.to_prometheus()}
+            if method == "GET" and path == "/metrics.json":
+                # The federation scraper's wire form: the registry's JSON
+                # dump, so absorbing never parses Prometheus text.
+                update_slo_gauges(self.registry)
+                return 200, self.registry.to_json()
+            if method == "GET" and path == "/profile":
+                return 200, self.profile_body()
+            if method == "GET" and path == "/profile.txt":
+                # Caller special-cases the content type; body is text.
+                return 200, {"text": self.profile_body().get("folded", "")}
             if method != "POST" or path not in ("/query", "/insert", "/delete"):
                 return 404, protocol.error_body(f"no route {method} {path}")
             if self.recovering:
@@ -215,8 +240,20 @@ class ServeApp:
             request_id = hdrs.get("x-request-id") or None
             # An upstream sampling decision forces ours: the router only
             # marks requests it is itself tracing, and a fleet trace with
-            # holes in it is worse than none.
-            sampled = hdrs.get("x-sampled") == "1" or self.sampler.decide()
+            # holes in it is worse than none.  An explain query likewise
+            # forces sampling — the breakdown is assembled from spans, so
+            # it needs the full trace (and propagates the decision to
+            # every shard/node via X-Sampled).
+            explain = (
+                path == "/query"
+                and isinstance(payload, dict)
+                and payload.get("explain") is True
+            )
+            sampled = (
+                explain
+                or hdrs.get("x-sampled") == "1"
+                or self.sampler.decide()
+            )
             request = RequestContext.new(
                 request_id=request_id,
                 sampled=sampled,
@@ -255,15 +292,21 @@ class ServeApp:
 
     def _slo_account(self, status: int, body: dict, elapsed: float) -> None:
         """Burn counters: one increment per request that misses an SLO."""
-        if status >= 500:
-            self.registry.inc("repro_slo_burn_total", 1, {"slo": "error"})
-        if status == 200 and body.get("degraded"):
-            self.registry.inc("repro_slo_burn_total", 1, {"slo": "degraded"})
-        if (
+        error = status >= 500
+        degraded = status == 200 and bool(body.get("degraded"))
+        latency_bad = (
             self.slo_latency_ms is not None
             and elapsed * 1000.0 > self.slo_latency_ms
-        ):
+        )
+        if error:
+            self.registry.inc("repro_slo_burn_total", 1, {"slo": "error"})
+        if degraded:
+            self.registry.inc("repro_slo_burn_total", 1, {"slo": "degraded"})
+        if latency_bad:
             self.registry.inc("repro_slo_burn_total", 1, {"slo": "latency"})
+        self.alerts.record(
+            latency_bad=latency_bad, error=error, degraded=degraded
+        )
 
     def export_trace(self, request) -> dict:
         """Merge a sampled request's span buffers into one Chrome trace.
@@ -307,10 +350,13 @@ class ServeApp:
         # Budgeted answers depend on the request's budget, not just the
         # dataset — never cached, never served from cache.  Shard-scoped
         # and geometry-bearing answers (the router's node reads) are also
-        # uncacheable: the cache key doesn't encode either.
+        # uncacheable: the cache key doesn't encode either.  Explain
+        # answers bypass the cache both ways: the breakdown describes the
+        # work of *this* execution, and a cached body has none.
         use_cache = (
             self.cache is not None and req["cache"] and budget is None
             and shard_subset is None and not req["include_objects"]
+            and not req["explain"]
         )
         if use_cache:
             key = ResultCache.key(
@@ -353,6 +399,10 @@ class ServeApp:
             result, epoch, request=request,
             include_objects=req["include_objects"],
         )
+        if req["explain"]:
+            body["explain"] = build_explain(
+                result, operator=req["operator"], k=req["k"], request=request
+            )
         if result.degradation is not None:
             self.registry.inc(
                 "repro_serve_degraded_total", 1, {"operator": req["operator"]}
@@ -412,6 +462,48 @@ class ServeApp:
             )
         return 200, protocol.delete_response(oid, epoch)
 
+    def profile_body(self, *, top: int | None = 50) -> dict:
+        """GET /profile body: this process's profile plus pool workers'.
+
+        With the pool backend the query path runs in persistent worker
+        processes the in-process sampler cannot see; each worker runs its
+        own profiler (started by ``pool_worker_init``) and this merges
+        their cumulative folded stacks into the served aggregate.
+        """
+        body = self.profiler.snapshot(top=top)
+        body["node_id"] = self.node_id
+        search = (
+            getattr(self.manager, "search", None)
+            if self.manager is not None
+            else None
+        )
+        collect = getattr(search, "worker_profiles", None)
+        worker_profiles = (
+            collect() if collect is not None and self.profile_hz > 0 else {}
+        )
+        if worker_profiles:
+            merged = self.profiler.stacks()
+            workers = {}
+            for pid, prof in sorted(worker_profiles.items()):
+                merge_folded(merged, prof.get("stacks") or {})
+                workers[str(pid)] = {
+                    "samples": prof.get("samples", 0),
+                    "attributed": prof.get("attributed", 0),
+                }
+                body["samples"] += prof.get("samples", 0)
+                body["attributed"] += prof.get("attributed", 0)
+            items = sorted(merged.items(), key=lambda kv: (-kv[1], kv[0]))
+            body["workers"] = workers
+            body["distinct_stacks"] = len(items)
+            body["stacks"] = [
+                {"stack": stack, "count": count}
+                for stack, count in (items if top is None else items[:top])
+            ]
+            body["folded"] = "\n".join(
+                f"{stack} {count}" for stack, count in items
+            )
+        return body
+
     def healthz(self) -> dict:
         """GET /healthz body: liveness, epoch, sizes, drain/compaction truth.
 
@@ -438,6 +530,8 @@ class ServeApp:
             "inflight": self._inflight,
             "compacting": compacting,
             "uptime_s": time.time() - self.started_at,
+            "start_time": self.started_at,
+            "uptime_seconds": time.time() - self.started_at,
             "cache": self.cache.stats() if self.cache is not None else None,
         }
 
@@ -460,6 +554,7 @@ class ServeApp:
             },
             "audit": self.audit.stats() if self.audit is not None else None,
             "slo": slo_snapshot(self.registry, self.slo_latency_ms),
+            "alerts": self.alerts.snapshot(),
         }
         durability = getattr(self.manager, "durability_status", None)
         if durability is not None:
@@ -474,6 +569,7 @@ class ServeApp:
         """Release backend resources (subclasses may own more than a
         manager — the router closes node connections and its health
         thread instead)."""
+        self.profiler.stop()
         self.manager.close()
 
 
@@ -630,7 +726,7 @@ class NNCServer:
             await self._respond(writer, status, body)
             return
         status, body = app.dispatch(method, path, payload, headers)
-        if path == "/metrics" and status == 200:
+        if path in ("/metrics", "/profile.txt") and status == 200:
             await self._respond_text(writer, 200, body["text"])
         else:
             await self._respond(writer, status, body)

@@ -66,7 +66,12 @@ from repro.obs.request import RequestContext, bind
 from repro.obs.tracer import SpanRecord, Tracer
 from repro.resilience.budget import Budget, BudgetExhausted, DegradationReport
 from repro.serve.placement import shard_of
-from repro.serve.shm import SegmentStore, pool_run_one, pool_worker_init
+from repro.serve.shm import (
+    SegmentStore,
+    pool_profile_snapshot,
+    pool_run_one,
+    pool_worker_init,
+)
 
 __all__ = [
     "BACKENDS",
@@ -230,6 +235,10 @@ class ShardedResult:
     fanout: int = 0
     degradation: DegradationReport | None = None
     counters: Counters = field(default_factory=Counters)
+    #: Counter deltas of the cross-shard refine phase alone (already part
+    #: of ``counters``); the explain breakdown reports them as their own
+    #: stage so per-stage totals reconcile with the bag.
+    refine_counters: dict[str, int] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.candidates)
@@ -347,6 +356,10 @@ class ShardedSearch:
             (default ``spawn`` — workers share *nothing* by inheritance;
             ``fork``/``forkserver`` are accepted where the platform has
             them, e.g. to cut pool boot time in tests).
+        profile_hz: sampling rate for per-worker profilers in the ``pool``
+            backend (each persistent worker starts its own
+            :class:`repro.obs.profile.SamplingProfiler`; snapshots are
+            collected by :meth:`worker_profiles`); 0 disables.
     """
 
     def __init__(
@@ -360,6 +373,7 @@ class ShardedSearch:
         metrics: Any = None,
         workers: int | None = None,
         start_method: str | None = None,
+        profile_hz: float = 0.0,
     ) -> None:
         if partitioner not in PARTITIONERS:
             raise ValueError(
@@ -378,6 +392,7 @@ class ShardedSearch:
         self._fanout = global_fanout
         self.workers = workers
         self.start_method = start_method
+        self.profile_hz = float(profile_hz)
         parts = PARTITIONERS[partitioner](list(objects), shards)
         self.searches = [NNCSearch(p, global_fanout) for p in parts]
         #: Shard centroids (MBR centers) for partitioner-aware inserts;
@@ -411,6 +426,7 @@ class ShardedSearch:
         metrics: Any = None,
         workers: int | None = None,
         start_method: str | None = None,
+        profile_hz: float = 0.0,
     ) -> "ShardedSearch":
         """Adopt pre-built per-shard searches without re-partitioning.
 
@@ -429,6 +445,7 @@ class ShardedSearch:
             metrics=metrics,
             workers=workers,
             start_method=start_method,
+            profile_hz=profile_hz,
         )
         if searches:
             inst.searches = list(searches)
@@ -641,9 +658,21 @@ class ShardedSearch:
                 )
             )
 
+        pre_refine = refine_ctx.counters.snapshot()
         final, counts, refine_checks, unresolved = refine_survivors(
             operator, k, survivors, covered, refine_ctx
         )
+        post_refine = refine_ctx.counters.snapshot()
+        refine_deltas = {
+            key: post_refine[key] - pre_refine.get(key, 0)
+            for key in post_refine
+            if post_refine[key] - pre_refine.get(key, 0)
+        }
+        if refine_ctx.counters is not merged:
+            # Parallel backends refine in a fresh context; fold its work
+            # into the merged bag so the query's counters cover the whole
+            # answer, same as the serial path (where the contexts alias).
+            merged.merge(_counters_from_snapshot(refine_deltas))
         if unresolved and degradation is None:
             # The budget tripped during refinement with every shard exact:
             # unresolved cross-shard checks defaulted to non-dominance, so
@@ -670,6 +699,7 @@ class ShardedSearch:
             fanout=sum(1 for group in survivors if group),
             degradation=degradation,
             counters=merged,
+            refine_counters=refine_deltas,
         )
         if self.metrics is not None:
             self.metrics.observe(
@@ -921,6 +951,7 @@ class ShardedSearch:
                         self.start_method or "spawn"
                     ),
                     initializer=pool_worker_init,
+                    initargs=(self.profile_hz,),
                 )
 
     def _publish_shard(self, j: int) -> None:
@@ -968,6 +999,36 @@ class ShardedSearch:
         return sorted(
             p.pid for p in self._pool_exec._processes.values()
         )
+
+    def worker_profiles(self) -> dict[int, dict]:
+        """Cumulative profiler snapshots from pool workers, keyed by pid.
+
+        The executor gives no control over which worker picks up a task,
+        so one snapshot task per worker is submitted and results are
+        keyed by the responding pid — a worker answering twice simply
+        overwrites its own (cumulative, so idempotent) snapshot, and a
+        worker that answered none is picked up by a later call.  Empty
+        for non-pool backends, a disabled profiler, or a cold pool.
+        """
+        executor = self._pool_exec
+        if executor is None or self.profile_hz <= 0:
+            return {}
+        slots = max(1, len(self.pool_pids()))
+        try:
+            futures = [
+                executor.submit(pool_profile_snapshot) for _ in range(slots)
+            ]
+        except RuntimeError:
+            return {}
+        out: dict[int, dict] = {}
+        for future in futures:
+            try:
+                pid, prof = future.result(timeout=5.0)
+            except Exception:  # noqa: BLE001 — profile is best-effort
+                continue
+            if prof is not None:
+                out[pid] = prof
+        return out
 
     def _scatter_pool(
         self, query, operator, k, metric, kernels, budget, request=None,

@@ -488,6 +488,35 @@ def pool_run_one(task: tuple) -> tuple:
     )
 
 
-def pool_worker_init() -> None:
-    """Pool worker initializer: start from a clean attachment cache."""
+#: Worker-local continuous profiler, started by :func:`pool_worker_init`
+#: when the parent serves with ``--profile-hz``.  Sampled stacks attribute
+#: to requests through the same ``bind()`` thread mirror the parent uses
+#: (the request context crosses in the task's wire form).
+_WORKER_PROFILER = None
+
+
+def pool_worker_init(profile_hz: float = 0.0) -> None:
+    """Pool worker initializer: clean attachment cache, optional profiler."""
+    global _WORKER_PROFILER
     _ATTACHED.clear()
+    if profile_hz and profile_hz > 0:
+        from repro.obs.profile import SamplingProfiler
+
+        _WORKER_PROFILER = SamplingProfiler(profile_hz).start()
+
+
+def pool_profile_snapshot() -> tuple[int, dict | None]:
+    """Snapshot this worker's cumulative profile: ``(pid, profile|None)``.
+
+    Submitted by :meth:`ShardedSearch.worker_profiles`; cumulative, so a
+    worker answering the same request twice is harmless (the caller keys
+    by pid and overwrites).  ``None`` when profiling is disabled.
+    """
+    if _WORKER_PROFILER is None:
+        return os.getpid(), None
+    return os.getpid(), {
+        "stacks": _WORKER_PROFILER.stacks(),
+        "samples": _WORKER_PROFILER.samples,
+        "attributed": _WORKER_PROFILER.attributed,
+        "hz": _WORKER_PROFILER.hz,
+    }

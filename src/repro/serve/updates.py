@@ -97,6 +97,8 @@ class DatasetManager:
         workers / start_method: forwarded to :class:`ShardedSearch` for the
             ``pool`` backend (worker count; multiprocessing start method,
             default ``spawn``).
+        profile_hz: forwarded to :class:`ShardedSearch` — per-worker
+            sampling profilers for the ``pool`` backend (0 disables).
     """
 
     def __init__(
@@ -112,6 +114,7 @@ class DatasetManager:
         metrics: Any = None,
         workers: int | None = None,
         start_method: str | None = None,
+        profile_hz: float = 0.0,
     ) -> None:
         kept, load_report = validate_objects(
             list(objects), on_invalid=on_invalid, metrics=metrics
@@ -127,6 +130,7 @@ class DatasetManager:
                 metrics=metrics,
                 workers=workers,
                 start_method=start_method,
+                profile_hz=profile_hz,
             ),
             on_invalid=on_invalid,
             compact_threshold=compact_threshold,

@@ -1,0 +1,190 @@
+"""Multi-window burn-rate alerting: window math on a fake clock, wiring.
+
+The fast/slow pairing is the whole point: a hard outage must trip the
+fast window within minutes, a simmering regression must survive into the
+slow window, and an idle fleet must never page off one bad probe.  All
+window arithmetic runs against an injected clock so the tests cover
+hours of SLO history in microseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic
+from repro.obs.alerts import DEFAULT_WINDOWS, BurnRateMonitor
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.remote import LocalNode
+from repro.serve.router import RouterApp
+from repro.serve.server import ServeApp
+from repro.serve.updates import DatasetManager
+
+QUERY_POINTS = [[4700.0, 5300.0], [5200.0, 5800.0]]
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _monitor(**kw):
+    clock = _Clock()
+    kw.setdefault("objective", 0.99)
+    monitor = BurnRateMonitor(now_fn=clock, **kw)
+    return monitor, clock
+
+
+def _active(monitor):
+    return {row["alert"] for row in monitor.evaluate() if row["active"]}
+
+
+class TestWindowMath:
+    def test_all_bad_traffic_fires_fast_burn(self):
+        monitor, _ = _monitor()
+        for _ in range(20):
+            monitor.record(latency_bad=True)
+        active = _active(monitor)
+        assert "latency-fast-burn" in active
+        # 100% bad is 100x budget burn: the slow window trips too.
+        assert "latency-slow-burn" in active
+        assert "error-fast-burn" not in active
+
+    def test_min_samples_guards_idle_fleet(self):
+        monitor, _ = _monitor(min_samples=10)
+        for _ in range(9):
+            monitor.record(error=True)
+        assert _active(monitor) == set()
+        monitor.record(error=True)  # the 10th observation arms it
+        assert "error-fast-burn" in _active(monitor)
+
+    def test_burn_below_threshold_stays_quiet(self):
+        monitor, _ = _monitor()
+        # 10% bad on a 1% budget = 10x burn: below the 14.4x fast
+        # threshold, above the 6x slow one.
+        for i in range(100):
+            monitor.record(degraded=(i % 10 == 0))
+        active = _active(monitor)
+        assert "degraded-fast-burn" not in active
+        assert "degraded-slow-burn" in active
+
+    def test_fast_window_forgets_slow_window_remembers(self):
+        monitor, clock = _monitor()
+        for _ in range(20):
+            monitor.record(latency_bad=True)
+        assert "latency-fast-burn" in _active(monitor)
+        # Six minutes later the outage is over and good traffic flows:
+        # the 5m fast window has forgotten, the 1h slow window has not.
+        clock.advance(360.0)
+        for _ in range(20):
+            monitor.record()
+        active = _active(monitor)
+        assert "latency-fast-burn" not in active
+        assert "latency-slow-burn" in active
+        # Two hours later everything has aged out.
+        clock.advance(7200.0)
+        for _ in range(20):
+            monitor.record()
+        assert _active(monitor) == set()
+
+    def test_gauge_tracks_firing_and_resolution(self):
+        registry = MetricsRegistry()
+        clock = _Clock()
+        monitor = BurnRateMonitor(registry=registry, now_fn=clock)
+        for _ in range(20):
+            monitor.record(error=True)
+        monitor.evaluate()
+        assert registry.value(
+            "repro_alerts_active", {"alert": "error-fast-burn"}
+        ) == 1.0
+        clock.advance(7200.0)
+        for _ in range(20):
+            monitor.record()
+        monitor.evaluate()
+        # Resolved alerts stay visible at 0.0 — a vanishing series is
+        # indistinguishable from one that never existed.
+        assert registry.value(
+            "repro_alerts_active", {"alert": "error-fast-burn"}
+        ) == 0.0
+
+    def test_snapshot_shape(self):
+        monitor, _ = _monitor()
+        for _ in range(20):
+            monitor.record(latency_bad=True)
+        snap = monitor.snapshot()
+        assert snap["objective"] == 0.99
+        assert snap["active"] == sorted(snap["active"])
+        assert "latency-fast-burn" in snap["active"]
+        assert len(snap["rows"]) == len(DEFAULT_WINDOWS) * 3
+        for row in snap["rows"]:
+            assert {"alert", "burn_rate", "ratio", "requests"} <= set(row)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BurnRateMonitor(objective=1.0)
+        with pytest.raises(ValueError):
+            BurnRateMonitor(bucket_s=0)
+        with pytest.raises(ValueError):
+            BurnRateMonitor(windows=())
+
+
+@pytest.fixture(scope="module")
+def objects():
+    rng = np.random.default_rng(31)
+    centers = synthetic.anticorrelated_centers(40, 2, rng)
+    return synthetic.make_objects(centers, 4, 120.0, rng)
+
+
+class TestServeWiring:
+    def test_slow_requests_fire_fast_burn_on_status(self, objects):
+        registry = MetricsRegistry()
+        manager = DatasetManager(
+            objects, shards=2, backend="serial", metrics=registry
+        )
+        # Sub-microsecond latency SLO: every real query is an SLO miss.
+        app = ServeApp(manager, registry=registry, slo_latency_ms=1e-6)
+        try:
+            payload = {"points": QUERY_POINTS, "operator": "SSD", "k": 2,
+                       "cache": False}
+            for _ in range(12):
+                status, _ = app.dispatch("POST", "/query", payload)
+                assert status == 200
+            body = app.status()
+            assert "latency-fast-burn" in body["alerts"]["active"]
+            assert registry.value(
+                "repro_alerts_active", {"alert": "latency-fast-burn"}
+            ) == 1.0
+        finally:
+            manager.close()
+
+    def test_slow_replica_fires_router_fast_burn(self, objects):
+        apps, nodes = {}, {}
+        for nid in ("n1", "n2"):
+            manager = DatasetManager(
+                objects, shards=2, partitioner="hash", backend="serial"
+            )
+            app = ServeApp(manager, node_id=nid)
+            apps[nid] = app
+            nodes[nid] = LocalNode(nid, app)
+        nodes["n2"].delay_s = 0.005  # deterministically slow replica
+        router = RouterApp(
+            nodes, shards=2, replication=1, health_interval_s=0,
+            hedge_ms=0, slo_latency_ms=1.0,
+        )
+        try:
+            payload = {"points": QUERY_POINTS, "operator": "SSD", "k": 2,
+                       "cache": False}
+            for _ in range(12):
+                status, _ = router.dispatch("POST", "/query", payload)
+                assert status == 200
+            assert "latency-fast-burn" in router.status()["alerts"]["active"]
+        finally:
+            router.close()
+            for app in apps.values():
+                app.manager.close()

@@ -47,7 +47,9 @@ class TestEveryRegisteredFigure:
         summary = registry.self_check(art)
         assert summary["rows"] > 0
         assert art.fid == fid
-        assert art.category in ("paper", "bench", "trajectory")
+        assert art.category in (
+            "paper", "bench", "observability", "trajectory"
+        )
 
     def test_vega_lite_spec_shape(self, fid, inputs, built):
         spec = registry.vega_lite_spec(_artifact(fid, inputs, built))
@@ -177,11 +179,13 @@ class TestSloSnapshot:
         snap = slo_snapshot(self._registry_with_traffic(), 250.0)
         assert set(snap) == {
             "latency_ms_target", "latency_seconds", "degraded_ratio",
-            "error_ratio", "burn",
+            "error_ratio", "burn", "overflow", "clamped",
         }
         assert snap["latency_ms_target"] == 250.0
         assert set(snap["latency_seconds"]["FSD"]) == {"p50", "p95", "p99"}
         assert snap["burn"] == {"latency": 2.0}
+        # no observation above the top bucket bound -> honest and empty
+        assert snap["overflow"] == {} and snap["clamped"] == {}
 
     def test_slo_rows_accepts_status_body(self):
         snap = slo_snapshot(self._registry_with_traffic(), 250.0)

@@ -1,0 +1,281 @@
+"""Fleet federation: histogram merge math, absorb semantics, /fleet.
+
+The load-bearing claim is that cross-node quantiles come from *merged
+bucket counts* — exactly what one fleet-wide histogram would have
+reported — not from averaging per-node percentiles.  The tests pin that
+arithmetic (round-trip through the ``/metrics.json`` wire form included)
+and then the scraper end to end over in-process node apps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic
+from repro.obs.fleet import FleetScraper, absorb_node_metrics
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.serve.remote import LocalNode
+from repro.serve.router import RouterApp
+from repro.serve.server import ServeApp
+from repro.serve.updates import DatasetManager
+
+QUERY_POINTS = [[4700.0, 5300.0], [5200.0, 5800.0]]
+
+
+def _node_app(node_id: str, objects, *, shards: int = 2) -> ServeApp:
+    # One registry shared by manager and app: that is what routes the
+    # engine's repro_query_seconds observations into the scraped dump
+    # (the CLI serve command wires it the same way).
+    registry = MetricsRegistry()
+    manager = DatasetManager(
+        objects, shards=shards, partitioner="hash", backend="serial",
+        metrics=registry,
+    )
+    return ServeApp(manager, registry=registry, node_id=node_id)
+
+
+@pytest.fixture(scope="module")
+def objects():
+    rng = np.random.default_rng(29)
+    centers = synthetic.anticorrelated_centers(50, 2, rng)
+    return synthetic.make_objects(centers, 4, 120.0, rng)
+
+
+class TestHistogramMath:
+    def test_cumulative_round_trip_preserves_quantiles(self):
+        hist = Histogram()
+        for value in (0.001, 0.004, 0.02, 0.02, 0.3):
+            hist.observe(value)
+        # Wire form: cumulative counts over the finite bounds only (the
+        # +Inf bucket is recovered from `count`).
+        rebuilt = Histogram.from_cumulative(
+            list(hist.buckets), hist.cumulative()[:-1],
+            sum=hist.sum, count=hist.count,
+        )
+        assert rebuilt.counts == hist.counts
+        assert rebuilt.count == hist.count
+        for q in (0.5, 0.95, 0.99):
+            assert rebuilt.quantile(q) == hist.quantile(q)
+
+    def test_merge_is_bucketwise_additive(self):
+        a, b = Histogram(), Histogram()
+        for value in (0.001, 0.01):
+            a.observe(value)
+        for value in (0.02, 0.5, 0.5):
+            b.observe(value)
+        both = Histogram()
+        for value in (0.001, 0.01, 0.02, 0.5, 0.5):
+            both.observe(value)
+        a.merge(b)
+        assert a.counts == both.counts
+        assert a.count == both.count
+        assert a.quantile(0.99) == both.quantile(0.99)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram(buckets=(0.1, 1.0))
+        b = Histogram(buckets=(0.2, 1.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_overflow_and_clamped_flags_are_honest(self):
+        hist = Histogram()
+        hist.observe(0.001)
+        hist.observe(1e9)  # beyond the top bound -> +Inf bucket
+        assert hist.overflow == 1
+        value, clamped = hist.quantile_clamped(0.99)
+        assert clamped and value == max(hist.buckets)
+        _, clamped_low = hist.quantile_clamped(0.25)
+        assert not clamped_low
+
+
+class TestAbsorb:
+    def _node_dump(self):
+        node = MetricsRegistry()
+        node.inc("repro_dominance_checks_total", 42)
+        node.set_gauge("repro_serve_inflight", 3)
+        node.observe(
+            "repro_query_seconds", 0.02, {"operator": "SSD"}
+        )
+        return node.to_json()
+
+    def test_absorb_adds_node_label(self):
+        router = MetricsRegistry()
+        absorbed = absorb_node_metrics(router, self._node_dump(), "n1")
+        assert absorbed == 3
+        assert router.value(
+            "repro_dominance_checks_total", {"node": "n1"}
+        ) == 42.0
+        assert router.value(
+            "repro_serve_inflight", {"node": "n1"}
+        ) == 3.0
+
+    def test_double_absorb_is_idempotent(self):
+        router = MetricsRegistry()
+        dump = self._node_dump()
+        absorb_node_metrics(router, dump, "n1")
+        absorb_node_metrics(router, dump, "n1")
+        # Overwrite, not add: a re-scrape of the same snapshot changes
+        # nothing, counters don't double.
+        assert router.value(
+            "repro_dominance_checks_total", {"node": "n1"}
+        ) == 42.0
+        hist = router.get("repro_query_seconds",
+                          {"operator": "SSD", "node": "n1"})
+        assert hist.count == 1
+
+    def test_already_node_labelled_series_skipped(self):
+        node = MetricsRegistry()
+        node.inc("repro_dominance_checks_total", 5, {"node": "inner"})
+        router = MetricsRegistry()
+        assert absorb_node_metrics(router, node.to_json(), "outer") == 0
+
+    def test_skip_families_never_federate(self):
+        node = MetricsRegistry()
+        node.inc("repro_fleet_scrapes_total", 9, {"node2": "x"})
+        node.set_gauge("repro_slo_error_ratio", 0.5)
+        router = MetricsRegistry()
+        assert absorb_node_metrics(router, node.to_json(), "n1") == 0
+
+    def test_histogram_round_trips_through_wire_form(self):
+        node = MetricsRegistry()
+        for value in (0.003, 0.012, 0.4):
+            node.observe("repro_query_seconds", value, {"operator": "PSD"})
+        router = MetricsRegistry()
+        absorb_node_metrics(router, node.to_json(), "n1")
+        absorbed = router.get(
+            "repro_query_seconds", {"operator": "PSD", "node": "n1"}
+        )
+        original = node.get("repro_query_seconds", {"operator": "PSD"})
+        assert absorbed.counts == original.counts
+        assert absorbed.quantile(0.95) == original.quantile(0.95)
+
+
+class TestFleetScraper:
+    def _fleet(self, objects, n_queries=3):
+        apps = {
+            nid: _node_app(nid, objects) for nid in ("n1", "n2", "n3")
+        }
+        nodes = {nid: LocalNode(nid, app) for nid, app in apps.items()}
+        payload = {"points": QUERY_POINTS, "operator": "SSD", "k": 2,
+                   "cache": False}
+        for app in apps.values():
+            for _ in range(n_queries):
+                status, _ = app.dispatch("POST", "/query", payload)
+                assert status == 200
+        return apps, nodes
+
+    def test_scrape_merges_quantiles_across_nodes(self, objects):
+        apps, nodes = self._fleet(objects, n_queries=3)
+        try:
+            scraper = FleetScraper(nodes, MetricsRegistry())
+            snap = scraper.scrape()
+            assert set(snap["nodes"]) == {"n1", "n2", "n3"}
+            for view in snap["nodes"].values():
+                assert view["ok"] and view["absorbed_series"] > 0
+                assert view["epoch"] == 0
+                assert view["uptime_seconds"] >= 0.0
+                assert view["breaker"] == "closed"
+            ssd = snap["quantiles"]["SSD"]
+            # 3 nodes x 3 queries merged into one distribution.
+            assert ssd["count"] == 9
+            assert 0.0 <= ssd["p50"] <= ssd["p99"]
+        finally:
+            for app in apps.values():
+                app.manager.close()
+
+    def test_merged_quantiles_match_single_fleet_histogram(self, objects):
+        apps, nodes = self._fleet(objects, n_queries=2)
+        try:
+            registry = MetricsRegistry()
+            scraper = FleetScraper(nodes, registry)
+            scraper.scrape()
+            expected = Histogram()
+            for app in apps.values():
+                expected.merge(
+                    app.registry.get(
+                        "repro_query_seconds", {"operator": "SSD"}
+                    )
+                )
+            merged = scraper.merged_quantiles()["SSD"]
+            assert merged["count"] == expected.count
+            assert merged["p99"] == expected.quantile(0.99)
+        finally:
+            for app in apps.values():
+                app.manager.close()
+
+    def test_dead_node_degrades_loudly(self, objects):
+        apps, nodes = self._fleet(objects, n_queries=1)
+        try:
+            nodes["n2"].fail = True
+            registry = MetricsRegistry()
+            scraper = FleetScraper(nodes, registry)
+            snap = scraper.scrape()
+            assert snap["nodes"]["n1"]["ok"]
+            assert not snap["nodes"]["n2"]["ok"]
+            assert "error" in snap["nodes"]["n2"]
+            assert registry.value(
+                "repro_fleet_scrape_errors_total", {"node": "n2"}
+            ) == 1.0
+            assert registry.value(
+                "repro_fleet_scrapes_total", {"node": "n2"}
+            ) == 1.0
+        finally:
+            for app in apps.values():
+                app.manager.close()
+
+
+class TestRouterFleetSurface:
+    def _router(self, objects):
+        apps, nodes = {}, {}
+        for nid in ("n1", "n2"):
+            app = _node_app(nid, objects)
+            apps[nid] = app
+            nodes[nid] = LocalNode(nid, app)
+        router = RouterApp(
+            nodes, shards=2, replication=1, health_interval_s=0,
+        )
+        return router, apps
+
+    def test_fleet_endpoint_scrapes_fresh(self, objects):
+        router, apps = self._router(objects)
+        try:
+            payload = {"points": QUERY_POINTS, "operator": "SSD", "k": 2,
+                       "cache": False}
+            status, _ = router.dispatch("POST", "/query", payload)
+            assert status == 200
+            status, body = router.handle("GET", "/fleet", None)
+            assert status == 200
+            assert set(body["nodes"]) == {"n1", "n2"}
+            assert all(v["ok"] for v in body["nodes"].values())
+            assert body["quantiles"]  # engine metrics federated
+        finally:
+            router.close()
+            for app in apps.values():
+                app.manager.close()
+
+    def test_status_and_healthz_carry_fleet_and_uptime(self, objects):
+        router, apps = self._router(objects)
+        try:
+            router.fleet.scrape()
+            status_body = router.status()
+            assert "fleet" in status_body and "alerts" in status_body
+            health = router.healthz()
+            assert health["start_time"] <= health["start_time"] + 1
+            assert health["uptime_seconds"] >= 0.0
+        finally:
+            router.close()
+            for app in apps.values():
+                app.manager.close()
+
+    def test_node_healthz_and_status_carry_uptime(self, objects):
+        app = _node_app("n1", objects)
+        try:
+            health = app.healthz()
+            assert health["uptime_seconds"] >= 0.0
+            assert health["start_time"] == app.started_at
+            status_body = app.status()
+            assert status_body["uptime_seconds"] >= 0.0
+            assert status_body["start_time"] == app.started_at
+        finally:
+            app.manager.close()
